@@ -1,0 +1,40 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test vet bench tables examples cover fuzz clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Regenerate the experiment measurements (EXPERIMENTS.md tables).
+tables:
+	$(GO) run ./cmd/benchtables
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/textcompress
+	$(GO) run ./examples/dictionary
+	$(GO) run ./examples/language
+	$(GO) run ./examples/linebreak
+
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	$(GO) tool cover -func=cover.out | tail -1
+
+fuzz:
+	$(GO) test -fuzz=FuzzDecodeStream -fuzztime=30s ./internal/huffman
+
+clean:
+	rm -f cover.out test_output.txt bench_output.txt

@@ -1,0 +1,218 @@
+// Command compress is a small file compressor built on the library's
+// coding engines: static canonical Huffman in the self-describing frame
+// format (two-pass) or one-pass adaptive FGK coding.
+//
+// Usage:
+//
+//	compress -o out.pt file            # static Huffman frame
+//	compress -adaptive -o out.pt file  # one-pass adaptive coding
+//	compress -d -o file out.pt         # decompress (format auto-detected)
+//	compress -stats file               # just report achievable rates
+package main
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"partree"
+	"partree/internal/huffman"
+)
+
+// Adaptive container: magic, alphabet map, symbol count, bit count, payload.
+const adaptiveMagic = "pta"
+
+func main() {
+	decompress := flag.Bool("d", false, "decompress")
+	adaptive := flag.Bool("adaptive", false, "use one-pass adaptive (FGK) coding")
+	out := flag.String("o", "", "output file (default stdout)")
+	stats := flag.Bool("stats", false, "only print achievable rates")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: compress [-d] [-adaptive] [-o out] file")
+		os.Exit(1)
+	}
+	data, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	switch {
+	case *stats:
+		printStats(data)
+	case *decompress:
+		if err := doDecompress(w, data); err != nil {
+			fatal(err)
+		}
+	default:
+		if err := doCompress(w, data, *adaptive); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "compress:", err)
+	os.Exit(1)
+}
+
+func printStats(data []byte) {
+	if len(data) == 0 {
+		fmt.Println("empty input")
+		return
+	}
+	freqs, _, msg := byteFrequencies(data)
+	h := partree.Entropy(freqs)
+	opt := partree.HuffmanCost(freqs) / float64(len(data))
+	_, abits := partree.AdaptiveEncode(msg, len(freqs))
+	fmt.Printf("bytes: %d  alphabet: %d\n", len(data), len(freqs))
+	fmt.Printf("entropy:        %.4f bits/byte\n", h)
+	fmt.Printf("huffman:        %.4f bits/byte\n", opt)
+	fmt.Printf("adaptive (FGK): %.4f bits/byte\n", float64(abits)/float64(len(data)))
+}
+
+func byteFrequencies(data []byte) ([]float64, []byte, []int) {
+	var counts [256]int
+	for _, b := range data {
+		counts[b]++
+	}
+	var freqs []float64
+	var alphabet []byte
+	symOf := map[byte]int{}
+	for b := 0; b < 256; b++ {
+		if counts[b] > 0 {
+			symOf[byte(b)] = len(freqs)
+			alphabet = append(alphabet, byte(b))
+			freqs = append(freqs, float64(counts[b]))
+		}
+	}
+	msg := make([]int, len(data))
+	for i, b := range data {
+		msg[i] = symOf[b]
+	}
+	return freqs, alphabet, msg
+}
+
+// Static format: "pts" + uvarint(alphabet size) + alphabet bytes + a
+// huffman.EncodeStream frame of the symbol indices.
+func doCompress(w io.Writer, data []byte, adaptive bool) error {
+	if len(data) == 0 {
+		return fmt.Errorf("refusing to compress an empty file")
+	}
+	freqs, alphabet, msg := byteFrequencies(data)
+	var buf [binary.MaxVarintLen64]byte
+
+	if adaptive {
+		payload, bits := partree.AdaptiveEncode(msg, len(freqs))
+		if _, err := io.WriteString(w, adaptiveMagic); err != nil {
+			return err
+		}
+		for _, v := range []uint64{uint64(len(alphabet)), uint64(len(msg)), uint64(bits)} {
+			n := binary.PutUvarint(buf[:], v)
+			if _, err := w.Write(buf[:n]); err != nil {
+				return err
+			}
+		}
+		if _, err := w.Write(alphabet); err != nil {
+			return err
+		}
+		_, err := w.Write(payload)
+		return err
+	}
+
+	lengths := partree.CodeLengths(partree.HuffmanTree(freqs), len(freqs))
+	if _, err := io.WriteString(w, "pts"); err != nil {
+		return err
+	}
+	n := binary.PutUvarint(buf[:], uint64(len(alphabet)))
+	if _, err := w.Write(buf[:n]); err != nil {
+		return err
+	}
+	if _, err := w.Write(alphabet); err != nil {
+		return err
+	}
+	return huffman.EncodeStream(w, msg, lengths)
+}
+
+func doDecompress(w io.Writer, data []byte) error {
+	if len(data) < 3 {
+		return fmt.Errorf("input too short")
+	}
+	magic := string(data[:3])
+	rest := data[3:]
+	switch magic {
+	case "pts":
+		nAlpha, k := binary.Uvarint(rest)
+		if k <= 0 || int(nAlpha) > len(rest)-k {
+			return fmt.Errorf("corrupt static header")
+		}
+		alphabet := rest[k : k+int(nAlpha)]
+		syms, err := huffman.DecodeStream(bytesReader(rest[k+int(nAlpha):]))
+		if err != nil {
+			return err
+		}
+		return writeBytes(w, syms, alphabet)
+	case adaptiveMagic:
+		var vals [3]uint64
+		off := 0
+		for i := range vals {
+			v, k := binary.Uvarint(rest[off:])
+			if k <= 0 {
+				return fmt.Errorf("corrupt adaptive header")
+			}
+			vals[i] = v
+			off += k
+		}
+		nAlpha, nSyms, bits := int(vals[0]), int(vals[1]), int(vals[2])
+		if nAlpha > len(rest)-off {
+			return fmt.Errorf("corrupt adaptive alphabet")
+		}
+		alphabet := rest[off : off+nAlpha]
+		payload := rest[off+nAlpha:]
+		syms, err := partree.AdaptiveDecode(payload, bits, nSyms, nAlpha)
+		if err != nil {
+			return err
+		}
+		return writeBytes(w, syms, alphabet)
+	default:
+		return fmt.Errorf("unknown container %q", magic)
+	}
+}
+
+func writeBytes(w io.Writer, syms []int, alphabet []byte) error {
+	out := make([]byte, len(syms))
+	for i, s := range syms {
+		if s < 0 || s >= len(alphabet) {
+			return fmt.Errorf("symbol %d outside alphabet", s)
+		}
+		out[i] = alphabet[s]
+	}
+	_, err := w.Write(out)
+	return err
+}
+
+func bytesReader(b []byte) io.Reader { return &sliceReader{b: b} }
+
+type sliceReader struct{ b []byte }
+
+func (r *sliceReader) Read(p []byte) (int, error) {
+	if len(r.b) == 0 {
+		return 0, io.EOF
+	}
+	n := copy(p, r.b)
+	r.b = r.b[n:]
+	return n, nil
+}

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func roundTrip(t *testing.T, data []byte, adaptive bool) {
+	t.Helper()
+	var packed bytes.Buffer
+	if err := doCompress(&packed, data, adaptive); err != nil {
+		t.Fatalf("compress: %v", err)
+	}
+	var back bytes.Buffer
+	if err := doDecompress(&back, packed.Bytes()); err != nil {
+		t.Fatalf("decompress: %v", err)
+	}
+	if !bytes.Equal(back.Bytes(), data) {
+		t.Fatalf("round trip corrupted (%d vs %d bytes)", back.Len(), len(data))
+	}
+}
+
+func TestCompressRoundTrips(t *testing.T) {
+	rng := rand.New(rand.NewSource(571))
+	inputs := [][]byte{
+		[]byte("a"),
+		[]byte("hello hello hello world"),
+		[]byte(strings.Repeat("the quick brown fox jumps over the lazy dog. ", 40)),
+	}
+	blob := make([]byte, 5000)
+	for i := range blob {
+		blob[i] = byte(rng.Intn(7) * 37) // skewed small alphabet
+	}
+	inputs = append(inputs, blob)
+	for i, data := range inputs {
+		for _, adaptive := range []bool{false, true} {
+			t.Run("", func(t *testing.T) { roundTrip(t, data, adaptive) })
+			_ = i
+		}
+	}
+}
+
+func TestCompressActuallyCompresses(t *testing.T) {
+	data := []byte(strings.Repeat("abacabad", 2000))
+	for _, adaptive := range []bool{false, true} {
+		var packed bytes.Buffer
+		if err := doCompress(&packed, data, adaptive); err != nil {
+			t.Fatal(err)
+		}
+		if packed.Len() >= len(data)/2 {
+			t.Errorf("adaptive=%v: %d bytes from %d — poor compression on a 4-symbol source",
+				adaptive, packed.Len(), len(data))
+		}
+		var back bytes.Buffer
+		if err := doDecompress(&back, packed.Bytes()); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(back.Bytes(), data) {
+			t.Fatal("round trip corrupted")
+		}
+	}
+}
+
+func TestDecompressErrors(t *testing.T) {
+	var sink bytes.Buffer
+	if err := doDecompress(&sink, []byte("xx")); err == nil {
+		t.Error("short input must error")
+	}
+	if err := doDecompress(&sink, []byte("zzz123")); err == nil {
+		t.Error("bad magic must error")
+	}
+	if err := doCompress(&sink, nil, false); err == nil {
+		t.Error("empty input must error")
+	}
+	// Truncated static container.
+	var packed bytes.Buffer
+	if err := doCompress(&packed, []byte("some sample text for truncation"), false); err != nil {
+		t.Fatal(err)
+	}
+	trunc := packed.Bytes()[:packed.Len()-2]
+	if err := doDecompress(&sink, trunc); err == nil {
+		t.Error("truncated container must error")
+	}
+}

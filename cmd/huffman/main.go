@@ -1,0 +1,183 @@
+// Command huffman builds optimal and near-optimal prefix codes from
+// symbol frequencies and compares the paper's engines.
+//
+// Usage:
+//
+//	huffman [flags] [freq...]            build a code from the listed frequencies
+//	echo "some text" | huffman -text    derive byte frequencies from stdin text
+//
+// Flags select the engine (-engine=seq|parallel|rakecompress|shannonfano),
+// request the code table (-codes), the tree (-tree) and engine statistics
+// (-stats).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+
+	"partree"
+	"partree/internal/tree"
+)
+
+func main() {
+	engine := flag.String("engine", "seq", "seq | parallel | rakecompress | shannonfano")
+	text := flag.Bool("text", false, "read text from stdin and use byte frequencies")
+	showCodes := flag.Bool("codes", true, "print the code table")
+	showTree := flag.Bool("tree", false, "print the code tree")
+	showStats := flag.Bool("stats", false, "print PRAM statistics")
+	workers := flag.Int("workers", 0, "worker goroutines for parallel engines (0 = GOMAXPROCS)")
+	maxLen := flag.Int("maxlen", 0, "restrict code words to this many bits (0 = unrestricted)")
+	flag.Parse()
+
+	freqs, labels, err := readInput(*text, flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "huffman:", err)
+		os.Exit(1)
+	}
+	if len(freqs) == 0 {
+		fmt.Fprintln(os.Stderr, "huffman: no symbols (pass frequencies or -text with stdin)")
+		os.Exit(1)
+	}
+
+	opts := partree.Options{Workers: *workers}
+	var t *partree.Tree
+	var avg float64
+
+	if *maxLen > 0 {
+		// Length-limited coding via the height-bounded A_h recurrence.
+		sorted := append([]float64(nil), freqs...)
+		sort.Float64s(sorted)
+		tr, cost, err := partree.HuffmanHeightLimited(sorted, *maxLen, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "huffman:", err)
+			os.Exit(1)
+		}
+		total := 0.0
+		for _, f := range freqs {
+			total += f
+		}
+		fmt.Printf("length-limited (≤ %d bits): %.6g bits/symbol (unrestricted: %.6g)\n",
+			*maxLen, cost/total, partree.HuffmanCost(freqs)/total)
+		if *showTree {
+			fmt.Print(tree.Render(tr, nil))
+		}
+		return
+	}
+
+	switch *engine {
+	case "seq":
+		t = partree.HuffmanTree(freqs)
+		avg = t.WeightedPathLength()
+	case "parallel":
+		res := partree.HuffmanParallel(freqs, opts)
+		t, avg = res.Tree, res.Cost
+		if *showStats {
+			fmt.Printf("steps=%d work=%d comparisons=%d\n",
+				res.Stats.Steps, res.Stats.Work, res.Comparisons)
+		}
+	case "rakecompress":
+		sorted := append([]float64(nil), freqs...)
+		sort.Float64s(sorted)
+		cost, stats := partree.HuffmanRakeCompressCost(sorted, opts)
+		fmt.Printf("optimal average word length: %.6g\n", cost)
+		if *showStats {
+			fmt.Printf("steps=%d work=%d\n", stats.Steps, stats.Work)
+		}
+		return // cost-only engine
+	case "shannonfano":
+		total := 0.0
+		for _, f := range freqs {
+			total += f
+		}
+		probs := make([]float64, len(freqs))
+		for i, f := range freqs {
+			probs[i] = f / total
+		}
+		res, err := partree.ShannonFano(probs, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "huffman:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("average word length: %.6g (huffman: %.6g)\n",
+			res.AverageLength, partree.HuffmanCost(probs))
+		if *showCodes {
+			printCodes(res.Codes, probs, labels)
+		}
+		if *showTree {
+			fmt.Print(tree.Render(res.Tree, nil))
+		}
+		if *showStats {
+			fmt.Printf("steps=%d work=%d\n", res.Stats.Steps, res.Stats.Work)
+		}
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "huffman: unknown engine %q\n", *engine)
+		os.Exit(1)
+	}
+
+	total := 0.0
+	for _, f := range freqs {
+		total += f
+	}
+	fmt.Printf("symbols: %d  average word length: %.6g bits/symbol\n", len(freqs), avg/total)
+	if *showCodes {
+		codes, err := partree.HuffmanCodes(freqs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "huffman:", err)
+			os.Exit(1)
+		}
+		printCodes(codes, freqs, labels)
+	}
+	if *showTree {
+		fmt.Print(tree.Render(t, nil))
+	}
+}
+
+func readInput(text bool, args []string) ([]float64, []string, error) {
+	if text {
+		data, err := io.ReadAll(bufio.NewReader(os.Stdin))
+		if err != nil {
+			return nil, nil, err
+		}
+		var counts [256]int
+		for _, b := range data {
+			counts[b]++
+		}
+		var freqs []float64
+		var labels []string
+		for b, c := range counts {
+			if c > 0 {
+				freqs = append(freqs, float64(c))
+				labels = append(labels, fmt.Sprintf("%q", byte(b)))
+			}
+		}
+		return freqs, labels, nil
+	}
+	var freqs []float64
+	var labels []string
+	for i, a := range args {
+		v, err := strconv.ParseFloat(a, 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("bad frequency %q: %v", a, err)
+		}
+		freqs = append(freqs, v)
+		labels = append(labels, fmt.Sprintf("s%d", i))
+	}
+	return freqs, labels, nil
+}
+
+func printCodes(codes []partree.Codeword, freqs []float64, labels []string) {
+	order := make([]int, len(codes))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return freqs[order[a]] > freqs[order[b]] })
+	for _, i := range order {
+		fmt.Printf("%-8s %10.4g  %s\n", labels[i], freqs[i], codes[i])
+	}
+}

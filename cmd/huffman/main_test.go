@@ -1,0 +1,22 @@
+package main
+
+import "testing"
+
+func TestReadInputArgs(t *testing.T) {
+	freqs, labels, err := readInput(false, []string{"1.5", "2", "0.25"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(freqs) != 3 || freqs[0] != 1.5 || freqs[2] != 0.25 {
+		t.Errorf("freqs = %v", freqs)
+	}
+	if labels[1] != "s1" {
+		t.Errorf("labels = %v", labels)
+	}
+	if _, _, err := readInput(false, []string{"abc"}); err == nil {
+		t.Error("bad frequency must error")
+	}
+	if freqs, _, err := readInput(false, nil); err != nil || len(freqs) != 0 {
+		t.Error("no args should give empty frequencies")
+	}
+}

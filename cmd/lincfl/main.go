@@ -1,0 +1,167 @@
+// Command lincfl recognizes strings against a linear context-free grammar
+// (Section 8 of the paper) and can render the induced graph structure the
+// paper's Figures 1–3 illustrate.
+//
+// Usage:
+//
+//	lincfl -grammar palindrome abcba abcab
+//	lincfl -rules 'S->(S); S->x' -start S '((x))'
+//	lincfl -grammar palindrome -show-graph aca
+//
+// Each word is recognized by both the sequential DP and the parallel
+// separator divide-and-conquer; a derivation is printed for members.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"partree"
+)
+
+func main() {
+	gname := flag.String("grammar", "", "stock grammar: palindrome | equalends")
+	rules := flag.String("rules", "", "semicolon-separated rules like 'S->aSb; S->x' (use '.' suffix/prefix split around the single uppercase nonterminal)")
+	start := flag.String("start", "S", "start symbol for -rules")
+	showGraph := flag.Bool("show-graph", false, "render the collapsed interval grid and separator split (Figures 1–3)")
+	showDerivation := flag.Bool("derive", true, "print a derivation for accepted words")
+	count := flag.Bool("count", false, "print the exact number of derivations (ambiguity)")
+	flag.Parse()
+
+	g, err := loadGrammar(*gname, *rules, *start)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lincfl:", err)
+		os.Exit(1)
+	}
+
+	if flag.NArg() == 0 && !*showGraph {
+		fmt.Fprintln(os.Stderr, "usage: lincfl (-grammar name | -rules ...) word...")
+		os.Exit(1)
+	}
+
+	for _, word := range flag.Args() {
+		w := []byte(word)
+		seq := partree.RecognizeLinear(g, w)
+		par := partree.RecognizeLinearParallel(g, w)
+		verdict := "REJECT"
+		if seq {
+			verdict = "ACCEPT"
+		}
+		if seq != par.Accepted {
+			fmt.Fprintf(os.Stderr, "lincfl: ENGINES DISAGREE on %q (seq=%v dc=%v)\n", word, seq, par.Accepted)
+			os.Exit(2)
+		}
+		fmt.Printf("%-20q %s   (D&C: depth %d, %d boolean products, %d word-ops)\n",
+			word, verdict, par.Depth, par.Products, par.WordOps)
+		if *count {
+			fmt.Printf("    derivations: %s\n", partree.CountDerivations(g, w))
+		}
+		if seq && *showDerivation {
+			if steps, ok := partree.DeriveLinear(g, w); ok {
+				fmt.Print(indent(partree.FormatDerivation(g, w, steps)))
+			}
+		}
+		if *showGraph {
+			fmt.Print(renderGrid(len(w)))
+		}
+	}
+	if flag.NArg() == 0 && *showGraph {
+		fmt.Print(renderGrid(8))
+	}
+}
+
+func loadGrammar(name, rules, start string) (*partree.LinearGrammar, error) {
+	switch name {
+	case "palindrome":
+		return partree.PalindromeGrammar(), nil
+	case "equalends":
+		return partree.NewLinearGrammar([]partree.GrammarRule{
+			{A: "S", Pre: "a", B: "S", Suf: "b"},
+			{A: "S", Pre: "a", B: "C", Suf: "b"},
+			{A: "C", Pre: "c", B: "C"},
+			{A: "C", Pre: "c"},
+		}, "S")
+	case "":
+		if rules == "" {
+			return nil, fmt.Errorf("pass -grammar or -rules")
+		}
+		return parseRules(rules, start)
+	default:
+		return nil, fmt.Errorf("unknown grammar %q", name)
+	}
+}
+
+// parseRules parses 'S->aSb; S->x' style rule lists. The first uppercase
+// letter in a right-hand side is taken as the body nonterminal.
+func parseRules(s, start string) (*partree.LinearGrammar, error) {
+	var out []partree.GrammarRule
+	for _, part := range strings.Split(s, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		lr := strings.SplitN(part, "->", 2)
+		if len(lr) != 2 {
+			return nil, fmt.Errorf("bad rule %q (want A->body)", part)
+		}
+		head := strings.TrimSpace(lr[0])
+		body := strings.TrimSpace(lr[1])
+		nt := -1
+		for i, r := range body {
+			if r >= 'A' && r <= 'Z' {
+				nt = i
+				break
+			}
+		}
+		if nt < 0 {
+			out = append(out, partree.GrammarRule{A: head, Pre: body})
+		} else {
+			out = append(out, partree.GrammarRule{
+				A:   head,
+				Pre: body[:nt],
+				B:   string(body[nt]),
+				Suf: body[nt+1:],
+			})
+		}
+	}
+	return partree.NewLinearGrammar(out, start)
+}
+
+// renderGrid draws the collapsed interval grid of IG(G,w) — the triangle
+// of Figure 2 — with the first separator split marked: L and R are the
+// recursive triangles, Q the square between them (the pieces of Figure 3).
+// Each cell (i,j) stands for the cluster of |N| vertices v_{i,j,·} of
+// Figure 1; edges go left (consume w_j) and down (consume w_i).
+func renderGrid(n int) string {
+	if n < 1 {
+		return ""
+	}
+	mid := (n - 1) / 2
+	var b strings.Builder
+	fmt.Fprintf(&b, "collapsed IG grid for n=%d (rows i, cols j; paths go left/down from (0,%d) to the diagonal):\n", n, n-1)
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "%3d ", i)
+		for j := 0; j < n; j++ {
+			switch {
+			case j < i:
+				b.WriteString("  ")
+			case i <= mid && j > mid:
+				b.WriteString(" Q")
+			case j <= mid:
+				b.WriteString(" L")
+			default:
+				b.WriteString(" R")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("    L, R: recursive triangles; Q: square combined via boolean matrix products\n")
+	return b.String()
+}
+
+func indent(s string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	return "    " + strings.Join(lines, "\n    ") + "\n"
+}

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"partree"
+)
+
+func TestParseRules(t *testing.T) {
+	g, err := parseRules("S->aSb; S->x", "S")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !partree.RecognizeLinear(g, []byte("aaxbb")) {
+		t.Error("parsed grammar should accept aaxbb")
+	}
+	if partree.RecognizeLinear(g, []byte("axbb")) {
+		t.Error("parsed grammar should reject axbb")
+	}
+}
+
+func TestParseRulesTerminalOnly(t *testing.T) {
+	g, err := parseRules("S->abc", "S")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !partree.RecognizeLinear(g, []byte("abc")) || partree.RecognizeLinear(g, []byte("ab")) {
+		t.Error("terminal-only grammar wrong")
+	}
+}
+
+func TestParseRulesErrors(t *testing.T) {
+	if _, err := parseRules("garbage", "S"); err == nil {
+		t.Error("missing arrow must error")
+	}
+	if _, err := parseRules("S->aXb", "S"); err == nil {
+		t.Error("undefined nonterminal must error")
+	}
+	if _, err := parseRules("", "S"); err == nil {
+		t.Error("empty rules must error")
+	}
+}
+
+func TestParseRulesSkipsEmptySegments(t *testing.T) {
+	g, err := parseRules("S->aS; ;S->b;", "S")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !partree.RecognizeLinear(g, []byte("aab")) {
+		t.Error("grammar with empty segments wrong")
+	}
+}
+
+func TestLoadGrammarStock(t *testing.T) {
+	for _, name := range []string{"palindrome", "equalends"} {
+		if _, err := loadGrammar(name, "", "S"); err != nil {
+			t.Errorf("stock grammar %q failed: %v", name, err)
+		}
+	}
+	if _, err := loadGrammar("nope", "", "S"); err == nil {
+		t.Error("unknown grammar must error")
+	}
+	if _, err := loadGrammar("", "", "S"); err == nil {
+		t.Error("no grammar and no rules must error")
+	}
+}
+
+func TestRenderGrid(t *testing.T) {
+	out := renderGrid(6)
+	if !strings.Contains(out, "L") || !strings.Contains(out, "R") || !strings.Contains(out, "Q") {
+		t.Errorf("grid must mark all three pieces:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Header + 6 rows + legend.
+	if len(lines) != 8 {
+		t.Errorf("grid has %d lines:\n%s", len(lines), out)
+	}
+	if renderGrid(0) != "" {
+		t.Error("empty grid should be empty")
+	}
+	// Cells below the diagonal must be blank, L only in the top-left
+	// triangle, R only in the bottom-right.
+	row3 := lines[4] // row i=3 of n=6
+	if strings.Contains(row3[:4+2*3], "L") || !strings.Contains(row3, "R") {
+		t.Errorf("row 3 should be R-only on/after the diagonal: %q", row3)
+	}
+}
+
+func TestIndent(t *testing.T) {
+	if got := indent("a\nb\n"); got != "    a\n    b\n" {
+		t.Errorf("indent = %q", got)
+	}
+}

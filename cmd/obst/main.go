@@ -1,0 +1,93 @@
+// Command obst builds optimal and approximately optimal binary search
+// trees (Section 6 of the paper).
+//
+// Usage:
+//
+//	obst -keys 0.15,0.10,0.05,0.10,0.20 -gaps 0.05,0.10,0.05,0.05,0.05,0.10
+//	obst -zipf 20 -eps 0.001
+//
+// With -zipf n a synthetic instance with Zipf-distributed key
+// probabilities is generated. The exact Knuth optimum and the paper's
+// ε-approximation are printed side by side.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"partree"
+	"partree/internal/tree"
+	"partree/internal/workload"
+)
+
+func main() {
+	keysArg := flag.String("keys", "", "comma-separated key access probabilities")
+	gapsArg := flag.String("gaps", "", "comma-separated gap (miss) probabilities, one more than keys")
+	zipf := flag.Int("zipf", 0, "generate a Zipf instance with this many keys instead")
+	eps := flag.Float64("eps", 0.001, "approximation slack ε")
+	showTree := flag.Bool("tree", false, "render the approximate tree")
+	flag.Parse()
+
+	var in *partree.BSTInstance
+	var err error
+	switch {
+	case *zipf > 0:
+		z := workload.Zipf(*zipf, 1.0)
+		beta := make([]float64, *zipf)
+		alpha := make([]float64, *zipf+1)
+		for i := range beta {
+			beta[i] = z[i] * 0.8
+		}
+		for i := range alpha {
+			alpha[i] = 0.2 / float64(*zipf+1)
+		}
+		in, err = partree.NewBSTInstance(beta, alpha)
+	case *keysArg != "" && *gapsArg != "":
+		var beta, alpha []float64
+		if beta, err = parseFloats(*keysArg); err == nil {
+			if alpha, err = parseFloats(*gapsArg); err == nil {
+				in, err = partree.NewBSTInstance(beta, alpha)
+			}
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "usage: obst (-keys ... -gaps ...) | -zipf n")
+		os.Exit(1)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "obst:", err)
+		os.Exit(1)
+	}
+
+	opt, _ := partree.OptimalBST(in)
+	res := partree.ApproxBST(in, *eps)
+	fmt.Printf("keys: %d\n", in.N())
+	fmt.Printf("Knuth optimum:      %.6f\n", opt)
+	fmt.Printf("approximation:      %.6f  (ε = %g, measured gap %.2e)\n",
+		res.Cost, res.Epsilon, res.Cost-opt)
+	fmt.Printf("collapsed instance: %d keys\n", res.CollapsedKeys)
+	fmt.Printf("comparisons:        %d   PRAM steps: %d\n", res.Comparisons, res.Stats.Steps)
+	if *showTree {
+		fmt.Print(tree.Render(res.Tree, func(v *partree.Tree) string {
+			if v.IsLeaf() {
+				return fmt.Sprintf("gap %d (α=%.4g)", v.Symbol, v.Weight)
+			}
+			return fmt.Sprintf("key %d (β=%.4g)", v.Symbol, v.Weight)
+		}))
+	}
+}
+
+func parseFloats(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad probability %q", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,0 +1,16 @@
+package main
+
+import "testing"
+
+func TestParseFloats(t *testing.T) {
+	got, err := parseFloats("0.1, 0.2,0.3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 0.1 || got[2] != 0.3 {
+		t.Errorf("parseFloats = %v", got)
+	}
+	if _, err := parseFloats("0.1,oops"); err == nil {
+		t.Error("bad number must error")
+	}
+}

@@ -1,0 +1,74 @@
+// Command treebuild constructs an ordered binary tree from a leaf-depth
+// pattern (the paper's Tree Construction Problem, Definition 1.1) and
+// renders it.
+//
+// Usage:
+//
+//	treebuild 3 3 2 3 3 2
+//	treebuild -algo=monotone 3 3 2 1
+//
+// -algo selects auto (Finger-Reduction for general patterns), monotone
+// (Theorem 7.1), bitonic (Theorem 7.2) or greedy (the sequential oracle).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"partree"
+	"partree/internal/leafpattern"
+	"partree/internal/tree"
+	"partree/internal/workload"
+)
+
+func main() {
+	algo := flag.String("algo", "auto", "auto | monotone | bitonic | greedy")
+	quiet := flag.Bool("q", false, "suppress the tree rendering")
+	flag.Parse()
+
+	pattern := make([]int, 0, flag.NArg())
+	for _, a := range flag.Args() {
+		v, err := strconv.Atoi(a)
+		if err != nil || v < 0 {
+			fmt.Fprintf(os.Stderr, "treebuild: bad depth %q\n", a)
+			os.Exit(1)
+		}
+		pattern = append(pattern, v)
+	}
+	if len(pattern) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: treebuild [-algo=...] depth depth ...")
+		os.Exit(1)
+	}
+
+	var t *partree.Tree
+	var err error
+	switch *algo {
+	case "auto":
+		t, err = partree.TreeFromDepths(pattern)
+	case "monotone":
+		var stats partree.Stats
+		t, stats, err = partree.TreeFromMonotoneDepths(pattern)
+		if err == nil {
+			fmt.Printf("parallel statements: %d\n", stats.Steps)
+		}
+	case "bitonic":
+		t, err = partree.TreeFromBitonicDepths(pattern)
+	case "greedy":
+		t, err = leafpattern.Greedy(pattern)
+	default:
+		fmt.Fprintf(os.Stderr, "treebuild: unknown algorithm %q\n", *algo)
+		os.Exit(1)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "treebuild: %v\n", err)
+		os.Exit(2)
+	}
+
+	fmt.Printf("pattern: %v  (fingers: %d)\n", pattern, workload.Fingers(pattern))
+	fmt.Printf("nodes: %d  height: %d\n", t.Size(), t.Height())
+	if !*quiet {
+		fmt.Print(tree.Render(t, nil))
+	}
+}

@@ -1,0 +1,100 @@
+package partree_test
+
+import (
+	"fmt"
+
+	"partree"
+)
+
+func ExampleHuffmanParallel() {
+	freqs := []float64{0.05, 0.09, 0.12, 0.13, 0.16, 0.45}
+	res := partree.HuffmanParallel(freqs)
+	fmt.Printf("optimal average word length: %.2f bits\n", res.Cost)
+	// Output:
+	// optimal average word length: 2.24 bits
+}
+
+func ExampleHuffmanCodes() {
+	codes, _ := partree.HuffmanCodes([]float64{0.5, 0.25, 0.25})
+	for sym, c := range codes {
+		fmt.Printf("symbol %d: %s\n", sym, c)
+	}
+	// Output:
+	// symbol 0: 0
+	// symbol 1: 10
+	// symbol 2: 11
+}
+
+func ExampleShannonFano() {
+	res, _ := partree.ShannonFano([]float64{0.5, 0.25, 0.125, 0.125})
+	fmt.Printf("average length: %.2f bits (Huffman: %.2f)\n",
+		res.AverageLength, partree.HuffmanCost([]float64{0.5, 0.25, 0.125, 0.125}))
+	// Output:
+	// average length: 1.75 bits (Huffman: 1.75)
+}
+
+func ExampleTreeFromDepths() {
+	t, err := partree.TreeFromDepths([]int{2, 2, 2, 2})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("height:", t.Height(), "leaves:", t.CountLeaves())
+	// Output:
+	// height: 2 leaves: 4
+}
+
+func ExampleOptimalBST() {
+	in, _ := partree.NewBSTInstance(
+		[]float64{0.15, 0.10, 0.05, 0.10, 0.20},
+		[]float64{0.05, 0.10, 0.05, 0.05, 0.05, 0.10},
+	)
+	cost, _ := partree.OptimalBST(in)
+	fmt.Printf("optimal weighted path length: %.2f\n", cost)
+	// Output:
+	// optimal weighted path length: 2.35
+}
+
+func ExampleRecognizeLinearParallel() {
+	g := partree.PalindromeGrammar()
+	res := partree.RecognizeLinearParallel(g, []byte("abcba"))
+	fmt.Println("abcba accepted:", res.Accepted)
+	res = partree.RecognizeLinearParallel(g, []byte("abcab"))
+	fmt.Println("abcab accepted:", res.Accepted)
+	// Output:
+	// abcba accepted: true
+	// abcab accepted: false
+}
+
+func ExampleDeriveLinearParallel() {
+	g, _ := partree.NewLinearGrammar([]partree.GrammarRule{
+		{A: "S", Pre: "(", B: "S", Suf: ")"},
+		{A: "S", Pre: "x"},
+	}, "S")
+	word := []byte("((x))")
+	steps, ok := partree.DeriveLinearParallel(g, word)
+	fmt.Println("derivable:", ok, "steps:", len(steps))
+	// Output:
+	// derivable: true steps: 5
+}
+
+func ExampleConcaveMultiply() {
+	// A small concave (Monge) matrix: constant second differences.
+	a := [][]float64{
+		{0, 2, 4},
+		{1, 3, 5},
+		{3, 5, 7},
+	}
+	fmt.Println("concave:", partree.IsConcave(a))
+	res := partree.ConcaveMultiply(a, a)
+	fmt.Println("product[0][2]:", res.Product[0][2])
+	// Output:
+	// concave: true
+	// product[0][2]: 4
+}
+
+func ExampleOptimalAlphabeticTree() {
+	_, cost, _ := partree.OptimalAlphabeticTree([]float64{1, 100, 1})
+	fmt.Printf("cost: %.0f\n", cost)
+	// Output:
+	// cost: 203
+}

@@ -1,0 +1,63 @@
+// Ambiguity explores the derivation structure of linear languages with
+// the induced-graph machinery: exact derivation counting (linear grammars
+// can be exponentially ambiguous — each step may consume from either
+// end), plus the reversal and union closure operations.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"partree"
+	"partree/internal/grammar"
+	"partree/internal/lincfl"
+)
+
+func main() {
+	// S → aS | Sa | a: the word aⁿ has 2^{n-1} distinct derivations (each
+	// of the n-1 chain steps independently consumes from the left or the
+	// right).
+	g, err := partree.NewLinearGrammar([]partree.GrammarRule{
+		{A: "S", Pre: "a", B: "S"},
+		{A: "S", B: "S", Suf: "a"},
+		{A: "S", Pre: "a"},
+	}, "S")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("derivations of aⁿ under S → aS | Sa | a:")
+	for n := 1; n <= 40; n += 13 {
+		w := make([]byte, n)
+		for i := range w {
+			w[i] = 'a'
+		}
+		fmt.Printf("  n=%2d: %s\n", n, partree.CountDerivations(g, w))
+	}
+
+	// Palindromes are unambiguous: exactly one derivation per member.
+	pal := partree.PalindromeGrammar()
+	fmt.Printf("\npalindrome \"abcba\" derivations: %s (unambiguous)\n",
+		partree.CountDerivations(pal, []byte("abcba")))
+
+	// Closure under reversal and union (linear languages are closed under
+	// both; famously not under intersection).
+	frame := grammar.EqualEnds() // {aⁿ c⁺ bⁿ}
+	rev := grammar.Reverse(frame)
+	fmt.Println("\nreversal: L = {aⁿc⁺bⁿ}, reverse(L) accepts \"bbcaa\":",
+		lincfl.Sequential(rev, []byte("bbcaa")))
+
+	union := grammar.Union(pal, frame)
+	for _, s := range []string{"abcba", "aaccbb", "ab"} {
+		fmt.Printf("union accepts %-8q: %v (pal: %v, frame: %v)\n",
+			s, lincfl.Sequential(union, []byte(s)),
+			lincfl.Sequential(pal, []byte(s)), lincfl.Sequential(frame, []byte(s)))
+	}
+
+	// The substring membership table: where do members hide inside noise?
+	w := []byte("xxabcbayyacaz")
+	i, j, ok := lincfl.LongestMember(pal, w)
+	if !ok {
+		log.Fatal("expected an embedded palindrome")
+	}
+	fmt.Printf("\nlongest palindrome inside %q: %q\n", w, w[i:j])
+}

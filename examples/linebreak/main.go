@@ -1,0 +1,111 @@
+// Linebreak formats a paragraph with minimum total raggedness — the
+// classic concave dynamic program (squared-slack line breaking à la
+// TeX). The cost matrix M[i][j] = (width − length of words i+1…j)² is
+// concave (it satisfies the paper's quadrangle condition, as the program
+// verifies), so the all-breaks optimum can be computed by repeated
+// squaring with partree.ConcaveMultiply in O(n² log n) comparisons
+// instead of Θ(n³ log n) — a direct demonstration of Theorem 4.1's engine
+// on a problem outside the paper's own applications.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"strings"
+
+	"partree"
+)
+
+const width = 44
+
+const paragraph = `The construction of optimal codes is a classical problem in
+communication where the computationally expensive part is finding the
+associated tree and these trees are not arbitrary trees but are special
+so we take advantage of the special form of these trees to decrease the
+number of processors used`
+
+func main() {
+	words := strings.Fields(paragraph)
+	n := len(words)
+
+	// Prefix word lengths (with one separating space charged per join).
+	pre := make([]int, n+1)
+	for i, w := range words {
+		pre[i+1] = pre[i] + len(w) + 1
+	}
+	lineLen := func(i, j int) int { return pre[j] - pre[i] - 1 }
+
+	// Cost matrix over break positions 0…n: M[i][j] = squared slack of a
+	// line holding words i+1…j (∞ if it overflows); the last line is free.
+	m := make([][]float64, n+1)
+	for i := range m {
+		m[i] = make([]float64, n+1)
+		for j := range m[i] {
+			switch {
+			case j <= i || lineLen(i, j) > width:
+				m[i][j] = partree.Inf
+			case j == n:
+				m[i][j] = 0 // no penalty on the final line
+			default:
+				slack := float64(width - lineLen(i, j))
+				m[i][j] = slack * slack
+			}
+		}
+	}
+	// Section 5's self-loop trick: a zero loop at the source (and only
+	// there — zeros on the whole diagonal would break concavity) lets a
+	// path of length exactly 2^s stand for any break sequence of at most
+	// that many lines.
+	m[0][0] = 0
+
+	if !partree.IsConcave(m) {
+		log.Fatal("line-break cost matrix should be concave (quadrangle condition)")
+	}
+
+	// Repeated squaring over (min,+): after ⌈log₂ n⌉ squarings entry
+	// [0][n] is the cheapest break sequence of any length.
+	cur := m
+	comparisons := int64(0)
+	squarings := 0
+	for span := 1; span < n+1; span <<= 1 {
+		res := partree.ConcaveMultiply(cur, cur)
+		cur = res.Product
+		comparisons += res.Comparisons
+		squarings++
+	}
+	optimal := cur[0][n]
+
+	// Independent check + reconstruction with the classic quadratic DP.
+	dp := make([]float64, n+1)
+	from := make([]int, n+1)
+	for j := 1; j <= n; j++ {
+		dp[j] = math.Inf(1)
+		for i := 0; i < j; i++ {
+			if c := dp[i] + m[i][j]; c < dp[j] {
+				dp[j], from[j] = c, i
+			}
+		}
+	}
+	if math.Abs(dp[n]-optimal) > 1e-9 {
+		log.Fatalf("concave squaring %v disagrees with DP %v", optimal, dp[n])
+	}
+
+	var breaks []int
+	for j := n; j > 0; j = from[j] {
+		breaks = append(breaks, j)
+	}
+	fmt.Printf("%d words, width %d: total squared slack %.0f (%d squarings, %d comparisons)\n",
+		n, width, optimal, squarings, comparisons)
+	_, brute := partree.MinPlusMultiply(m, m)
+	fmt.Printf("general-product cost would be %d comparisons per product (%.0fx more)\n\n",
+		brute, float64(brute)*float64(squarings)/float64(comparisons))
+
+	i := 0
+	for k := len(breaks) - 1; k >= 0; k-- {
+		j := breaks[k]
+		line := strings.Join(words[i:j], " ")
+		fmt.Printf("|%-*s|  (slack %d)\n", width, line, width-len(line))
+		i = j
+	}
+}

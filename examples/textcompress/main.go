@@ -1,0 +1,129 @@
+// Textcompress compresses a document with Huffman and Shannon–Fano codes
+// built by the paper's parallel algorithms, verifies the round trip, and
+// checks Claim 7.1 (SF within one bit of Huffman) on real text — the
+// "transmission over a communication channel" workload the paper's
+// introduction motivates.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"partree"
+)
+
+// A public-domain passage (Lincoln, Gettysburg Address) as the document.
+const document = `Four score and seven years ago our fathers brought forth on this
+continent, a new nation, conceived in Liberty, and dedicated to the
+proposition that all men are created equal. Now we are engaged in a great
+civil war, testing whether that nation, or any nation so conceived and so
+dedicated, can long endure. We are met on a great battle-field of that war.
+We have come to dedicate a portion of that field, as a final resting place
+for those who here gave their lives that that nation might live. It is
+altogether fitting and proper that we should do this. But, in a larger
+sense, we can not dedicate -- we can not consecrate -- we can not hallow --
+this ground. The brave men, living and dead, who struggled here, have
+consecrated it, far above our poor power to add or detract.`
+
+func main() {
+	// Byte histogram → alphabet of used symbols.
+	var counts [256]int
+	for i := 0; i < len(document); i++ {
+		counts[document[i]]++
+	}
+	var freqs []float64
+	symOf := make(map[byte]int)
+	var alphabet []byte
+	for b := 0; b < 256; b++ {
+		if counts[b] > 0 {
+			symOf[byte(b)] = len(freqs)
+			alphabet = append(alphabet, byte(b))
+			freqs = append(freqs, float64(counts[b]))
+		}
+	}
+	message := make([]int, len(document))
+	for i := 0; i < len(document); i++ {
+		message[i] = symOf[document[i]]
+	}
+	total := float64(len(document))
+	probs := make([]float64, len(freqs))
+	for i, f := range freqs {
+		probs[i] = f / total
+	}
+
+	fmt.Printf("document: %d bytes, alphabet of %d symbols\n", len(document), len(freqs))
+
+	// Huffman via the parallel concave-matrix engine.
+	hres := partree.HuffmanParallel(freqs)
+	hcodes, err := partree.HuffmanCodes(freqs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hdata, hbits := partree.Encode(message, hcodes)
+	back, err := partree.Decode(hdata, hbits, len(message), hcodes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := range message {
+		if back[i] != message[i] {
+			log.Fatalf("huffman round trip corrupted at %d", i)
+		}
+	}
+
+	// Shannon–Fano (Theorem 7.4).
+	sres, err := partree.ShannonFano(probs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sdata, sbits := partree.Encode(message, sres.Codes)
+	if _, err := partree.Decode(sdata, sbits, len(message), sres.Codes); err != nil {
+		log.Fatal(err)
+	}
+
+	// Adaptive (FGK): one pass, no table shipped.
+	adata, abits := partree.AdaptiveEncode(message, len(freqs))
+	if back, err := partree.AdaptiveDecode(adata, abits, len(message), len(freqs)); err != nil {
+		log.Fatal(err)
+	} else {
+		for i := range message {
+			if back[i] != message[i] {
+				log.Fatalf("adaptive round trip corrupted at %d", i)
+			}
+		}
+	}
+
+	fmt.Printf("\n%-22s %12s %14s %12s\n", "code", "bits", "bits/symbol", "vs raw 8-bit")
+	raw := 8 * len(document)
+	report := func(name string, bits int) {
+		fmt.Printf("%-22s %12d %14.4f %11.1f%%\n", name, bits,
+			float64(bits)/total, 100*float64(bits)/float64(raw))
+	}
+	report("raw (8 bits/symbol)", raw)
+	report("huffman (parallel)", hbits)
+	report("shannon-fano", sbits)
+	report("adaptive (FGK)", abits)
+	fmt.Printf("%-22s %12s %14.4f\n", "entropy floor", "-", partree.Entropy(freqs))
+
+	perHuff := float64(hbits) / total
+	perSF := float64(sbits) / total
+	fmt.Printf("\nClaim 7.1 check: %.4f ≤ %.4f < %.4f (HUFF ≤ SF < HUFF+1): %v\n",
+		perHuff, perSF, perHuff+1, perHuff <= perSF && perSF < perHuff+1)
+	fmt.Printf("optimal average length (Σp·l): %.4f bits/symbol; PRAM steps: %d\n",
+		hres.Cost/total, hres.Stats.Steps)
+
+	// Show the most and least frequent symbols' codes.
+	fmt.Println("\nsample code words:")
+	best, worst := 0, 0
+	for i := range freqs {
+		if freqs[i] > freqs[best] {
+			best = i
+		}
+		if freqs[i] < freqs[worst] {
+			worst = i
+		}
+	}
+	fmt.Printf("  most frequent  %q: huffman %s, shannon-fano %s\n",
+		alphabet[best], hcodes[best], sres.Codes[best])
+	fmt.Printf("  least frequent %q: huffman %s, shannon-fano %s\n",
+		alphabet[worst], hcodes[worst], sres.Codes[worst])
+}

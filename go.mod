@@ -1,0 +1,3 @@
+module partree
+
+go 1.22

@@ -1,0 +1,128 @@
+// Package alphabetic solves the optimal alphabetic tree problem — find an
+// ordered binary tree whose leaves, in fixed left-to-right order, carry
+// the given weights with minimum Σ wᵢ·depthᵢ — with the Garsia–Wachs
+// algorithm (O(n log n) sequentially; the weights are NOT reordered, in
+// contrast to Huffman coding).
+//
+// The problem is the leaf-only special case of the paper's Section 6
+// search trees (an OBST instance with all key probabilities zero), which
+// makes Garsia–Wachs an independent exact oracle for that pipeline; and
+// for sorted weights its optimum coincides with the Huffman optimum
+// (Lemma 3.1's positional-tree argument), which cross-checks Section 5.
+package alphabetic
+
+import (
+	"fmt"
+	"math"
+
+	"partree/internal/leafpattern"
+	"partree/internal/tree"
+)
+
+// Build returns an optimal alphabetic tree for the weight sequence and
+// its cost. Leaf i of the result carries Symbol i and Weight weights[i].
+func Build(weights []float64) (*tree.Node, float64, error) {
+	n := len(weights)
+	if n == 0 {
+		return nil, 0, fmt.Errorf("alphabetic: empty weight sequence")
+	}
+	for i, w := range weights {
+		if w < 0 || math.IsNaN(w) {
+			return nil, 0, fmt.Errorf("alphabetic: bad weight %v at %d", w, i)
+		}
+	}
+	if n == 1 {
+		return tree.NewLeaf(0, weights[0]), 0, nil
+	}
+
+	depths := Depths(weights)
+	t, err := leafpattern.Greedy(depths)
+	if err != nil {
+		return nil, 0, fmt.Errorf("alphabetic: Garsia–Wachs levels unrealizable: %v", err)
+	}
+	cost := 0.0
+	for i, leaf := range t.Leaves() {
+		leaf.Weight = weights[i]
+		cost += weights[i] * float64(depths[i])
+	}
+	return t, cost, nil
+}
+
+// gwNode is a work-list item of the Garsia–Wachs combination phase.
+type gwNode struct {
+	w           float64
+	left, right *gwNode // children in the phase-1 tree (nil for leaves)
+	leaf        int     // original index for leaves, -1 for internal
+}
+
+// Depths runs phases 1–2 of Garsia–Wachs: it returns the depth of every
+// leaf (in the original order) in some optimal alphabetic tree. Phase 3
+// (rebuilding the shape) is Build's job via the leaf-pattern machinery:
+// the returned depths always admit a tree with the leaves in order.
+func Depths(weights []float64) []int {
+	n := len(weights)
+	depths := make([]int, n)
+	if n <= 1 {
+		return depths
+	}
+
+	// Work list with the standard combination rule: find the leftmost
+	// position where list[i-1].w ≤ list[i+1].w (sentinels are +∞), join
+	// list[i-1] and list[i], then move the joint node left past smaller
+	// weights and reinsert it immediately after the nearest element with
+	// weight ≥ the joint weight.
+	list := make([]*gwNode, n)
+	for i, w := range weights {
+		list[i] = &gwNode{w: w, leaf: i}
+	}
+	at := func(i int) float64 {
+		if i < 0 || i >= len(list) {
+			return math.Inf(1)
+		}
+		return list[i].w
+	}
+	for len(list) > 1 {
+		// Leftmost triple x,y,z (with ∞ sentinels) such that x ≤ z; the
+		// pair (x,y) = (list[i-1], list[i]) is combined. The right
+		// sentinel guarantees the last pair always qualifies.
+		i := 1
+		for ; i < len(list); i++ {
+			if at(i-1) <= at(i+1) {
+				break
+			}
+		}
+		joined := &gwNode{w: list[i-1].w + list[i].w, left: list[i-1], right: list[i], leaf: -1}
+		// Remove positions i-1, i.
+		list = append(list[:i-1], list[i+1:]...)
+		// Find the insertion point: scan left for the nearest weight ≥ joined.w.
+		k := i - 1
+		for k > 0 && list[k-1].w < joined.w {
+			k--
+		}
+		list = append(list, nil)
+		copy(list[k+1:], list[k:])
+		list[k] = joined
+	}
+
+	// Phase 2: leaf depths in the phase-1 tree.
+	var walk func(v *gwNode, d int)
+	walk = func(v *gwNode, d int) {
+		if v == nil {
+			return
+		}
+		if v.leaf >= 0 {
+			depths[v.leaf] = d
+			return
+		}
+		walk(v.left, d+1)
+		walk(v.right, d+1)
+	}
+	walk(list[0], 0)
+	return depths
+}
+
+// Cost returns only the optimal alphabetic cost.
+func Cost(weights []float64) (float64, error) {
+	_, c, err := Build(weights)
+	return c, err
+}

@@ -1,0 +1,162 @@
+package alphabetic
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"partree/internal/huffman"
+	"partree/internal/obst"
+	"partree/internal/workload"
+	"partree/internal/xmath"
+)
+
+// Exhaustive oracle: minimum Σ w·depth over all ordered full binary trees
+// with the leaves in the given order.
+func bruteAlphabetic(weights []float64) float64 {
+	n := len(weights)
+	memo := make(map[[2]int]float64)
+	var sum func(lo, hi int) float64
+	pre := make([]float64, n+1)
+	for i, w := range weights {
+		pre[i+1] = pre[i] + w
+	}
+	sum = func(lo, hi int) float64 { return pre[hi] - pre[lo] }
+	var e func(lo, hi int) float64
+	e = func(lo, hi int) float64 {
+		if hi-lo == 1 {
+			return 0
+		}
+		key := [2]int{lo, hi}
+		if v, ok := memo[key]; ok {
+			return v
+		}
+		best := math.Inf(1)
+		for k := lo + 1; k < hi; k++ {
+			if c := e(lo, k) + e(k, hi); c < best {
+				best = c
+			}
+		}
+		best += sum(lo, hi)
+		memo[key] = best
+		return best
+	}
+	return e(0, n)
+}
+
+func TestBuildMatchesExhaustive(t *testing.T) {
+	rng := rand.New(rand.NewSource(347))
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + rng.Intn(12)
+		w := make([]float64, n)
+		for i := range w {
+			w[i] = float64(rng.Intn(20) + 1)
+		}
+		tr, cost, err := Build(w)
+		if err != nil {
+			t.Fatalf("trial %d (%v): %v", trial, w, err)
+		}
+		want := bruteAlphabetic(w)
+		if !xmath.AlmostEqual(cost, want, 1e-9) {
+			t.Fatalf("trial %d (%v): Garsia–Wachs %v, exhaustive %v", trial, w, cost, want)
+		}
+		// The tree must realize the cost with leaves in order.
+		got := 0.0
+		for i, d := range tr.LeafDepths() {
+			leaf := tr.Leaves()[i]
+			if leaf.Symbol != i {
+				t.Fatalf("trial %d: leaf order broken", trial)
+			}
+			got += w[i] * float64(d)
+		}
+		if !xmath.AlmostEqual(got, cost, 1e-9) {
+			t.Fatalf("trial %d: tree cost %v ≠ reported %v", trial, got, cost)
+		}
+	}
+}
+
+// The alphabetic problem is the β=0 case of the paper's OBST: costs must
+// agree with the Knuth DP on the corresponding instance.
+func TestBuildMatchesKnuthLeafOnly(t *testing.T) {
+	rng := rand.New(rand.NewSource(349))
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + rng.Intn(40)
+		alpha := make([]float64, n)
+		for i := range alpha {
+			alpha[i] = rng.Float64()
+		}
+		beta := make([]float64, n-1) // all zero
+		in, err := obst.NewInstance(beta, alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := obst.Knuth(in)
+		got, err := Cost(alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !xmath.AlmostEqual(got, want, 1e-9) {
+			t.Fatalf("trial %d: Garsia–Wachs %v, Knuth(β=0) %v", trial, got, want)
+		}
+	}
+}
+
+// For sorted weights the alphabetic optimum equals the Huffman optimum
+// (the positional-tree argument behind Lemma 3.1).
+func TestSortedWeightsMatchHuffman(t *testing.T) {
+	rng := rand.New(rand.NewSource(353))
+	for trial := 0; trial < 25; trial++ {
+		n := 1 + rng.Intn(60)
+		w := workload.SortedAscending(workload.Random(rng, n))
+		got, err := Cost(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := huffman.Cost(w); !xmath.AlmostEqual(got, want, 1e-9) {
+			t.Fatalf("trial %d: alphabetic %v ≠ Huffman %v on sorted weights", trial, got, want)
+		}
+	}
+}
+
+func TestBuildEdgeCases(t *testing.T) {
+	if _, _, err := Build(nil); err == nil {
+		t.Error("empty must error")
+	}
+	if _, _, err := Build([]float64{1, -2}); err == nil {
+		t.Error("negative weight must error")
+	}
+	tr, cost, err := Build([]float64{5})
+	if err != nil || cost != 0 || !tr.IsLeaf() {
+		t.Error("singleton wrong")
+	}
+	// Classic adversarial order: large weight in the middle.
+	tr, cost, err = Build([]float64{1, 100, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With three ordered leaves the only shapes are ((a b) c) and
+	// (a (b c)); the heavy middle leaf sits at depth 2 either way, so the
+	// optimum is 1·2 + 100·2 + 1·1 = 203 (or its mirror, also 203).
+	if cost != 203 {
+		t.Errorf("adversarial cost = %v, want 203", cost)
+	}
+}
+
+func TestDepthsKraftEquality(t *testing.T) {
+	rng := rand.New(rand.NewSource(359))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(50)
+		w := make([]float64, n)
+		for i := range w {
+			w[i] = rng.Float64()
+		}
+		ds := Depths(w)
+		kraft := 0.0
+		for _, d := range ds {
+			kraft += math.Ldexp(1, -d)
+		}
+		if math.Abs(kraft-1) > 1e-9 {
+			t.Fatalf("trial %d: Kraft sum %v ≠ 1 for depths %v", trial, kraft, ds)
+		}
+	}
+}

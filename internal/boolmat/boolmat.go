@@ -1,0 +1,211 @@
+// Package boolmat provides word-packed Boolean matrices with sequential
+// and PRAM-parallel multiplication. It is the M(n) substrate of the
+// paper's Section 8: the linear-CFL recognizer combines sub-problem
+// reachability matrices with Boolean matrix products, and Theorem 8.1 is
+// parameterized by the processor count M(n) of whatever Boolean
+// multiplication is plugged in (here: the word-parallel cubic method,
+// n³/64 word operations).
+package boolmat
+
+import (
+	"math/bits"
+	"strings"
+	"sync/atomic"
+
+	"partree/internal/pram"
+)
+
+// Matrix is a dense R×C Boolean matrix, rows packed into uint64 words.
+type Matrix struct {
+	R, C  int
+	words int // words per row
+	bits  []uint64
+}
+
+// New returns an all-false R×C matrix.
+func New(r, c int) *Matrix {
+	if r < 0 || c < 0 {
+		panic("boolmat: negative dimension")
+	}
+	w := (c + 63) / 64
+	return &Matrix{R: r, C: c, words: w, bits: make([]uint64, r*w)}
+}
+
+// Identity returns the n×n identity.
+func Identity(n int) *Matrix {
+	m := New(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, true)
+	}
+	return m
+}
+
+// Get returns entry (i,j).
+func (m *Matrix) Get(i, j int) bool {
+	return m.bits[i*m.words+j/64]>>(uint(j)%64)&1 == 1
+}
+
+// Set assigns entry (i,j).
+func (m *Matrix) Set(i, j int, v bool) {
+	w := &m.bits[i*m.words+j/64]
+	mask := uint64(1) << (uint(j) % 64)
+	if v {
+		*w |= mask
+	} else {
+		*w &^= mask
+	}
+}
+
+// row returns the packed words of row i.
+func (m *Matrix) row(i int) []uint64 { return m.bits[i*m.words : (i+1)*m.words] }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	out := New(m.R, m.C)
+	copy(out.bits, m.bits)
+	return out
+}
+
+// Equal reports whether two matrices have identical shape and entries.
+func (m *Matrix) Equal(o *Matrix) bool {
+	if m.R != o.R || m.C != o.C {
+		return false
+	}
+	for i, w := range m.bits {
+		if w != o.bits[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Count returns the number of true entries.
+func (m *Matrix) Count() int {
+	n := 0
+	for _, w := range m.bits {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Or sets m |= o elementwise (shapes must match) and returns m.
+func (m *Matrix) Or(o *Matrix) *Matrix {
+	if m.R != o.R || m.C != o.C {
+		panic("boolmat: shape mismatch")
+	}
+	for i := range m.bits {
+		m.bits[i] |= o.bits[i]
+	}
+	return m
+}
+
+// Mul returns the Boolean product m·o: out[i][j] = ∨ₖ m[i][k] ∧ o[k][j],
+// computed row-wise with word-level parallelism (n³/64 word-ORs).
+func Mul(a, b *Matrix) *Matrix {
+	if a.C != b.R {
+		panic("boolmat: dimension mismatch")
+	}
+	out := New(a.R, b.C)
+	for i := 0; i < a.R; i++ {
+		arow := a.row(i)
+		orow := out.row(i)
+		for k := 0; k < a.C; k++ {
+			if arow[k/64]>>(uint(k)%64)&1 == 1 {
+				brow := b.row(k)
+				for w := range orow {
+					orow[w] |= brow[w]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// MulPar is the PRAM form of Mul: one virtual processor per output row.
+func MulPar(m *pram.Machine, a, b *Matrix) *Matrix {
+	if a.C != b.R {
+		panic("boolmat: dimension mismatch")
+	}
+	out := New(a.R, b.C)
+	m.For(a.R, func(i int) {
+		arow := a.row(i)
+		orow := out.row(i)
+		for k := 0; k < a.C; k++ {
+			if arow[k/64]>>(uint(k)%64)&1 == 1 {
+				brow := b.row(k)
+				for w := range orow {
+					orow[w] |= brow[w]
+				}
+			}
+		}
+	})
+	return out
+}
+
+// Closure returns the reflexive-transitive closure of a square matrix by
+// ⌈log₂ n⌉ squarings of (I ∨ m).
+func Closure(m *Matrix) *Matrix {
+	if m.R != m.C {
+		panic("boolmat: closure of non-square matrix")
+	}
+	cur := m.Clone().Or(Identity(m.R))
+	for span := 1; span < m.R; span <<= 1 {
+		cur = Mul(cur, cur)
+	}
+	return cur
+}
+
+// ClosurePar is Closure with every squaring performed on the PRAM:
+// ⌈log₂ n⌉ parallel products.
+func ClosurePar(mach *pram.Machine, m *Matrix) *Matrix {
+	if m.R != m.C {
+		panic("boolmat: closure of non-square matrix")
+	}
+	cur := m.Clone().Or(Identity(m.R))
+	for span := 1; span < m.R; span <<= 1 {
+		cur = MulPar(mach, cur, cur)
+	}
+	return cur
+}
+
+// OpCounter tallies Boolean word operations across products for the
+// experiment harness.
+type OpCounter struct{ n atomic.Int64 }
+
+// Add records k word operations.
+func (c *OpCounter) Add(k int64) {
+	if c != nil {
+		c.n.Add(k)
+	}
+}
+
+// Load returns the tally.
+func (c *OpCounter) Load() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.n.Load()
+}
+
+// MulCounted is Mul with word-operation counting.
+func MulCounted(a, b *Matrix, cnt *OpCounter) *Matrix {
+	out := Mul(a, b)
+	cnt.Add(int64(a.R) * int64(a.C) * int64((b.C+63)/64))
+	return out
+}
+
+// String renders the matrix as rows of 0/1 for debugging.
+func (m *Matrix) String() string {
+	var sb strings.Builder
+	for i := 0; i < m.R; i++ {
+		for j := 0; j < m.C; j++ {
+			if m.Get(i, j) {
+				sb.WriteByte('1')
+			} else {
+				sb.WriteByte('0')
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

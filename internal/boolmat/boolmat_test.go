@@ -1,0 +1,198 @@
+package boolmat
+
+import (
+	"math/rand"
+	"testing"
+
+	"partree/internal/pram"
+)
+
+func randMat(rng *rand.Rand, r, c int, density float64) *Matrix {
+	m := New(r, c)
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			if rng.Float64() < density {
+				m.Set(i, j, true)
+			}
+		}
+	}
+	return m
+}
+
+func mulNaive(a, b *Matrix) *Matrix {
+	out := New(a.R, b.C)
+	for i := 0; i < a.R; i++ {
+		for j := 0; j < b.C; j++ {
+			for k := 0; k < a.C; k++ {
+				if a.Get(i, k) && b.Get(k, j) {
+					out.Set(i, j, true)
+					break
+				}
+			}
+		}
+	}
+	return out
+}
+
+func TestGetSet(t *testing.T) {
+	m := New(3, 130) // crosses word boundaries
+	m.Set(2, 129, true)
+	m.Set(0, 63, true)
+	m.Set(0, 64, true)
+	if !m.Get(2, 129) || !m.Get(0, 63) || !m.Get(0, 64) || m.Get(1, 0) {
+		t.Error("Get/Set wrong")
+	}
+	m.Set(0, 63, false)
+	if m.Get(0, 63) || !m.Get(0, 64) {
+		t.Error("clearing a bit disturbed neighbours")
+	}
+	if m.Count() != 2 {
+		t.Errorf("Count = %d, want 2", m.Count())
+	}
+}
+
+func TestIdentity(t *testing.T) {
+	id := Identity(5)
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 5; j++ {
+			if id.Get(i, j) != (i == j) {
+				t.Fatal("identity wrong")
+			}
+		}
+	}
+	m := randMat(rand.New(rand.NewSource(1)), 5, 5, 0.3)
+	if !Mul(id, m).Equal(m) || !Mul(m, id).Equal(m) {
+		t.Error("identity must be neutral for Mul")
+	}
+}
+
+func TestMulMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 30; trial++ {
+		p, q, r := 1+rng.Intn(80), 1+rng.Intn(80), 1+rng.Intn(150)
+		a := randMat(rng, p, q, 0.15)
+		b := randMat(rng, q, r, 0.15)
+		if !Mul(a, b).Equal(mulNaive(a, b)) {
+			t.Fatalf("trial %d: Mul differs from naive (%d,%d,%d)", trial, p, q, r)
+		}
+	}
+}
+
+func TestMulParMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := pram.New(pram.WithWorkers(4), pram.WithGrain(4))
+	for trial := 0; trial < 15; trial++ {
+		p, q, r := 1+rng.Intn(100), 1+rng.Intn(100), 1+rng.Intn(100)
+		a := randMat(rng, p, q, 0.2)
+		b := randMat(rng, q, r, 0.2)
+		if !MulPar(m, a, b).Equal(Mul(a, b)) {
+			t.Fatalf("trial %d: parallel product differs", trial)
+		}
+	}
+}
+
+func TestOrAndClone(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := randMat(rng, 10, 10, 0.3)
+	b := randMat(rng, 10, 10, 0.3)
+	c := a.Clone()
+	c.Or(b)
+	for i := 0; i < 10; i++ {
+		for j := 0; j < 10; j++ {
+			if c.Get(i, j) != (a.Get(i, j) || b.Get(i, j)) {
+				t.Fatal("Or wrong")
+			}
+		}
+	}
+}
+
+func TestClosureChain(t *testing.T) {
+	// Path graph 0→1→2→3: closure is the upper triangle.
+	m := New(4, 4)
+	for i := 0; i < 3; i++ {
+		m.Set(i, i+1, true)
+	}
+	cl := Closure(m)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if cl.Get(i, j) != (j >= i) {
+				t.Fatalf("closure wrong at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestClosureMatchesFloydWarshall(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 15; trial++ {
+		n := 1 + rng.Intn(40)
+		m := randMat(rng, n, n, 0.08)
+		want := m.Clone().Or(Identity(n))
+		for k := 0; k < n; k++ {
+			for i := 0; i < n; i++ {
+				if want.Get(i, k) {
+					for j := 0; j < n; j++ {
+						if want.Get(k, j) {
+							want.Set(i, j, true)
+						}
+					}
+				}
+			}
+		}
+		if !Closure(m).Equal(want) {
+			t.Fatalf("trial %d: closure differs from Floyd-Warshall", trial)
+		}
+	}
+}
+
+func TestMulCounted(t *testing.T) {
+	var cnt OpCounter
+	a, b := New(8, 8), New(8, 8)
+	MulCounted(a, b, &cnt)
+	if cnt.Load() != 64 { // 8·8·1 word
+		t.Errorf("ops = %d, want 64", cnt.Load())
+	}
+	var nilCnt *OpCounter
+	nilCnt.Add(3)
+	if nilCnt.Load() != 0 {
+		t.Error("nil counter must be inert")
+	}
+}
+
+func TestDimensionPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"mul":     func() { Mul(New(2, 3), New(4, 5)) },
+		"or":      func() { New(2, 2).Or(New(3, 3)) },
+		"closure": func() { Closure(New(2, 3)) },
+		"neg":     func() { New(-1, 2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestStringRender(t *testing.T) {
+	m := New(2, 2)
+	m.Set(0, 1, true)
+	if m.String() != "01\n00\n" {
+		t.Errorf("String = %q", m.String())
+	}
+}
+
+func TestClosureParMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	m := pram.New(pram.WithWorkers(4), pram.WithGrain(4))
+	for trial := 0; trial < 10; trial++ {
+		n := 1 + rng.Intn(60)
+		x := randMat(rng, n, n, 0.06)
+		if !ClosurePar(m, x).Equal(Closure(x)) {
+			t.Fatalf("trial %d: parallel closure differs", trial)
+		}
+	}
+}

@@ -1,0 +1,198 @@
+// Package cyk implements general context-free recognition with the
+// Cocke–Younger–Kasami algorithm over Chomsky normal form — the
+// substrate the paper's Section 8 contrasts with: general CFL
+// recognition costs Θ(n³·|G|) sequentially (and n⁶ processors via naive
+// parallel dynamic programming, per Ruzzo), whereas the restricted parse
+// trees of *linear* grammars admit the paper's M(n)-processor algorithm.
+// The package includes a linear→CNF converter so the two recognizers can
+// be cross-checked on the same languages.
+package cyk
+
+import (
+	"fmt"
+
+	"partree/internal/grammar"
+)
+
+// CNF is a grammar in Chomsky normal form: binary rules A → B C and
+// terminal rules A → t, over dense nonterminal indices.
+type CNF struct {
+	NumNT int
+	Start int
+	Names []string
+	// Binary rules A → B C.
+	Binary []BinaryRule
+	// Terminal rules A → t.
+	Term []TermRule
+}
+
+// BinaryRule is A → B C.
+type BinaryRule struct{ A, B, C int }
+
+// TermRule is A → t.
+type TermRule struct {
+	A int
+	T byte
+}
+
+// FromLinear converts a normalized linear grammar into CNF. Every rule
+// A → tB becomes A → T_t B and A → Bt becomes A → B T_t, where T_t is a
+// fresh nonterminal with the single rule T_t → t; terminal rules carry
+// over. The construction grows the grammar by at most the alphabet size.
+func FromLinear(g *grammar.Linear) *CNF {
+	c := &CNF{NumNT: g.NumNT, Start: g.Start}
+	c.Names = append(c.Names, g.Names...)
+	termNT := make(map[byte]int)
+	wrap := func(t byte) int {
+		if id, ok := termNT[t]; ok {
+			return id
+		}
+		id := c.NumNT
+		c.NumNT++
+		c.Names = append(c.Names, fmt.Sprintf("T_%c", t))
+		c.Term = append(c.Term, TermRule{A: id, T: t})
+		termNT[t] = id
+		return id
+	}
+	for _, r := range g.Left {
+		c.Binary = append(c.Binary, BinaryRule{A: r.A, B: wrap(r.T), C: r.B})
+	}
+	for _, r := range g.Right {
+		c.Binary = append(c.Binary, BinaryRule{A: r.A, B: r.B, C: wrap(r.T)})
+	}
+	for _, r := range g.Term {
+		c.Term = append(c.Term, TermRule{A: r.A, T: r.T})
+	}
+	return c
+}
+
+// Recognize reports whether w ∈ L(G) by the CYK dynamic program:
+// T[i][j] = set of nonterminals deriving w[i..i+j], filled by increasing
+// span in Θ(n³·|Binary|) bit operations (nonterminal sets are packed
+// words). The empty word is never in a CNF language here (no S → ε).
+func Recognize(g *CNF, w []byte) bool {
+	n := len(w)
+	if n == 0 {
+		return false
+	}
+	words := (g.NumNT + 63) / 64
+	// tab[i*n+j] is the packed set for the span starting at i with length
+	// j+1 (only j < n-i used).
+	tab := make([]uint64, n*n*words)
+	at := func(i, span int) []uint64 {
+		off := (i*n + span - 1) * words
+		return tab[off : off+words]
+	}
+	for i := 0; i < n; i++ {
+		set := at(i, 1)
+		for _, r := range g.Term {
+			if r.T == w[i] {
+				set[r.A/64] |= 1 << (uint(r.A) % 64)
+			}
+		}
+	}
+	for span := 2; span <= n; span++ {
+		for i := 0; i+span <= n; i++ {
+			set := at(i, span)
+			for split := 1; split < span; split++ {
+				left := at(i, split)
+				right := at(i+split, span-split)
+				for _, r := range g.Binary {
+					if left[r.B/64]>>(uint(r.B)%64)&1 == 1 &&
+						right[r.C/64]>>(uint(r.C)%64)&1 == 1 {
+						set[r.A/64] |= 1 << (uint(r.A) % 64)
+					}
+				}
+			}
+		}
+	}
+	return at(0, n)[g.Start/64]>>(uint(g.Start)%64)&1 == 1
+}
+
+// ParseTree is a node of a CYK parse tree: either an internal node with
+// two children (a binary rule) or a leaf consuming one terminal.
+type ParseTree struct {
+	NT          int
+	T           byte // valid for leaves
+	Left, Right *ParseTree
+}
+
+// Parse returns a parse tree for w, or ok=false if w ∉ L(G). Backtracking
+// re-derives splits from the table, so it costs one extra CYK pass.
+func Parse(g *CNF, w []byte) (*ParseTree, bool) {
+	n := len(w)
+	if n == 0 || !Recognize(g, w) {
+		return nil, false
+	}
+	// Recompute membership queries on demand (memoized).
+	type key struct{ i, span, nt int }
+	memo := make(map[key]bool)
+	var derives func(i, span, nt int) bool
+	derives = func(i, span, nt int) bool {
+		k := key{i, span, nt}
+		if v, ok := memo[k]; ok {
+			return v
+		}
+		var res bool
+		if span == 1 {
+			for _, r := range g.Term {
+				if r.A == nt && r.T == w[i] {
+					res = true
+					break
+				}
+			}
+		} else {
+			for _, r := range g.Binary {
+				if r.A != nt {
+					continue
+				}
+				for split := 1; split < span && !res; split++ {
+					if derives(i, split, r.B) && derives(i+split, span-split, r.C) {
+						res = true
+					}
+				}
+				if res {
+					break
+				}
+			}
+		}
+		memo[k] = res
+		return res
+	}
+	var build func(i, span, nt int) *ParseTree
+	build = func(i, span, nt int) *ParseTree {
+		if span == 1 {
+			return &ParseTree{NT: nt, T: w[i]}
+		}
+		for _, r := range g.Binary {
+			if r.A != nt {
+				continue
+			}
+			for split := 1; split < span; split++ {
+				if derives(i, split, r.B) && derives(i+split, span-split, r.C) {
+					return &ParseTree{
+						NT:    nt,
+						Left:  build(i, split, r.B),
+						Right: build(i+split, span-split, r.C),
+					}
+				}
+			}
+		}
+		panic("cyk: table claims derivation but no split found")
+	}
+	if !derives(0, n, g.Start) {
+		return nil, false
+	}
+	return build(0, n, g.Start), true
+}
+
+// Yield returns the terminal string a parse tree derives.
+func (t *ParseTree) Yield() []byte {
+	if t == nil {
+		return nil
+	}
+	if t.Left == nil && t.Right == nil {
+		return []byte{t.T}
+	}
+	return append(t.Left.Yield(), t.Right.Yield()...)
+}

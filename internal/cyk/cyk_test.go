@@ -1,0 +1,128 @@
+package cyk
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"partree/internal/grammar"
+	"partree/internal/lincfl"
+)
+
+func TestFromLinearShape(t *testing.T) {
+	g := grammar.Palindrome()
+	c := FromLinear(g)
+	if c.NumNT <= g.NumNT {
+		t.Error("CNF must add terminal wrappers")
+	}
+	if len(c.Binary) != len(g.Left)+len(g.Right) {
+		t.Errorf("binary rules %d, want %d", len(c.Binary), len(g.Left)+len(g.Right))
+	}
+	if c.Start != g.Start {
+		t.Error("start must carry over")
+	}
+}
+
+func TestRecognizePalindrome(t *testing.T) {
+	c := FromLinear(grammar.Palindrome())
+	for _, s := range []string{"c", "aca", "abcba", "babcbab"} {
+		if !Recognize(c, []byte(s)) {
+			t.Errorf("CYK should accept %q", s)
+		}
+	}
+	for _, s := range []string{"", "a", "ab", "acb", "abcab"} {
+		if Recognize(c, []byte(s)) {
+			t.Errorf("CYK should reject %q", s)
+		}
+	}
+}
+
+// The CNF conversion preserves the language: CYK must agree with the
+// linear recognizer on random grammars and strings.
+func TestCYKAgreesWithLinearRecognizer(t *testing.T) {
+	rng := rand.New(rand.NewSource(241))
+	for gi := 0; gi < 10; gi++ {
+		g := grammar.Random(rng, 2+rng.Intn(4), []byte("ab"), 2)
+		c := FromLinear(g)
+		for trial := 0; trial < 30; trial++ {
+			var w []byte
+			if trial%2 == 0 {
+				var ok bool
+				w, ok = g.Sample(rng, 25)
+				if !ok {
+					continue
+				}
+			} else {
+				w = make([]byte, 1+rng.Intn(15))
+				for i := range w {
+					w[i] = "ab"[rng.Intn(2)]
+				}
+			}
+			want := lincfl.Sequential(g, w)
+			if got := Recognize(c, w); got != want {
+				t.Fatalf("grammar %d word %q: CYK %v, linear %v", gi, w, got, want)
+			}
+		}
+	}
+}
+
+func TestParseYieldsInput(t *testing.T) {
+	c := FromLinear(grammar.Palindrome())
+	for _, s := range []string{"c", "aca", "abcba", "aabcbaa"} {
+		tree, ok := Parse(c, []byte(s))
+		if !ok {
+			t.Fatalf("parse of %q failed", s)
+		}
+		if !bytes.Equal(tree.Yield(), []byte(s)) {
+			t.Errorf("yield %q, want %q", tree.Yield(), s)
+		}
+		if tree.NT != c.Start {
+			t.Error("root must be the start symbol")
+		}
+	}
+	if _, ok := Parse(c, []byte("ab")); ok {
+		t.Error("parse of non-member must fail")
+	}
+}
+
+func TestParseStructureValid(t *testing.T) {
+	// Every internal node must correspond to an actual binary rule, every
+	// leaf to a terminal rule.
+	c := FromLinear(grammar.EqualEnds())
+	tree, ok := Parse(c, []byte("aaccbb"))
+	if !ok {
+		t.Fatal("parse failed")
+	}
+	binOK := make(map[BinaryRule]bool)
+	for _, r := range c.Binary {
+		binOK[r] = true
+	}
+	termOK := make(map[TermRule]bool)
+	for _, r := range c.Term {
+		termOK[r] = true
+	}
+	var walk func(v *ParseTree)
+	walk = func(v *ParseTree) {
+		if v.Left == nil && v.Right == nil {
+			if !termOK[TermRule{A: v.NT, T: v.T}] {
+				t.Fatalf("leaf uses nonexistent rule %d → %c", v.NT, v.T)
+			}
+			return
+		}
+		if v.Left == nil || v.Right == nil {
+			t.Fatal("CNF parse node must have exactly 0 or 2 children")
+		}
+		if !binOK[BinaryRule{A: v.NT, B: v.Left.NT, C: v.Right.NT}] {
+			t.Fatalf("internal node uses nonexistent rule %d → %d %d", v.NT, v.Left.NT, v.Right.NT)
+		}
+		walk(v.Left)
+		walk(v.Right)
+	}
+	walk(tree)
+}
+
+func TestYieldNil(t *testing.T) {
+	if (*ParseTree)(nil).Yield() != nil {
+		t.Error("nil yield should be nil")
+	}
+}

@@ -1,0 +1,346 @@
+// Package grammar defines linear context-free grammars and their
+// normalization to the form Section 8 of the paper requires: every rule is
+//
+//	A → bB   |   A → Cb   |   A → a
+//
+// with A, B, C nonterminals and a, b terminals. Arbitrary linear rules
+// A → uBv (u, v terminal strings) and A → w (non-empty terminal string)
+// are accepted by Normalize, which introduces auxiliary nonterminals and
+// eliminates unit rules A → B, keeping the grammar size within a constant
+// factor of the input as the paper notes. ε-rules are not supported
+// (linear normal form cannot express them).
+package grammar
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// LeftRule is A → tB.
+type LeftRule struct {
+	A int
+	T byte
+	B int
+}
+
+// RightRule is A → Bt.
+type RightRule struct {
+	A int
+	B int
+	T byte
+}
+
+// TermRule is A → t.
+type TermRule struct {
+	A int
+	T byte
+}
+
+// Linear is a normalized linear context-free grammar. Nonterminals are
+// dense indices 0…NumNT-1; Names records a printable name for each.
+type Linear struct {
+	NumNT int
+	Start int
+	Names []string
+	Left  []LeftRule
+	Right []RightRule
+	Term  []TermRule
+}
+
+// RawRule is an un-normalized linear rule A → Pre B Suf (B == "" makes it
+// a terminal rule A → Pre, in which case Suf must be empty). A unit rule
+// is expressed as Pre == "" and Suf == "" with B set.
+type RawRule struct {
+	A   string
+	Pre string
+	B   string
+	Suf string
+}
+
+// Normalize converts raw linear rules into normal form.
+func Normalize(rules []RawRule, start string) (*Linear, error) {
+	if len(rules) == 0 {
+		return nil, fmt.Errorf("grammar: no rules")
+	}
+	g := &Linear{}
+	index := map[string]int{}
+	intern := func(name string) int {
+		if id, ok := index[name]; ok {
+			return id
+		}
+		id := g.NumNT
+		g.NumNT++
+		index[name] = id
+		g.Names = append(g.Names, name)
+		return id
+	}
+	for _, r := range rules {
+		if r.A == "" {
+			return nil, fmt.Errorf("grammar: rule with empty head")
+		}
+		intern(r.A)
+	}
+	if _, ok := index[start]; !ok {
+		return nil, fmt.Errorf("grammar: start symbol %q has no rules", start)
+	}
+	g.Start = index[start]
+
+	aux := 0
+	fresh := func() int {
+		aux++
+		return intern(fmt.Sprintf("·%d", aux))
+	}
+
+	type unit struct{ a, b int }
+	var units []unit
+
+	for _, r := range rules {
+		a := index[r.A]
+		switch {
+		case r.B == "" && r.Suf != "":
+			return nil, fmt.Errorf("grammar: terminal rule %q has a suffix but no nonterminal", r.A)
+		case r.B == "":
+			w := r.Pre
+			if w == "" {
+				return nil, fmt.Errorf("grammar: ε-rule for %q not supported", r.A)
+			}
+			// A → w: peel terminals left to right.
+			cur := a
+			for i := 0; i < len(w)-1; i++ {
+				nxt := fresh()
+				g.Left = append(g.Left, LeftRule{A: cur, T: w[i], B: nxt})
+				cur = nxt
+			}
+			g.Term = append(g.Term, TermRule{A: cur, T: w[len(w)-1]})
+		default:
+			b, ok := index[r.B]
+			if !ok {
+				return nil, fmt.Errorf("grammar: rule %q uses undefined nonterminal %q", r.A, r.B)
+			}
+			pre, suf := r.Pre, r.Suf
+			if pre == "" && suf == "" {
+				units = append(units, unit{a, b})
+				continue
+			}
+			// Peel the prefix first, then the suffix from the outside in:
+			// A ⇒ pre X, X ⇒ Y suf_reversed-peeling, Y = B.
+			cur := a
+			for i := 0; i < len(pre); i++ {
+				last := i == len(pre)-1 && suf == ""
+				if last {
+					g.Left = append(g.Left, LeftRule{A: cur, T: pre[i], B: b})
+				} else {
+					nxt := fresh()
+					g.Left = append(g.Left, LeftRule{A: cur, T: pre[i], B: nxt})
+					cur = nxt
+				}
+			}
+			for i := len(suf) - 1; i >= 0; i-- {
+				last := i == 0
+				if last {
+					g.Right = append(g.Right, RightRule{A: cur, B: b, T: suf[i]})
+				} else {
+					nxt := fresh()
+					g.Right = append(g.Right, RightRule{A: cur, B: nxt, T: suf[i]})
+					cur = nxt
+				}
+			}
+		}
+	}
+
+	// Eliminate unit rules by transitive closure: if A ⇒* B via units and
+	// B → x is a real rule, add A → x.
+	if len(units) > 0 {
+		reach := make([][]bool, g.NumNT)
+		for i := range reach {
+			reach[i] = make([]bool, g.NumNT)
+			reach[i][i] = true
+		}
+		for _, u := range units {
+			reach[u.a][u.b] = true
+		}
+		for k := 0; k < g.NumNT; k++ {
+			for i := 0; i < g.NumNT; i++ {
+				if reach[i][k] {
+					for j := 0; j < g.NumNT; j++ {
+						if reach[k][j] {
+							reach[i][j] = true
+						}
+					}
+				}
+			}
+		}
+		var nl []LeftRule
+		var nr []RightRule
+		var nt []TermRule
+		seenL := map[LeftRule]bool{}
+		seenR := map[RightRule]bool{}
+		seenT := map[TermRule]bool{}
+		for a := 0; a < g.NumNT; a++ {
+			for b := 0; b < g.NumNT; b++ {
+				if !reach[a][b] {
+					continue
+				}
+				for _, r := range g.Left {
+					if r.B >= 0 && r.A == b {
+						k := LeftRule{A: a, T: r.T, B: r.B}
+						if !seenL[k] {
+							seenL[k] = true
+							nl = append(nl, k)
+						}
+					}
+				}
+				for _, r := range g.Right {
+					if r.A == b {
+						k := RightRule{A: a, B: r.B, T: r.T}
+						if !seenR[k] {
+							seenR[k] = true
+							nr = append(nr, k)
+						}
+					}
+				}
+				for _, r := range g.Term {
+					if r.A == b {
+						k := TermRule{A: a, T: r.T}
+						if !seenT[k] {
+							seenT[k] = true
+							nt = append(nt, k)
+						}
+					}
+				}
+			}
+		}
+		g.Left, g.Right, g.Term = nl, nr, nt
+	}
+	return g, nil
+}
+
+// String renders the grammar in readable form.
+func (g *Linear) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "start: %s\n", g.Names[g.Start])
+	for _, r := range g.Left {
+		fmt.Fprintf(&b, "%s → %c %s\n", g.Names[r.A], r.T, g.Names[r.B])
+	}
+	for _, r := range g.Right {
+		fmt.Fprintf(&b, "%s → %s %c\n", g.Names[r.A], g.Names[r.B], r.T)
+	}
+	for _, r := range g.Term {
+		fmt.Fprintf(&b, "%s → %c\n", g.Names[r.A], r.T)
+	}
+	return b.String()
+}
+
+// Sample generates a random word of L(G) by walking rules from Start,
+// bounded by maxSteps chain rules (returns ok=false if no terminal rule
+// was reachable within the budget — e.g. for grammars of only infinite
+// derivations from some nonterminal).
+func (g *Linear) Sample(rng *rand.Rand, maxSteps int) ([]byte, bool) {
+	var pre, suf []byte
+	cur := g.Start
+	for step := 0; step < maxSteps; step++ {
+		// Close with a terminal rule with probability growing over time.
+		var terms []TermRule
+		for _, r := range g.Term {
+			if r.A == cur {
+				terms = append(terms, r)
+			}
+		}
+		var chains []interface{}
+		for _, r := range g.Left {
+			if r.A == cur {
+				chains = append(chains, r)
+			}
+		}
+		for _, r := range g.Right {
+			if r.A == cur {
+				chains = append(chains, r)
+			}
+		}
+		mustClose := len(chains) == 0 || step == maxSteps-1
+		if len(terms) > 0 && (mustClose || rng.Intn(4) == 0) {
+			r := terms[rng.Intn(len(terms))]
+			out := append(append(pre, r.T), reverseBytes(suf)...)
+			return out, true
+		}
+		if len(chains) == 0 {
+			return nil, false
+		}
+		switch r := chains[rng.Intn(len(chains))].(type) {
+		case LeftRule:
+			pre = append(pre, r.T)
+			cur = r.B
+		case RightRule:
+			suf = append(suf, r.T) // collected reversed; flipped at the end
+			cur = r.B
+		}
+	}
+	return nil, false
+}
+
+func reverseBytes(b []byte) []byte {
+	out := make([]byte, len(b))
+	for i, v := range b {
+		out[len(b)-1-i] = v
+	}
+	return out
+}
+
+// Palindrome returns the classic linear grammar for odd-length
+// palindromes over {a,b} with centre marker c: S → aSa | bSb | c.
+func Palindrome() *Linear {
+	g, err := Normalize([]RawRule{
+		{A: "S", Pre: "a", B: "S", Suf: "a"},
+		{A: "S", Pre: "b", B: "S", Suf: "b"},
+		{A: "S", Pre: "c"},
+	}, "S")
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// EqualEnds returns a grammar for {aⁿ w bⁿ : n ≥ 1, w ∈ {c}⁺}: nested
+// brackets around a core, a second stock example.
+func EqualEnds() *Linear {
+	g, err := Normalize([]RawRule{
+		{A: "S", Pre: "a", B: "S", Suf: "b"},
+		{A: "S", Pre: "a", B: "C", Suf: "b"},
+		{A: "C", Pre: "c", B: "C"},
+		{A: "C", Pre: "c"},
+	}, "S")
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Random returns a random normalized linear grammar over the given
+// terminal alphabet with nNT nonterminals and about density rules per
+// kind, guaranteed to derive at least one word.
+func Random(rng *rand.Rand, nNT int, alphabet []byte, rulesPerNT int) *Linear {
+	g := &Linear{NumNT: nNT, Start: 0}
+	for i := 0; i < nNT; i++ {
+		g.Names = append(g.Names, fmt.Sprintf("N%d", i))
+	}
+	for a := 0; a < nNT; a++ {
+		for r := 0; r < rulesPerNT; r++ {
+			t := alphabet[rng.Intn(len(alphabet))]
+			b := rng.Intn(nNT)
+			switch rng.Intn(3) {
+			case 0:
+				g.Left = append(g.Left, LeftRule{A: a, T: t, B: b})
+			case 1:
+				g.Right = append(g.Right, RightRule{A: a, B: b, T: t})
+			default:
+				g.Term = append(g.Term, TermRule{A: a, T: t})
+			}
+		}
+	}
+	// Ensure every nonterminal can terminate (keeps Sample productive).
+	for a := 0; a < nNT; a++ {
+		g.Term = append(g.Term, TermRule{A: a, T: alphabet[rng.Intn(len(alphabet))]})
+	}
+	return g
+}

@@ -1,0 +1,165 @@
+package grammar
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestNormalizeSimple(t *testing.T) {
+	g, err := Normalize([]RawRule{
+		{A: "S", Pre: "a", B: "S"},
+		{A: "S", Pre: "b"},
+	}, "S")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Left) != 1 || len(g.Term) != 1 || len(g.Right) != 0 {
+		t.Errorf("rule counts: %d left, %d right, %d term", len(g.Left), len(g.Right), len(g.Term))
+	}
+	if g.Names[g.Start] != "S" {
+		t.Error("start symbol wrong")
+	}
+}
+
+func TestNormalizeLongRules(t *testing.T) {
+	// S → abc S de needs 4 auxiliary nonterminals (peel a, b, c, then e, d).
+	g, err := Normalize([]RawRule{
+		{A: "S", Pre: "abc", B: "S", Suf: "de"},
+		{A: "S", Pre: "x"},
+	}, "S")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Left) != 3 || len(g.Right) != 2 || len(g.Term) != 1 {
+		t.Errorf("rule counts: %d left, %d right, %d term", len(g.Left), len(g.Right), len(g.Term))
+	}
+	// Every rule head and body nonterminal must be a valid index.
+	for _, r := range g.Left {
+		if r.A < 0 || r.A >= g.NumNT || r.B < 0 || r.B >= g.NumNT {
+			t.Fatal("rule references invalid nonterminal")
+		}
+	}
+}
+
+func TestNormalizeTerminalString(t *testing.T) {
+	g, err := Normalize([]RawRule{{A: "S", Pre: "hello"}}, "S")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Left) != 4 || len(g.Term) != 1 {
+		t.Errorf("counts: %d left, %d term", len(g.Left), len(g.Term))
+	}
+}
+
+func TestNormalizeUnitRules(t *testing.T) {
+	// S → A (unit), A → a: after elimination S must derive "a" directly.
+	g, err := Normalize([]RawRule{
+		{A: "S", B: "A"},
+		{A: "A", Pre: "a"},
+	}, "S")
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range g.Term {
+		if r.A == g.Start && r.T == 'a' {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("unit elimination did not copy A → a to S")
+	}
+}
+
+func TestNormalizeUnitChains(t *testing.T) {
+	g, err := Normalize([]RawRule{
+		{A: "S", B: "A"},
+		{A: "A", B: "B"},
+		{A: "B", Pre: "b", B: "S"},
+		{A: "B", Pre: "z"},
+	}, "S")
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundLeft, foundTerm := false, false
+	for _, r := range g.Left {
+		if r.A == g.Start && r.T == 'b' {
+			foundLeft = true
+		}
+	}
+	for _, r := range g.Term {
+		if r.A == g.Start && r.T == 'z' {
+			foundTerm = true
+		}
+	}
+	if !foundLeft || !foundTerm {
+		t.Error("transitive unit elimination incomplete")
+	}
+}
+
+func TestNormalizeErrors(t *testing.T) {
+	cases := []struct {
+		rules []RawRule
+		start string
+	}{
+		{nil, "S"},
+		{[]RawRule{{A: "S", Pre: "a"}}, "T"},           // unknown start
+		{[]RawRule{{A: "S"}}, "S"},                     // ε-rule
+		{[]RawRule{{A: "S", Pre: "a", Suf: "b"}}, "S"}, // suffix without B
+		{[]RawRule{{A: "S", Pre: "a", B: "X"}}, "S"},   // undefined B
+		{[]RawRule{{A: "", Pre: "a"}}, ""},             // empty head
+	}
+	for i, c := range cases {
+		if _, err := Normalize(c.rules, c.start); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	g := Palindrome()
+	s := g.String()
+	if !strings.Contains(s, "start: S") || !strings.Contains(s, "→") {
+		t.Errorf("String():\n%s", s)
+	}
+}
+
+func TestSampleTerminates(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := Palindrome()
+	got := 0
+	for trial := 0; trial < 50; trial++ {
+		if w, ok := g.Sample(rng, 60); ok {
+			got++
+			if len(w) == 0 {
+				t.Error("sampled empty word")
+			}
+		}
+	}
+	if got == 0 {
+		t.Error("sampling never produced a word")
+	}
+}
+
+func TestRandomGrammarSampleable(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 10; trial++ {
+		g := Random(rng, 3, []byte("ab"), 2)
+		if g.NumNT != 3 || len(g.Term) < 3 {
+			t.Fatal("random grammar malformed")
+		}
+		if _, ok := g.Sample(rng, 40); !ok {
+			t.Error("random grammar should sample (every NT can terminate)")
+		}
+	}
+}
+
+func TestStockGrammars(t *testing.T) {
+	if g := Palindrome(); g.NumNT == 0 || len(g.Right) == 0 {
+		t.Error("palindrome grammar malformed")
+	}
+	if g := EqualEnds(); g.NumNT == 0 || len(g.Left) == 0 {
+		t.Error("equal-ends grammar malformed")
+	}
+}

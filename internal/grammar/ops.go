@@ -1,0 +1,72 @@
+package grammar
+
+// Closure operations of the linear context-free languages, in normal
+// form. Linear languages are closed under reversal and union (both
+// constructions below stay linear); they are famously NOT closed under
+// concatenation or intersection — which is why Section 8's triangular
+// path structure exists at all.
+
+// Reverse returns a grammar for { reverse(w) : w ∈ L(g) }: every A → tB
+// becomes A → Bt and vice versa; terminal rules are unchanged.
+func Reverse(g *Linear) *Linear {
+	out := &Linear{
+		NumNT: g.NumNT,
+		Start: g.Start,
+		Names: append([]string(nil), g.Names...),
+	}
+	for _, r := range g.Left {
+		out.Right = append(out.Right, RightRule{A: r.A, B: r.B, T: r.T})
+	}
+	for _, r := range g.Right {
+		out.Left = append(out.Left, LeftRule{A: r.A, T: r.T, B: r.B})
+	}
+	out.Term = append(out.Term, g.Term...)
+	return out
+}
+
+// Union returns a grammar for L(g1) ∪ L(g2). The second grammar's
+// nonterminals are shifted past the first's; a fresh start symbol
+// receives copies of both start symbols' rules (the normal form has no
+// unit rules, so the copies keep the grammar normal).
+func Union(g1, g2 *Linear) *Linear {
+	off := g1.NumNT
+	out := &Linear{NumNT: g1.NumNT + g2.NumNT + 1}
+	out.Start = out.NumNT - 1
+	out.Names = append(out.Names, g1.Names...)
+	out.Names = append(out.Names, g2.Names...)
+	out.Names = append(out.Names, "S∪")
+
+	out.Left = append(out.Left, g1.Left...)
+	out.Right = append(out.Right, g1.Right...)
+	out.Term = append(out.Term, g1.Term...)
+	for _, r := range g2.Left {
+		out.Left = append(out.Left, LeftRule{A: r.A + off, T: r.T, B: r.B + off})
+	}
+	for _, r := range g2.Right {
+		out.Right = append(out.Right, RightRule{A: r.A + off, B: r.B + off, T: r.T})
+	}
+	for _, r := range g2.Term {
+		out.Term = append(out.Term, TermRule{A: r.A + off, T: r.T})
+	}
+
+	copyStart := func(start, shift int) {
+		for _, r := range out.Left {
+			if r.A == start+shift {
+				out.Left = append(out.Left, LeftRule{A: out.Start, T: r.T, B: r.B})
+			}
+		}
+		for _, r := range out.Right {
+			if r.A == start+shift {
+				out.Right = append(out.Right, RightRule{A: out.Start, B: r.B, T: r.T})
+			}
+		}
+		for _, r := range out.Term {
+			if r.A == start+shift {
+				out.Term = append(out.Term, TermRule{A: out.Start, T: r.T})
+			}
+		}
+	}
+	copyStart(g1.Start, 0)
+	copyStart(g2.Start, off)
+	return out
+}

@@ -1,0 +1,245 @@
+package huffman
+
+import (
+	"fmt"
+
+	"partree/internal/xmath"
+)
+
+// Adaptive is a one-pass adaptive Huffman coder (the FGK algorithm of
+// Faller, Gallager and Knuth): the code tree evolves with the observed
+// symbol stream, so no frequency table is transmitted — the dynamic
+// counterpart of the static codes this repository builds, and the natural
+// companion feature for the paper's "transmission over a communication
+// channel" setting. Encoder and decoder maintain identical trees, so the
+// stream is self-synchronizing from the first bit.
+//
+// The implementation keeps the classical *sibling property* invariant:
+// all nodes listed in order of decreasing node number have non-increasing
+// weights, and every node's number is higher than its children's. The
+// invariant is what makes the greedy block-leader swap produce a valid
+// Huffman tree after every update; tests check it after each symbol.
+type Adaptive struct {
+	list     []*adaptNode // index = number rank: list[0] is the root (highest number)
+	nyt      *adaptNode
+	root     *adaptNode
+	leaves   map[int]*adaptNode
+	alphabet int
+	symBits  int
+}
+
+type adaptNode struct {
+	weight      int
+	parent      *adaptNode
+	left, right *adaptNode
+	symbol      int // ≥ 0 leaf, -1 internal, -2 the NYT node
+	idx         int // position in Adaptive.list
+}
+
+// NewAdaptive creates an empty coder over the alphabet {0,…,alphabetSize-1}.
+func NewAdaptive(alphabetSize int) *Adaptive {
+	if alphabetSize < 1 {
+		panic("huffman: adaptive alphabet must be non-empty")
+	}
+	nyt := &adaptNode{symbol: -2}
+	a := &Adaptive{
+		list:     []*adaptNode{nyt},
+		nyt:      nyt,
+		root:     nyt,
+		leaves:   make(map[int]*adaptNode),
+		alphabet: alphabetSize,
+		symBits:  xmath.CeilLog2(xmath.MaxInt(alphabetSize, 2)),
+	}
+	return a
+}
+
+// pathTo emits the code of node n (root to n) into w.
+func (a *Adaptive) pathTo(w *BitWriter, n *adaptNode) {
+	var bits []int
+	for v := n; v.parent != nil; v = v.parent {
+		if v.parent.right == v {
+			bits = append(bits, 1)
+		} else {
+			bits = append(bits, 0)
+		}
+	}
+	for i := len(bits) - 1; i >= 0; i-- {
+		w.WriteBit(bits[i])
+	}
+}
+
+// EncodeSymbol appends the code for sym and updates the tree.
+func (a *Adaptive) EncodeSymbol(w *BitWriter, sym int) {
+	if sym < 0 || sym >= a.alphabet {
+		panic(fmt.Sprintf("huffman: symbol %d outside alphabet of %d", sym, a.alphabet))
+	}
+	if leaf, ok := a.leaves[sym]; ok {
+		a.pathTo(w, leaf)
+		a.update(leaf)
+		return
+	}
+	a.pathTo(w, a.nyt)
+	w.WriteBits(uint64(sym), a.symBits)
+	a.update(a.insert(sym))
+}
+
+// DecodeSymbol reads one symbol and updates the tree identically.
+func (a *Adaptive) DecodeSymbol(r *BitReader) (int, error) {
+	n := a.root
+	for n.symbol == -1 {
+		bit, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		if bit == 1 {
+			n = n.right
+		} else {
+			n = n.left
+		}
+	}
+	if n.symbol >= 0 {
+		a.update(n)
+		return n.symbol, nil
+	}
+	// NYT: a fresh symbol follows in fixed-width binary.
+	var sym uint64
+	for i := 0; i < a.symBits; i++ {
+		bit, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		sym = sym<<1 | uint64(bit)
+	}
+	if int(sym) >= a.alphabet {
+		return 0, fmt.Errorf("huffman: adaptive stream names symbol %d outside alphabet", sym)
+	}
+	if _, seen := a.leaves[int(sym)]; seen {
+		return 0, fmt.Errorf("huffman: adaptive stream re-introduces symbol %d", sym)
+	}
+	a.update(a.insert(int(sym)))
+	return int(sym), nil
+}
+
+// insert splits the NYT node into (new NYT, new leaf) and returns the leaf.
+func (a *Adaptive) insert(sym int) *adaptNode {
+	old := a.nyt
+	leaf := &adaptNode{symbol: sym, parent: old}
+	nyt := &adaptNode{symbol: -2, parent: old}
+	old.symbol = -1
+	old.left, old.right = nyt, leaf
+	a.nyt = nyt
+	// New nodes take the two lowest numbers: leaf just below the old NYT
+	// position, fresh NYT last.
+	leaf.idx = len(a.list)
+	a.list = append(a.list, leaf)
+	nyt.idx = len(a.list)
+	a.list = append(a.list, nyt)
+	a.leaves[sym] = leaf
+	return leaf
+}
+
+// blockLeader returns the highest-numbered node with n's weight (the
+// block is contiguous in the list by the sibling property).
+func (a *Adaptive) blockLeader(n *adaptNode) *adaptNode {
+	i := n.idx
+	for i > 0 && a.list[i-1].weight == n.weight {
+		i--
+	}
+	return a.list[i]
+}
+
+// swap exchanges two same-weight nodes' positions in the tree and in the
+// number list. Neither may be an ancestor of the other (the FGK block
+// structure guarantees it; the guard keeps corruption impossible).
+func (a *Adaptive) swap(x, y *adaptNode) {
+	for v := x.parent; v != nil; v = v.parent {
+		if v == y {
+			panic("huffman: adaptive swap with an ancestor")
+		}
+	}
+	for v := y.parent; v != nil; v = v.parent {
+		if v == x {
+			panic("huffman: adaptive swap with an ancestor")
+		}
+	}
+	px, py := x.parent, y.parent
+	if px.left == x {
+		px.left = y
+	} else {
+		px.right = y
+	}
+	if py.left == y {
+		py.left = x
+	} else {
+		py.right = x
+	}
+	x.parent, y.parent = py, px
+	a.list[x.idx], a.list[y.idx] = y, x
+	x.idx, y.idx = y.idx, x.idx
+}
+
+// update walks from a leaf to the root, swapping each node with its block
+// leader before incrementing its weight (the FGK step).
+func (a *Adaptive) update(n *adaptNode) {
+	for n != nil {
+		leader := a.blockLeader(n)
+		if leader != n && leader != n.parent {
+			a.swap(n, leader)
+		}
+		n.weight++
+		n = n.parent
+	}
+}
+
+// checkSibling validates the sibling property; tests call it after every
+// symbol. It returns a descriptive error on the first violation.
+func (a *Adaptive) checkSibling() error {
+	for i := 1; i < len(a.list); i++ {
+		if a.list[i].weight > a.list[i-1].weight {
+			return fmt.Errorf("huffman: sibling property violated at rank %d (%d > %d)",
+				i, a.list[i].weight, a.list[i-1].weight)
+		}
+	}
+	for i, n := range a.list {
+		if n.idx != i {
+			return fmt.Errorf("huffman: list index desync at %d", i)
+		}
+		if n.symbol == -1 {
+			if n.left == nil || n.right == nil {
+				return fmt.Errorf("huffman: internal node with missing child")
+			}
+			if n.weight != n.left.weight+n.right.weight {
+				return fmt.Errorf("huffman: weight of internal ≠ sum of children")
+			}
+			if n.left.idx <= n.idx || n.right.idx <= n.idx {
+				return fmt.Errorf("huffman: child numbered above its parent")
+			}
+		}
+	}
+	return nil
+}
+
+// AdaptiveEncode compresses a symbol sequence in one pass.
+func AdaptiveEncode(symbols []int, alphabetSize int) ([]byte, int) {
+	a := NewAdaptive(alphabetSize)
+	var w BitWriter
+	for _, s := range symbols {
+		a.EncodeSymbol(&w, s)
+	}
+	return w.Bytes(), w.Len()
+}
+
+// AdaptiveDecode decompresses nSymbols symbols.
+func AdaptiveDecode(data []byte, bitLen, nSymbols, alphabetSize int) ([]int, error) {
+	a := NewAdaptive(alphabetSize)
+	r := NewBitReader(data, bitLen)
+	out := make([]int, 0, nSymbols)
+	for len(out) < nSymbols {
+		s, err := a.DecodeSymbol(r)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}

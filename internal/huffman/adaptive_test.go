@@ -1,0 +1,140 @@
+package huffman
+
+import (
+	"math/rand"
+	"testing"
+
+	"partree/internal/workload"
+)
+
+func TestAdaptiveRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(547))
+	for trial := 0; trial < 40; trial++ {
+		alphabet := 2 + rng.Intn(60)
+		n := rng.Intn(800)
+		msg := make([]int, n)
+		for i := range msg {
+			msg[i] = rng.Intn(alphabet)
+		}
+		data, bits := AdaptiveEncode(msg, alphabet)
+		got, err := AdaptiveDecode(data, bits, n, alphabet)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for i := range msg {
+			if got[i] != msg[i] {
+				t.Fatalf("trial %d: symbol %d corrupted", trial, i)
+			}
+		}
+	}
+}
+
+// The sibling property must hold after every single update, on both the
+// encoder and the decoder tree.
+func TestAdaptiveSiblingInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(557))
+	for trial := 0; trial < 15; trial++ {
+		alphabet := 2 + rng.Intn(26)
+		enc := NewAdaptive(alphabet)
+		var w BitWriter
+		for i := 0; i < 400; i++ {
+			enc.EncodeSymbol(&w, rng.Intn(alphabet))
+			if err := enc.checkSibling(); err != nil {
+				t.Fatalf("trial %d after %d symbols: %v", trial, i+1, err)
+			}
+		}
+		dec := NewAdaptive(alphabet)
+		r := NewBitReader(w.Bytes(), w.Len())
+		for i := 0; i < 400; i++ {
+			if _, err := dec.DecodeSymbol(r); err != nil {
+				t.Fatalf("decode %d: %v", i, err)
+			}
+			if err := dec.checkSibling(); err != nil {
+				t.Fatalf("decoder after %d symbols: %v", i+1, err)
+			}
+		}
+	}
+}
+
+// Tree integrity: every node reachable from the root exactly once, and
+// the node count matches the list.
+func TestAdaptiveTreeIntegrity(t *testing.T) {
+	rng := rand.New(rand.NewSource(563))
+	a := NewAdaptive(16)
+	var w BitWriter
+	for i := 0; i < 1000; i++ {
+		a.EncodeSymbol(&w, rng.Intn(16))
+	}
+	seen := map[*adaptNode]bool{}
+	var walk func(n *adaptNode)
+	walk = func(n *adaptNode) {
+		if n == nil {
+			return
+		}
+		if seen[n] {
+			t.Fatal("node reachable twice (cycle)")
+		}
+		seen[n] = true
+		walk(n.left)
+		walk(n.right)
+	}
+	walk(a.root)
+	if len(seen) != len(a.list) {
+		t.Fatalf("reachable %d nodes, list has %d", len(seen), len(a.list))
+	}
+}
+
+// On a skewed source the adaptive coder approaches the static Huffman
+// rate without ever transmitting a table.
+func TestAdaptiveCompressesSkewedSource(t *testing.T) {
+	rng := rand.New(rand.NewSource(569))
+	probs := workload.Geometric(16, 0.55)
+	n := 20000
+	msg := make([]int, n)
+	for i := range msg {
+		u := rng.Float64()
+		acc := 0.0
+		for s, p := range probs {
+			acc += p
+			if u <= acc || s == len(probs)-1 {
+				msg[i] = s
+				break
+			}
+		}
+	}
+	_, bits := AdaptiveEncode(msg, 16)
+	perSym := float64(bits) / float64(n)
+	static := Cost(probs) // bits/symbol of the clairvoyant static code
+	if perSym > static+0.3 {
+		t.Errorf("adaptive %.3f bits/symbol, static optimum %.3f (+0.3 allowed)", perSym, static)
+	}
+	if perSym < Entropy(probs)-1e-9 {
+		t.Errorf("adaptive %.3f beat the entropy %.3f (impossible)", perSym, Entropy(probs))
+	}
+}
+
+func TestAdaptiveSingleSymbolAlphabet(t *testing.T) {
+	data, bits := AdaptiveEncode([]int{0, 0, 0}, 1)
+	got, err := AdaptiveDecode(data, bits, 3, 1)
+	if err != nil || len(got) != 3 {
+		t.Fatalf("unary alphabet round trip: %v %v", got, err)
+	}
+}
+
+func TestAdaptiveErrors(t *testing.T) {
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("out-of-alphabet symbol must panic")
+			}
+		}()
+		a := NewAdaptive(4)
+		var w BitWriter
+		a.EncodeSymbol(&w, 9)
+	}()
+	// Truncated stream errors out.
+	data, bits := AdaptiveEncode([]int{1, 2, 3}, 8)
+	if _, err := AdaptiveDecode(data, bits-2, 3, 8); err == nil {
+		t.Error("truncated adaptive stream must error")
+	}
+}

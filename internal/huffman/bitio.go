@@ -1,0 +1,59 @@
+package huffman
+
+import "io"
+
+// BitWriter accumulates bits MSB-first into a byte buffer. The zero value
+// is ready to use.
+type BitWriter struct {
+	buf  []byte
+	nbit int
+}
+
+// WriteBits appends the low n bits of v, most significant first.
+func (w *BitWriter) WriteBits(v uint64, n int) {
+	for i := n - 1; i >= 0; i-- {
+		w.WriteBit(int(v >> uint(i) & 1))
+	}
+}
+
+// WriteBit appends a single bit (0 or 1).
+func (w *BitWriter) WriteBit(b int) {
+	if w.nbit%8 == 0 {
+		w.buf = append(w.buf, 0)
+	}
+	if b != 0 {
+		w.buf[w.nbit/8] |= 1 << uint(7-w.nbit%8)
+	}
+	w.nbit++
+}
+
+// Len returns the number of bits written.
+func (w *BitWriter) Len() int { return w.nbit }
+
+// Bytes returns the packed buffer; the final byte is zero-padded.
+func (w *BitWriter) Bytes() []byte { return w.buf }
+
+// BitReader consumes bits MSB-first from a byte buffer.
+type BitReader struct {
+	buf  []byte
+	nbit int
+	pos  int
+}
+
+// NewBitReader reads up to bitLen bits from data.
+func NewBitReader(data []byte, bitLen int) *BitReader {
+	return &BitReader{buf: data, nbit: bitLen}
+}
+
+// ReadBit returns the next bit, or io.EOF past the declared length.
+func (r *BitReader) ReadBit() (int, error) {
+	if r.pos >= r.nbit || r.pos/8 >= len(r.buf) {
+		return 0, io.EOF
+	}
+	b := int(r.buf[r.pos/8] >> uint(7-r.pos%8) & 1)
+	r.pos++
+	return b, nil
+}
+
+// Remaining returns the number of unread bits.
+func (r *BitReader) Remaining() int { return r.nbit - r.pos }

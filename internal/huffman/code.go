@@ -1,0 +1,159 @@
+package huffman
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Code is one prefix-code word: the low Len bits of Bits, most significant
+// bit first.
+type Code struct {
+	Bits uint64
+	Len  int
+}
+
+// String renders the code word as a binary string.
+func (c Code) String() string {
+	if c.Len == 0 {
+		return "ε"
+	}
+	var b strings.Builder
+	for i := c.Len - 1; i >= 0; i-- {
+		if c.Bits>>uint(i)&1 == 1 {
+			b.WriteByte('1')
+		} else {
+			b.WriteByte('0')
+		}
+	}
+	return b.String()
+}
+
+// Canonical assigns canonical prefix-code words for the given code
+// lengths: words of equal length are consecutive binary integers, ordered
+// by symbol, and shorter words lexicographically precede longer ones. The
+// lengths must satisfy the Kraft inequality Σ2^{-l} ≤ 1 and be ≤ 63;
+// Canonical returns an error otherwise. A single symbol of length 0 is
+// the empty word.
+func Canonical(lengths []int) ([]Code, error) {
+	n := len(lengths)
+	codes := make([]Code, n)
+	if n == 0 {
+		return codes, nil
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return lengths[order[a]] < lengths[order[b]] })
+
+	var next uint64
+	prevLen := lengths[order[0]]
+	if prevLen < 0 || prevLen > 63 {
+		return nil, fmt.Errorf("huffman: code length %d out of range", prevLen)
+	}
+	for idx, sym := range order {
+		l := lengths[sym]
+		if l < 0 || l > 63 {
+			return nil, fmt.Errorf("huffman: code length %d out of range", l)
+		}
+		if idx > 0 {
+			next++
+			next <<= uint(l - prevLen)
+		}
+		if l < 64 && next >= 1<<uint(l) && !(l == 0 && next == 0) {
+			return nil, fmt.Errorf("huffman: lengths violate the Kraft inequality")
+		}
+		codes[sym] = Code{Bits: next, Len: l}
+		prevLen = l
+	}
+	return codes, nil
+}
+
+// IsPrefixFree reports whether no code word is a prefix of another
+// (Section 1's defining property of a prefix code). Empty words are
+// prefixes of everything and so are only allowed alone.
+func IsPrefixFree(codes []Code) bool {
+	for i, a := range codes {
+		for j, b := range codes {
+			if i == j {
+				continue
+			}
+			if a.Len > b.Len {
+				continue
+			}
+			if a.Len == 0 {
+				return false
+			}
+			if b.Bits>>uint(b.Len-a.Len) == a.Bits {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// AverageLength returns Σ pᵢ·|cᵢ|.
+func AverageLength(weights []float64, codes []Code) float64 {
+	var s float64
+	for i, c := range codes {
+		s += weights[i] * float64(c.Len)
+	}
+	return s
+}
+
+// Encode appends the code words for the given symbol sequence to a bit
+// buffer and returns the packed bytes together with the total bit count.
+func Encode(symbols []int, codes []Code) ([]byte, int) {
+	var w BitWriter
+	for _, s := range symbols {
+		c := codes[s]
+		w.WriteBits(c.Bits, c.Len)
+	}
+	return w.Bytes(), w.Len()
+}
+
+// Decode reads nSymbols code words from the packed bit buffer using the
+// code table (via a decoding trie built on the fly). It returns an error
+// on any bit sequence that is not a valid code word prefix.
+func Decode(data []byte, bitLen, nSymbols int, codes []Code) ([]int, error) {
+	type trie struct {
+		child [2]*trie
+		sym   int
+	}
+	root := &trie{sym: -1}
+	for sym, c := range codes {
+		v := root
+		for i := c.Len - 1; i >= 0; i-- {
+			if v.sym != -1 {
+				return nil, fmt.Errorf("huffman: code table is not prefix free")
+			}
+			b := c.Bits >> uint(i) & 1
+			if v.child[b] == nil {
+				v.child[b] = &trie{sym: -1}
+			}
+			v = v.child[b]
+		}
+		if v.sym != -1 || v.child[0] != nil || v.child[1] != nil {
+			return nil, fmt.Errorf("huffman: code table is not prefix free")
+		}
+		v.sym = sym
+	}
+	r := NewBitReader(data, bitLen)
+	out := make([]int, 0, nSymbols)
+	for len(out) < nSymbols {
+		v := root
+		for v.sym == -1 {
+			bit, err := r.ReadBit()
+			if err != nil {
+				return nil, fmt.Errorf("huffman: truncated stream at symbol %d: %w", len(out), err)
+			}
+			v = v.child[bit]
+			if v == nil {
+				return nil, fmt.Errorf("huffman: invalid code word at symbol %d", len(out))
+			}
+		}
+		out = append(out, v.sym)
+	}
+	return out, nil
+}

@@ -1,0 +1,154 @@
+package huffman
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"partree/internal/workload"
+)
+
+func TestCanonicalKnown(t *testing.T) {
+	codes, err := Canonical([]int{2, 1, 3, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sorted by length: sym1(1) → 0; sym0(2) → 10; sym2(3) → 110; sym3 → 111.
+	want := []string{"10", "0", "110", "111"}
+	for i, w := range want {
+		if codes[i].String() != w {
+			t.Errorf("code[%d] = %s, want %s", i, codes[i], w)
+		}
+	}
+	if !IsPrefixFree(codes) {
+		t.Error("canonical codes must be prefix free")
+	}
+}
+
+func TestCanonicalRejectsOverfull(t *testing.T) {
+	if _, err := Canonical([]int{1, 1, 1}); err == nil {
+		t.Error("three length-1 codes must violate Kraft")
+	}
+	if _, err := Canonical([]int{0, 1}); err == nil {
+		t.Error("zero-length code plus another must violate Kraft")
+	}
+	if _, err := Canonical([]int{70}); err == nil {
+		t.Error("length > 63 must be rejected")
+	}
+}
+
+func TestCanonicalEmptyAndSingle(t *testing.T) {
+	if codes, err := Canonical(nil); err != nil || len(codes) != 0 {
+		t.Error("empty input must give empty output")
+	}
+	codes, err := Canonical([]int{0})
+	if err != nil || codes[0].Len != 0 || codes[0].String() != "ε" {
+		t.Errorf("single symbol should get the empty word, got %v (%v)", codes, err)
+	}
+}
+
+func TestIsPrefixFree(t *testing.T) {
+	if !IsPrefixFree([]Code{{0, 1}, {2, 2}, {3, 2}}) { // 0, 10, 11
+		t.Error("0/10/11 is prefix free")
+	}
+	if IsPrefixFree([]Code{{0, 1}, {1, 2}}) { // 0 is a prefix of 01
+		t.Error("0/01 is not prefix free")
+	}
+	if IsPrefixFree([]Code{{0, 0}, {0, 1}}) {
+		t.Error("empty word with others is not prefix free")
+	}
+}
+
+func TestHuffmanCodesPrefixFreeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(60)
+		w := workload.Random(rng, n)
+		lengths := CodeLengths(Build(w), n)
+		codes, err := Canonical(lengths)
+		if err != nil {
+			return false
+		}
+		return IsPrefixFree(codes)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(40)
+		w := workload.Random(rng, n)
+		codes, err := Canonical(CodeLengths(Build(w), n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		msg := make([]int, 200)
+		for i := range msg {
+			msg[i] = rng.Intn(n)
+		}
+		data, bits := Encode(msg, codes)
+		got, err := Decode(data, bits, len(msg), codes)
+		if err != nil {
+			t.Fatalf("trial %d: decode error %v", trial, err)
+		}
+		for i := range msg {
+			if got[i] != msg[i] {
+				t.Fatalf("trial %d: decode∘encode ≠ id at %d", trial, i)
+			}
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	codes, _ := Canonical([]int{1, 2, 2})
+	// Truncated stream.
+	if _, err := Decode([]byte{0x80}, 1, 2, codes); err == nil {
+		t.Error("truncated stream must error")
+	}
+	// Non-prefix-free table.
+	if _, err := Decode([]byte{0}, 8, 1, []Code{{0, 1}, {1, 2}}); err == nil {
+		t.Error("non-prefix-free table must error")
+	}
+}
+
+func TestAverageLength(t *testing.T) {
+	codes := []Code{{0, 1}, {2, 2}, {3, 2}}
+	w := []float64{0.5, 0.25, 0.25}
+	if got := AverageLength(w, codes); got != 1.5 {
+		t.Errorf("average length = %v, want 1.5", got)
+	}
+}
+
+func TestBitIO(t *testing.T) {
+	var w BitWriter
+	w.WriteBits(0b1011, 4)
+	w.WriteBit(1)
+	w.WriteBits(0b000011, 6)
+	if w.Len() != 11 {
+		t.Fatalf("bit length = %d", w.Len())
+	}
+	r := NewBitReader(w.Bytes(), w.Len())
+	want := []int{1, 0, 1, 1, 1, 0, 0, 0, 0, 1, 1}
+	for i, b := range want {
+		got, err := r.ReadBit()
+		if err != nil || got != b {
+			t.Fatalf("bit %d = %d (%v), want %d", i, got, err, b)
+		}
+	}
+	if r.Remaining() != 0 {
+		t.Error("remaining should be 0")
+	}
+	if _, err := r.ReadBit(); err == nil {
+		t.Error("reading past end must error")
+	}
+}
+
+func TestCodeStringZero(t *testing.T) {
+	if (Code{0, 2}).String() != "00" {
+		t.Error("code rendering wrong")
+	}
+}

@@ -1,0 +1,57 @@
+package huffman
+
+import (
+	"math"
+)
+
+// Entropy returns the Shannon entropy H(p) = −Σ pᵢ·log₂ pᵢ in bits for a
+// frequency vector (normalized internally; zero entries contribute
+// nothing). It is the information-theoretic floor for the average word
+// length of any uniquely decipherable code — the paper's Kraft–McMillan
+// remark makes prefix codes lose nothing against that generality.
+func Entropy(freqs []float64) float64 {
+	var total float64
+	for _, f := range freqs {
+		total += f
+	}
+	if total <= 0 {
+		return 0
+	}
+	h := 0.0
+	for _, f := range freqs {
+		if f > 0 {
+			p := f / total
+			h -= p * math.Log2(p)
+		}
+	}
+	return h
+}
+
+// Redundancy returns the gap between a code's average word length and the
+// entropy floor, in bits per symbol: AverageLength(p, codes) − H(p).
+// Huffman codes keep this in [0, 1); Shannon–Fano in [0, 1] relative to
+// Huffman plus the Huffman redundancy.
+func Redundancy(freqs []float64, lengths []int) float64 {
+	var total float64
+	for _, f := range freqs {
+		total += f
+	}
+	if total <= 0 {
+		return 0
+	}
+	avg := 0.0
+	for i, f := range freqs {
+		avg += f / total * float64(lengths[i])
+	}
+	return avg - Entropy(freqs)
+}
+
+// KraftSum returns Σ 2^{-lᵢ} for a length vector — ≤ 1 for any prefix
+// code (Lemma 7.1), exactly 1 for a full (non-wasteful) one.
+func KraftSum(lengths []int) float64 {
+	s := 0.0
+	for _, l := range lengths {
+		s += math.Ldexp(1, -l)
+	}
+	return s
+}

@@ -1,0 +1,57 @@
+package huffman
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"partree/internal/workload"
+	"partree/internal/xmath"
+)
+
+func TestEntropyKnown(t *testing.T) {
+	if got := Entropy([]float64{1, 1}); !xmath.AlmostEqual(got, 1, 1e-12) {
+		t.Errorf("H(fair coin) = %v, want 1", got)
+	}
+	if got := Entropy([]float64{1, 1, 1, 1}); !xmath.AlmostEqual(got, 2, 1e-12) {
+		t.Errorf("H(uniform-4) = %v, want 2", got)
+	}
+	if got := Entropy([]float64{1, 0, 0}); got != 0 {
+		t.Errorf("H(deterministic) = %v, want 0", got)
+	}
+	if Entropy(nil) != 0 || Entropy([]float64{0, 0}) != 0 {
+		t.Error("degenerate entropies must be 0")
+	}
+}
+
+// The noiseless coding theorem, end to end: 0 ≤ redundancy(Huffman) < 1.
+func TestHuffmanRedundancyWithinOneBit(t *testing.T) {
+	rng := rand.New(rand.NewSource(523))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(120)
+		p := workload.Random(rng, n)
+		lengths := CodeLengths(Build(p), n)
+		r := Redundancy(p, lengths)
+		if r < -1e-9 || r >= 1 {
+			t.Fatalf("trial %d: Huffman redundancy %v outside [0,1)", trial, r)
+		}
+	}
+}
+
+func TestKraftSum(t *testing.T) {
+	if got := KraftSum([]int{1, 2, 2}); !xmath.AlmostEqual(got, 1, 1e-12) {
+		t.Errorf("full code Kraft = %v", got)
+	}
+	if got := KraftSum([]int{2}); got != 0.25 {
+		t.Errorf("Kraft = %v", got)
+	}
+	// Huffman lengths always hit Kraft equality (full trees, n ≥ 2).
+	rng := rand.New(rand.NewSource(541))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(60)
+		p := workload.Random(rng, n)
+		if s := KraftSum(CodeLengths(Build(p), n)); math.Abs(s-1) > 1e-9 {
+			t.Fatalf("trial %d: Huffman Kraft sum %v ≠ 1", trial, s)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package huffman
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CanonicalDecoder decodes canonical prefix codes with the classical
+// per-length first-code tables (as used by DEFLATE-style decoders):
+// instead of walking a trie pointer per bit, the decoder accumulates the
+// code value and, at each length, checks whether it falls inside that
+// length's canonical code range — one comparison and one array index per
+// bit, cache-friendly and allocation-free per symbol.
+type CanonicalDecoder struct {
+	maxLen    int
+	firstCode []uint64 // firstCode[l]: canonical value of the first code of length l
+	count     []int    // count[l]: number of codes of length l
+	offset    []int    // offset[l]: index into symbols of that first code
+	symbols   []int    // symbols ordered by (length, symbol)
+	single    int      // the lone symbol when the code has one zero-length word, else -1
+}
+
+// NewCanonicalDecoder builds decoding tables for the canonical code of
+// the given lengths (the same assignment Canonical produces).
+func NewCanonicalDecoder(lengths []int) (*CanonicalDecoder, error) {
+	if _, err := Canonical(lengths); err != nil {
+		return nil, err // reuse the Kraft/range validation
+	}
+	d := &CanonicalDecoder{single: -1}
+	for _, l := range lengths {
+		if l > d.maxLen {
+			d.maxLen = l
+		}
+	}
+	if d.maxLen == 0 {
+		if len(lengths) != 1 {
+			return nil, fmt.Errorf("huffman: zero-length codes require a single symbol")
+		}
+		d.single = 0
+		return d, nil
+	}
+	d.firstCode = make([]uint64, d.maxLen+1)
+	d.count = make([]int, d.maxLen+1)
+	d.offset = make([]int, d.maxLen+1)
+	order := make([]int, len(lengths))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return lengths[order[a]] < lengths[order[b]] })
+	d.symbols = order
+
+	for _, l := range lengths {
+		d.count[l]++
+	}
+	var code uint64
+	pos := 0
+	for l := 1; l <= d.maxLen; l++ {
+		code <<= 1
+		d.firstCode[l] = code
+		d.offset[l] = pos
+		code += uint64(d.count[l])
+		pos += d.count[l]
+	}
+	return d, nil
+}
+
+// Decode reads nSymbols code words from the packed buffer.
+func (d *CanonicalDecoder) Decode(data []byte, bitLen, nSymbols int) ([]int, error) {
+	out := make([]int, 0, nSymbols)
+	if d.single >= 0 {
+		for len(out) < nSymbols {
+			out = append(out, d.single)
+		}
+		return out, nil
+	}
+	r := NewBitReader(data, bitLen)
+	for len(out) < nSymbols {
+		var code uint64
+		l := 0
+		for {
+			bit, err := r.ReadBit()
+			if err != nil {
+				return nil, fmt.Errorf("huffman: truncated stream at symbol %d: %w", len(out), err)
+			}
+			code = code<<1 | uint64(bit)
+			l++
+			if l > d.maxLen {
+				return nil, fmt.Errorf("huffman: invalid code word at symbol %d", len(out))
+			}
+			if idx := code - d.firstCode[l]; code >= d.firstCode[l] && idx < uint64(d.count[l]) {
+				out = append(out, d.symbols[d.offset[l]+int(idx)])
+				break
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,107 @@
+package huffman
+
+import (
+	"math/rand"
+	"testing"
+
+	"partree/internal/workload"
+)
+
+func TestCanonicalDecoderMatchesTrie(t *testing.T) {
+	rng := rand.New(rand.NewSource(433))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(60)
+		w := workload.Random(rng, n)
+		lengths := CodeLengths(Build(w), n)
+		codes, err := Canonical(lengths)
+		if err != nil {
+			t.Fatal(err)
+		}
+		msg := make([]int, rng.Intn(400))
+		for i := range msg {
+			msg[i] = rng.Intn(n)
+		}
+		data, bits := Encode(msg, codes)
+
+		want, err := Decode(data, bits, len(msg), codes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := NewCanonicalDecoder(lengths)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := dec.Decode(data, bits, len(msg))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: decoders disagree at %d", trial, i)
+			}
+		}
+	}
+}
+
+func TestCanonicalDecoderSingleSymbol(t *testing.T) {
+	dec, err := NewCanonicalDecoder([]int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := dec.Decode(nil, 0, 3)
+	if err != nil || len(got) != 3 || got[0] != 0 {
+		t.Errorf("single-symbol decode = %v (%v)", got, err)
+	}
+}
+
+func TestCanonicalDecoderErrors(t *testing.T) {
+	if _, err := NewCanonicalDecoder([]int{1, 1, 1}); err == nil {
+		t.Error("Kraft violation must error")
+	}
+	dec, err := NewCanonicalDecoder([]int{1, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truncated stream.
+	if _, err := dec.Decode([]byte{0x80}, 1, 2); err == nil {
+		t.Error("truncated stream must error")
+	}
+	// With an incomplete code (Kraft < 1), an unassigned bit pattern must
+	// be rejected rather than looping.
+	dec2, err := NewCanonicalDecoder([]int{2, 2}) // codes 00, 01; 1x unassigned
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dec2.Decode([]byte{0xc0}, 8, 1); err == nil {
+		t.Error("unassigned code word must error")
+	}
+}
+
+func BenchmarkDecoders(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	n := 64
+	w := workload.Zipf(n, 1.2)
+	lengths := CodeLengths(Build(w), n)
+	codes, _ := Canonical(lengths)
+	msg := make([]int, 8192)
+	for i := range msg {
+		msg[i] = rng.Intn(n)
+	}
+	data, bits := Encode(msg, codes)
+	b.Run("trie", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := Decode(data, bits, len(msg), codes); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("canonical-tables", func(b *testing.B) {
+		dec, _ := NewCanonicalDecoder(lengths)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := dec.Decode(data, bits, len(msg)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,171 @@
+// Package huffman implements sequential Huffman coding: the classical
+// O(n log n) heap algorithm and the O(n) two-queue algorithm for
+// pre-sorted frequencies (the baselines the paper's parallel algorithms
+// are measured against), plus code extraction, canonical prefix codes and
+// a bit-level encoder/decoder used by the examples.
+package huffman
+
+import (
+	"container/heap"
+	"fmt"
+
+	"partree/internal/tree"
+)
+
+// item is a heap entry: a subtree with its total weight and a tie-breaking
+// sequence number (earlier-created first), which makes the construction
+// deterministic.
+type item struct {
+	node   *tree.Node
+	weight float64
+	seq    int
+}
+
+type itemHeap []item
+
+func (h itemHeap) Len() int { return len(h) }
+func (h itemHeap) Less(i, j int) bool {
+	if h[i].weight != h[j].weight {
+		return h[i].weight < h[j].weight
+	}
+	return h[i].seq < h[j].seq
+}
+func (h itemHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *itemHeap) Push(x interface{}) { *h = append(*h, x.(item)) }
+func (h *itemHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Build constructs an optimal Huffman tree for the given frequencies using
+// the classical 1952 greedy algorithm with a binary heap: O(n log n) time.
+// Leaf i of the result carries Symbol i and Weight weights[i]. weights must
+// be non-empty and non-negative. For n = 1 the tree is a single leaf (the
+// lone code word is empty).
+func Build(weights []float64) *tree.Node {
+	n := len(weights)
+	if n == 0 {
+		panic("huffman: empty frequency vector")
+	}
+	h := make(itemHeap, 0, n)
+	for i, w := range weights {
+		if w < 0 {
+			panic(fmt.Sprintf("huffman: negative weight %v at %d", w, i))
+		}
+		h = append(h, item{node: tree.NewLeaf(i, w), weight: w, seq: i})
+	}
+	heap.Init(&h)
+	seq := n
+	for h.Len() > 1 {
+		a := heap.Pop(&h).(item)
+		b := heap.Pop(&h).(item)
+		heap.Push(&h, item{
+			node:   tree.NewInternal(a.node, b.node),
+			weight: a.weight + b.weight,
+			seq:    seq,
+		})
+		seq++
+	}
+	return h[0].node
+}
+
+// BuildSorted constructs an optimal Huffman tree for frequencies given in
+// non-decreasing order using the two-queue linear-time algorithm (the
+// "actually linear time if the probabilities are preordered" observation
+// the paper cites). It panics if weights is not sorted.
+func BuildSorted(weights []float64) *tree.Node {
+	n := len(weights)
+	if n == 0 {
+		panic("huffman: empty frequency vector")
+	}
+	leaves := make([]item, n)
+	for i, w := range weights {
+		if i > 0 && w < weights[i-1] {
+			panic("huffman: BuildSorted requires non-decreasing weights")
+		}
+		leaves[i] = item{node: tree.NewLeaf(i, w), weight: w}
+	}
+	merged := make([]item, 0, n)
+	li, mi := 0, 0
+	pop := func() item {
+		switch {
+		case li >= n:
+			x := merged[mi]
+			mi++
+			return x
+		case mi >= len(merged):
+			x := leaves[li]
+			li++
+			return x
+		case merged[mi].weight < leaves[li].weight:
+			x := merged[mi]
+			mi++
+			return x
+		default: // ties prefer the original leaf queue (deterministic)
+			x := leaves[li]
+			li++
+			return x
+		}
+	}
+	remaining := n
+	for remaining > 1 {
+		a := pop()
+		b := pop()
+		merged = append(merged, item{
+			node:   tree.NewInternal(a.node, b.node),
+			weight: a.weight + b.weight,
+		})
+		remaining--
+	}
+	return pop().node
+}
+
+// Cost returns the optimal average word length Σ pᵢ·|cᵢ| for the given
+// frequencies, computed with BuildSorted when sorted, Build otherwise.
+func Cost(weights []float64) float64 {
+	sorted := true
+	for i := 1; i < len(weights); i++ {
+		if weights[i] < weights[i-1] {
+			sorted = false
+			break
+		}
+	}
+	if sorted {
+		return BuildSorted(weights).WeightedPathLength()
+	}
+	return Build(weights).WeightedPathLength()
+}
+
+// CodeLengths returns |cᵢ| for each symbol i, extracted from a code tree
+// whose leaves carry symbol indices 0…n-1.
+func CodeLengths(t *tree.Node, n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = -1
+	}
+	var walk func(v *tree.Node, d int)
+	walk = func(v *tree.Node, d int) {
+		if v == nil {
+			return
+		}
+		if v.IsLeaf() {
+			if v.Symbol < 0 || v.Symbol >= n {
+				panic(fmt.Sprintf("huffman: leaf symbol %d out of range", v.Symbol))
+			}
+			out[v.Symbol] = d
+			return
+		}
+		walk(v.Left, d+1)
+		walk(v.Right, d+1)
+	}
+	walk(t, 0)
+	for i, l := range out {
+		if l < 0 {
+			panic(fmt.Sprintf("huffman: symbol %d missing from tree", i))
+		}
+	}
+	return out
+}

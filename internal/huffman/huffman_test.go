@@ -1,0 +1,191 @@
+package huffman
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"partree/internal/workload"
+	"partree/internal/xmath"
+)
+
+func TestBuildKnownSmall(t *testing.T) {
+	// Classic example: weights 5,9,12,13,16,45 → optimal cost
+	// 45·1 + 16·3+13·3+12·3 + 9·4+5·4 = 45+123+56 = 224.
+	w := []float64{5, 9, 12, 13, 16, 45}
+	tr := Build(w)
+	if got := tr.WeightedPathLength(); got != 224 {
+		t.Errorf("cost = %v, want 224", got)
+	}
+	if tr.CountLeaves() != 6 {
+		t.Error("leaf count wrong")
+	}
+}
+
+func TestBuildSingleAndPair(t *testing.T) {
+	if tr := Build([]float64{1}); !tr.IsLeaf() || tr.WeightedPathLength() != 0 {
+		t.Error("single symbol tree must be a bare leaf of cost 0")
+	}
+	if got := Build([]float64{0.4, 0.6}).WeightedPathLength(); got != 1 {
+		t.Errorf("two-symbol cost = %v, want 1", got)
+	}
+}
+
+func TestBuildSortedMatchesHeap(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(200)
+		w := workload.SortedAscending(workload.Random(rng, n))
+		a := Build(w).WeightedPathLength()
+		b := BuildSorted(w).WeightedPathLength()
+		if !xmath.AlmostEqual(a, b, 1e-9) {
+			t.Fatalf("trial %d n=%d: heap %v vs two-queue %v", trial, n, a, b)
+		}
+	}
+}
+
+func TestBuildSortedRejectsUnsorted(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("unsorted input must panic")
+		}
+	}()
+	BuildSorted([]float64{2, 1})
+}
+
+func TestBuildRejectsBadInput(t *testing.T) {
+	for _, f := range []func(){
+		func() { Build(nil) },
+		func() { BuildSorted(nil) },
+		func() { Build([]float64{0.5, -0.1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Optimality cross-check against exhaustive search over all full binary
+// trees for small n: the Huffman cost must be the true minimum over all
+// prefix codes (equivalently all full-tree leaf-depth assignments,
+// minimized over weight permutations — but since Σp·l is minimized by
+// pairing sorted weights with sorted depths, checking all depth multisets
+// against sorted weights suffices).
+func TestBuildOptimalExhaustive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	// Enumerate all full-tree leaf-depth multisets for n leaves.
+	var enumerate func(n int) [][]int
+	memo := map[int][][]int{1: {{0}}}
+	var addOne func(ds []int) []int
+	addOne = func(ds []int) []int {
+		out := make([]int, len(ds))
+		for i, d := range ds {
+			out[i] = d + 1
+		}
+		return out
+	}
+	enumerate = func(n int) [][]int {
+		if r, ok := memo[n]; ok {
+			return r
+		}
+		seen := map[string]bool{}
+		var res [][]int
+		for nl := 1; nl < n; nl++ {
+			for _, l := range enumerate(nl) {
+				for _, r := range enumerate(n - nl) {
+					ds := append(addOne(l), addOne(r)...)
+					sorted := append([]int(nil), ds...)
+					// insertion sort for key stability
+					for i := 1; i < len(sorted); i++ {
+						for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+							sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+						}
+					}
+					key := ""
+					for _, d := range sorted {
+						key += string(rune('a' + d))
+					}
+					if !seen[key] {
+						seen[key] = true
+						res = append(res, sorted)
+					}
+				}
+			}
+		}
+		memo[n] = res
+		return res
+	}
+	for _, n := range []int{2, 3, 4, 5, 6, 7} {
+		w := workload.SortedAscending(workload.Random(rng, n))
+		best := math.Inf(1)
+		for _, depths := range enumerate(n) {
+			// depths sorted ascending; deepest leaves should get smallest
+			// weights: weights ascending × depths descending.
+			cost := 0.0
+			for i := range depths {
+				cost += w[i] * float64(depths[len(depths)-1-i])
+			}
+			if cost < best {
+				best = cost
+			}
+		}
+		if got := Build(w).WeightedPathLength(); !xmath.AlmostEqual(got, best, 1e-9) {
+			t.Errorf("n=%d: Huffman cost %v, exhaustive minimum %v", n, got, best)
+		}
+	}
+}
+
+func TestFibonacciDepth(t *testing.T) {
+	// Fibonacci weights force the deepest possible tree: depth n-1.
+	n := 12
+	tr := BuildSorted(workload.Fibonacci(n))
+	if h := tr.Height(); h != n-1 {
+		t.Errorf("Fibonacci tree height = %d, want %d", h, n-1)
+	}
+}
+
+func TestUniformDepth(t *testing.T) {
+	// 2^k equal weights give a perfect tree of depth k.
+	tr := Build(workload.Uniform(16))
+	ds := tr.LeafDepths()
+	for _, d := range ds {
+		if d != 4 {
+			t.Fatalf("uniform-16 depths = %v, want all 4", ds)
+		}
+	}
+}
+
+func TestCodeLengths(t *testing.T) {
+	w := []float64{5, 9, 12, 13, 16, 45}
+	tr := Build(w)
+	ls := CodeLengths(tr, len(w))
+	cost := 0.0
+	for i, l := range ls {
+		cost += w[i] * float64(l)
+	}
+	if cost != 224 {
+		t.Errorf("Σw·l = %v, want 224", cost)
+	}
+}
+
+func TestCostEntropyBound(t *testing.T) {
+	// Shannon: H(p) ≤ optimal average length < H(p)+1 (for normalized p).
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(100)
+		p := workload.Random(rng, n)
+		h := 0.0
+		for _, v := range p {
+			h -= v * math.Log2(v)
+		}
+		c := Cost(p)
+		if c < h-1e-9 || c >= h+1 {
+			t.Fatalf("trial %d: cost %v outside [H, H+1) with H=%v", trial, c, h)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package huffman
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// The paper defines codes over a general alphabet Σ = {0,…,σ−1}
+// (Section 1); its algorithms treat the binary case. KaryLengths provides
+// the classical σ-ary Huffman construction for the sequential baseline:
+// merge the σ lightest subtrees repeatedly, after padding with
+// zero-weight dummies so that n ≡ 1 (mod σ−1) (otherwise the top node
+// would go underfull and waste short code words on nothing).
+
+type karyNode struct {
+	w    float64
+	leaf int // original symbol, -1 for internal/dummy
+	kids []*karyNode
+	seq  int
+}
+
+type karyHeap []*karyNode
+
+func (h karyHeap) Len() int { return len(h) }
+func (h karyHeap) Less(i, j int) bool {
+	if h[i].w != h[j].w {
+		return h[i].w < h[j].w
+	}
+	return h[i].seq < h[j].seq
+}
+func (h karyHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *karyHeap) Push(x interface{}) { *h = append(*h, x.(*karyNode)) }
+func (h *karyHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// KaryLengths returns optimal σ-ary code-word lengths for the given
+// frequencies and the resulting average length Σ pᵢ·lᵢ. sigma ≥ 2. A
+// single symbol gets the empty word.
+func KaryLengths(weights []float64, sigma int) ([]int, float64, error) {
+	n := len(weights)
+	if n == 0 {
+		return nil, 0, fmt.Errorf("huffman: empty frequency vector")
+	}
+	if sigma < 2 {
+		return nil, 0, fmt.Errorf("huffman: alphabet size %d < 2", sigma)
+	}
+	for i, w := range weights {
+		if w < 0 {
+			return nil, 0, fmt.Errorf("huffman: negative weight at %d", i)
+		}
+	}
+	lengths := make([]int, n)
+	if n == 1 {
+		return lengths, 0, nil
+	}
+
+	h := make(karyHeap, 0, n)
+	seq := 0
+	for i, w := range weights {
+		h = append(h, &karyNode{w: w, leaf: i, seq: seq})
+		seq++
+	}
+	// Pad so that (n' − 1) is divisible by (σ − 1).
+	for (len(h)-1)%(sigma-1) != 0 {
+		h = append(h, &karyNode{w: 0, leaf: -1, seq: seq})
+		seq++
+	}
+	heap.Init(&h)
+	for h.Len() > 1 {
+		parent := &karyNode{leaf: -1, seq: seq}
+		seq++
+		for c := 0; c < sigma; c++ {
+			child := heap.Pop(&h).(*karyNode)
+			parent.w += child.w
+			parent.kids = append(parent.kids, child)
+		}
+		heap.Push(&h, parent)
+	}
+
+	var walk func(v *karyNode, d int)
+	walk = func(v *karyNode, d int) {
+		if v.leaf >= 0 {
+			lengths[v.leaf] = d
+			return
+		}
+		for _, k := range v.kids {
+			walk(k, d+1)
+		}
+	}
+	walk(h[0], 0)
+
+	avg := 0.0
+	for i, l := range lengths {
+		avg += weights[i] * float64(l)
+	}
+	return lengths, avg, nil
+}

@@ -1,0 +1,111 @@
+package huffman
+
+import (
+	"fmt"
+)
+
+// pmItem is a package-merge list entry: a weight and the leaves the
+// package contains.
+type pmItem struct {
+	w      float64
+	leaves []int
+}
+
+// LengthLimited computes optimal code lengths under a maximum-length
+// constraint L with the package-merge algorithm (Larmore–Hirschberg) —
+// the sequential counterpart of the paper's height-bounded A_h matrices
+// (Section 5), used here as an independent oracle for them. weights must
+// be non-decreasing and non-negative; the result minimizes Σ wᵢ·lᵢ
+// subject to lᵢ ≤ L and the Kraft inequality. It returns an error when
+// 2^L < n (no prefix code fits).
+//
+// The implementation is the explicit O(n·L) list construction: level L
+// holds the weights as singleton items; each coarser level merges the
+// singletons with the pairwise "packages" of the level below; the first
+// 2n−2 items of level 1 are bought, and a symbol's code length is the
+// number of bought packages containing it.
+func LengthLimited(weights []float64, maxLen int) ([]int, error) {
+	n := len(weights)
+	if n == 0 {
+		return nil, fmt.Errorf("huffman: empty frequency vector")
+	}
+	for i, w := range weights {
+		if w < 0 {
+			return nil, fmt.Errorf("huffman: negative weight at %d", i)
+		}
+		if i > 0 && w < weights[i-1] {
+			return nil, fmt.Errorf("huffman: LengthLimited requires non-decreasing weights")
+		}
+	}
+	if n == 1 {
+		return []int{0}, nil
+	}
+	if maxLen < 1 {
+		return nil, fmt.Errorf("huffman: max length %d < 1", maxLen)
+	}
+	if maxLen > 64 {
+		maxLen = 64 // deeper codes are never needed for n ≤ 2⁶⁴ symbols
+	}
+	if maxLen < 63 && 1<<uint(maxLen) < n {
+		return nil, fmt.Errorf("huffman: %d symbols cannot fit in depth %d", n, maxLen)
+	}
+
+	singletons := make([]pmItem, n)
+	for i, w := range weights {
+		singletons[i] = pmItem{w: w, leaves: []int{i}}
+	}
+
+	level := append([]pmItem(nil), singletons...)
+	for l := maxLen; l > 1; l-- {
+		var packages []pmItem
+		for i := 0; i+1 < len(level); i += 2 {
+			merged := append(append([]int(nil), level[i].leaves...), level[i+1].leaves...)
+			packages = append(packages, pmItem{w: level[i].w + level[i+1].w, leaves: merged})
+		}
+		level = mergeItems(singletons, packages)
+	}
+
+	need := 2*n - 2
+	if len(level) < need {
+		return nil, fmt.Errorf("huffman: depth budget %d infeasible for %d symbols", maxLen, n)
+	}
+	lengths := make([]int, n)
+	for _, it := range level[:need] {
+		for _, leaf := range it.leaves {
+			lengths[leaf]++
+		}
+	}
+	return lengths, nil
+}
+
+// mergeItems merges two weight-sorted item lists, preferring singletons
+// on ties (deterministic construction).
+func mergeItems(a, b []pmItem) []pmItem {
+	out := make([]pmItem, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i].w <= b[j].w {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// LengthLimitedCost returns the optimal Σ wᵢ·lᵢ under the depth bound.
+func LengthLimitedCost(weights []float64, maxLen int) (float64, error) {
+	lengths, err := LengthLimited(weights, maxLen)
+	if err != nil {
+		return 0, err
+	}
+	var c float64
+	for i, l := range lengths {
+		c += weights[i] * float64(l)
+	}
+	return c, nil
+}

@@ -1,0 +1,180 @@
+package huffman
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"partree/internal/workload"
+	"partree/internal/xmath"
+)
+
+func kraftSum(lengths []int) float64 {
+	s := 0.0
+	for _, l := range lengths {
+		s += math.Ldexp(1, -l)
+	}
+	return s
+}
+
+func TestLengthLimitedUnconstrainedEqualsHuffman(t *testing.T) {
+	rng := rand.New(rand.NewSource(263))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(60)
+		w := workload.SortedAscending(workload.Random(rng, n))
+		cost, err := LengthLimitedCost(w, n-1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := Cost(w); !xmath.AlmostEqual(cost, want, 1e-9) {
+			t.Fatalf("trial %d: unconstrained package-merge %v ≠ Huffman %v", trial, cost, want)
+		}
+	}
+}
+
+func TestLengthLimitedRespectsBoundAndKraft(t *testing.T) {
+	rng := rand.New(rand.NewSource(269))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(40)
+		w := workload.SortedAscending(workload.Random(rng, n))
+		h := xmath.CeilLog2(n) + rng.Intn(3)
+		ls, err := LengthLimited(w, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, l := range ls {
+			if l < 1 || l > h {
+				t.Fatalf("trial %d: length %d at %d outside [1,%d]", trial, l, i, h)
+			}
+		}
+		if s := kraftSum(ls); math.Abs(s-1) > 1e-9 {
+			t.Fatalf("trial %d: Kraft sum %v ≠ 1", trial, s)
+		}
+		// Lengths must be non-increasing as weights increase (sorted input,
+		// heavier symbols get shorter codes).
+		for i := 1; i < n; i++ {
+			if ls[i] > ls[i-1] {
+				t.Fatalf("trial %d: lengths not monotone: %v", trial, ls)
+			}
+		}
+		// A realizable prefix code must exist for the lengths.
+		if _, err := Canonical(ls); err != nil {
+			t.Fatalf("trial %d: canonical assignment failed: %v", trial, err)
+		}
+	}
+}
+
+func TestLengthLimitedTightBudget(t *testing.T) {
+	// 8 Fibonacci weights, depth 3: the only feasible solution is the
+	// complete tree with all lengths 3.
+	w := workload.Fibonacci(8)
+	ls, err := LengthLimited(w, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range ls {
+		if l != 3 {
+			t.Fatalf("lengths %v, want all 3", ls)
+		}
+	}
+}
+
+// Exhaustive verification on small n: package-merge equals brute-force
+// minimum over all monotone length vectors with Kraft = 1 and max ≤ h.
+func TestLengthLimitedExhaustive(t *testing.T) {
+	rng := rand.New(rand.NewSource(271))
+	var enumerate func(n, h int) [][]int
+	enumerate = func(n, h int) [][]int {
+		// All non-increasing length vectors (l₁ ≥ … ≥ lₙ viewed reversed)
+		// with Kraft sum exactly 1 and entries ≤ h: generated as full-tree
+		// depth multisets by splitting.
+		seen := map[string]bool{}
+		var out [][]int
+		var rec func(ds []int)
+		key := func(ds []int) string {
+			s := ""
+			for _, d := range ds {
+				s += string(rune('a' + d))
+			}
+			return s
+		}
+		rec = func(ds []int) {
+			if len(ds) == n {
+				sorted := append([]int(nil), ds...)
+				for i := 1; i < len(sorted); i++ {
+					for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+						sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+					}
+				}
+				if !seen[key(sorted)] {
+					seen[key(sorted)] = true
+					out = append(out, sorted)
+				}
+				return
+			}
+			for i := range ds {
+				if ds[i] < h {
+					next := append([]int(nil), ds...)
+					next[i]++
+					next = append(next, next[i])
+					rec(next)
+				}
+			}
+		}
+		rec([]int{0})
+		return out
+	}
+	for _, cfg := range []struct{ n, h int }{{4, 3}, {5, 3}, {6, 4}, {7, 3}} {
+		w := workload.SortedAscending(workload.Random(rng, cfg.n))
+		best := math.Inf(1)
+		for _, ds := range enumerate(cfg.n, cfg.h) {
+			// ds ascending; pair ascending weights with descending lengths.
+			c := 0.0
+			for i := range ds {
+				c += w[i] * float64(ds[len(ds)-1-i])
+			}
+			if c < best {
+				best = c
+			}
+		}
+		got, err := LengthLimitedCost(w, cfg.h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !xmath.AlmostEqual(got, best, 1e-9) {
+			t.Errorf("n=%d h=%d: package-merge %v, exhaustive %v", cfg.n, cfg.h, got, best)
+		}
+	}
+}
+
+func TestLengthLimitedErrors(t *testing.T) {
+	if _, err := LengthLimited(nil, 3); err == nil {
+		t.Error("empty input must error")
+	}
+	if _, err := LengthLimited([]float64{3, 1}, 3); err == nil {
+		t.Error("unsorted input must error")
+	}
+	if _, err := LengthLimited([]float64{1, 2, 3, 4, 5}, 2); err == nil {
+		t.Error("5 symbols at depth 2 must be infeasible")
+	}
+	if _, err := LengthLimited([]float64{1, 2}, 0); err == nil {
+		t.Error("depth 0 with 2 symbols must error")
+	}
+	if ls, err := LengthLimited([]float64{7}, 1); err != nil || ls[0] != 0 {
+		t.Error("single symbol must get length 0")
+	}
+	if _, err := LengthLimited([]float64{-1, 2}, 3); err == nil {
+		t.Error("negative weight must error")
+	}
+}
+
+func TestLengthLimitedHugeBudgetClamped(t *testing.T) {
+	w := workload.SortedAscending(workload.Random(rand.New(rand.NewSource(1)), 10))
+	cost, err := LengthLimitedCost(w, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := Cost(w); !xmath.AlmostEqual(cost, want, 1e-9) {
+		t.Error("huge budget must reduce to unconstrained Huffman")
+	}
+}

@@ -1,0 +1,104 @@
+package huffman
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Stream framing: a self-describing container so encoded data can be
+// decoded without out-of-band metadata. Layout:
+//
+//	magic "pt1" (3 bytes)
+//	uvarint: number of symbols in the code table
+//	per symbol: uvarint code length (canonical codes are reconstructed
+//	            from lengths alone)
+//	uvarint: number of encoded symbols
+//	payload: the concatenated code words, zero-padded to a byte
+const streamMagic = "pt1"
+
+// EncodeStream writes a self-describing Huffman frame for the given
+// symbol sequence to w. lengths must admit a prefix code (Kraft ≤ 1);
+// the canonical code for those lengths is used.
+func EncodeStream(w io.Writer, symbols []int, lengths []int) error {
+	codes, err := Canonical(lengths)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(streamMagic); err != nil {
+		return err
+	}
+	var tmp [binary.MaxVarintLen64]byte
+	writeUvarint := func(v uint64) error {
+		n := binary.PutUvarint(tmp[:], v)
+		_, err := bw.Write(tmp[:n])
+		return err
+	}
+	if err := writeUvarint(uint64(len(lengths))); err != nil {
+		return err
+	}
+	for _, l := range lengths {
+		if err := writeUvarint(uint64(l)); err != nil {
+			return err
+		}
+	}
+	if err := writeUvarint(uint64(len(symbols))); err != nil {
+		return err
+	}
+	data, _ := Encode(symbols, codes)
+	if _, err := bw.Write(data); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// DecodeStream reads one frame produced by EncodeStream and returns the
+// symbol sequence.
+func DecodeStream(r io.Reader) ([]int, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(streamMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("huffman: short stream header: %w", err)
+	}
+	if string(magic) != streamMagic {
+		return nil, fmt.Errorf("huffman: bad magic %q", magic)
+	}
+	nSym, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("huffman: reading table size: %w", err)
+	}
+	if nSym > 1<<20 {
+		return nil, fmt.Errorf("huffman: implausible table size %d", nSym)
+	}
+	lengths := make([]int, nSym)
+	totalBitsPerSym := 0
+	for i := range lengths {
+		l, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("huffman: reading length %d: %w", i, err)
+		}
+		if l > 63 {
+			return nil, fmt.Errorf("huffman: code length %d too large", l)
+		}
+		lengths[i] = int(l)
+		totalBitsPerSym += int(l)
+	}
+	codes, err := Canonical(lengths)
+	if err != nil {
+		return nil, err
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("huffman: reading symbol count: %w", err)
+	}
+	if count > 1<<30 {
+		return nil, fmt.Errorf("huffman: implausible symbol count %d", count)
+	}
+	payload, err := io.ReadAll(br)
+	if err != nil {
+		return nil, err
+	}
+	return Decode(payload, len(payload)*8, int(count), codes)
+}

@@ -1,0 +1,102 @@
+package huffman
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"partree/internal/workload"
+)
+
+func TestStreamRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(337))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(50)
+		w := workload.Random(rng, n)
+		lengths := CodeLengths(Build(w), n)
+		msg := make([]int, rng.Intn(500))
+		for i := range msg {
+			msg[i] = rng.Intn(n)
+		}
+		var buf bytes.Buffer
+		if err := EncodeStream(&buf, msg, lengths); err != nil {
+			t.Fatalf("trial %d: encode: %v", trial, err)
+		}
+		got, err := DecodeStream(&buf)
+		if err != nil {
+			t.Fatalf("trial %d: decode: %v", trial, err)
+		}
+		if len(got) != len(msg) {
+			t.Fatalf("trial %d: %d symbols, want %d", trial, len(got), len(msg))
+		}
+		for i := range msg {
+			if got[i] != msg[i] {
+				t.Fatalf("trial %d: symbol %d corrupted", trial, i)
+			}
+		}
+	}
+}
+
+func TestStreamEmptyMessage(t *testing.T) {
+	var buf bytes.Buffer
+	if err := EncodeStream(&buf, nil, []int{1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeStream(&buf)
+	if err != nil || len(got) != 0 {
+		t.Errorf("empty round trip: %v %v", got, err)
+	}
+}
+
+func TestStreamErrors(t *testing.T) {
+	// Bad magic.
+	if _, err := DecodeStream(bytes.NewReader([]byte("xyz123"))); err == nil {
+		t.Error("bad magic must error")
+	}
+	// Truncated header.
+	if _, err := DecodeStream(bytes.NewReader([]byte("pt"))); err == nil {
+		t.Error("short stream must error")
+	}
+	// Invalid lengths (Kraft violation) at encode time.
+	var buf bytes.Buffer
+	if err := EncodeStream(&buf, []int{0}, []int{1, 1, 1}); err == nil {
+		t.Error("kraft-violating table must error")
+	}
+	// Truncated payload.
+	var ok bytes.Buffer
+	if err := EncodeStream(&ok, []int{0, 1, 0, 1, 1, 0}, []int{1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	full := ok.Bytes()
+	if _, err := DecodeStream(bytes.NewReader(full[:len(full)-1])); err == nil {
+		t.Error("truncated payload must error")
+	}
+}
+
+func TestStreamCompressionRatio(t *testing.T) {
+	// A heavily skewed source should compress well below 8 bits/symbol.
+	probs := workload.Geometric(16, 0.5)
+	lengths := CodeLengths(Build(probs), 16)
+	rng := rand.New(rand.NewSource(1))
+	msg := make([]int, 4096)
+	for i := range msg {
+		// Sample from the geometric distribution.
+		u := rng.Float64()
+		acc := 0.0
+		for s, p := range probs {
+			acc += p
+			if u <= acc || s == 15 {
+				msg[i] = s
+				break
+			}
+		}
+	}
+	var buf bytes.Buffer
+	if err := EncodeStream(&buf, msg, lengths); err != nil {
+		t.Fatal(err)
+	}
+	bitsPerSymbol := float64(buf.Len()*8) / float64(len(msg))
+	if bitsPerSymbol > 3.0 {
+		t.Errorf("geometric(0.5) source encoded at %.2f bits/symbol, want < 3", bitsPerSymbol)
+	}
+}

@@ -1,0 +1,50 @@
+package hufpar
+
+import (
+	"math/rand"
+	"testing"
+
+	"partree/internal/huffman"
+	"partree/internal/pram"
+	"partree/internal/workload"
+	"partree/internal/xmath"
+)
+
+// The CRCW pipeline must produce exactly the same optima and valid trees
+// as the CREW one.
+func TestBuildConcaveCRCWMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(431))
+	m := mach()
+	for trial := 0; trial < 20; trial++ {
+		w := sortedVectors(rng, trial)
+		want := huffman.Cost(w)
+		res := BuildConcaveCRCW(m, w)
+		if !xmath.AlmostEqual(res.Cost, want, 1e-9) {
+			t.Fatalf("trial %d n=%d: CRCW cost %v, sequential %v", trial, len(w), res.Cost, want)
+		}
+		if got := res.Tree.WeightedPathLength(); !xmath.AlmostEqual(got, want, 1e-9) {
+			t.Fatalf("trial %d: tree WPL %v ≠ optimal %v", trial, got, want)
+		}
+		if err := res.Tree.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// Abstract's CRCW claim, in shape: the statement depth grows like
+// log n · (log log n)² — the per-product depth is (log log n)²-flat, so
+// doubling n adds only ~two products' worth of statements.
+func TestBuildConcaveCRCWDepth(t *testing.T) {
+	var perProduct []float64
+	for _, n := range []int{64, 256} {
+		w := workload.SortedAscending(workload.Zipf(n, 1.1))
+		m := pram.New()
+		res := BuildConcaveCRCW(m, w)
+		products := float64(res.HeightLevels + res.Squarings)
+		perProduct = append(perProduct, float64(m.Counters().Steps)/products)
+	}
+	// Per-product depth must stay essentially flat ((log log n)², not log n).
+	if perProduct[1] > 1.8*perProduct[0] {
+		t.Errorf("per-product CRCW depth grew %v → %v (should be ~flat)", perProduct[0], perProduct[1])
+	}
+}

@@ -1,0 +1,104 @@
+package hufpar
+
+import (
+	"math/rand"
+	"testing"
+
+	"partree/internal/huffman"
+	"partree/internal/workload"
+	"partree/internal/xmath"
+)
+
+// The A_h recurrence and package-merge are two independent algorithms for
+// the same problem (optimal length-limited codes); they must agree.
+func TestHeightLimitedMatchesPackageMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(251))
+	m := mach()
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(40)
+		w := workload.SortedAscending(workload.Random(rng, n))
+		minH := xmath.CeilLog2(n)
+		h := minH + rng.Intn(4)
+		tr, cost, err := HeightLimited(m, w, h)
+		if err != nil {
+			t.Fatalf("trial %d (n=%d h=%d): %v", trial, n, h, err)
+		}
+		want, err := huffman.LengthLimitedCost(w, h)
+		if err != nil {
+			t.Fatalf("package-merge failed: %v", err)
+		}
+		if !xmath.AlmostEqual(cost, want, 1e-9) {
+			t.Fatalf("trial %d (n=%d h=%d): A_h cost %v, package-merge %v", trial, n, h, cost, want)
+		}
+		if got := tr.WeightedPathLength(); !xmath.AlmostEqual(got, cost, 1e-9) {
+			t.Fatalf("trial %d: tree WPL %v ≠ matrix cost %v", trial, got, cost)
+		}
+		if tr.Height() > h {
+			t.Fatalf("trial %d: tree height %d exceeds bound %d", trial, tr.Height(), h)
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// With a generous height budget the constrained optimum equals the
+// unconstrained Huffman cost.
+func TestHeightLimitedUnconstrainedLimit(t *testing.T) {
+	rng := rand.New(rand.NewSource(257))
+	m := mach()
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + rng.Intn(30)
+		w := workload.SortedAscending(workload.Random(rng, n))
+		_, cost, err := HeightLimited(m, w, n-1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := huffman.Cost(w); !xmath.AlmostEqual(cost, want, 1e-9) {
+			t.Fatalf("trial %d: h=n-1 cost %v ≠ unconstrained %v", trial, cost, want)
+		}
+	}
+}
+
+// Tight budgets: h = ⌈log n⌉ forces a near-balanced tree; h below that is
+// infeasible.
+func TestHeightLimitedTightAndInfeasible(t *testing.T) {
+	m := mach()
+	w := workload.Fibonacci(8) // wants depth 7 unconstrained
+	tr, cost, err := HeightLimited(m, w, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Height() != 3 {
+		t.Errorf("height %d, want exactly 3 for 8 symbols at budget 3", tr.Height())
+	}
+	unconstrained := huffman.Cost(w)
+	if cost < unconstrained-1e-12 {
+		t.Error("constrained cost cannot beat unconstrained")
+	}
+	if _, _, err := HeightLimited(m, w, 2); err == nil {
+		t.Error("8 symbols in height 2 must be infeasible")
+	}
+	if tr, cost, err := HeightLimited(m, []float64{1}, 1); err != nil || cost != 0 || !tr.IsLeaf() {
+		t.Error("single symbol special case wrong")
+	}
+}
+
+// The constrained cost is monotone non-increasing in the budget.
+func TestHeightLimitedMonotoneInBudget(t *testing.T) {
+	m := mach()
+	w := workload.SortedAscending(workload.Zipf(24, 1.4))
+	prev := semInf()
+	for h := xmath.CeilLog2(24); h <= 23; h += 3 {
+		_, cost, err := HeightLimited(m, w, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cost > prev+1e-12 {
+			t.Fatalf("cost increased from %v to %v at h=%d", prev, cost, h)
+		}
+		prev = cost
+	}
+}
+
+func semInf() float64 { return 1e300 }

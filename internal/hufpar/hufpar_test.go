@@ -1,0 +1,192 @@
+package hufpar
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"partree/internal/huffman"
+	"partree/internal/pram"
+	"partree/internal/workload"
+	"partree/internal/xmath"
+)
+
+func mach() *pram.Machine { return pram.New(pram.WithWorkers(4), pram.WithGrain(64)) }
+
+func sortedVectors(rng *rand.Rand, trial int) []float64 {
+	n := 1 + rng.Intn(48)
+	switch trial % 4 {
+	case 0:
+		return workload.SortedAscending(workload.Random(rng, n))
+	case 1:
+		return workload.SortedAscending(workload.Zipf(n, 1.2))
+	case 2:
+		return workload.SortedAscending(workload.Geometric(n, 0.8))
+	default:
+		return workload.Fibonacci(n) // already increasing
+	}
+}
+
+// Theorem 3.1 correctness: the RAKE/COMPRESS DP equals the sequential
+// optimum on sorted vectors.
+func TestCostRakeCompressMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	m := mach()
+	for trial := 0; trial < 40; trial++ {
+		w := sortedVectors(rng, trial)
+		want := huffman.Cost(w)
+		got := CostRakeCompress(m, w)
+		if !xmath.AlmostEqual(got, want, 1e-9) {
+			t.Fatalf("trial %d n=%d: rake/compress %v, sequential %v", trial, len(w), got, want)
+		}
+	}
+}
+
+func TestCostRakeCompressSmallKnown(t *testing.T) {
+	m := mach()
+	if got := CostRakeCompress(m, []float64{1}); got != 0 {
+		t.Errorf("n=1 cost = %v", got)
+	}
+	if got := CostRakeCompress(m, []float64{0.4, 0.6}); got != 1 {
+		t.Errorf("n=2 cost = %v", got)
+	}
+	// (1,1,2): depths 2,2,1 → cost 1·2+1·2+2·1 = 6.
+	if got := CostRakeCompress(m, []float64{1, 1, 2}); got != 6 {
+		t.Errorf("n=3 cost = %v, want 6", got)
+	}
+}
+
+func TestCostRakeCompressRejectsUnsorted(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("unsorted input must panic")
+		}
+	}()
+	CostRakeCompress(mach(), []float64{3, 1})
+}
+
+// Theorem 3.1 round structure: the algorithm issues O(log n) parallel
+// statements regardless of n.
+func TestRakeCompressRoundCount(t *testing.T) {
+	for _, n := range []int{16, 64, 256} {
+		m := pram.New() // unbounded processors
+		w := workload.SortedAscending(workload.Random(rand.New(rand.NewSource(1)), n))
+		CostRakeCompress(m, w)
+		steps := m.Counters().Steps
+		want := int64(2*xmath.CeilLog2(n) + 1) // H rounds + F init + F rounds
+		if steps != want {
+			t.Errorf("n=%d: %d parallel statements, want %d", n, steps, want)
+		}
+	}
+}
+
+// Theorem 5.1 correctness: cost and reconstructed tree both match the
+// sequential optimum, and the tree is a valid left-justified positional
+// tree over the sorted leaves.
+func TestBuildConcaveMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(107))
+	m := mach()
+	for trial := 0; trial < 40; trial++ {
+		w := sortedVectors(rng, trial)
+		want := huffman.Cost(w)
+		res := BuildConcave(m, w)
+		if !xmath.AlmostEqual(res.Cost, want, 1e-9) {
+			t.Fatalf("trial %d n=%d: concave cost %v, sequential %v", trial, len(w), res.Cost, want)
+		}
+		if got := res.Tree.WeightedPathLength(); !xmath.AlmostEqual(got, want, 1e-9) {
+			t.Fatalf("trial %d: tree WPL %v ≠ optimal %v", trial, got, want)
+		}
+		if err := res.Tree.Validate(); err != nil {
+			t.Fatalf("trial %d: invalid tree: %v", trial, err)
+		}
+		leaves := res.Tree.Leaves()
+		if len(leaves) != len(w) {
+			t.Fatalf("trial %d: %d leaves, want %d", trial, len(leaves), len(w))
+		}
+		for i, leaf := range leaves {
+			if leaf.Symbol != i {
+				t.Fatalf("trial %d: leaf %d has symbol %d (positional order broken)", trial, i, leaf.Symbol)
+			}
+		}
+	}
+}
+
+// Lemma 3.1, observed: the reconstructed optimal tree for a monotone
+// vector is left-justified.
+func TestBuildConcaveTreeLeftJustified(t *testing.T) {
+	rng := rand.New(rand.NewSource(109))
+	m := mach()
+	for trial := 0; trial < 20; trial++ {
+		w := sortedVectors(rng, trial)
+		res := BuildConcave(m, w)
+		if !res.Tree.IsLeftJustified() {
+			t.Fatalf("trial %d n=%d: reconstructed tree not left-justified:\n%s",
+				trial, len(w), res.Tree)
+		}
+	}
+}
+
+func TestBuildConcaveSingle(t *testing.T) {
+	res := BuildConcave(mach(), []float64{0.7})
+	if res.Cost != 0 || !res.Tree.IsLeaf() {
+		t.Error("single-symbol result wrong")
+	}
+}
+
+// Theorem 5.1 shape: comparison work stays O(n² log n) (vs n³ for the
+// naive DP) and the statement depth is polylogarithmic.
+func TestBuildConcaveWorkAndDepth(t *testing.T) {
+	n := 128
+	w := workload.SortedAscending(workload.Random(rand.New(rand.NewSource(2)), n))
+	m := pram.New() // unbounded: steps = statement count
+	res := BuildConcave(m, w)
+	n2 := int64(n) * int64(n)
+	logn := int64(xmath.CeilLog2(n))
+	if res.Comparisons > 40*n2*logn {
+		t.Errorf("comparisons %d exceed 40·n²·log n = %d", res.Comparisons, 40*n2*logn)
+	}
+	steps := m.Counters().Steps
+	// 2·log n products, each O(log n) statements → O(log² n).
+	budget := int64(8 * (logn + 1) * (logn + 1))
+	if steps > budget {
+		t.Errorf("statement depth %d exceeds O(log² n) budget %d", steps, budget)
+	}
+}
+
+// The Fibonacci vector drives the deepest spine (n-1); the concave
+// algorithm must still reconstruct it exactly.
+func TestBuildConcaveFibonacciDeepSpine(t *testing.T) {
+	n := 14
+	w := workload.Fibonacci(n)
+	res := BuildConcave(mach(), w)
+	if h := res.Tree.Height(); h != n-1 {
+		t.Errorf("Fibonacci tree height = %d, want %d", h, n-1)
+	}
+	if !xmath.AlmostEqual(res.Cost, huffman.Cost(w), 1e-12) {
+		t.Errorf("Fibonacci cost mismatch")
+	}
+}
+
+// Cross-check the two parallel algorithms against each other on larger
+// inputs than the sequential cross-check uses.
+func TestParallelAlgorithmsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(113))
+	m := mach()
+	for _, n := range []int{64, 100, 150} {
+		w := workload.SortedAscending(workload.Random(rng, n))
+		a := CostRakeCompress(m, w)
+		b := BuildConcave(m, w).Cost
+		if !xmath.AlmostEqual(a, b, 1e-9) {
+			t.Errorf("n=%d: rake/compress %v vs concave %v", n, a, b)
+		}
+	}
+}
+
+func TestCheckSortedRejectsNaN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NaN weight must panic")
+		}
+	}()
+	checkSorted([]float64{0.5, math.NaN()})
+}

@@ -1,0 +1,147 @@
+// Package hufpar implements the paper's parallel Huffman-coding
+// algorithms: the Section 3 RAKE/COMPRESS dynamic program (Theorem 3.1, n³
+// work but only O(log n) rounds) and the Section 5 algorithm built on
+// concave matrix multiplication (Theorem 5.1, O(log² n) time with n²/log n
+// processors), including full tree reconstruction from the stored cut
+// tables.
+//
+// Both algorithms require the frequency vector in non-decreasing order;
+// the general problem reduces to this case by one sort (Section 3). Both
+// rest on Lemma 3.1: a monotone frequency vector has an optimal positional
+// tree that is left-justified, so the search space can be restricted to
+// trees whose off-spine subtrees have height ≤ ⌈log n⌉ (Corollary 2.1).
+package hufpar
+
+import (
+	"fmt"
+	"math"
+
+	"partree/internal/pram"
+	"partree/internal/semiring"
+	"partree/internal/xmath"
+)
+
+// checkSorted panics unless weights is non-empty, non-negative and
+// non-decreasing.
+func checkSorted(weights []float64) {
+	if len(weights) == 0 {
+		panic("hufpar: empty frequency vector")
+	}
+	for i, w := range weights {
+		if w < 0 || math.IsNaN(w) {
+			panic(fmt.Sprintf("hufpar: bad weight %v at %d", w, i))
+		}
+		if i > 0 && w < weights[i-1] {
+			panic("hufpar: weights must be non-decreasing (sort first; see Section 3)")
+		}
+	}
+}
+
+// prefixSums returns pre with pre[j] = p_1 + … + p_j (pre[0] = 0), so that
+// the paper's p_{i,j} = Σ_{l=i}^{j} p_l is pre[j] − pre[i-1] and
+// S[i][j] = Σ_{k=i+1}^{j} p_k is pre[j] − pre[i].
+func prefixSums(weights []float64) []float64 {
+	pre := make([]float64, len(weights)+1)
+	for i, w := range weights {
+		pre[i+1] = pre[i] + w
+	}
+	return pre
+}
+
+// CostRakeCompress computes the minimum average word length of a Huffman
+// code for a non-decreasing frequency vector with the Section 3 algorithm:
+// ⌈log n⌉ re-estimations of the H recurrence (each simulating one RAKE)
+// followed by ⌈log n⌉ re-estimations of the F recurrence (each simulating
+// one COMPRESS, i.e. doubling along the leftmost path). Work is Θ(n³) per
+// round — the point of the algorithm is its O(log n) round count, which
+// the machine's step counters expose.
+//
+// Note on the F recurrence: the paper's relation (2) writes the extension
+// term as H_{i+1,j} + p_{i,j}; the Section 5 path-matrix formulation of the
+// same quantity (M[i][j] = A[i][j] + S[0][j]) shows the weight term is the
+// full prefix p_{1,j} — hanging the prefix tree one level deeper costs the
+// total weight of all j leaves. We implement that (correct) form.
+func CostRakeCompress(m *pram.Machine, weights []float64) float64 {
+	checkSorted(weights)
+	n := len(weights)
+	if n == 1 {
+		return 0
+	}
+	pre := prefixSums(weights)
+	rounds := xmath.CeilLog2(n)
+
+	// H[i][j] for 1 ≤ i ≤ j ≤ n, flattened with stride n+1 (row i, col j).
+	idx := func(i, j int) int { return i*(n+1) + j }
+	size := (n + 1) * (n + 1)
+	h := make([]float64, size)
+	hNext := make([]float64, size)
+	for i := range h {
+		h[i] = semiring.Inf
+	}
+	for i := 1; i <= n; i++ {
+		h[idx(i, i)] = 0
+	}
+
+	// Step 2: ⌈log n⌉ RAKE simulations. One parallel statement per round,
+	// one virtual processor per (i,j) pair scanning all split points.
+	for r := 0; r < rounds; r++ {
+		m.For(n*n, func(e int) {
+			i := e/n + 1
+			j := e%n + 1
+			if i >= j {
+				if i == j {
+					hNext[idx(i, j)] = 0
+				} else {
+					hNext[idx(i, j)] = semiring.Inf
+				}
+				return
+			}
+			best := semiring.Inf
+			for k := i + 1; k <= j; k++ {
+				if s := h[idx(i, k-1)] + h[idx(k, j)]; s < best {
+					best = s
+				}
+			}
+			hNext[idx(i, j)] = best + (pre[j] - pre[i-1])
+		})
+		h, hNext = hNext, h
+	}
+
+	// Step 3: initialize F[i][j] = H[i+1][j] + p_{1,j} for 1 ≤ i < j ≤ n.
+	f := make([]float64, size)
+	fNext := make([]float64, size)
+	for i := range f {
+		f[i] = semiring.Inf
+	}
+	m.For(n*n, func(e int) {
+		i := e/n + 1
+		j := e%n + 1
+		if i < j {
+			f[idx(i, j)] = h[idx(i+1, j)] + pre[j]
+		}
+	})
+
+	// Step 4: ⌈log n⌉ COMPRESS simulations: F' = min(E, F⋆F) where E is the
+	// one-step extension kept inside via the i+1=j base of relation (2).
+	for r := 0; r < rounds; r++ {
+		m.For(n*n, func(e int) {
+			i := e/n + 1
+			j := e%n + 1
+			if i >= j {
+				fNext[idx(i, j)] = semiring.Inf
+				return
+			}
+			best := h[idx(i+1, j)] + pre[j] // extension term of relation (2)
+			for k := i + 1; k < j; k++ {
+				if s := f[idx(i, k)] + f[idx(k, j)]; s < best {
+					best = s
+				}
+			}
+			fNext[idx(i, j)] = best
+		})
+		f, fNext = fNext, f
+	}
+
+	// Step 5: F_{1,n} is the minimum average word length.
+	return f[idx(1, n)]
+}

@@ -1,0 +1,112 @@
+// Package kraft evaluates Kraft sums Σᵢ 2^{-lᵢ} exactly, in the two
+// representations Section 7.1 of the paper contrasts: a big-integer scaled
+// sum (the naive form whose summands have Θ(max l) bits) and the
+// level-count form, in which the sum is folded bottom-up with word
+// arithmetic only — the paper's remark that "one has to be careful that
+// the numbers added have only O(log n) bits".
+package kraft
+
+import (
+	"math/big"
+)
+
+// Compare returns -1, 0 or +1 as Σᵢ 2^{-lᵢ} is less than, equal to, or
+// greater than 1, computed exactly with big integers scaled by 2^{max l}.
+// Depths must be non-negative. An empty pattern compares as 0 < 1 → -1.
+func Compare(depths []int) int {
+	if len(depths) == 0 {
+		return -1
+	}
+	maxL := 0
+	for _, l := range depths {
+		if l < 0 {
+			panic("kraft: negative depth")
+		}
+		if l > maxL {
+			maxL = l
+		}
+	}
+	sum := new(big.Int)
+	term := new(big.Int)
+	for _, l := range depths {
+		term.SetInt64(1)
+		term.Lsh(term, uint(maxL-l))
+		sum.Add(sum, term)
+	}
+	one := new(big.Int).Lsh(big.NewInt(1), uint(maxL))
+	return sum.Cmp(one)
+}
+
+// LevelCounts returns counts[l] = number of depths equal to l, for
+// l = 0…max(depths).
+func LevelCounts(depths []int) []int {
+	maxL := 0
+	for _, l := range depths {
+		if l < 0 {
+			panic("kraft: negative depth")
+		}
+		if l > maxL {
+			maxL = l
+		}
+	}
+	counts := make([]int, maxL+1)
+	for _, l := range depths {
+		counts[l]++
+	}
+	return counts
+}
+
+// CompareCounts returns -1, 0 or +1 as Σ_l counts[l]·2^{-l} compares to 1,
+// using only word arithmetic: the sum is folded from the deepest level up
+// by carry = counts[l] + ⌈carry/2⌉-style halving, tracking whether any
+// fractional remainder was ever discarded. Every intermediate value is at
+// most n + carry ≤ 2n, i.e. O(log n) bits — the representation the paper's
+// EREW bound requires.
+func CompareCounts(counts []int) int {
+	carry := 0        // value of the partial sum scaled by 2^{-l}, floored
+	fraction := false // true if the floored part is strictly positive
+	for l := len(counts) - 1; l >= 1; l-- {
+		carry += counts[l]
+		if carry%2 == 1 {
+			fraction = true
+		}
+		carry /= 2
+	}
+	if len(counts) > 0 {
+		carry += counts[0]
+	}
+	switch {
+	case carry > 1 || (carry == 1 && fraction):
+		return 1
+	case carry == 1:
+		return 0
+	default: // carry == 0: the sum is the discarded fraction, < 1
+		return -1
+	}
+}
+
+// InternalNodes returns, for each level l, the number of internal nodes a
+// canonical tree (or minimal forest) for the given level counts has at
+// level l: I_l = ⌈Σ_{j>l} counts[j]·2^{l-j}⌉, computed by the backward
+// recurrence I_l = ⌈(counts[l+1]+I_{l+1})/2⌉. The total number of roots
+// needed is counts[0] + I_0 = ⌈Σ counts[l]·2^{-l}⌉, so a single tree
+// exists iff that value is 1 (Lemma 7.1: iff the Kraft sum is ≤ 1).
+func InternalNodes(counts []int) []int {
+	L := len(counts)
+	inner := make([]int, L)
+	carry := 0
+	for l := L - 2; l >= 0; l-- {
+		carry = (counts[l+1] + carry + 1) / 2
+		inner[l] = carry
+	}
+	return inner
+}
+
+// Roots returns the minimal number of trees that realize the level counts:
+// counts[0] + I_0 = ⌈Σ counts[l]·2^{-l}⌉ (0 for an empty pattern).
+func Roots(counts []int) int {
+	if len(counts) == 0 {
+		return 0
+	}
+	return counts[0] + InternalNodes(counts)[0]
+}

@@ -1,0 +1,141 @@
+package kraft
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"partree/internal/workload"
+)
+
+func TestCompareKnown(t *testing.T) {
+	cases := []struct {
+		depths []int
+		want   int
+	}{
+		{nil, -1},
+		{[]int{0}, 0},
+		{[]int{1, 1}, 0},
+		{[]int{1}, -1},
+		{[]int{1, 1, 1}, 1},
+		{[]int{2, 2, 1}, 0},
+		{[]int{2, 1, 2}, 0}, // order irrelevant to the sum
+		{[]int{3, 3, 2, 1}, 0},
+		{[]int{3, 3, 3, 2, 1}, 1},
+		{[]int{5}, -1},
+		{[]int{60, 60}, -1}, // deep: exercises big scaling
+	}
+	for _, c := range cases {
+		if got := Compare(c.depths); got != c.want {
+			t.Errorf("Compare(%v) = %d, want %d", c.depths, got, c.want)
+		}
+	}
+}
+
+func TestCompareCountsMatchesCompare(t *testing.T) {
+	rng := rand.New(rand.NewSource(127))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(30)
+		depths := make([]int, n)
+		for i := range depths {
+			depths[i] = rng.Intn(12)
+		}
+		want := Compare(depths)
+		got := CompareCounts(LevelCounts(depths))
+		if got != want {
+			t.Fatalf("depths %v: CompareCounts %d, Compare %d", depths, got, want)
+		}
+	}
+}
+
+func TestCompareCountsOnGeneratedPatterns(t *testing.T) {
+	// Patterns from workload have Kraft sum exactly 1.
+	rng := rand.New(rand.NewSource(131))
+	for trial := 0; trial < 20; trial++ {
+		p := workload.MonotonePattern(rng, 1+rng.Intn(60), 3)
+		if CompareCounts(LevelCounts(p)) != 0 {
+			t.Fatalf("monotone pattern %v should have Kraft sum 1", p)
+		}
+	}
+}
+
+func TestLevelCounts(t *testing.T) {
+	c := LevelCounts([]int{3, 1, 3, 3, 0})
+	want := []int{1, 1, 0, 3}
+	if len(c) != len(want) {
+		t.Fatalf("LevelCounts = %v", c)
+	}
+	for i := range want {
+		if c[i] != want[i] {
+			t.Fatalf("LevelCounts = %v, want %v", c, want)
+		}
+	}
+}
+
+func TestNegativeDepthPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { Compare([]int{-1}) },
+		func() { LevelCounts([]int{-1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("negative depth must panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestInternalNodesAndRoots(t *testing.T) {
+	// Depths (2,2,1): perfect use of one root.
+	counts := LevelCounts([]int{2, 2, 1})
+	inner := InternalNodes(counts)
+	// I_1 = ⌈2/2⌉ = 1, I_0 = ⌈(1+1)/2⌉ = 1.
+	if inner[1] != 1 || inner[0] != 1 {
+		t.Errorf("InternalNodes = %v", inner)
+	}
+	if Roots(counts) != 1 {
+		t.Errorf("Roots = %d, want 1", Roots(counts))
+	}
+	// Kraft > 1: (1,1,1) needs 2 roots.
+	if got := Roots(LevelCounts([]int{1, 1, 1})); got != 2 {
+		t.Errorf("Roots(1,1,1) = %d, want 2", got)
+	}
+	// Kraft < 1: (2) still needs 1 root (with single-child chain).
+	if got := Roots(LevelCounts([]int{2})); got != 1 {
+		t.Errorf("Roots(2) = %d, want 1", got)
+	}
+	if Roots(nil) != 0 {
+		t.Error("Roots(nil) should be 0")
+	}
+}
+
+// Property: Roots = ⌈Σ 2^{-l}⌉, cross-checked against big-integer
+// arithmetic.
+func TestRootsCeilingProperty(t *testing.T) {
+	prop := func(raw []uint8) bool {
+		if len(raw) == 0 || len(raw) > 40 {
+			return true
+		}
+		depths := make([]int, len(raw))
+		for i, r := range raw {
+			depths[i] = int(r % 10)
+		}
+		counts := LevelCounts(depths)
+		got := Roots(counts)
+		// ⌈sum⌉ via scaled integers.
+		maxL := len(counts) - 1
+		num := 0
+		for _, l := range depths {
+			num += 1 << uint(maxL-l)
+		}
+		den := 1 << uint(maxL)
+		want := (num + den - 1) / den
+		return got == want
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

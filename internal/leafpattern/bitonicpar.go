@@ -1,0 +1,170 @@
+package leafpattern
+
+import (
+	"math/big"
+	"sync"
+
+	"partree/internal/kraft"
+	"partree/internal/par"
+	"partree/internal/pram"
+	"partree/internal/tree"
+)
+
+// BitonicPar is the PRAM-scheduled form of Bitonic (Theorem 7.2),
+// generalizing MonotonePar: the pattern's rising side contributes leaves
+// on the left of each level, the falling side on the right, with the
+// internal nodes between them. The phases are the same — level counts,
+// internal-node counts by one suffix scan, and a single node-linking
+// statement — so the machine counters exhibit the O(log n) bound for
+// bitonic patterns too.
+func BitonicPar(m *pram.Machine, pattern []int) (*tree.Node, error) {
+	if err := validate(pattern); err != nil {
+		return nil, err
+	}
+	if !IsBitonic(pattern) {
+		return nil, errNotBitonic
+	}
+	n := len(pattern)
+
+	// Peak split: indices < peak form the rising (left) side.
+	maxL, peak := 0, 0
+	for _, l := range pattern {
+		if l > maxL {
+			maxL = l
+		}
+	}
+	for i, l := range pattern {
+		if l == maxL {
+			peak = i
+			break
+		}
+	}
+	L := maxL
+
+	// Per-level leaf counts for each side: the left side is non-decreasing
+	// so its level-l leaves are contiguous, ordered by level ascending; the
+	// right side is non-increasing, ordered by level descending. Counted by
+	// a parallel range statement with chunk-local histograms (the PRAM
+	// equivalent is a pack + prefix-sum pipeline of the same O(log n) depth).
+	leftCounts := make([]int, L+1)
+	rightCounts := make([]int, L+1)
+	var mu sync.Mutex
+	m.ForRange(n, func(lo, hi int) {
+		pl := make([]int, L+1)
+		pr := make([]int, L+1)
+		for i := lo; i < hi; i++ {
+			if i < peak {
+				pl[pattern[i]]++
+			} else {
+				pr[pattern[i]]++
+			}
+		}
+		mu.Lock()
+		for l := 0; l <= L; l++ {
+			leftCounts[l] += pl[l]
+			rightCounts[l] += pr[l]
+		}
+		mu.Unlock()
+	})
+	counts := make([]int, L+1)
+	m.For(L+1, func(l int) { counts[l] = leftCounts[l] + rightCounts[l] })
+
+	if kraft.CompareCounts(counts) > 0 {
+		return nil, ErrNoTree
+	}
+
+	// Internal-node counts by the suffix scan of scaled terms (as in
+	// MonotonePar).
+	terms := make([]*big.Int, L+1)
+	m.For(L+1, func(l int) {
+		terms[L-l] = new(big.Int).Lsh(big.NewInt(int64(counts[l])), uint(L-l))
+	})
+	sums := par.ScanInclusive(m, terms, func(a, b *big.Int) *big.Int {
+		return new(big.Int).Add(a, b)
+	})
+	inner := make([]int, L+1)
+	m.For(L+1, func(l int) {
+		if l == L {
+			return
+		}
+		s := sums[L-l-1]
+		q, r := new(big.Int).DivMod(s, new(big.Int).Lsh(big.NewInt(1), uint(L-l)), new(big.Int))
+		if r.Sign() != 0 {
+			q.Add(q, big.NewInt(1))
+		}
+		inner[l] = int(q.Int64())
+	})
+	if counts[0]+inner[0] != 1 {
+		return nil, ErrNoTree
+	}
+
+	// Pattern offsets of each level's leaf runs.
+	leftOff := make([]int, L+2)  // first pattern index of left leaves at level l
+	rightOff := make([]int, L+2) // first pattern index of right leaves at level l
+	{
+		run := 0
+		for l := 0; l <= L; l++ { // left side ascending by level
+			leftOff[l] = run
+			run += leftCounts[l]
+		}
+		run = peak
+		for l := L; l >= 0; l-- { // right side descending by level
+			rightOff[l] = run
+			run += rightCounts[l]
+		}
+		m.Step(1)
+	}
+
+	// Materialize nodes per level: [leftLeaves][internals][rightLeaves].
+	nodes := make([][]*tree.Node, L+1)
+	for l := 0; l <= L; l++ {
+		nodes[l] = make([]*tree.Node, leftCounts[l]+inner[l]+rightCounts[l])
+	}
+	m.For(L+1, func(l int) {
+		for i := 0; i < leftCounts[l]; i++ {
+			nodes[l][i] = tree.NewLeaf(leftOff[l]+i, 0)
+		}
+		for i := 0; i < inner[l]; i++ {
+			nodes[l][leftCounts[l]+i] = &tree.Node{}
+		}
+		for i := 0; i < rightCounts[l]; i++ {
+			nodes[l][leftCounts[l]+inner[l]+i] = tree.NewLeaf(rightOff[l]+i, 0)
+		}
+	})
+
+	// One linking statement: node p at level l attaches to internal ⌊p/2⌋
+	// of level l-1 (which sits after that level's left leaves).
+	totalNodes := 0
+	for l := 0; l <= L; l++ {
+		totalNodes += len(nodes[l])
+	}
+	m.For(totalNodes, func(v int) {
+		l, i := locateLevel(v, nodes)
+		if l == 0 {
+			return
+		}
+		parent := nodes[l-1][leftCounts[l-1]+i/2]
+		if i%2 == 0 {
+			parent.Left = nodes[l][i]
+		} else {
+			parent.Right = nodes[l][i]
+		}
+	})
+	return nodes[0][0], nil
+}
+
+func locateLevel(v int, nodes [][]*tree.Node) (int, int) {
+	for l := range nodes {
+		if v < len(nodes[l]) {
+			return l, v
+		}
+		v -= len(nodes[l])
+	}
+	panic("leafpattern: node index out of range")
+}
+
+var errNotBitonic = errNotBitonicErr{}
+
+type errNotBitonicErr struct{}
+
+func (errNotBitonicErr) Error() string { return "leafpattern: pattern is not bitonic" }

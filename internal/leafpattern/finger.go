@@ -1,0 +1,174 @@
+package leafpattern
+
+import (
+	"partree/internal/kraft"
+	"partree/internal/tree"
+	"partree/internal/xmath"
+)
+
+// Build solves the general tree-construction problem with the paper's
+// Finger-Reduction (Section 7.2): every round simultaneously removes all
+// fingers — maximal runs that rise above their flanking min-points —
+// replacing each with the ⌈Kraft⌉ many subtree roots its leaves pack into
+// (built by the bitonic forest constructor, Theorem 7.2), which at least
+// halves the number of fingers (Lemma 7.3). When the pattern becomes
+// bitonic the root tree is built directly and the removed subtrees are
+// grafted back in an expansion phase.
+//
+// Build returns the tree, the number of reduction rounds (observably
+// O(log m) for m fingers, Theorem 7.3), and ErrNoTree when the pattern is
+// not realizable.
+func Build(pattern []int) (*tree.Node, int, error) {
+	if err := validate(pattern); err != nil {
+		return nil, 0, err
+	}
+	cur := records(pattern)
+	pending := make(map[int]*tree.Node) // placeholder id → subtree root
+	nextPH := -1
+
+	rounds := 0
+	maxRounds := 2*xmath.CeilLog2(len(pattern)+1) + 8
+	for !bitonicRecs(cur) {
+		if rounds++; rounds > maxRounds {
+			// Finger count halves every round; failure to converge would
+			// mean a malformed reduction, not an infeasible input.
+			panic("leafpattern: Finger-Reduction did not converge")
+		}
+		cur, nextPH = reduceFingers(cur, pending, nextPH)
+	}
+
+	roots := buildForest(cur)
+	if len(roots) != 1 {
+		return nil, rounds, ErrNoTree
+	}
+	return expand(roots[0], pending), rounds, nil
+}
+
+func bitonicRecs(rs []leafRec) bool {
+	i := 1
+	for i < len(rs) && rs[i].level >= rs[i-1].level {
+		i++
+	}
+	for ; i < len(rs); i++ {
+		if rs[i].level > rs[i-1].level {
+			return false
+		}
+	}
+	return true
+}
+
+// segment is a maximal run of equal-level leaf records [lo, hi).
+type segment struct {
+	level  int
+	lo, hi int
+}
+
+func segments(rs []leafRec) []segment {
+	var segs []segment
+	for i := 0; i < len(rs); {
+		j := i
+		for j < len(rs) && rs[j].level == rs[i].level {
+			j++
+		}
+		segs = append(segs, segment{level: rs[i].level, lo: i, hi: j})
+		i = j
+	}
+	return segs
+}
+
+// reduceFingers performs one simultaneous Finger-Reduction round.
+//
+// Min-point segments persist; every maximal run of non-min segments (a
+// "mountain") contains exactly one finger: its records with level > β,
+// where β is the higher of the two flanking min levels (β = the single
+// flank at a pattern boundary). Following the paper's Finger-Reduction,
+// the finger's K = ⌈Σ 2^{-(l-β)}⌉ packed subtrees become K placeholder
+// leaves at level β in the reduced pattern; mountain records at level ≤ β
+// (the tails next to the lower flank) stay as they are.
+func reduceFingers(rs []leafRec, pending map[int]*tree.Node, nextPH int) ([]leafRec, int) {
+	segs := segments(rs)
+	m := len(segs)
+
+	isMin := make([]bool, m)
+	for s := 0; s < m; s++ {
+		leftHigher := s == 0 || segs[s-1].level > segs[s].level
+		rightHigher := s == m-1 || segs[s+1].level > segs[s].level
+		isMin[s] = leftHigher && rightHigher
+	}
+
+	out := make([]leafRec, 0, len(rs))
+	for s := 0; s < m; {
+		if isMin[s] {
+			out = append(out, rs[segs[s].lo:segs[s].hi]...)
+			s++
+			continue
+		}
+		e := s
+		for e < m && !isMin[e] {
+			e++
+		}
+		// Flanking bases; the whole pattern being one mountain is the
+		// bitonic case the caller already excluded, so at least one flank
+		// exists here.
+		β := -1
+		if s > 0 {
+			β = segs[s-1].level
+		}
+		if e < m && segs[e].level > β {
+			β = segs[e].level
+		}
+
+		lo, hi := segs[s].lo, segs[e-1].hi
+		fLo, fHi := lo, hi
+		for fLo < hi && rs[fLo].level <= β {
+			fLo++
+		}
+		for fHi > fLo && rs[fHi-1].level <= β {
+			fHi--
+		}
+
+		finger := rs[fLo:fHi]
+		rel := make([]leafRec, len(finger))
+		levels := make([]int, len(finger))
+		for i, r := range finger {
+			rel[i] = leafRec{level: r.level - β, id: r.id}
+			levels[i] = r.level - β
+		}
+		forest := buildForest(rel)
+		if want := kraft.Roots(kraft.LevelCounts(levels)); len(forest) != want {
+			panic("leafpattern: bitonic forest size disagrees with ⌈Kraft⌉")
+		}
+
+		out = append(out, rs[lo:fLo]...) // ascending tail (≤ β), if any
+		for _, root := range forest {
+			pending[nextPH] = root
+			out = append(out, leafRec{level: β, id: nextPH})
+			nextPH--
+		}
+		out = append(out, rs[fHi:hi]...) // descending tail (≤ β), if any
+		s = e
+	}
+	return out, nextPH
+}
+
+// expand grafts the pending subtrees back: every leaf with a negative id
+// is replaced by its recorded root (recursively, since fingers removed in
+// later rounds contain placeholders from earlier ones).
+func expand(t *tree.Node, pending map[int]*tree.Node) *tree.Node {
+	if t == nil {
+		return nil
+	}
+	if t.IsLeaf() {
+		if t.Symbol < 0 {
+			sub, ok := pending[t.Symbol]
+			if !ok {
+				panic("leafpattern: placeholder with no recorded subtree")
+			}
+			return expand(sub, pending)
+		}
+		return t
+	}
+	t.Left = expand(t.Left, pending)
+	t.Right = expand(t.Right, pending)
+	return t
+}

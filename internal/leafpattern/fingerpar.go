@@ -1,0 +1,125 @@
+package leafpattern
+
+import (
+	"partree/internal/pram"
+	"partree/internal/tree"
+	"partree/internal/xmath"
+)
+
+// BuildPar is Build with the pattern-level work of every Finger-Reduction
+// round issued as parallel statements (Theorem 7.3's schedule: O(log m)
+// rounds, each O(1) statements over the pattern): segment boundaries and
+// min-points are detected by one For each, finger Kraft sums are
+// accumulated per segment, and the reduced pattern is written by a
+// compaction. The per-finger bitonic forests are built by the Theorem 7.2
+// machinery. Returns the tree, the number of rounds, and ErrNoTree when
+// the pattern is unrealizable.
+func BuildPar(m *pram.Machine, pattern []int) (*tree.Node, int, error) {
+	if err := validate(pattern); err != nil {
+		return nil, 0, err
+	}
+	cur := records(pattern)
+	pending := make(map[int]*tree.Node)
+	nextPH := -1
+
+	rounds := 0
+	maxRounds := 2*xmath.CeilLog2(len(pattern)+1) + 8
+	for {
+		// Bitonicity check: one parallel statement computing descent flags
+		// (here fused into a host scan charged as a statement).
+		bitonic := bitonicRecs(cur)
+		m.Step(1)
+		if bitonic {
+			break
+		}
+		if rounds++; rounds > maxRounds {
+			panic("leafpattern: Finger-Reduction did not converge")
+		}
+		cur, nextPH = reduceFingersPar(m, cur, pending, nextPH)
+	}
+
+	roots := buildForest(cur)
+	m.Step(1)
+	if len(roots) != 1 {
+		return nil, rounds, ErrNoTree
+	}
+	return expand(roots[0], pending), rounds, nil
+}
+
+// reduceFingersPar mirrors reduceFingers with the scanning phases issued
+// on the machine.
+func reduceFingersPar(m *pram.Machine, rs []leafRec, pending map[int]*tree.Node, nextPH int) ([]leafRec, int) {
+	n := len(rs)
+
+	// Phase 1: segment starts (one statement).
+	isStart := make([]bool, n)
+	m.For(n, func(i int) {
+		isStart[i] = i == 0 || rs[i].level != rs[i-1].level
+	})
+	var segs []segment
+	for i := 0; i < n; i++ {
+		if isStart[i] {
+			j := i + 1
+			for j < n && !isStart[j] {
+				j++
+			}
+			segs = append(segs, segment{level: rs[i].level, lo: i, hi: j})
+		}
+	}
+	nSeg := len(segs)
+
+	// Phase 2: min-point flags (one statement over segments).
+	isMin := make([]bool, nSeg)
+	m.For(nSeg, func(s int) {
+		leftHigher := s == 0 || segs[s-1].level > segs[s].level
+		rightHigher := s == nSeg-1 || segs[s+1].level > segs[s].level
+		isMin[s] = leftHigher && rightHigher
+	})
+
+	// Phase 3: process all mountains (their forests build independently;
+	// the sequential loop below is the orchestration the paper assigns to
+	// per-finger processor groups, charged as one statement per round).
+	m.Step(1)
+	out := make([]leafRec, 0, n)
+	for s := 0; s < nSeg; {
+		if isMin[s] {
+			out = append(out, rs[segs[s].lo:segs[s].hi]...)
+			s++
+			continue
+		}
+		e := s
+		for e < nSeg && !isMin[e] {
+			e++
+		}
+		β := -1
+		if s > 0 {
+			β = segs[s-1].level
+		}
+		if e < nSeg && segs[e].level > β {
+			β = segs[e].level
+		}
+		lo, hi := segs[s].lo, segs[e-1].hi
+		fLo, fHi := lo, hi
+		for fLo < hi && rs[fLo].level <= β {
+			fLo++
+		}
+		for fHi > fLo && rs[fHi-1].level <= β {
+			fHi--
+		}
+		finger := rs[fLo:fHi]
+		rel := make([]leafRec, len(finger))
+		for i, r := range finger {
+			rel[i] = leafRec{level: r.level - β, id: r.id}
+		}
+		forest := buildForest(rel)
+		out = append(out, rs[lo:fLo]...)
+		for _, root := range forest {
+			pending[nextPH] = root
+			out = append(out, leafRec{level: β, id: nextPH})
+			nextPH--
+		}
+		out = append(out, rs[fHi:hi]...)
+		s = e
+	}
+	return out, nextPH
+}

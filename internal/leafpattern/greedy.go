@@ -1,0 +1,89 @@
+package leafpattern
+
+import (
+	"math/big"
+
+	"partree/internal/tree"
+)
+
+// Greedy solves the general tree-construction problem sequentially by
+// leftmost codeword packing: leaf k receives the numerically smallest
+// l_k-bit codeword whose dyadic interval lies entirely to the right of
+// leaf k-1's interval. A standard exchange argument shows this greedy is
+// complete — it finds a tree whenever one exists — which makes it the
+// independent oracle for the parallel constructions. Codewords are big
+// integers, so arbitrary depths are supported.
+//
+// The returned tree is the trie of the codewords; leaf i carries Symbol i.
+func Greedy(pattern []int) (*tree.Node, error) {
+	if err := validate(pattern); err != nil {
+		return nil, err
+	}
+	codes := make([]*big.Int, len(pattern))
+	prev := new(big.Int) // codeword of the previous leaf
+	one := big.NewInt(1)
+	for k, l := range pattern {
+		if k == 0 {
+			codes[k] = new(big.Int)
+			prev = codes[k]
+			continue
+		}
+		// next = ⌈(prev+1) · 2^{l - l_prev}⌉ as an l-bit value.
+		lPrev := pattern[k-1]
+		next := new(big.Int).Add(prev, one)
+		if l >= lPrev {
+			next.Lsh(next, uint(l-lPrev))
+		} else {
+			shift := uint(lPrev - l)
+			// Ceiling division by 2^shift.
+			rem := new(big.Int)
+			next.DivMod(next, new(big.Int).Lsh(one, shift), rem)
+			if rem.Sign() != 0 {
+				next.Add(next, one)
+			}
+		}
+		if next.BitLen() > l {
+			return nil, ErrNoTree // overflowed the level: no tree exists
+		}
+		codes[k] = next
+		prev = next
+	}
+	// Build the codeword trie.
+	root := &trieNode{}
+	for k, c := range codes {
+		v := root
+		for bit := pattern[k] - 1; bit >= 0; bit-- {
+			b := c.Bit(bit)
+			if v.child[b] == nil {
+				v.child[b] = &trieNode{sym: -1}
+			}
+			v = v.child[b]
+		}
+		v.sym = k
+	}
+	return root.toTree(), nil
+}
+
+type trieNode struct {
+	child [2]*trieNode
+	sym   int
+}
+
+func (t *trieNode) toTree() *tree.Node {
+	if t.child[0] == nil && t.child[1] == nil {
+		return tree.NewLeaf(t.sym, 0)
+	}
+	var l, r *tree.Node
+	if t.child[0] != nil {
+		l = t.child[0].toTree()
+	}
+	if t.child[1] != nil {
+		r = t.child[1].toTree()
+	}
+	if l == nil {
+		// Leftmost packing never leaves a 0-branch empty below an occupied
+		// 1-branch, but guard the invariant for safety.
+		l, r = r, nil
+	}
+	return tree.NewInternal(l, r)
+}

@@ -1,0 +1,59 @@
+package lincfl
+
+import (
+	"math/rand"
+	"testing"
+
+	"partree/internal/grammar"
+)
+
+func TestClosureMatchesSequential(t *testing.T) {
+	m := mach()
+	rng := rand.New(rand.NewSource(331))
+	for _, g := range []*grammar.Linear{grammar.Palindrome(), grammar.EqualEnds()} {
+		for trial := 0; trial < 20; trial++ {
+			n := 1 + rng.Intn(12)
+			w := make([]byte, n)
+			for i := range w {
+				w[i] = "abc"[rng.Intn(3)]
+			}
+			want := Sequential(g, w)
+			res := RecognizeClosure(m, g, w)
+			if res.Accepted != want {
+				t.Fatalf("%q: closure %v, sequential %v", w, res.Accepted, want)
+			}
+		}
+		// A guaranteed member exercises the accept path.
+		w, ok := g.Sample(rng, 14)
+		if ok && len(w) <= 14 {
+			if !RecognizeClosure(m, g, w).Accepted {
+				t.Fatalf("closure rejected member %q", w)
+			}
+		}
+	}
+}
+
+func TestClosureEmptyWord(t *testing.T) {
+	if RecognizeClosure(mach(), grammar.Palindrome(), nil).Accepted {
+		t.Error("empty word must be rejected")
+	}
+}
+
+// The ablation point: even at tiny n the closure baseline does orders of
+// magnitude more Boolean work than the separator divide-and-conquer.
+func TestClosureWorkDwarfsDC(t *testing.T) {
+	m := mach()
+	g := grammar.Palindrome()
+	w := []byte("aabcbaa")
+	cl := RecognizeClosure(m, g, w)
+	dc := RecognizeDC(m, g, w)
+	if cl.Accepted != dc.Accepted || !cl.Accepted {
+		t.Fatal("engines disagree")
+	}
+	if cl.WordOps < 10*dc.WordOps {
+		t.Errorf("closure %d word-ops should dwarf D&C %d", cl.WordOps, dc.WordOps)
+	}
+	if cl.Vertices != g.NumNT*len(w)*(len(w)+1)/2 {
+		t.Errorf("vertex count %d wrong", cl.Vertices)
+	}
+}

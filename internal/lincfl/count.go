@@ -1,0 +1,62 @@
+package lincfl
+
+import (
+	"math/big"
+
+	"partree/internal/grammar"
+)
+
+// CountDerivations returns the number of distinct derivations of w from
+// the start symbol (0 if w ∉ L(G)). Counts are exact big integers — a
+// linear grammar can be exponentially ambiguous (each step may consume
+// from either end), which this quantifies. The DP mirrors the induced
+// graph: paths from (0,n-1,Start) to accepting diagonal vertices are
+// counted instead of merely detected.
+func CountDerivations(g *grammar.Linear, w []byte) *big.Int {
+	n := len(w)
+	total := new(big.Int)
+	if n == 0 {
+		return total
+	}
+	k := g.NumNT
+	// c[i][j][A] = number of derivations A ⇒* w_i…w_j.
+	c := make([][][]*big.Int, n)
+	for i := range c {
+		c[i] = make([][]*big.Int, n)
+		for j := i; j < n; j++ {
+			c[i][j] = make([]*big.Int, k)
+			for a := range c[i][j] {
+				c[i][j][a] = new(big.Int)
+			}
+		}
+	}
+	one := big.NewInt(1)
+	for i := 0; i < n; i++ {
+		for _, r := range g.Term {
+			if r.T == w[i] {
+				c[i][i][r.A].Add(c[i][i][r.A], one)
+			}
+		}
+	}
+	for span := 2; span <= n; span++ {
+		for i := 0; i+span-1 < n; i++ {
+			j := i + span - 1
+			for _, r := range g.Left {
+				if r.T == w[i] {
+					c[i][j][r.A].Add(c[i][j][r.A], c[i+1][j][r.B])
+				}
+			}
+			for _, r := range g.Right {
+				if r.T == w[j] {
+					c[i][j][r.A].Add(c[i][j][r.A], c[i][j-1][r.B])
+				}
+			}
+		}
+	}
+	return total.Set(c[0][n-1][g.Start])
+}
+
+// IsAmbiguous reports whether w has more than one derivation.
+func IsAmbiguous(g *grammar.Linear, w []byte) bool {
+	return CountDerivations(g, w).Cmp(big.NewInt(1)) > 0
+}

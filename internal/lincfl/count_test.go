@@ -1,0 +1,75 @@
+package lincfl
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"partree/internal/grammar"
+)
+
+func TestCountDerivationsUnambiguous(t *testing.T) {
+	g := grammar.Palindrome()
+	for _, s := range []string{"c", "aca", "abcba"} {
+		if got := CountDerivations(g, []byte(s)); got.Cmp(big.NewInt(1)) != 0 {
+			t.Errorf("%q: %v derivations, want 1 (palindromes are unambiguous)", s, got)
+		}
+		if IsAmbiguous(g, []byte(s)) {
+			t.Errorf("%q should not be ambiguous", s)
+		}
+	}
+	for _, s := range []string{"", "ab", "acb"} {
+		if got := CountDerivations(g, []byte(s)); got.Sign() != 0 {
+			t.Errorf("%q: %v derivations, want 0", s, got)
+		}
+	}
+}
+
+func TestCountDerivationsAmbiguous(t *testing.T) {
+	// S → aS | Sa | a: the word a^n has C(n-1, k) ways to interleave
+	// left/right consumption... in fact every split of the n-1 chain
+	// steps into left/right choices that consume distinct positions:
+	// count(a^n) = 2^{n-1}? Verify small cases directly: n=1: 1 (S→a);
+	// n=2: S→aS→aa, S→Sa→aa: 2; n=3: each of the 2 first choices leaves
+	// a^2: 4.
+	g, err := grammar.Normalize([]grammar.RawRule{
+		{A: "S", Pre: "a", B: "S"},
+		{A: "S", B: "S", Suf: "a"},
+		{A: "S", Pre: "a"},
+	}, "S")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n, want := range map[int]int64{1: 1, 2: 2, 3: 4, 4: 8, 10: 512} {
+		w := make([]byte, n)
+		for i := range w {
+			w[i] = 'a'
+		}
+		if got := CountDerivations(g, w); got.Cmp(big.NewInt(want)) != 0 {
+			t.Errorf("a^%d: %v derivations, want %d", n, got, want)
+		}
+	}
+	if !IsAmbiguous(g, []byte("aa")) {
+		t.Error("aa should be ambiguous")
+	}
+}
+
+// Counting must agree with recognition: positive count iff recognized.
+func TestCountConsistentWithRecognition(t *testing.T) {
+	rng := rand.New(rand.NewSource(367))
+	for gi := 0; gi < 6; gi++ {
+		g := grammar.Random(rng, 2+rng.Intn(3), []byte("ab"), 2)
+		for trial := 0; trial < 20; trial++ {
+			n := 1 + rng.Intn(12)
+			w := make([]byte, n)
+			for i := range w {
+				w[i] = "ab"[rng.Intn(2)]
+			}
+			member := Sequential(g, w)
+			count := CountDerivations(g, w)
+			if member != (count.Sign() > 0) {
+				t.Fatalf("grammar %d, %q: member=%v but count=%v", gi, w, member, count)
+			}
+		}
+	}
+}

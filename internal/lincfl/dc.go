@@ -1,0 +1,356 @@
+package lincfl
+
+import (
+	"partree/internal/boolmat"
+	"partree/internal/grammar"
+	"partree/internal/pram"
+)
+
+// The parallel recognizer (Theorem 8.1) works on the induced graph
+// IG(G,w): vertices (i,j,A) for intervals 0 ≤ i ≤ j < n, edges consuming
+// the outermost terminal on either side. w ∈ L(G) iff some diagonal vertex
+// (d,d,q) with q → w_d is reachable from (0,n-1,Start) (Claim 8.1).
+//
+// The triangle of intervals is split by a separator through the middle:
+// two half-size triangles L = T(lo,mid), R = T(mid+1,hi) and the square
+// Q = rows lo..mid × cols mid+1..hi between them, itself split
+// recursively into quadrants. For every region only the reachability
+// between its boundary vertices is kept:
+//
+//	triangle: IN = first row ∪ last column, OUT = the diagonal cells
+//	square:   IN = top row ∪ right column, OUT = left column ∪ bottom row
+//
+// (paths only move down (i+1) or left (j-1), so they enter and leave a
+// region exactly through those boundaries). Region matrices are combined
+// with Boolean matrix products — three per level, as in the paper — giving
+// the processor recurrence P(n) = max(4·P(n/2), M(n)) = O(M(n)).
+
+// DCResult carries the recognition verdict together with the measurements
+// the experiment harness reports.
+type DCResult struct {
+	Accepted bool
+	// Products is the number of Boolean matrix products performed.
+	Products int
+	// WordOps is the number of 64-bit word operations across products.
+	WordOps int64
+	// Depth is the recursion depth (the parallel critical path is
+	// O(Depth · log n) products deep, each O(log n) CRCW time).
+	Depth int
+}
+
+type dcCtx struct {
+	g     *grammar.Linear
+	w     []byte
+	k     int // number of nonterminals
+	m     *pram.Machine
+	cnt   *boolmat.OpCounter
+	prods int
+	depth int
+
+	leftBlock  map[byte]*boolmat.Matrix // [A][B] = A → tB
+	rightBlock map[byte]*boolmat.Matrix // [A][B] = A → Bt
+}
+
+// RecognizeDC reports whether w ∈ L(G) using the separator
+// divide-and-conquer with Boolean matrix multiplication.
+func RecognizeDC(m *pram.Machine, g *grammar.Linear, w []byte) *DCResult {
+	res := &DCResult{}
+	if len(w) == 0 {
+		return res
+	}
+	ctx := &dcCtx{
+		g: g, w: w, k: g.NumNT, m: m, cnt: &boolmat.OpCounter{},
+		leftBlock:  make(map[byte]*boolmat.Matrix),
+		rightBlock: make(map[byte]*boolmat.Matrix),
+	}
+	for _, r := range g.Left {
+		b, ok := ctx.leftBlock[r.T]
+		if !ok {
+			b = boolmat.New(ctx.k, ctx.k)
+			ctx.leftBlock[r.T] = b
+		}
+		b.Set(r.A, r.B, true)
+	}
+	for _, r := range g.Right {
+		b, ok := ctx.rightBlock[r.T]
+		if !ok {
+			b = boolmat.New(ctx.k, ctx.k)
+			ctx.rightBlock[r.T] = b
+		}
+		b.Set(r.A, r.B, true)
+	}
+
+	n := len(w)
+	reach := ctx.tri(0, n-1, 1)
+	// Start vertex: cell (0, n-1) — the top-right corner, which is
+	// in-index (n-1) of the triangle's first row (or 0 when n == 1).
+	in := triIn(0, n-1)
+	startCell := [2]int{0, n - 1}
+	startIdx := in.index[startCell]*ctx.k + g.Start
+	for d := 0; d < n; d++ {
+		for _, r := range ctx.g.Term {
+			if r.T == w[d] && reach.Get(startIdx, d*ctx.k+r.A) {
+				res.Accepted = true
+			}
+		}
+	}
+	res.Products = ctx.prods
+	res.WordOps = ctx.cnt.Load()
+	res.Depth = ctx.depth
+	return res
+}
+
+// boundary is an ordered list of cells with an index.
+type boundary struct {
+	cells [][2]int
+	index map[[2]int]int
+}
+
+func newBoundary(cells [][2]int) boundary {
+	idx := make(map[[2]int]int, len(cells))
+	for i, c := range cells {
+		idx[c] = i
+	}
+	return boundary{cells: cells, index: idx}
+}
+
+// triIn is the triangle's entry boundary: first row, then last column
+// (excluding the shared corner).
+func triIn(lo, hi int) boundary {
+	var cells [][2]int
+	for j := lo; j <= hi; j++ {
+		cells = append(cells, [2]int{lo, j})
+	}
+	for i := lo + 1; i <= hi; i++ {
+		cells = append(cells, [2]int{i, hi})
+	}
+	return newBoundary(cells)
+}
+
+// triOut is the triangle's exit boundary: the diagonal.
+func triOut(lo, hi int) boundary {
+	var cells [][2]int
+	for d := lo; d <= hi; d++ {
+		cells = append(cells, [2]int{d, d})
+	}
+	return newBoundary(cells)
+}
+
+// rectIn: top row, then right column (excluding the shared corner).
+func rectIn(a, b, c, d int) boundary {
+	var cells [][2]int
+	for j := c; j <= d; j++ {
+		cells = append(cells, [2]int{a, j})
+	}
+	for i := a + 1; i <= b; i++ {
+		cells = append(cells, [2]int{i, d})
+	}
+	return newBoundary(cells)
+}
+
+// rectOut: left column, then bottom row (excluding the shared corner).
+func rectOut(a, b, c, d int) boundary {
+	var cells [][2]int
+	for i := a; i <= b; i++ {
+		cells = append(cells, [2]int{i, c})
+	}
+	for j := c + 1; j <= d; j++ {
+		cells = append(cells, [2]int{b, j})
+	}
+	return newBoundary(cells)
+}
+
+// inject builds the |from|·K × |to|·K matrix that routes state (cell, A)
+// to (mapCell(cell), B) for every (A,B) set in block (nil block = the
+// identity on nonterminals). Cells that mapCell rejects route nowhere.
+func (ctx *dcCtx) inject(from, to boundary, mapCell func([2]int) ([2]int, bool), block *boolmat.Matrix) *boolmat.Matrix {
+	out := boolmat.New(len(from.cells)*ctx.k, len(to.cells)*ctx.k)
+	for fi, cell := range from.cells {
+		tc, ok := mapCell(cell)
+		if !ok {
+			continue
+		}
+		ti, ok := to.index[tc]
+		if !ok {
+			continue
+		}
+		if block == nil {
+			for a := 0; a < ctx.k; a++ {
+				out.Set(fi*ctx.k+a, ti*ctx.k+a, true)
+			}
+			continue
+		}
+		for a := 0; a < ctx.k; a++ {
+			for b := 0; b < ctx.k; b++ {
+				if block.Get(a, b) {
+					out.Set(fi*ctx.k+a, ti*ctx.k+b, true)
+				}
+			}
+		}
+	}
+	return out
+}
+
+func (ctx *dcCtx) mul(a, b *boolmat.Matrix) *boolmat.Matrix {
+	ctx.prods++
+	out := boolmat.MulPar(ctx.m, a, b)
+	ctx.cnt.Add(int64(a.R) * int64(a.C) * int64((b.C+63)/64))
+	return out
+}
+
+func (ctx *dcCtx) noteDepth(d int) {
+	if d > ctx.depth {
+		ctx.depth = d
+	}
+}
+
+// same returns the cell unchanged (same-cell injection between regions
+// whose boundaries share cells).
+func same(c [2]int) ([2]int, bool) { return c, true }
+
+// crossLeft maps (i, col) → (i, col-1), consuming w[col].
+func crossLeft(col int) func([2]int) ([2]int, bool) {
+	return func(c [2]int) ([2]int, bool) {
+		if c[1] != col {
+			return c, false
+		}
+		return [2]int{c[0], col - 1}, true
+	}
+}
+
+// crossDown maps (row, j) → (row+1, j), consuming w[row].
+func crossDown(row int) func([2]int) ([2]int, bool) {
+	return func(c [2]int) ([2]int, bool) {
+		if c[0] != row {
+			return c, false
+		}
+		return [2]int{row + 1, c[1]}, true
+	}
+}
+
+func (ctx *dcCtx) blockLeft(t byte) *boolmat.Matrix {
+	if b, ok := ctx.leftBlock[t]; ok {
+		return b
+	}
+	return boolmat.New(ctx.k, ctx.k) // no rules: empty block
+}
+
+func (ctx *dcCtx) blockRight(t byte) *boolmat.Matrix {
+	if b, ok := ctx.rightBlock[t]; ok {
+		return b
+	}
+	return boolmat.New(ctx.k, ctx.k)
+}
+
+// tri computes the triangle reachability IN×OUT.
+func (ctx *dcCtx) tri(lo, hi, depth int) *boolmat.Matrix {
+	ctx.noteDepth(depth)
+	if lo == hi {
+		return boolmat.Identity(ctx.k)
+	}
+	mid := (lo + hi) / 2
+	rl := ctx.tri(lo, mid, depth+1)
+	rr := ctx.tri(mid+1, hi, depth+1)
+	rq := ctx.rect(lo, mid, mid+1, hi, depth+1)
+	return ctx.combineTri(lo, hi, rl, rr, rq)
+}
+
+// combineTri assembles a triangle's boundary reachability from its three
+// pieces' matrices — shared with the caching recursion in derive_dc.go.
+func (ctx *dcCtx) combineTri(lo, hi int, rl, rr, rq *boolmat.Matrix) *boolmat.Matrix {
+	mid := (lo + hi) / 2
+	inT := triIn(lo, hi)
+	outT := triOut(lo, hi)
+	inL, outL := triIn(lo, mid), triOut(lo, mid)
+	inR, outR := triIn(mid+1, hi), triOut(mid+1, hi)
+	inQ, outQ := rectIn(lo, mid, mid+1, hi), rectOut(lo, mid, mid+1, hi)
+
+	// Region → OUT(T) pipelines.
+	loutT := ctx.inject(outL, outT, same, nil) // L's diagonal is part of T's
+	routT := ctx.inject(outR, outT, same, nil) // R's diagonal too
+	lFull := ctx.mul(rl, loutT)                // IN(L) → OUT(T)
+	rFull := ctx.mul(rr, routT)                // IN(R) → OUT(T)
+	xl := ctx.inject(outQ, inL, crossLeft(mid+1), ctx.blockRight(ctx.w[mid+1]))
+	xr := ctx.inject(outQ, inR, crossDown(mid), ctx.blockLeft(ctx.w[mid]))
+	qFull := ctx.mul(rq, ctx.mul(xl, lFull).Or(ctx.mul(xr, rFull))) // IN(Q) → OUT(T)
+
+	// IN(T) routing.
+	sl := ctx.inject(inT, inL, same, nil)
+	sr := ctx.inject(inT, inR, same, nil)
+	sq := ctx.inject(inT, inQ, same, nil)
+	res := ctx.mul(sl, lFull)
+	res.Or(ctx.mul(sr, rFull))
+	res.Or(ctx.mul(sq, qFull))
+	return res
+}
+
+// rect computes the rectangle reachability IN×OUT for rows a..b, cols c..d.
+func (ctx *dcCtx) rect(a, b, c, d, depth int) *boolmat.Matrix {
+	ctx.noteDepth(depth)
+	if a == b && c == d {
+		return boolmat.Identity(ctx.k)
+	}
+	inQ := rectIn(a, b, c, d)
+	outQ := rectOut(a, b, c, d)
+
+	if a == b {
+		// Single row: split columns.
+		m2 := (c + d) / 2
+		rw := ctx.rect(a, b, c, m2, depth+1)
+		re := ctx.rect(a, b, m2+1, d, depth+1)
+		inW, outW := rectIn(a, b, c, m2), rectOut(a, b, c, m2)
+		inE, outE := rectIn(a, b, m2+1, d), rectOut(a, b, m2+1, d)
+		woutQ := ctx.inject(outW, outQ, same, nil)
+		eoutQ := ctx.inject(outE, outQ, same, nil)
+		wFull := ctx.mul(rw, woutQ)
+		xw := ctx.inject(outE, inW, crossLeft(m2+1), ctx.blockRight(ctx.w[m2+1]))
+		eFull := ctx.mul(re, eoutQ.Or(ctx.mul(xw, wFull)))
+		res := ctx.mul(ctx.inject(inQ, inW, same, nil), wFull)
+		res.Or(ctx.mul(ctx.inject(inQ, inE, same, nil), eFull))
+		return res
+	}
+	if c == d {
+		// Single column: split rows.
+		m1 := (a + b) / 2
+		rn := ctx.rect(a, m1, c, d, depth+1)
+		rs := ctx.rect(m1+1, b, c, d, depth+1)
+		inN, outN := rectIn(a, m1, c, d), rectOut(a, m1, c, d)
+		inS, outS := rectIn(m1+1, b, c, d), rectOut(m1+1, b, c, d)
+		noutQ := ctx.inject(outN, outQ, same, nil)
+		soutQ := ctx.inject(outS, outQ, same, nil)
+		sFull := ctx.mul(rs, soutQ)
+		xn := ctx.inject(outN, inS, crossDown(m1), ctx.blockLeft(ctx.w[m1]))
+		// IN(N) → OUT(Q): direct exits plus crossing down into S.
+		nFull := ctx.mul(rn, noutQ.Or(ctx.mul(xn, sFull)))
+		res := ctx.mul(ctx.inject(inQ, inN, same, nil), nFull)
+		res.Or(ctx.mul(ctx.inject(inQ, inS, same, nil), sFull))
+		return res
+	}
+
+	// Full quadrant split.
+	m1 := (a + b) / 2
+	m2 := (c + d) / 2
+	rnw := ctx.rect(a, m1, c, m2, depth+1)
+	rne := ctx.rect(a, m1, m2+1, d, depth+1)
+	rsw := ctx.rect(m1+1, b, c, m2, depth+1)
+	rse := ctx.rect(m1+1, b, m2+1, d, depth+1)
+
+	inNW, outNW := rectIn(a, m1, c, m2), rectOut(a, m1, c, m2)
+	inNE, outNE := rectIn(a, m1, m2+1, d), rectOut(a, m1, m2+1, d)
+	inSW, outSW := rectIn(m1+1, b, c, m2), rectOut(m1+1, b, c, m2)
+	inSE, outSE := rectIn(m1+1, b, m2+1, d), rectOut(m1+1, b, m2+1, d)
+
+	swFull := ctx.mul(rsw, ctx.inject(outSW, outQ, same, nil))
+	xwDown := ctx.inject(outNW, inSW, crossDown(m1), ctx.blockLeft(ctx.w[m1]))
+	nwFull := ctx.mul(rnw, ctx.inject(outNW, outQ, same, nil).Or(ctx.mul(xwDown, swFull)))
+	xsLeft := ctx.inject(outSE, inSW, crossLeft(m2+1), ctx.blockRight(ctx.w[m2+1]))
+	seFull := ctx.mul(rse, ctx.inject(outSE, outQ, same, nil).Or(ctx.mul(xsLeft, swFull)))
+	xnLeft := ctx.inject(outNE, inNW, crossLeft(m2+1), ctx.blockRight(ctx.w[m2+1]))
+	xeDown := ctx.inject(outNE, inSE, crossDown(m1), ctx.blockLeft(ctx.w[m1]))
+	neFull := ctx.mul(rne, ctx.mul(xnLeft, nwFull).Or(ctx.mul(xeDown, seFull)))
+
+	res := ctx.mul(ctx.inject(inQ, inNW, same, nil), nwFull)
+	res.Or(ctx.mul(ctx.inject(inQ, inNE, same, nil), neFull))
+	res.Or(ctx.mul(ctx.inject(inQ, inSE, same, nil), seFull))
+	return res
+}

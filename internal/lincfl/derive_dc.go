@@ -1,0 +1,206 @@
+package lincfl
+
+import (
+	"partree/internal/boolmat"
+	"partree/internal/grammar"
+	"partree/internal/pram"
+)
+
+// DeriveDC extracts a derivation of w using the same separator
+// decomposition as RecognizeDC — Theorem 8.1's parenthetical "(and
+// generate a parse tree)". The recognition pass caches every region's
+// boundary-reachability matrix; the extraction pass then walks the
+// accepting path down the region tree, picking an explicit waypoint on
+// each separator interface. It returns ok=false when w ∉ L(G).
+func DeriveDC(m *pram.Machine, g *grammar.Linear, w []byte) ([]Step, bool) {
+	n := len(w)
+	if n == 0 {
+		return nil, false
+	}
+	ctx := newTraceCtx(m, g, w)
+	reach := ctx.tri(0, n-1, 1)
+
+	in := triIn(0, n-1)
+	start := vertex{cell: [2]int{0, n - 1}, nt: g.Start}
+	sIdx := in.index[start.cell]*ctx.k + start.nt
+	var target vertex
+	found := false
+	for d := 0; d < n && !found; d++ {
+		for _, r := range g.Term {
+			if r.T == w[d] && reach.Get(sIdx, d*ctx.k+r.A) {
+				target = vertex{cell: [2]int{d, d}, nt: r.A}
+				found = true
+				break
+			}
+		}
+	}
+	if !found {
+		return nil, false
+	}
+
+	verts := ctx.pathTri(0, n-1, start, target)
+	return vertsToSteps(w, verts), true
+}
+
+// vertex is one induced-graph vertex (cell, nonterminal).
+type vertex struct {
+	cell [2]int
+	nt   int
+}
+
+// vertsToSteps converts a vertex path into derivation steps: each edge
+// consumes one outer terminal; the final vertex closes with a terminal
+// rule.
+func vertsToSteps(w []byte, verts []vertex) []Step {
+	var steps []Step
+	for x := 0; x+1 < len(verts); x++ {
+		cur, nxt := verts[x], verts[x+1]
+		switch {
+		case nxt.cell[0] == cur.cell[0]+1 && nxt.cell[1] == cur.cell[1]:
+			steps = append(steps, Step{NT: cur.nt, Left: true, Pos: cur.cell[0]})
+		case nxt.cell[0] == cur.cell[0] && nxt.cell[1] == cur.cell[1]-1:
+			steps = append(steps, Step{NT: cur.nt, Pos: cur.cell[1]})
+		default:
+			panic("lincfl: non-adjacent vertices on extracted path")
+		}
+	}
+	last := verts[len(verts)-1]
+	steps = append(steps, Step{NT: last.nt, Close: true, Pos: last.cell[0]})
+	return steps
+}
+
+// traceCtx wraps dcCtx with per-region reach caches.
+type traceCtx struct {
+	*dcCtx
+	triCache  map[[2]int]*boolmat.Matrix
+	rectCache map[[4]int]*boolmat.Matrix
+}
+
+func newTraceCtx(m *pram.Machine, g *grammar.Linear, w []byte) *traceCtx {
+	base := &dcCtx{
+		g: g, w: w, k: g.NumNT, m: m, cnt: &boolmat.OpCounter{},
+		leftBlock:  make(map[byte]*boolmat.Matrix),
+		rightBlock: make(map[byte]*boolmat.Matrix),
+	}
+	for _, r := range g.Left {
+		b, ok := base.leftBlock[r.T]
+		if !ok {
+			b = boolmat.New(base.k, base.k)
+			base.leftBlock[r.T] = b
+		}
+		b.Set(r.A, r.B, true)
+	}
+	for _, r := range g.Right {
+		b, ok := base.rightBlock[r.T]
+		if !ok {
+			b = boolmat.New(base.k, base.k)
+			base.rightBlock[r.T] = b
+		}
+		b.Set(r.A, r.B, true)
+	}
+	return &traceCtx{
+		dcCtx:     base,
+		triCache:  make(map[[2]int]*boolmat.Matrix),
+		rectCache: make(map[[4]int]*boolmat.Matrix),
+	}
+}
+
+// tri/rect with caching: identical recursion, memoized results.
+func (t *traceCtx) tri(lo, hi, depth int) *boolmat.Matrix {
+	key := [2]int{lo, hi}
+	if r, ok := t.triCache[key]; ok {
+		return r
+	}
+	var r *boolmat.Matrix
+	if lo == hi {
+		r = boolmat.Identity(t.k)
+	} else {
+		mid := (lo + hi) / 2
+		rl := t.tri(lo, mid, depth+1)
+		rr := t.tri(mid+1, hi, depth+1)
+		rq := t.rect(lo, mid, mid+1, hi, depth+1)
+		r = t.dcCtx.combineTri(lo, hi, rl, rr, rq)
+	}
+	t.triCache[key] = r
+	return r
+}
+
+func (t *traceCtx) rect(a, b, c, d, depth int) *boolmat.Matrix {
+	key := [4]int{a, b, c, d}
+	if r, ok := t.rectCache[key]; ok {
+		return r
+	}
+	r := t.rectUncached(a, b, c, d, depth)
+	t.rectCache[key] = r
+	return r
+}
+
+func (t *traceCtx) rectUncached(a, b, c, d, depth int) *boolmat.Matrix {
+	ctx := t.dcCtx
+	if a == b && c == d {
+		return boolmat.Identity(ctx.k)
+	}
+	inQ := rectIn(a, b, c, d)
+	outQ := rectOut(a, b, c, d)
+
+	if a == b {
+		m2 := (c + d) / 2
+		rw := t.rect(a, b, c, m2, depth+1)
+		re := t.rect(a, b, m2+1, d, depth+1)
+		inW, outW := rectIn(a, b, c, m2), rectOut(a, b, c, m2)
+		inE, outE := rectIn(a, b, m2+1, d), rectOut(a, b, m2+1, d)
+		woutQ := ctx.inject(outW, outQ, same, nil)
+		eoutQ := ctx.inject(outE, outQ, same, nil)
+		wFull := ctx.mul(rw, woutQ)
+		xw := ctx.inject(outE, inW, crossLeft(m2+1), ctx.blockRight(ctx.w[m2+1]))
+		eFull := ctx.mul(re, eoutQ.Or(ctx.mul(xw, wFull)))
+		res := ctx.mul(ctx.inject(inQ, inW, same, nil), wFull)
+		res.Or(ctx.mul(ctx.inject(inQ, inE, same, nil), eFull))
+		return res
+	}
+	if c == d {
+		m1 := (a + b) / 2
+		rn := t.rect(a, m1, c, d, depth+1)
+		rs := t.rect(m1+1, b, c, d, depth+1)
+		inN, outN := rectIn(a, m1, c, d), rectOut(a, m1, c, d)
+		inS, outS := rectIn(m1+1, b, c, d), rectOut(m1+1, b, c, d)
+		noutQ := ctx.inject(outN, outQ, same, nil)
+		soutQ := ctx.inject(outS, outQ, same, nil)
+		sFull := ctx.mul(rs, soutQ)
+		xn := ctx.inject(outN, inS, crossDown(m1), ctx.blockLeft(ctx.w[m1]))
+		nFull := ctx.mul(rn, noutQ.Or(ctx.mul(xn, sFull)))
+		res := ctx.mul(ctx.inject(inQ, inN, same, nil), nFull)
+		res.Or(ctx.mul(ctx.inject(inQ, inS, same, nil), sFull))
+		return res
+	}
+
+	m1 := (a + b) / 2
+	m2 := (c + d) / 2
+	rnw := t.rect(a, m1, c, m2, depth+1)
+	rne := t.rect(a, m1, m2+1, d, depth+1)
+	rsw := t.rect(m1+1, b, c, m2, depth+1)
+	rse := t.rect(m1+1, b, m2+1, d, depth+1)
+
+	inNW := rectIn(a, m1, c, m2)
+	outNW := rectOut(a, m1, c, m2)
+	inNE := rectIn(a, m1, m2+1, d)
+	outNE := rectOut(a, m1, m2+1, d)
+	inSW := rectIn(m1+1, b, c, m2)
+	outSW := rectOut(m1+1, b, c, m2)
+	inSE := rectIn(m1+1, b, m2+1, d)
+	outSE := rectOut(m1+1, b, m2+1, d)
+
+	swFull := ctx.mul(rsw, ctx.inject(outSW, outQ, same, nil))
+	xwDown := ctx.inject(outNW, inSW, crossDown(m1), ctx.blockLeft(ctx.w[m1]))
+	nwFull := ctx.mul(rnw, ctx.inject(outNW, outQ, same, nil).Or(ctx.mul(xwDown, swFull)))
+	xsLeft := ctx.inject(outSE, inSW, crossLeft(m2+1), ctx.blockRight(ctx.w[m2+1]))
+	seFull := ctx.mul(rse, ctx.inject(outSE, outQ, same, nil).Or(ctx.mul(xsLeft, swFull)))
+	xnLeft := ctx.inject(outNE, inNW, crossLeft(m2+1), ctx.blockRight(ctx.w[m2+1]))
+	xeDown := ctx.inject(outNE, inSE, crossDown(m1), ctx.blockLeft(ctx.w[m1]))
+	neFull := ctx.mul(rne, ctx.mul(xnLeft, nwFull).Or(ctx.mul(xeDown, seFull)))
+
+	res := ctx.mul(ctx.inject(inQ, inNW, same, nil), nwFull)
+	res.Or(ctx.mul(ctx.inject(inQ, inNE, same, nil), neFull))
+	res.Or(ctx.mul(ctx.inject(inQ, inSE, same, nil), seFull))
+	return res
+}

@@ -1,0 +1,201 @@
+package lincfl
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"partree/internal/grammar"
+	"partree/internal/pram"
+)
+
+func mach() *pram.Machine { return pram.New(pram.WithWorkers(4), pram.WithGrain(8)) }
+
+func TestSequentialPalindrome(t *testing.T) {
+	g := grammar.Palindrome()
+	accept := []string{"c", "aca", "bcb", "abcba", "ababcbaba", "bbacabb"}
+	reject := []string{"", "a", "ab", "abc", "abcab", "acb", "cc", "aacaa_"}
+	for _, s := range accept {
+		if !Sequential(g, []byte(s)) {
+			t.Errorf("palindrome should accept %q", s)
+		}
+	}
+	for _, s := range reject {
+		if Sequential(g, []byte(s)) {
+			t.Errorf("palindrome should reject %q", s)
+		}
+	}
+}
+
+func TestSequentialEqualEnds(t *testing.T) {
+	g := grammar.EqualEnds()
+	for _, s := range []string{"acb", "aaccbb", "acccb", "aacbb"} {
+		if !Sequential(g, []byte(s)) {
+			t.Errorf("should accept %q", s)
+		}
+	}
+	for _, s := range []string{"ab", "acbb", "aacb", "cab", "", "c"} {
+		if Sequential(g, []byte(s)) {
+			t.Errorf("should reject %q", s)
+		}
+	}
+}
+
+func TestDeriveProducesValidDerivation(t *testing.T) {
+	g := grammar.Palindrome()
+	w := []byte("abcba")
+	steps, ok := Derive(g, w)
+	if !ok {
+		t.Fatal("derivation should exist")
+	}
+	// In the normalized grammar every step consumes exactly one terminal.
+	if len(steps) != len(w) {
+		t.Fatalf("derivation length %d, want %d", len(steps), len(w))
+	}
+	if !steps[len(steps)-1].Close {
+		t.Error("last step must be a terminal rule")
+	}
+	text := FormatDerivation(g, w, steps)
+	if !strings.Contains(text, "abcba") || !strings.HasPrefix(text, "S") {
+		t.Errorf("FormatDerivation:\n%s", text)
+	}
+	if _, ok := Derive(g, []byte("ab")); ok {
+		t.Error("derivation of non-member must fail")
+	}
+}
+
+func TestSampleIsInLanguage(t *testing.T) {
+	rng := rand.New(rand.NewSource(223))
+	for _, g := range []*grammar.Linear{grammar.Palindrome(), grammar.EqualEnds()} {
+		for trial := 0; trial < 30; trial++ {
+			w, ok := g.Sample(rng, 50)
+			if !ok {
+				continue
+			}
+			if !Sequential(g, w) {
+				t.Fatalf("sampled word %q not recognized", w)
+			}
+		}
+	}
+}
+
+func TestDCMatchesSequentialOnStock(t *testing.T) {
+	m := mach()
+	for _, g := range []*grammar.Linear{grammar.Palindrome(), grammar.EqualEnds()} {
+		rng := rand.New(rand.NewSource(227))
+		// Members of assorted lengths.
+		for trial := 0; trial < 20; trial++ {
+			w, ok := g.Sample(rng, 40)
+			if !ok {
+				continue
+			}
+			res := RecognizeDC(m, g, w)
+			if !res.Accepted {
+				t.Fatalf("DC rejected member %q", w)
+			}
+		}
+		// Random strings, mostly non-members.
+		for trial := 0; trial < 30; trial++ {
+			n := 1 + rng.Intn(24)
+			w := make([]byte, n)
+			for i := range w {
+				w[i] = "abc"[rng.Intn(3)]
+			}
+			want := Sequential(g, w)
+			got := RecognizeDC(m, g, w).Accepted
+			if want != got {
+				t.Fatalf("%q: sequential %v, DC %v", w, want, got)
+			}
+		}
+	}
+}
+
+func TestDCMatchesSequentialOnRandomGrammars(t *testing.T) {
+	rng := rand.New(rand.NewSource(229))
+	m := mach()
+	for gi := 0; gi < 8; gi++ {
+		g := grammar.Random(rng, 2+rng.Intn(4), []byte("ab"), 2)
+		for trial := 0; trial < 25; trial++ {
+			var w []byte
+			if trial%2 == 0 {
+				var ok bool
+				w, ok = g.Sample(rng, 30)
+				if !ok {
+					continue
+				}
+			} else {
+				n := 1 + rng.Intn(20)
+				w = make([]byte, n)
+				for i := range w {
+					w[i] = "ab"[rng.Intn(2)]
+				}
+			}
+			want := Sequential(g, w)
+			got := RecognizeDC(m, g, w).Accepted
+			if want != got {
+				t.Fatalf("grammar %d, %q: sequential %v, DC %v", gi, w, want, got)
+			}
+		}
+	}
+}
+
+func TestDCEdgeCases(t *testing.T) {
+	g := grammar.Palindrome()
+	m := mach()
+	if RecognizeDC(m, g, nil).Accepted {
+		t.Error("empty word must be rejected")
+	}
+	if !RecognizeDC(m, g, []byte("c")).Accepted {
+		t.Error("single centre symbol must be accepted")
+	}
+	if RecognizeDC(m, g, []byte("a")).Accepted {
+		t.Error("single non-centre symbol must be rejected")
+	}
+	// Length 2: exercises the smallest split.
+	if RecognizeDC(m, g, []byte("ca")).Accepted {
+		t.Error("\"ca\" must be rejected")
+	}
+	g2 := grammar.EqualEnds()
+	// Smallest member of EqualEnds has length 3.
+	if !RecognizeDC(m, g2, []byte("acb")).Accepted {
+		t.Error("\"acb\" must be accepted")
+	}
+}
+
+// Theorem 8.1 shape: recursion depth is O(log n), and the dominant work is
+// the top-level Boolean products: word operations grow far slower than the
+// n³ of a naive path closure.
+func TestDCDepthLogarithmic(t *testing.T) {
+	g := grammar.Palindrome()
+	m := mach()
+	for _, n := range []int{15, 31, 63, 127} {
+		w := make([]byte, n)
+		for i := range w {
+			w[i] = 'a'
+		}
+		w[n/2] = 'c'
+		for i := 0; i < n/2; i++ {
+			w[n-1-i] = w[i]
+		}
+		res := RecognizeDC(m, g, w)
+		if !res.Accepted {
+			t.Fatalf("n=%d: palindrome rejected", n)
+		}
+		// depth ≈ log₂(n) for the triangle plus log for the rectangles.
+		limit := 0
+		for v := 1; v < n; v <<= 1 {
+			limit++
+		}
+		if res.Depth > 2*limit+4 {
+			t.Errorf("n=%d: depth %d exceeds 2·log+4 = %d", n, res.Depth, 2*limit+4)
+		}
+	}
+}
+
+func TestFormatDerivationTermOnly(t *testing.T) {
+	g := grammar.Palindrome()
+	steps, ok := Derive(g, []byte("c"))
+	if !ok || len(steps) != 1 || !steps[0].Close {
+		t.Fatalf("steps = %v ok=%v", steps, ok)
+	}
+}

@@ -1,0 +1,44 @@
+package lincfl
+
+import (
+	"partree/internal/grammar"
+)
+
+// MembershipTable reports, for every substring w[i..j] (inclusive), whether
+// it belongs to L(G) — the complete picture the induced graph encodes.
+// Returned as in[i][j] for 0 ≤ i ≤ j < n (false elsewhere). One quadratic
+// DP pass serves all O(n²) queries, the batch form the Section 8 machinery
+// is naturally suited to.
+func MembershipTable(g *grammar.Linear, w []byte) [][]bool {
+	n := len(w)
+	out := make([][]bool, n)
+	for i := range out {
+		out[i] = make([]bool, n)
+	}
+	if n == 0 {
+		return out
+	}
+	r := table(g, w)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			out[i][j] = r[i][j].has(g.Start)
+		}
+	}
+	return out
+}
+
+// LongestMember returns the longest substring of w in L(G) (leftmost on
+// ties) as a half-open range [i, j), with ok=false when no substring is a
+// member.
+func LongestMember(g *grammar.Linear, w []byte) (int, int, bool) {
+	tab := MembershipTable(g, w)
+	bestI, bestJ, ok := 0, 0, false
+	for i := range tab {
+		for j := i; j < len(tab); j++ {
+			if tab[i][j] && j+1-i > bestJ-bestI {
+				bestI, bestJ, ok = i, j+1, true
+			}
+		}
+	}
+	return bestI, bestJ, ok
+}

@@ -1,0 +1,46 @@
+package lincfl
+
+import (
+	"math/rand"
+	"testing"
+
+	"partree/internal/grammar"
+)
+
+func TestMembershipTableAgreesWithSequential(t *testing.T) {
+	g := grammar.Palindrome()
+	rng := rand.New(rand.NewSource(461))
+	for trial := 0; trial < 10; trial++ {
+		n := 1 + rng.Intn(16)
+		w := make([]byte, n)
+		for i := range w {
+			w[i] = "abc"[rng.Intn(3)]
+		}
+		tab := MembershipTable(g, w)
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				want := Sequential(g, w[i:j+1])
+				if tab[i][j] != want {
+					t.Fatalf("substring %q: table %v, sequential %v", w[i:j+1], tab[i][j], want)
+				}
+			}
+		}
+	}
+}
+
+func TestLongestMember(t *testing.T) {
+	g := grammar.Palindrome()
+	// "xxabcbax": longest palindrome substring with centre c is "abcba".
+	w := []byte("bbabcbab")
+	i, j, ok := LongestMember(g, w)
+	if !ok || string(w[i:j]) != "babcbab" {
+		// "babcbab" is itself a palindrome with centre c — length 7.
+		t.Fatalf("longest member = %q (ok=%v)", w[i:j], ok)
+	}
+	if _, _, ok := LongestMember(g, []byte("aaaa")); ok {
+		t.Error("no substring without centre c can be a member")
+	}
+	if _, _, ok := LongestMember(g, nil); ok {
+		t.Error("empty word has no members")
+	}
+}

@@ -1,0 +1,67 @@
+package lincfl
+
+import (
+	"math/rand"
+	"testing"
+
+	"partree/internal/grammar"
+)
+
+// Reversal closure: w ∈ L(G) iff reverse(w) ∈ L(reverse(G)).
+func TestGrammarReverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(487))
+	for gi := 0; gi < 6; gi++ {
+		g := grammar.Random(rng, 2+rng.Intn(3), []byte("ab"), 2)
+		rev := grammar.Reverse(g)
+		for trial := 0; trial < 25; trial++ {
+			n := 1 + rng.Intn(14)
+			w := make([]byte, n)
+			for i := range w {
+				w[i] = "ab"[rng.Intn(2)]
+			}
+			rw := make([]byte, n)
+			for i := range w {
+				rw[n-1-i] = w[i]
+			}
+			if Sequential(g, w) != Sequential(rev, rw) {
+				t.Fatalf("grammar %d: reversal closure broken on %q", gi, w)
+			}
+		}
+	}
+	// Double reversal is the identity language-wise.
+	g := grammar.EqualEnds()
+	back := grammar.Reverse(grammar.Reverse(g))
+	for _, s := range []string{"acb", "aaccbb", "ab", "cab"} {
+		if Sequential(g, []byte(s)) != Sequential(back, []byte(s)) {
+			t.Fatalf("double reversal changed verdict on %q", s)
+		}
+	}
+}
+
+// Union closure: membership in the union is the disjunction.
+func TestGrammarUnion(t *testing.T) {
+	pal := grammar.Palindrome()
+	frame := grammar.EqualEnds()
+	u := grammar.Union(pal, frame)
+	rng := rand.New(rand.NewSource(491))
+	cases := []string{"c", "aca", "acb", "aaccbb", "ab", "abcba", "zz"}
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + rng.Intn(12)
+		w := make([]byte, n)
+		for i := range w {
+			w[i] = "abc"[rng.Intn(3)]
+		}
+		cases = append(cases, string(w))
+	}
+	for _, s := range cases {
+		w := []byte(s)
+		want := Sequential(pal, w) || Sequential(frame, w)
+		if got := Sequential(u, w); got != want {
+			t.Fatalf("%q: union %v, want %v", s, got, want)
+		}
+		// The parallel recognizer agrees on the union grammar too.
+		if got := RecognizeDC(mach(), u, w).Accepted; got != want {
+			t.Fatalf("%q: union DC %v, want %v", s, got, want)
+		}
+	}
+}

@@ -1,0 +1,155 @@
+// Package lincfl recognizes linear context-free languages (Section 8 of
+// the paper). It provides the quadratic sequential dynamic program over
+// the induced graph IG(G,w) — the oracle, which also extracts derivations
+// — and the paper's parallel algorithm: divide-and-conquer over the
+// triangular grid of substring intervals, combining boundary-reachability
+// matrices of the pieces with Boolean matrix products (Theorem 8.1, with
+// processor count parameterized by the Boolean multiplication M(n)).
+package lincfl
+
+import (
+	"fmt"
+
+	"partree/internal/grammar"
+)
+
+// nonterminal sets are packed bitsets over the grammar's NumNT symbols.
+type ntset []uint64
+
+func newSet(n int) ntset { return make(ntset, (n+63)/64) }
+
+func (s ntset) has(a int) bool { return s[a/64]>>(uint(a)%64)&1 == 1 }
+func (s ntset) add(a int)      { s[a/64] |= 1 << (uint(a) % 64) }
+func (s ntset) empty() bool {
+	for _, w := range s {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// table computes R[i][j] = { A : A ⇒* w_i…w_j } for all 1 ≤ i ≤ j ≤ n in
+// O(n²·|G|) time, processed by increasing interval length. Indices into
+// the returned table are 0-based half-open friendly: R[i][j] with
+// 0 ≤ i ≤ j < n covers w[i..j] inclusive. This is exactly reachability in
+// the induced graph IG(G,w) of Claim 8.1, run backwards (from the
+// diagonal up to (1,n)).
+func table(g *grammar.Linear, w []byte) [][]ntset {
+	n := len(w)
+	r := make([][]ntset, n)
+	for i := range r {
+		r[i] = make([]ntset, n)
+		for j := i; j < n; j++ {
+			r[i][j] = newSet(g.NumNT)
+		}
+	}
+	for i := 0; i < n; i++ {
+		for _, rule := range g.Term {
+			if rule.T == w[i] {
+				r[i][i].add(rule.A)
+			}
+		}
+	}
+	for span := 2; span <= n; span++ {
+		for i := 0; i+span-1 < n; i++ {
+			j := i + span - 1
+			set := r[i][j]
+			for _, rule := range g.Left { // A → w_i B, B ⇒* w_{i+1}…w_j
+				if rule.T == w[i] && r[i+1][j].has(rule.B) {
+					set.add(rule.A)
+				}
+			}
+			for _, rule := range g.Right { // A → B w_j
+				if rule.T == w[j] && r[i][j-1].has(rule.B) {
+					set.add(rule.A)
+				}
+			}
+		}
+	}
+	return r
+}
+
+// Sequential reports whether w ∈ L(G), via the quadratic DP. The empty
+// word is never in a linear-normal-form language.
+func Sequential(g *grammar.Linear, w []byte) bool {
+	if len(w) == 0 {
+		return false
+	}
+	r := table(g, w)
+	return r[0][len(w)-1].has(g.Start)
+}
+
+// Step is one rule application in a linear derivation: it consumes one
+// terminal from the left or the right (or closes with a terminal rule).
+type Step struct {
+	NT    int  // the nonterminal rewritten
+	Left  bool // consumed w[Pos] on the left (A → tB); else on the right (A → Bt)
+	Close bool // terminal rule A → t (final step)
+	Pos   int  // index of the consumed terminal in w
+}
+
+// Derive returns a derivation of w from the start symbol, or ok=false if
+// w ∉ L(G). The derivation is the paper's parse "tree", which for linear
+// grammars is a chain of rule applications.
+func Derive(g *grammar.Linear, w []byte) ([]Step, bool) {
+	n := len(w)
+	if n == 0 {
+		return nil, false
+	}
+	r := table(g, w)
+	if !r[0][n-1].has(g.Start) {
+		return nil, false
+	}
+	var steps []Step
+	i, j, cur := 0, n-1, g.Start
+	for i < j {
+		advanced := false
+		for _, rule := range g.Left {
+			if rule.A == cur && rule.T == w[i] && r[i+1][j].has(rule.B) {
+				steps = append(steps, Step{NT: cur, Left: true, Pos: i})
+				cur, i = rule.B, i+1
+				advanced = true
+				break
+			}
+		}
+		if advanced {
+			continue
+		}
+		for _, rule := range g.Right {
+			if rule.A == cur && rule.T == w[j] && r[i][j-1].has(rule.B) {
+				steps = append(steps, Step{NT: cur, Pos: j})
+				cur, j = rule.B, j-1
+				advanced = true
+				break
+			}
+		}
+		if !advanced {
+			panic("lincfl: table inconsistent with rules")
+		}
+	}
+	steps = append(steps, Step{NT: cur, Close: true, Pos: i})
+	return steps, true
+}
+
+// FormatDerivation renders a derivation as sentential forms.
+func FormatDerivation(g *grammar.Linear, w []byte, steps []Step) string {
+	out := ""
+	lo, hi := 0, len(w)
+	line := func(nt int) string {
+		return fmt.Sprintf("%s%s%s", w[:lo], g.Names[nt], w[hi:])
+	}
+	for _, s := range steps {
+		out += line(s.NT) + "\n"
+		switch {
+		case s.Close:
+			lo++
+		case s.Left:
+			lo++
+		default:
+			hi--
+		}
+	}
+	out += string(w) + "\n"
+	return out
+}

@@ -1,0 +1,130 @@
+package monge
+
+import (
+	"partree/internal/matrix"
+	"partree/internal/semiring"
+)
+
+// RowMinima returns, for each row i of the implicit p×q totally monotone
+// matrix f, the leftmost column index attaining the row minimum, using the
+// SMAWK algorithm in O(p+q) evaluations. Rows whose minimum is +∞ get -1.
+//
+// SMAWK postdates the techniques of Section 4 only slightly and solves the
+// same searching-in-Monge-structure problem; it is included as the
+// sequential ablation baseline for the paper's two Cut algorithms.
+func RowMinima(p, q int, f func(i, k int) float64, cnt *matrix.OpCount) []int {
+	if q == 0 {
+		out := make([]int, p)
+		for i := range out {
+			out[i] = -1
+		}
+		return out
+	}
+	rows := make([]int, p)
+	cols := make([]int, q)
+	for i := range rows {
+		rows[i] = i
+	}
+	for k := range cols {
+		cols[k] = k
+	}
+	result := make([]int, p)
+	for i := range result {
+		result[i] = -1
+	}
+	smawk(rows, cols, f, cnt, result)
+	// Normalize: rows whose minimum is +∞ report -1 (evaluating one entry
+	// per row is within the O(p+q) budget only amortized; we charge it).
+	for _, i := range rows {
+		if result[i] >= 0 {
+			if semiring.IsInf(f(i, result[i])) {
+				result[i] = -1
+			}
+			cnt.Add(1)
+		}
+	}
+	return result
+}
+
+// smawk solves the row-minima problem restricted to the given row and
+// column index sets, writing leftmost argmins into result.
+func smawk(rows, cols []int, f func(i, k int) float64, cnt *matrix.OpCount, result []int) {
+	if len(rows) == 0 {
+		return
+	}
+	// REDUCE: prune columns that cannot hold any row's minimum, keeping at
+	// most len(rows) survivors. The stack invariant: column stack[k] is a
+	// candidate for rows[k:]. Ties keep the earlier (leftmost) column.
+	stack := make([]int, 0, len(rows))
+	for _, c := range cols {
+		for len(stack) > 0 {
+			r := rows[len(stack)-1]
+			cnt.Add(1)
+			if f(r, stack[len(stack)-1]) <= f(r, c) {
+				break
+			}
+			stack = stack[:len(stack)-1]
+		}
+		if len(stack) < len(rows) {
+			stack = append(stack, c)
+		}
+	}
+
+	// Recurse on the odd-indexed rows with the surviving columns.
+	odd := make([]int, 0, len(rows)/2)
+	for i := 1; i < len(rows); i += 2 {
+		odd = append(odd, rows[i])
+	}
+	smawk(odd, stack, f, cnt, result)
+
+	// INTERPOLATE: each even-indexed row's minimum lies between the argmins
+	// of its odd neighbours (total monotonicity), so a single left-to-right
+	// sweep over the surviving columns covers all even rows in O(#cols).
+	j := 0
+	for i := 0; i < len(rows); i += 2 {
+		r := rows[i]
+		hi := stack[len(stack)-1]
+		if i+1 < len(rows) {
+			hi = result[rows[i+1]]
+			if hi < 0 {
+				// The neighbour's minimum was +∞: its argmin carries no
+				// bracketing information, so sweep to the end.
+				hi = stack[len(stack)-1]
+			}
+		}
+		best, arg := semiring.Inf, stack[j]
+		for {
+			c := stack[j]
+			cnt.Add(1)
+			if v := f(r, c); v < best {
+				best, arg = v, c
+			}
+			if c == hi || j == len(stack)-1 {
+				break
+			}
+			j++
+		}
+		result[r] = arg
+	}
+}
+
+// CutSMAWK computes the cut table of the (min,+) product of concave A and
+// B by running SMAWK once per output column on the implicit column matrix
+// C_j[i][k] = A[i][k] + B[k][j]: O(r·(p+q)) comparisons in total.
+func CutSMAWK(a, b *matrix.Dense, cnt *matrix.OpCount) *matrix.IntMat {
+	if a.C != b.R {
+		panic("monge: dimension mismatch")
+	}
+	p, q, r := a.R, a.C, b.C
+	out := matrix.NewInt(p, r)
+	for j := 0; j < r; j++ {
+		jj := j
+		mins := RowMinima(p, q, func(i, k int) float64 {
+			return a.At(i, k) + b.At(k, jj)
+		}, cnt)
+		for i := 0; i < p; i++ {
+			out.Set(i, jj, mins[i])
+		}
+	}
+	return out
+}

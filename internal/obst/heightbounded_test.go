@@ -1,0 +1,127 @@
+package obst
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"partree/internal/xmath"
+)
+
+// Exhaustive oracle: optimal BST cost over trees of height ≤ h, by
+// recursive enumeration with memoization on (a, b, h).
+func bruteHeightBounded(in *Instance, h int) float64 {
+	w := in.weights()
+	type key struct{ a, b, h int }
+	memo := map[key]float64{}
+	var solve func(a, b, h int) float64
+	solve = func(a, b, h int) float64 {
+		if a == b {
+			return 0
+		}
+		if h <= 0 {
+			return math.Inf(1)
+		}
+		k := key{a, b, h}
+		if v, ok := memo[k]; ok {
+			return v
+		}
+		best := math.Inf(1)
+		for r := a + 1; r <= b; r++ {
+			if c := solve(a, r-1, h-1) + solve(r, b, h-1); c < best {
+				best = c
+			}
+		}
+		best += w(a, b)
+		memo[k] = best
+		return best
+	}
+	return solve(0, in.N(), h)
+}
+
+func TestHeightBoundedMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(467))
+	m := mach()
+	for trial := 0; trial < 25; trial++ {
+		n := 1 + rng.Intn(12)
+		in := randInstance(rng, n)
+		minH := xmath.CeilLog2(n + 1)
+		h := minH + rng.Intn(3)
+		cost, tr, err := HeightBounded(m, in, h)
+		if err != nil {
+			t.Fatalf("trial %d (n=%d h=%d): %v", trial, n, h, err)
+		}
+		want := bruteHeightBounded(in, h)
+		if !xmath.AlmostEqual(cost, want, 1e-9) {
+			t.Fatalf("trial %d (n=%d h=%d): concave %v, brute %v", trial, n, h, cost, want)
+		}
+		if err := in.Check(tr); err != nil {
+			t.Fatal(err)
+		}
+		if !xmath.AlmostEqual(in.Cost(tr), cost, 1e-9) {
+			t.Fatalf("trial %d: tree cost disagrees", trial)
+		}
+		// Internal height ≤ h: deepest leaf ≤ h.
+		if tr.Height() > h {
+			t.Fatalf("trial %d: height %d exceeds %d", trial, tr.Height(), h)
+		}
+	}
+}
+
+func TestHeightBoundedUnconstrainedLimit(t *testing.T) {
+	rng := rand.New(rand.NewSource(479))
+	m := mach()
+	for trial := 0; trial < 10; trial++ {
+		n := 1 + rng.Intn(25)
+		in := randInstance(rng, n)
+		cost, _, err := HeightBounded(m, in, n+1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want, _ := Knuth(in); !xmath.AlmostEqual(cost, want, 1e-9) {
+			t.Fatalf("trial %d: generous bound %v ≠ Knuth %v", trial, cost, want)
+		}
+	}
+}
+
+func TestHeightBoundedInfeasible(t *testing.T) {
+	m := mach()
+	in := randInstance(rand.New(rand.NewSource(1)), 8)
+	if _, _, err := HeightBounded(m, in, 2); err == nil {
+		t.Error("8 keys in height 2 must be infeasible (max 3 keys)")
+	}
+	if _, _, err := HeightBounded(m, in, 0); err == nil {
+		t.Error("height 0 must be rejected")
+	}
+	// Exactly tight: 7 keys fit in height 3.
+	in7 := randInstance(rand.New(rand.NewSource(2)), 7)
+	cost, tr, err := HeightBounded(m, in7, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Height() != 3 {
+		t.Errorf("perfectly tight tree height = %d, want 3", tr.Height())
+	}
+	if cost < 0 {
+		t.Error("cost must be non-negative")
+	}
+}
+
+// Monotone in the budget, and the collapsed-instance Approx pipeline's
+// premise: for H from Lemma 6.1, HeightBounded equals the unrestricted
+// optimum of the (collapsed) instance.
+func TestHeightBoundedMonotone(t *testing.T) {
+	m := mach()
+	in := randInstance(rand.New(rand.NewSource(3)), 10)
+	prev := math.Inf(1)
+	for h := 4; h <= 11; h++ {
+		cost, _, err := HeightBounded(m, in, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cost > prev+1e-12 {
+			t.Fatalf("cost increased at h=%d", h)
+		}
+		prev = cost
+	}
+}

@@ -1,0 +1,133 @@
+// Package obst implements optimal binary search trees (Section 6 of the
+// paper): Knuth's O(n²) sequential dynamic program and the naive O(n³) DP
+// as exact baselines, and the paper's parallel ε-approximation (Theorem
+// 6.1) that collapses runs of small frequencies and solves the residual
+// instance with height-bounded concave matrix products.
+package obst
+
+import (
+	"fmt"
+
+	"partree/internal/tree"
+)
+
+// Instance is a binary-search-tree problem: n keys with access
+// probabilities Beta[0…n-1] (the paper's qᵢ) and n+1 gap probabilities
+// Alpha[0…n] (the paper's pᵢ) for misses falling between keys.
+type Instance struct {
+	Beta  []float64
+	Alpha []float64
+}
+
+// NewInstance validates and wraps the probability vectors.
+func NewInstance(beta, alpha []float64) (*Instance, error) {
+	if len(beta) == 0 {
+		return nil, fmt.Errorf("obst: need at least one key")
+	}
+	if len(alpha) != len(beta)+1 {
+		return nil, fmt.Errorf("obst: need %d gap probabilities, got %d", len(beta)+1, len(alpha))
+	}
+	for i, v := range beta {
+		if v < 0 {
+			return nil, fmt.Errorf("obst: negative key probability at %d", i)
+		}
+	}
+	for i, v := range alpha {
+		if v < 0 {
+			return nil, fmt.Errorf("obst: negative gap probability at %d", i)
+		}
+	}
+	return &Instance{Beta: beta, Alpha: alpha}, nil
+}
+
+// N returns the number of keys.
+func (in *Instance) N() int { return len(in.Beta) }
+
+// Total returns the total probability mass.
+func (in *Instance) Total() float64 {
+	t := 0.0
+	for _, v := range in.Beta {
+		t += v
+	}
+	for _, v := range in.Alpha {
+		t += v
+	}
+	return t
+}
+
+// In search trees, internal nodes are keys and leaves are gaps. Node
+// symbols: internal node Symbol = key index (0-based), leaf Symbol = gap
+// index (0-based).
+
+// Cost returns the weighted path length P(T) = Σ βₖ·(depth(k)+1) +
+// Σ αg·depth(g) of a search tree for this instance (Section 6's
+// definition).
+func (in *Instance) Cost(t *tree.Node) float64 {
+	var total float64
+	var walk func(v *tree.Node, d int)
+	walk = func(v *tree.Node, d int) {
+		if v == nil {
+			return
+		}
+		if v.IsLeaf() {
+			total += in.Alpha[v.Symbol] * float64(d)
+			return
+		}
+		total += in.Beta[v.Symbol] * float64(d+1)
+		walk(v.Left, d+1)
+		walk(v.Right, d+1)
+	}
+	walk(t, 0)
+	return total
+}
+
+// Check verifies that t is a well-formed search tree for the instance:
+// every internal node holds one key, every leaf one gap, and an inorder
+// traversal yields gap 0, key 0, gap 1, key 1, …, key n-1, gap n.
+func (in *Instance) Check(t *tree.Node) error {
+	n := in.N()
+	wantLen := 2*n + 1
+	var seq []int // encode: gap g → 2g, key k → 2k+1
+	var walk func(v *tree.Node) error
+	walk = func(v *tree.Node) error {
+		if v == nil {
+			return fmt.Errorf("obst: internal node with missing child")
+		}
+		if v.IsLeaf() {
+			seq = append(seq, 2*v.Symbol)
+			return nil
+		}
+		if err := walk(v.Left); err != nil {
+			return err
+		}
+		seq = append(seq, 2*v.Symbol+1)
+		return walk(v.Right)
+	}
+	if err := walk(t); err != nil {
+		return err
+	}
+	if len(seq) != wantLen {
+		return fmt.Errorf("obst: inorder length %d, want %d", len(seq), wantLen)
+	}
+	for i, v := range seq {
+		if v != i {
+			return fmt.Errorf("obst: inorder position %d holds %d", i, v)
+		}
+	}
+	return nil
+}
+
+// Balanced builds a weight-oblivious balanced search tree over keys
+// [kLo, kHi) and gaps [kLo, kHi]: the recursive midpoint rule, height
+// ≤ ⌈log₂(#keys+1)⌉+1. Used for expanding collapsed runs (step 5 of the
+// paper's algorithm).
+func Balanced(kLo, kHi int) *tree.Node {
+	if kLo >= kHi {
+		return tree.NewLeaf(kLo, 0) // the single gap kLo
+	}
+	mid := (kLo + kHi) / 2
+	n := &tree.Node{Symbol: mid}
+	n.Left = Balanced(kLo, mid)
+	n.Right = Balanced(mid+1, kHi)
+	return n
+}

@@ -1,0 +1,83 @@
+package obst
+
+import (
+	"partree/internal/semiring"
+	"partree/internal/tree"
+)
+
+// weights returns W with W(a,b) = Σ_{keys a+1…b} β + Σ_{gaps a…b} α as a
+// closure over prefix sums.
+func (in *Instance) weights() func(a, b int) float64 {
+	n := in.N()
+	preB := make([]float64, n+1)
+	for i, v := range in.Beta {
+		preB[i+1] = preB[i] + v
+	}
+	preA := make([]float64, n+2)
+	for i, v := range in.Alpha {
+		preA[i+1] = preA[i] + v
+	}
+	return func(a, b int) float64 {
+		return (preB[b] - preB[a]) + (preA[b+1] - preA[a])
+	}
+}
+
+// Knuth computes an optimal binary search tree with Knuth's O(n²) dynamic
+// program: E(a,b) = min_{a<r≤b} E(a,r-1)+E(r,b) + W(a,b) with the root
+// search restricted to [root(a,b-1), root(a+1,b)] (root monotonicity, the
+// sequential ancestor of the paper's concavity argument). It returns the
+// optimal cost and a tree achieving it.
+func Knuth(in *Instance) (float64, *tree.Node) {
+	return in.dp(true)
+}
+
+// Naive computes the same optimum with the unrestricted O(n³) dynamic
+// program — the processor-hungry recurrence the paper's introduction
+// criticizes, kept as a cross-check and benchmark baseline.
+func Naive(in *Instance) (float64, *tree.Node) {
+	return in.dp(false)
+}
+
+func (in *Instance) dp(useMonotonicity bool) (float64, *tree.Node) {
+	n := in.N()
+	w := in.weights()
+	// e[a][b], root[a][b] over boundaries 0 ≤ a ≤ b ≤ n.
+	e := make([][]float64, n+1)
+	root := make([][]int, n+1)
+	for a := 0; a <= n; a++ {
+		e[a] = make([]float64, n+1)
+		root[a] = make([]int, n+1)
+	}
+	for span := 1; span <= n; span++ {
+		for a := 0; a+span <= n; a++ {
+			b := a + span
+			lo, hi := a+1, b
+			if useMonotonicity && span > 1 {
+				lo, hi = root[a][b-1], root[a+1][b]
+			}
+			best, arg := semiring.Inf, lo
+			for r := lo; r <= hi; r++ {
+				if c := e[a][r-1] + e[r][b]; c < best {
+					best, arg = c, r
+				}
+			}
+			e[a][b] = best + w(a, b)
+			root[a][b] = arg
+		}
+	}
+
+	var build func(a, b int) *tree.Node
+	build = func(a, b int) *tree.Node {
+		if a == b {
+			return tree.NewLeaf(a, in.Alpha[a])
+		}
+		r := root[a][b]
+		return &tree.Node{
+			Symbol: r - 1, // key index 0-based
+			Weight: in.Beta[r-1],
+			Left:   build(a, r-1),
+			Right:  build(r, b),
+		}
+	}
+	return e[0][n], build(0, n)
+}

@@ -1,0 +1,53 @@
+package obst
+
+import (
+	"partree/internal/tree"
+)
+
+// Mehlhorn builds a search tree with the weight-balancing heuristic of
+// Güttler–Mehlhorn–Schneider — the paper's reference [7], whose
+// depth-vs-weight bound (Lemma 6.1) underpins the Section 6 approximation:
+// every subtree's root is chosen to split the remaining probability mass
+// as evenly as possible. O(n log n) time via binary search on the prefix
+// sums; the result is within a constant factor of optimal (≈1.44·H + 2
+// in the classical analysis) but not exact — Knuth's DP and Approx are
+// the exact/ε-exact engines; this is the cheap practical baseline.
+func Mehlhorn(in *Instance) (float64, *tree.Node) {
+	n := in.N()
+	w := in.weights()
+	// Prefix mass over boundaries for the median search: mass(a,b) = W(a,b).
+	var build func(a, b int) *tree.Node
+	build = func(a, b int) *tree.Node {
+		if a == b {
+			return tree.NewLeaf(a, in.Alpha[a])
+		}
+		// Choose r ∈ (a, b] minimizing |W(a,r-1) − W(r,b)| by scanning with
+		// early exit (the difference is monotone in r, so binary search
+		// works; the scan keeps the code obvious and is O(b-a) — total
+		// O(n log n) expected on balanced splits, O(n²) worst case).
+		bestR, bestDiff := a+1, abs64(w(a, a)-w(a+1, b))
+		for r := a + 2; r <= b; r++ {
+			d := abs64(w(a, r-1) - w(r, b))
+			if d < bestDiff {
+				bestR, bestDiff = r, d
+			} else if d > bestDiff {
+				break // monotone beyond the minimum
+			}
+		}
+		return &tree.Node{
+			Symbol: bestR - 1,
+			Weight: in.Beta[bestR-1],
+			Left:   build(a, bestR-1),
+			Right:  build(bestR, b),
+		}
+	}
+	t := build(0, n)
+	return in.Cost(t), t
+}
+
+func abs64(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,68 @@
+package obst
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMehlhornValidAndBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(509))
+	worst := 0.0
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(60)
+		in := randInstance(rng, n)
+		cost, tr := Mehlhorn(in)
+		if err := in.Check(tr); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		opt, _ := Knuth(in)
+		if cost < opt-1e-9 {
+			t.Fatalf("trial %d: heuristic %v beats optimum %v (impossible)", trial, cost, opt)
+		}
+		// Classical analysis: within a small constant factor plus an
+		// additive term of the optimum.
+		if opt > 0 && cost > 2*opt+1 {
+			t.Fatalf("trial %d: heuristic %v too far from optimum %v", trial, cost, opt)
+		}
+		if opt > 0 {
+			if r := cost / opt; r > worst {
+				worst = r
+			}
+		}
+	}
+	t.Logf("worst heuristic/optimal ratio observed: %.3f", worst)
+}
+
+// Lemma 6.1's flavour: under the weight-balancing rule, a subtree of
+// weight w sits at depth O(log(1/w)) — heavy keys end up shallow.
+func TestMehlhornHeavyKeysShallow(t *testing.T) {
+	n := 63
+	beta := make([]float64, n)
+	alpha := make([]float64, n+1)
+	for i := range beta {
+		beta[i] = 0.001
+	}
+	heavy := 31
+	beta[heavy] = 1.0
+	in, err := NewInstance(beta, alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, tr := Mehlhorn(in)
+	// The dominant key must be at the root (it holds most of the mass).
+	if tr.Symbol != heavy {
+		t.Errorf("dominant key at root: got %d, want %d", tr.Symbol, heavy)
+	}
+	if h := tr.Height(); h > int(math.Ceil(math.Log2(float64(n+1))))+2 {
+		t.Errorf("near-uniform remainder should stay near-balanced: height %d", h)
+	}
+}
+
+func TestMehlhornSingleKey(t *testing.T) {
+	in, _ := NewInstance([]float64{0.6}, []float64{0.2, 0.2})
+	cost, tr := Mehlhorn(in)
+	if tr.Symbol != 0 || cost != 0.6+0.2+0.2 {
+		t.Errorf("single key: cost %v tree %v", cost, tr)
+	}
+}

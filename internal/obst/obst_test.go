@@ -1,0 +1,272 @@
+package obst
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"partree/internal/pram"
+	"partree/internal/workload"
+	"partree/internal/xmath"
+)
+
+func mach() *pram.Machine { return pram.New(pram.WithWorkers(4), pram.WithGrain(64)) }
+
+func randInstance(rng *rand.Rand, n int) *Instance {
+	beta := make([]float64, n)
+	alpha := make([]float64, n+1)
+	total := 0.0
+	for i := range beta {
+		beta[i] = rng.Float64()
+		total += beta[i]
+	}
+	for i := range alpha {
+		alpha[i] = rng.Float64()
+		total += alpha[i]
+	}
+	for i := range beta {
+		beta[i] /= total
+	}
+	for i := range alpha {
+		alpha[i] /= total
+	}
+	in, err := NewInstance(beta, alpha)
+	if err != nil {
+		panic(err)
+	}
+	return in
+}
+
+func zipfInstance(n int) *Instance {
+	z := workload.Zipf(n, 1.0)
+	beta := make([]float64, n)
+	alpha := make([]float64, n+1)
+	for i := range beta {
+		beta[i] = z[i] * 0.8
+	}
+	for i := range alpha {
+		alpha[i] = 0.2 / float64(n+1)
+	}
+	in, err := NewInstance(beta, alpha)
+	if err != nil {
+		panic(err)
+	}
+	return in
+}
+
+func TestNewInstanceValidation(t *testing.T) {
+	if _, err := NewInstance(nil, []float64{1}); err == nil {
+		t.Error("zero keys must fail")
+	}
+	if _, err := NewInstance([]float64{1}, []float64{1}); err == nil {
+		t.Error("wrong gap count must fail")
+	}
+	if _, err := NewInstance([]float64{-1}, []float64{0, 0}); err == nil {
+		t.Error("negative probability must fail")
+	}
+	if _, err := NewInstance([]float64{0.5}, []float64{0.25, 0.25}); err != nil {
+		t.Errorf("valid instance rejected: %v", err)
+	}
+}
+
+func TestKnuthKnownSmall(t *testing.T) {
+	// CLRS example (15.5): p=(0.15,0.10,0.05,0.10,0.20),
+	// q=(0.05,0.10,0.05,0.05,0.05,0.10). CLRS reports 2.75 counting a
+	// dummy key at depth d as d+1; the paper's P(T) (Section 6) counts
+	// leaves at their depth, so the expected value here is
+	// 2.75 − Σq = 2.75 − 0.40 = 2.35.
+	in, err := NewInstance(
+		[]float64{0.15, 0.10, 0.05, 0.10, 0.20},
+		[]float64{0.05, 0.10, 0.05, 0.05, 0.05, 0.10},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost, tr := Knuth(in)
+	if !xmath.AlmostEqual(cost, 2.35, 1e-9) {
+		t.Errorf("Knuth cost = %v, want 2.35", cost)
+	}
+	if err := in.Check(tr); err != nil {
+		t.Fatal(err)
+	}
+	if got := in.Cost(tr); !xmath.AlmostEqual(got, cost, 1e-9) {
+		t.Errorf("tree cost %v ≠ DP cost %v", got, cost)
+	}
+}
+
+func TestKnuthMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(197))
+	for trial := 0; trial < 30; trial++ {
+		in := randInstance(rng, 1+rng.Intn(40))
+		ck, tk := Knuth(in)
+		cn, tn := Naive(in)
+		if !xmath.AlmostEqual(ck, cn, 1e-9) {
+			t.Fatalf("trial %d: Knuth %v vs naive %v", trial, ck, cn)
+		}
+		if err := in.Check(tk); err != nil {
+			t.Fatal(err)
+		}
+		if err := in.Check(tn); err != nil {
+			t.Fatal(err)
+		}
+		if !xmath.AlmostEqual(in.Cost(tk), ck, 1e-9) || !xmath.AlmostEqual(in.Cost(tn), cn, 1e-9) {
+			t.Fatalf("trial %d: reconstructed costs disagree with DP", trial)
+		}
+	}
+}
+
+func TestKnuthSingleKey(t *testing.T) {
+	in, _ := NewInstance([]float64{0.5}, []float64{0.25, 0.25})
+	cost, tr := Knuth(in)
+	// Single key at depth 0: 0.5·1 + 0.25·1 + 0.25·1 = 1.
+	if !xmath.AlmostEqual(cost, 1.0, 1e-12) {
+		t.Errorf("cost = %v, want 1", cost)
+	}
+	if err := in.Check(tr); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBalancedShape(t *testing.T) {
+	tr := Balanced(0, 7)
+	in := &Instance{Beta: make([]float64, 7), Alpha: make([]float64, 8)}
+	if err := in.Check(tr); err != nil {
+		t.Fatal(err)
+	}
+	if h := tr.Height(); h != 3 {
+		t.Errorf("balanced height = %d, want 3", h)
+	}
+	if !Balanced(2, 2).IsLeaf() {
+		t.Error("empty key range must be a single gap leaf")
+	}
+}
+
+// Theorem 6.1 / Lemma 6.2: Approx is within ε of the Knuth optimum and
+// structurally valid.
+func TestApproxWithinEpsilon(t *testing.T) {
+	rng := rand.New(rand.NewSource(199))
+	m := mach()
+	for trial := 0; trial < 15; trial++ {
+		n := 2 + rng.Intn(40)
+		var in *Instance
+		if trial%2 == 0 {
+			in = randInstance(rng, n)
+		} else {
+			in = zipfInstance(n)
+		}
+		eps := 1 / float64(n*n)
+		res := Approx(m, in, eps)
+		if err := in.Check(res.Tree); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		opt, _ := Knuth(in)
+		if res.Cost < opt-1e-9 {
+			t.Fatalf("trial %d: approx %v below optimum %v", trial, res.Cost, opt)
+		}
+		if res.Cost > opt+eps+1e-9 {
+			t.Fatalf("trial %d: approx %v exceeds optimum %v + ε %v", trial, res.Cost, opt, eps)
+		}
+	}
+}
+
+// With many tiny frequencies the collapsed instance is genuinely smaller,
+// and the answer must still be within ε.
+func TestApproxCollapsesSmallRuns(t *testing.T) {
+	rng := rand.New(rand.NewSource(211))
+	m := mach()
+	n := 60
+	beta := make([]float64, n)
+	alpha := make([]float64, n+1)
+	// Five heavy keys; everything else negligible.
+	heavy := map[int]bool{5: true, 17: true, 29: true, 41: true, 53: true}
+	rest := 0.0
+	for i := range beta {
+		if heavy[i] {
+			beta[i] = 0.19
+		} else {
+			beta[i] = rng.Float64() * 1e-9
+			rest += beta[i]
+		}
+	}
+	for i := range alpha {
+		alpha[i] = rng.Float64() * 1e-9
+		rest += alpha[i]
+	}
+	in, err := NewInstance(beta, alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eps := 0.001
+	res := Approx(m, in, eps)
+	if res.Collapsed >= n {
+		t.Errorf("expected collapsing, got %d of %d keys", res.Collapsed, n)
+	}
+	if err := in.Check(res.Tree); err != nil {
+		t.Fatal(err)
+	}
+	opt, _ := Knuth(in)
+	if res.Cost > opt+eps {
+		t.Errorf("approx %v exceeds optimum %v + ε", res.Cost, opt)
+	}
+	_ = rest // the accumulated light mass, kept for debugging
+}
+
+func TestApproxAllSmall(t *testing.T) {
+	// Everything below δ: the whole instance collapses; any balanced tree
+	// is within ε since total mass < ε.
+	n := 16
+	beta := make([]float64, n)
+	alpha := make([]float64, n+1)
+	for i := range beta {
+		beta[i] = 1e-12
+	}
+	for i := range alpha {
+		alpha[i] = 1e-12
+	}
+	in, _ := NewInstance(beta, alpha)
+	res := Approx(mach(), in, 0.01)
+	if res.Collapsed != 0 {
+		t.Errorf("expected full collapse, got %d keys", res.Collapsed)
+	}
+	if err := in.Check(res.Tree); err != nil {
+		t.Fatal(err)
+	}
+	if h := res.Tree.Height(); h > xmath.CeilLog2(n+1)+2 {
+		t.Errorf("balanced expansion too deep: %d", h)
+	}
+}
+
+func TestApproxPanicsOnBadEps(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("eps ≤ 0 must panic")
+		}
+	}()
+	in, _ := NewInstance([]float64{1}, []float64{0, 0})
+	Approx(mach(), in, 0)
+}
+
+func TestCostAgainstManualExample(t *testing.T) {
+	// Tree: root = key0, right child = key1; gaps at depths 1, 2, 2.
+	in, _ := NewInstance([]float64{0.3, 0.3}, []float64{0.1, 0.2, 0.1})
+	_, tr := Knuth(in)
+	if err := in.Check(tr); err != nil {
+		t.Fatal(err)
+	}
+	// Enumerate both shapes manually: root=key0 → cost = .3·1 + .3·2 +
+	// .1·1 + (.2+.1)·2 = 1.6; root=key1 → .3·1+.3·2+(.1+.2)·2+.1·1 = 1.6.
+	cost, _ := Knuth(in)
+	if !xmath.AlmostEqual(cost, 1.6, 1e-9) {
+		t.Errorf("cost = %v, want 1.6", cost)
+	}
+}
+
+func TestTotalAndN(t *testing.T) {
+	in, _ := NewInstance([]float64{0.25, 0.25}, []float64{0.2, 0.2, 0.1})
+	if in.N() != 2 {
+		t.Error("N wrong")
+	}
+	if math.Abs(in.Total()-1.0) > 1e-12 {
+		t.Errorf("Total = %v", in.Total())
+	}
+}

@@ -1,0 +1,70 @@
+package par
+
+import (
+	"testing"
+
+	"partree/internal/pram"
+)
+
+// The Hillis–Steele scan used by ScanInclusive reads cur[i-d] and cur[i]
+// in the same step: cell i is read by processors i and i+d concurrently,
+// so the algorithm is CREW but NOT EREW. This integration test runs the
+// same access pattern through a TraceMemory under both models to pin the
+// distinction down — the reason the paper states Theorem 4.1 for CREW
+// machines while Theorem 7.1 (whose accesses are disjoint) gets EREW.
+func TestScanAccessPatternIsCREWNotEREW(t *testing.T) {
+	n := 16
+	run := func(model pram.Model) []pram.Violation {
+		mem := pram.NewTraceMemory(model, 2*n) // [0,n) = cur, [n,2n) = next
+		m := pram.New(pram.WithWorkers(4), pram.WithGrain(2))
+		for i := 0; i < n; i++ {
+			mem.Write(i, float64(i+1))
+		}
+		mem.EndStep()
+		for d := 1; d < n; d <<= 1 {
+			dd := d
+			m.For(n, func(i int) {
+				if i >= dd {
+					mem.Write(n+i, mem.Read(i-dd)+mem.Read(i))
+				} else {
+					mem.Write(n+i, mem.Read(i))
+				}
+			})
+			mem.EndStep()
+			m.For(n, func(i int) {
+				mem.Write(i, mem.Read(n+i))
+			})
+			mem.EndStep()
+		}
+		// Sanity: the scan result is the prefix sum 1+2+…+n at cell n-1.
+		if got, want := mem.Snapshot()[n-1], float64(n*(n+1)/2); got != want {
+			t.Fatalf("scan result %v, want %v", got, want)
+		}
+		return mem.Violations()
+	}
+
+	if v := run(pram.CREW); len(v) != 0 {
+		t.Errorf("scan must be CREW-clean, got %d violations: %v", len(v), v[0])
+	}
+	if v := run(pram.EREW); len(v) == 0 {
+		t.Error("scan must trip the EREW checker (concurrent reads)")
+	}
+}
+
+// The parent-linking statement of the monotone tree construction
+// (Theorem 7.1) is EREW: every node reads only its own cells and writes a
+// distinct child slot. This test replays the same shape — disjoint
+// read/write sets — and confirms a clean EREW trace.
+func TestDisjointLinkingIsEREWClean(t *testing.T) {
+	n := 64
+	mem := pram.NewTraceMemory(pram.EREW, 2*n)
+	m := pram.New(pram.WithWorkers(4), pram.WithGrain(4))
+	m.For(n, func(i int) {
+		v := mem.Read(i)    // own cell only
+		mem.Write(n+i, v+1) // distinct target per processor
+	})
+	mem.EndStep()
+	if v := mem.Violations(); len(v) != 0 {
+		t.Errorf("disjoint pattern must be EREW-clean: %v", v)
+	}
+}

@@ -1,0 +1,67 @@
+package par
+
+import (
+	"sync/atomic"
+
+	"partree/internal/pram"
+)
+
+// MinDoublyLog finds the minimum of xs in O(log log n) rounds on a
+// common-CRCW PRAM with n processors — the doubly-logarithmic paradigm
+// behind the paper's CRCW bounds (Theorem 4.1's O((log log n)²) concave
+// multiplication time assumes an O(log log n) minimum; cf. Valiant).
+//
+// Round i reduces the candidate array of size s to s²/n by splitting it
+// into groups of size g = max(2, ⌊n/s⌋) and taking each group's minimum
+// with all-pairs comparisons — (s/g)·g² = s·g ≤ n processor slots — in
+// O(1) CRCW time (losers are marked by concurrent common writes). The
+// size exponent's deficit doubles every round, so 1 + ⌈log₂ log₂ n⌉
+// rounds suffice.
+//
+// It returns the minimum value and the number of rounds used. For ties
+// the surviving index is the smallest (losers are marked with strict
+// comparisons ordered by index).
+func MinDoublyLog(m *pram.Machine, xs []float64) (float64, int) {
+	n := len(xs)
+	if n == 0 {
+		panic("par: MinDoublyLog of empty slice")
+	}
+	cur := append([]float64(nil), xs...)
+	rounds := 0
+	for len(cur) > 1 {
+		rounds++
+		s := len(cur)
+		g := n / s
+		if g < 2 {
+			g = 2
+		}
+		if g > s {
+			g = s
+		}
+		groups := (s + g - 1) / g
+		loser := make([]int32, s) // stored atomically: the common-CRCW write
+		// All-pairs elimination inside each group: one CRCW statement over
+		// s·g virtual processors. Writes to loser[·] may collide, but every
+		// writer writes the same value (true) — the common-CRCW discipline.
+		m.For(s*g, func(e int) {
+			i := e / g // candidate index
+			o := e % g // opponent offset within i's group
+			grp := i / g
+			j := grp*g + o
+			if j >= s || j == i {
+				return
+			}
+			if cur[j] < cur[i] || (cur[j] == cur[i] && j < i) {
+				atomic.StoreInt32(&loser[i], 1)
+			}
+		})
+		next := make([]float64, groups)
+		m.For(s, func(i int) {
+			if loser[i] == 0 {
+				next[i/g] = cur[i] // exactly one survivor per group: exclusive write
+			}
+		})
+		cur = next
+	}
+	return cur[0], rounds
+}

@@ -1,0 +1,90 @@
+package par
+
+import (
+	"math/rand"
+	"testing"
+
+	"partree/internal/pram"
+)
+
+func TestMinDoublyLogCorrect(t *testing.T) {
+	rng := rand.New(rand.NewSource(277))
+	m := mach()
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(2000)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+		}
+		want := xs[0]
+		for _, v := range xs {
+			if v < want {
+				want = v
+			}
+		}
+		got, _ := MinDoublyLog(m, xs)
+		if got != want {
+			t.Fatalf("trial %d: min %v, want %v", trial, got, want)
+		}
+	}
+}
+
+func TestMinDoublyLogDuplicates(t *testing.T) {
+	m := mach()
+	got, _ := MinDoublyLog(m, []float64{3, 1, 1, 1, 3, 1})
+	if got != 1 {
+		t.Errorf("min of duplicates = %v", got)
+	}
+	got, _ = MinDoublyLog(m, []float64{7})
+	if got != 7 {
+		t.Errorf("singleton min = %v", got)
+	}
+}
+
+// The round count must grow doubly-logarithmically: log log n + O(1),
+// clearly separated from the log n of a binary reduction tree.
+func TestMinDoublyLogRoundCount(t *testing.T) {
+	m := mach()
+	cases := []struct {
+		n      int
+		maxRnd int
+	}{
+		{16, 4}, {256, 5}, {4096, 5}, {65536, 6}, {1 << 20, 6},
+	}
+	for _, c := range cases {
+		xs := make([]float64, c.n)
+		for i := range xs {
+			xs[i] = float64(c.n - i)
+		}
+		_, rounds := MinDoublyLog(m, xs)
+		if rounds > c.maxRnd {
+			t.Errorf("n=%d: %d rounds, want ≤ %d (log log n + O(1))", c.n, rounds, c.maxRnd)
+		}
+	}
+}
+
+// Work stays O(n) per round: the total virtual-processor count across a
+// full run is O(n log log n).
+func TestMinDoublyLogWorkBudget(t *testing.T) {
+	n := 1 << 16
+	m := pram.New()
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = float64(i ^ 0x5aa5)
+	}
+	m.Reset()
+	MinDoublyLog(m, xs)
+	work := m.Counters().Work
+	if work > int64(8*n) {
+		t.Errorf("work = %d, want ≤ 8n = %d", work, 8*n)
+	}
+}
+
+func TestMinDoublyLogEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("empty input must panic")
+		}
+	}()
+	MinDoublyLog(mach(), nil)
+}

@@ -1,0 +1,225 @@
+// Package par implements the classic PRAM primitives the paper's algorithms
+// assume as standard machinery: parallel reduction, prefix sums (scan),
+// stream compaction (pack), pointer-jumping list ranking, and a parallel
+// merge sort. All primitives run on a pram.Machine and inherit its step and
+// work accounting, so the polylogarithmic round counts the paper quotes are
+// directly observable in tests.
+package par
+
+import (
+	"partree/internal/pram"
+)
+
+// Reduce combines xs with the associative operation op using a balanced
+// binary reduction tree: ⌈log₂ n⌉ parallel rounds. It returns the identity
+// value id for an empty slice. xs is not modified.
+func Reduce[T any](m *pram.Machine, xs []T, id T, op func(T, T) T) T {
+	n := len(xs)
+	if n == 0 {
+		return id
+	}
+	buf := make([]T, n)
+	copy(buf, xs)
+	for width := 1; width < n; width <<= 1 {
+		w := width // capture for the closure
+		pairs := (n - w + 2*w - 1) / (2 * w)
+		m.For(pairs, func(p int) {
+			i := p * 2 * w
+			j := i + w
+			if j < n {
+				buf[i] = op(buf[i], buf[j])
+			}
+		})
+	}
+	return buf[0]
+}
+
+// ScanExclusive returns the exclusive prefix combination of xs under the
+// associative operation op with identity id: out[i] = op(xs[0],…,xs[i-1]),
+// out[0] = id. It uses the Hillis–Steele doubling scheme: ⌈log₂ n⌉ rounds,
+// O(n log n) work. xs is not modified.
+func ScanExclusive[T any](m *pram.Machine, xs []T, id T, op func(T, T) T) []T {
+	inc := ScanInclusive(m, xs, op)
+	out := make([]T, len(xs))
+	m.For(len(xs), func(i int) {
+		if i == 0 {
+			out[i] = id
+		} else {
+			out[i] = inc[i-1]
+		}
+	})
+	return out
+}
+
+// ScanInclusive returns the inclusive prefix combination of xs:
+// out[i] = op(xs[0],…,xs[i]). ⌈log₂ n⌉ rounds. xs is not modified.
+func ScanInclusive[T any](m *pram.Machine, xs []T, op func(T, T) T) []T {
+	n := len(xs)
+	cur := make([]T, n)
+	copy(cur, xs)
+	if n == 0 {
+		return cur
+	}
+	next := make([]T, n)
+	for d := 1; d < n; d <<= 1 {
+		dd := d
+		m.For(n, func(i int) {
+			if i >= dd {
+				next[i] = op(cur[i-dd], cur[i])
+			} else {
+				next[i] = cur[i]
+			}
+		})
+		cur, next = next, cur
+	}
+	return cur
+}
+
+// Pack returns the elements of xs whose keep flag is set, preserving order.
+// It is the standard compaction built from an exclusive +-scan of the
+// indicator vector: O(log n) rounds.
+func Pack[T any](m *pram.Machine, xs []T, keep []bool) []T {
+	if len(xs) != len(keep) {
+		panic("par: Pack length mismatch")
+	}
+	n := len(xs)
+	if n == 0 {
+		return nil
+	}
+	ind := make([]int, n)
+	m.For(n, func(i int) {
+		if keep[i] {
+			ind[i] = 1
+		}
+	})
+	pos := ScanInclusive(m, ind, func(a, b int) int { return a + b })
+	total := pos[n-1]
+	out := make([]T, total)
+	m.For(n, func(i int) {
+		if keep[i] {
+			out[pos[i]-1] = xs[i]
+		}
+	})
+	return out
+}
+
+// ListRank computes, for each node of a linked list given by next pointers
+// (next[i] = -1 marks the tail), the number of hops from i to the tail.
+// It uses pointer jumping (Wyllie's algorithm): ⌈log₂ n⌉ rounds, O(n log n)
+// work. next is not modified. Nodes not on any list (cycles) are not
+// supported and cause a panic after the round budget is exhausted.
+func ListRank(m *pram.Machine, next []int) []int {
+	n := len(next)
+	rank := make([]int, n)
+	ptrA := make([]int, n)
+	m.For(n, func(i int) {
+		ptrA[i] = next[i]
+		if next[i] != -1 {
+			rank[i] = 1
+		}
+	})
+	ptrB := make([]int, n)
+	rankB := make([]int, n)
+	rounds := 0
+	for {
+		done := true
+		for i := 0; i < n; i++ {
+			if ptrA[i] != -1 {
+				done = false
+				break
+			}
+		}
+		if done {
+			break
+		}
+		if rounds > 2*len(next)+64 {
+			panic("par: ListRank did not converge (cycle in list?)")
+		}
+		rounds++
+		m.For(n, func(i int) {
+			if p := ptrA[i]; p != -1 {
+				rankB[i] = rank[i] + rank[p]
+				ptrB[i] = ptrA[p]
+			} else {
+				rankB[i] = rank[i]
+				ptrB[i] = -1
+			}
+		})
+		ptrA, ptrB = ptrB, ptrA
+		rank, rankB = rankB, rank
+	}
+	return rank
+}
+
+// MergeSort sorts xs under the strict-weak-ordering less, stably, using a
+// bottom-up parallel merge sort: ⌈log₂ n⌉ merge rounds, where each round
+// places every element by binary search into its merged block (a CREW
+// parallel merge). O(log² n) PRAM time, O(n log n) work with n processors.
+// It returns a newly allocated sorted slice; xs is not modified.
+func MergeSort[T any](m *pram.Machine, xs []T, less func(a, b T) bool) []T {
+	n := len(xs)
+	cur := make([]T, n)
+	copy(cur, xs)
+	if n <= 1 {
+		return cur
+	}
+	next := make([]T, n)
+	for width := 1; width < n; width <<= 1 {
+		w := width
+		m.For(n, func(i int) {
+			blockPair := i / (2 * w)
+			lo := blockPair * 2 * w
+			mid := lo + w
+			hi := lo + 2*w
+			if mid > n {
+				mid = n
+			}
+			if hi > n {
+				hi = n
+			}
+			if i < mid {
+				// Element of the left block A = cur[lo:mid]: its merged
+				// position is offset by the count of B-elements strictly
+				// less than it (lower bound), which keeps the sort stable.
+				r := lowerBound(cur[mid:hi], cur[i], less)
+				next[lo+(i-lo)+r] = cur[i]
+			} else {
+				// Element of the right block B = cur[mid:hi]: offset by the
+				// count of A-elements less than or equal to it (upper
+				// bound).
+				r := upperBound(cur[lo:mid], cur[i], less)
+				next[lo+(i-mid)+r] = cur[i]
+			}
+		})
+		cur, next = next, cur
+	}
+	return cur
+}
+
+// lowerBound returns the number of elements of s strictly less than v.
+func lowerBound[T any](s []T, v T, less func(a, b T) bool) int {
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if less(s[mid], v) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// upperBound returns the number of elements of s less than or equal to v.
+func upperBound[T any](s []T, v T, less func(a, b T) bool) int {
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if less(v, s[mid]) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}

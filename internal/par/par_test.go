@@ -1,0 +1,233 @@
+package par
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"partree/internal/pram"
+	"partree/internal/xmath"
+)
+
+func mach() *pram.Machine { return pram.New(pram.WithWorkers(4), pram.WithGrain(16)) }
+
+func TestReduceSum(t *testing.T) {
+	m := mach()
+	for _, n := range []int{0, 1, 2, 3, 7, 8, 100, 1023} {
+		xs := make([]int, n)
+		want := 0
+		for i := range xs {
+			xs[i] = i + 1
+			want += i + 1
+		}
+		got := Reduce(m, xs, 0, func(a, b int) int { return a + b })
+		if got != want {
+			t.Errorf("n=%d: Reduce sum = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestReduceDoesNotModifyInput(t *testing.T) {
+	m := mach()
+	xs := []int{5, 3, 9, 1}
+	Reduce(m, xs, 0, func(a, b int) int { return a + b })
+	if xs[0] != 5 || xs[1] != 3 || xs[2] != 9 || xs[3] != 1 {
+		t.Errorf("input modified: %v", xs)
+	}
+}
+
+func TestReduceLogRounds(t *testing.T) {
+	m := pram.New()
+	n := 1024
+	xs := make([]int, n)
+	Reduce(m, xs, 0, func(a, b int) int { return a + b })
+	c := m.Counters()
+	if c.Steps != int64(xmath.CeilLog2(n)) {
+		t.Errorf("reduce over %d used %d rounds, want %d", n, c.Steps, xmath.CeilLog2(n))
+	}
+}
+
+func TestScanInclusive(t *testing.T) {
+	m := mach()
+	for _, n := range []int{0, 1, 2, 5, 64, 100} {
+		xs := make([]int, n)
+		for i := range xs {
+			xs[i] = i + 1
+		}
+		got := ScanInclusive(m, xs, func(a, b int) int { return a + b })
+		run := 0
+		for i := 0; i < n; i++ {
+			run += xs[i]
+			if got[i] != run {
+				t.Fatalf("n=%d: inclusive scan[%d] = %d, want %d", n, i, got[i], run)
+			}
+		}
+	}
+}
+
+func TestScanExclusive(t *testing.T) {
+	m := mach()
+	xs := []int{3, 1, 4, 1, 5}
+	got := ScanExclusive(m, xs, 0, func(a, b int) int { return a + b })
+	want := []int{0, 3, 4, 8, 9}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("exclusive scan = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestScanNonCommutativeOp(t *testing.T) {
+	// String concatenation is associative but not commutative; the scan
+	// must preserve order.
+	m := mach()
+	xs := []string{"a", "b", "c", "d", "e", "f", "g"}
+	got := ScanInclusive(m, xs, func(a, b string) string { return a + b })
+	if got[6] != "abcdefg" || got[3] != "abcd" {
+		t.Errorf("scan = %v", got)
+	}
+}
+
+func TestPack(t *testing.T) {
+	m := mach()
+	xs := []int{10, 11, 12, 13, 14, 15}
+	keep := []bool{true, false, true, false, false, true}
+	got := Pack(m, xs, keep)
+	want := []int{10, 12, 15}
+	if len(got) != len(want) {
+		t.Fatalf("Pack = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Pack = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestPackEdgeCases(t *testing.T) {
+	m := mach()
+	if got := Pack(m, []int{}, []bool{}); len(got) != 0 {
+		t.Errorf("empty pack = %v", got)
+	}
+	if got := Pack(m, []int{1, 2}, []bool{false, false}); len(got) != 0 {
+		t.Errorf("all-false pack = %v", got)
+	}
+	if got := Pack(m, []int{1, 2}, []bool{true, true}); len(got) != 2 {
+		t.Errorf("all-true pack = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch should panic")
+		}
+	}()
+	Pack(m, []int{1}, []bool{true, false})
+}
+
+func TestListRankChain(t *testing.T) {
+	m := mach()
+	// A chain 0 → 1 → 2 → … → n-1 → tail.
+	for _, n := range []int{1, 2, 3, 10, 100} {
+		next := make([]int, n)
+		for i := 0; i < n-1; i++ {
+			next[i] = i + 1
+		}
+		next[n-1] = -1
+		rank := ListRank(m, next)
+		for i := 0; i < n; i++ {
+			if rank[i] != n-1-i {
+				t.Fatalf("n=%d: rank[%d] = %d, want %d", n, i, rank[i], n-1-i)
+			}
+		}
+	}
+}
+
+func TestListRankShuffled(t *testing.T) {
+	m := mach()
+	rng := rand.New(rand.NewSource(7))
+	n := 257
+	// Build a random permutation as the list order and scatter it in memory.
+	order := rng.Perm(n)
+	next := make([]int, n)
+	for k := 0; k < n-1; k++ {
+		next[order[k]] = order[k+1]
+	}
+	next[order[n-1]] = -1
+	rank := ListRank(m, next)
+	for k, node := range order {
+		if rank[node] != n-1-k {
+			t.Fatalf("rank[%d] = %d, want %d", node, rank[node], n-1-k)
+		}
+	}
+}
+
+func TestMergeSortMatchesSort(t *testing.T) {
+	m := mach()
+	rng := rand.New(rand.NewSource(42))
+	for _, n := range []int{0, 1, 2, 3, 4, 7, 8, 9, 100, 513} {
+		xs := make([]int, n)
+		for i := range xs {
+			xs[i] = rng.Intn(50) // duplicates likely
+		}
+		got := MergeSort(m, xs, func(a, b int) bool { return a < b })
+		want := append([]int(nil), xs...)
+		sort.Ints(want)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d: MergeSort = %v, want %v", n, got, want)
+			}
+		}
+	}
+}
+
+func TestMergeSortStable(t *testing.T) {
+	m := mach()
+	type kv struct{ key, seq int }
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]kv, 200)
+	for i := range xs {
+		xs[i] = kv{key: rng.Intn(5), seq: i}
+	}
+	got := MergeSort(m, xs, func(a, b kv) bool { return a.key < b.key })
+	for i := 1; i < len(got); i++ {
+		if got[i-1].key == got[i].key && got[i-1].seq > got[i].seq {
+			t.Fatalf("instability at %d: %v before %v", i, got[i-1], got[i])
+		}
+		if got[i-1].key > got[i].key {
+			t.Fatalf("out of order at %d", i)
+		}
+	}
+}
+
+func TestMergeSortQuick(t *testing.T) {
+	m := mach()
+	prop := func(xs []float64) bool {
+		got := MergeSort(m, xs, func(a, b float64) bool { return a < b })
+		want := append([]float64(nil), xs...)
+		sort.Float64s(want)
+		for i := range want {
+			// NaNs make sort.Float64s order unspecified; skip them.
+			if want[i] != want[i] {
+				return true
+			}
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScanRoundCount(t *testing.T) {
+	m := pram.New()
+	n := 4096
+	xs := make([]int, n)
+	ScanInclusive(m, xs, func(a, b int) int { return a + b })
+	c := m.Counters()
+	if c.Steps != int64(xmath.CeilLog2(n)) {
+		t.Errorf("scan rounds = %d, want %d", c.Steps, xmath.CeilLog2(n))
+	}
+}

@@ -1,0 +1,122 @@
+package pram
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Violation records a memory-access conflict that the declared PRAM model
+// forbids, detected by a TraceMemory within a single synchronous step.
+type Violation struct {
+	Step  int64  // step index at which the conflict occurred
+	Cell  int    // memory cell index
+	Kind  string // "concurrent-read", "concurrent-write", "inconsistent-write"
+	Count int    // number of conflicting accesses
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("step %d cell %d: %s ×%d", v.Step, v.Cell, v.Kind, v.Count)
+}
+
+// TraceMemory is an instrumented shared-memory array used in tests to verify
+// that an algorithm respects its declared PRAM model (e.g. that the monotone
+// leaf-pattern construction really is EREW). All accesses within one
+// synchronous step are recorded; EndStep checks them against the model and
+// clears the trace. TraceMemory is safe for concurrent access.
+//
+// TraceMemory deliberately trades speed for checking and is not used on the
+// production code paths.
+type TraceMemory struct {
+	model Model
+
+	mu     sync.Mutex
+	cells  []float64
+	step   int64
+	reads  map[int]int
+	writes map[int][]float64
+	viols  []Violation
+}
+
+// NewTraceMemory creates a conflict-checking memory of n cells for the given
+// model, initialized to zero.
+func NewTraceMemory(model Model, n int) *TraceMemory {
+	return &TraceMemory{
+		model:  model,
+		cells:  make([]float64, n),
+		reads:  make(map[int]int),
+		writes: make(map[int][]float64),
+	}
+}
+
+// Len returns the number of cells.
+func (t *TraceMemory) Len() int { return len(t.cells) }
+
+// Read returns the value of cell i as of the beginning of the current step
+// and records the access.
+func (t *TraceMemory) Read(i int) float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.reads[i]++
+	return t.cells[i]
+}
+
+// Write records a write of v to cell i. On a synchronous PRAM all writes of
+// a step commit together at the step barrier; TraceMemory therefore defers
+// the store until EndStep.
+func (t *TraceMemory) Write(i int, v float64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.writes[i] = append(t.writes[i], v)
+}
+
+// EndStep is the step barrier: it validates the accumulated accesses against
+// the model, commits pending writes, and advances the step counter.
+func (t *TraceMemory) EndStep() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+
+	if t.model == EREW {
+		for cell, n := range t.reads {
+			if n > 1 {
+				t.viols = append(t.viols, Violation{t.step, cell, "concurrent-read", n})
+			}
+		}
+	}
+	for cell, vals := range t.writes {
+		switch {
+		case len(vals) > 1 && t.model != CRCWCommon:
+			t.viols = append(t.viols, Violation{t.step, cell, "concurrent-write", len(vals)})
+		case len(vals) > 1 && t.model == CRCWCommon:
+			for _, v := range vals[1:] {
+				if v != vals[0] {
+					t.viols = append(t.viols, Violation{t.step, cell, "inconsistent-write", len(vals)})
+					break
+				}
+			}
+		}
+		// Commit: under CRCW(common) all values agree (or a violation was
+		// recorded); an arbitrary representative is stored either way.
+		t.cells[cell] = vals[0]
+	}
+	t.reads = make(map[int]int)
+	t.writes = make(map[int][]float64)
+	t.step++
+}
+
+// Violations returns all conflicts detected so far.
+func (t *TraceMemory) Violations() []Violation {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Violation, len(t.viols))
+	copy(out, t.viols)
+	return out
+}
+
+// Snapshot returns a copy of the current committed cell values.
+func (t *TraceMemory) Snapshot() []float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]float64, len(t.cells))
+	copy(out, t.cells)
+	return out
+}

@@ -1,0 +1,113 @@
+package pram
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTraceMemoryCommitAtBarrier(t *testing.T) {
+	mem := NewTraceMemory(EREW, 4)
+	mem.Write(0, 42)
+	// Before the barrier the old value is visible (synchronous semantics).
+	if got := mem.Read(0); got != 0 {
+		t.Errorf("pre-barrier read = %v, want 0", got)
+	}
+	mem.EndStep()
+	mem.EndStep() // extra barrier with no accesses is harmless
+	if got := mem.Read(0); got != 42 {
+		t.Errorf("post-barrier read = %v, want 42", got)
+	}
+	// The pre-barrier read of cell 0 above plus this one are in different
+	// steps, so no EREW violation should be recorded.
+	mem.EndStep()
+	if v := mem.Violations(); len(v) != 0 {
+		t.Errorf("unexpected violations: %v", v)
+	}
+}
+
+func TestTraceMemoryEREWDetectsConcurrentRead(t *testing.T) {
+	mem := NewTraceMemory(EREW, 2)
+	mem.Read(1)
+	mem.Read(1)
+	mem.EndStep()
+	v := mem.Violations()
+	if len(v) != 1 || v[0].Kind != "concurrent-read" || v[0].Cell != 1 {
+		t.Fatalf("violations = %v, want one concurrent-read on cell 1", v)
+	}
+	if !strings.Contains(v[0].String(), "concurrent-read") {
+		t.Errorf("violation String() = %q", v[0].String())
+	}
+}
+
+func TestTraceMemoryCREWAllowsConcurrentRead(t *testing.T) {
+	mem := NewTraceMemory(CREW, 2)
+	mem.Read(1)
+	mem.Read(1)
+	mem.Read(1)
+	mem.EndStep()
+	if v := mem.Violations(); len(v) != 0 {
+		t.Errorf("CREW should allow concurrent reads, got %v", v)
+	}
+}
+
+func TestTraceMemoryCREWDetectsConcurrentWrite(t *testing.T) {
+	mem := NewTraceMemory(CREW, 2)
+	mem.Write(0, 1)
+	mem.Write(0, 2)
+	mem.EndStep()
+	v := mem.Violations()
+	if len(v) != 1 || v[0].Kind != "concurrent-write" {
+		t.Fatalf("violations = %v, want one concurrent-write", v)
+	}
+}
+
+func TestTraceMemoryCRCWCommon(t *testing.T) {
+	mem := NewTraceMemory(CRCWCommon, 2)
+	mem.Write(0, 7)
+	mem.Write(0, 7) // same value: allowed under common CRCW
+	mem.EndStep()
+	if v := mem.Violations(); len(v) != 0 {
+		t.Errorf("common-value concurrent write should be allowed, got %v", v)
+	}
+	if got := mem.Read(0); got != 7 {
+		t.Errorf("committed value = %v, want 7", got)
+	}
+	mem.EndStep()
+	mem.Write(1, 1)
+	mem.Write(1, 2) // differing values: violation
+	mem.EndStep()
+	v := mem.Violations()
+	if len(v) != 1 || v[0].Kind != "inconsistent-write" {
+		t.Fatalf("violations = %v, want one inconsistent-write", v)
+	}
+}
+
+func TestTraceMemorySnapshotAndLen(t *testing.T) {
+	mem := NewTraceMemory(CREW, 3)
+	mem.Write(2, 9)
+	mem.EndStep()
+	snap := mem.Snapshot()
+	if mem.Len() != 3 || len(snap) != 3 || snap[2] != 9 || snap[0] != 0 {
+		t.Errorf("snapshot = %v", snap)
+	}
+	snap[0] = 100 // must be a copy
+	if mem.Read(0) != 0 {
+		t.Error("Snapshot must return a copy")
+	}
+}
+
+func TestTraceMemoryConcurrentAccessSafe(t *testing.T) {
+	mem := NewTraceMemory(CREW, 64)
+	m := New(WithWorkers(8), WithGrain(1))
+	m.For(64, func(i int) { mem.Write(i, float64(i)) })
+	mem.EndStep()
+	m.For(64, func(i int) {
+		if mem.Read(i) != float64(i) {
+			t.Errorf("cell %d wrong", i)
+		}
+	})
+	mem.EndStep()
+	if v := mem.Violations(); len(v) != 0 {
+		t.Errorf("disjoint parallel accesses should be clean, got %v", v)
+	}
+}

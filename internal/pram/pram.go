@@ -1,0 +1,262 @@
+// Package pram provides a synchronous PRAM (Parallel Random Access Machine)
+// simulator used as the execution substrate for every parallel algorithm in
+// this repository.
+//
+// The paper's cost model counts parallel time steps on a machine with p
+// processors; a parallel statement over n virtual processors costs ⌈n/p⌉
+// steps (Brent's scheduling principle). A Machine reproduces exactly that
+// accounting while running the statement bodies on a pool of real goroutines,
+// so the counted bounds can be validated independently of the host's core
+// count and the host still gets genuine speedup.
+//
+// The single execution primitive is Machine.For: one synchronous parallel
+// statement. Within a single For call the iterations must be independent —
+// the barrier is the return of For. Reads of values written during the same
+// For call are undefined, exactly as on a synchronous PRAM where all reads
+// of a step happen before all writes commit.
+package pram
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+func defaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// Model identifies the PRAM memory-access model an algorithm is designed
+// for. The Machine itself does not restrict accesses (Go memory is shared);
+// the model is carried for documentation and for TraceMemory compliance
+// checking in tests.
+type Model int
+
+const (
+	// EREW allows exclusive reads and exclusive writes only.
+	EREW Model = iota
+	// CREW allows concurrent reads but exclusive writes.
+	CREW
+	// CRCWCommon allows concurrent reads and concurrent writes provided all
+	// writers of a cell in one step write the same value.
+	CRCWCommon
+)
+
+// String returns the conventional abbreviation for the model.
+func (m Model) String() string {
+	switch m {
+	case EREW:
+		return "EREW"
+	case CREW:
+		return "CREW"
+	case CRCWCommon:
+		return "CRCW(common)"
+	default:
+		return fmt.Sprintf("Model(%d)", int(m))
+	}
+}
+
+// Counters is a snapshot of a Machine's cost accounting.
+type Counters struct {
+	// Steps is the number of parallel time steps: each For(n, ·) contributes
+	// ⌈n/Processors⌉, each sequential Step contributes its cost.
+	Steps int64
+	// Work is the total number of virtual-processor operations: each
+	// For(n, ·) contributes n.
+	Work int64
+	// Calls is the number of parallel statements issued.
+	Calls int64
+}
+
+// Machine is a simulated PRAM. The zero value is not usable; construct with
+// New. A Machine's For must not be called concurrently from multiple
+// goroutines and must not be nested; algorithms that need nested parallelism
+// flatten their index spaces into a single For.
+type Machine struct {
+	model   Model
+	procs   int // declared processor count p for step accounting
+	workers int // real goroutines used to execute bodies
+	grain   int // minimum iterations per goroutine before splitting
+
+	steps atomic.Int64
+	work  atomic.Int64
+	calls atomic.Int64
+
+	running atomic.Bool // guards against nested/concurrent For
+}
+
+// Option configures a Machine.
+type Option func(*Machine)
+
+// WithModel declares the memory-access model the algorithm assumes.
+func WithModel(model Model) Option { return func(m *Machine) { m.model = model } }
+
+// WithProcessors sets the declared processor count p used for step
+// accounting (steps per parallel statement = ⌈n/p⌉). It does not change how
+// many goroutines execute the statement. p must be ≥ 1.
+func WithProcessors(p int) Option {
+	return func(m *Machine) {
+		if p < 1 {
+			panic("pram: processor count must be ≥ 1")
+		}
+		m.procs = p
+	}
+}
+
+// WithWorkers sets the number of goroutines that execute parallel
+// statements. w must be ≥ 1. The default is runtime.GOMAXPROCS(0).
+func WithWorkers(w int) Option {
+	return func(m *Machine) {
+		if w < 1 {
+			panic("pram: worker count must be ≥ 1")
+		}
+		m.workers = w
+	}
+}
+
+// WithGrain sets the minimum number of iterations a goroutine receives
+// before the machine bothers splitting a statement across workers. Small
+// statements run inline on the calling goroutine. The default is 1024.
+func WithGrain(g int) Option {
+	return func(m *Machine) {
+		if g < 1 {
+			panic("pram: grain must be ≥ 1")
+		}
+		m.grain = g
+	}
+}
+
+// New constructs a Machine. With no options it models an unbounded-processor
+// CREW PRAM (p = very large, so every parallel statement costs one step)
+// executed on GOMAXPROCS goroutines.
+func New(opts ...Option) *Machine {
+	m := &Machine{
+		model:   CREW,
+		procs:   1 << 62, // effectively unbounded: one step per statement
+		workers: defaultWorkers(),
+		grain:   1024,
+	}
+	for _, o := range opts {
+		o(m)
+	}
+	return m
+}
+
+// Model returns the declared memory-access model.
+func (m *Machine) Model() Model { return m.model }
+
+// Processors returns the declared processor count used for accounting.
+func (m *Machine) Processors() int { return m.procs }
+
+// Workers returns the number of executing goroutines.
+func (m *Machine) Workers() int { return m.workers }
+
+// Counters returns a snapshot of the accumulated cost counters.
+func (m *Machine) Counters() Counters {
+	return Counters{
+		Steps: m.steps.Load(),
+		Work:  m.work.Load(),
+		Calls: m.calls.Load(),
+	}
+}
+
+// Reset zeroes the cost counters.
+func (m *Machine) Reset() {
+	m.steps.Store(0)
+	m.work.Store(0)
+	m.calls.Store(0)
+}
+
+// Step records cost time sequential steps (and the same amount of work)
+// without executing anything. Algorithms use it to account for scalar
+// bookkeeping the paper charges to the machine.
+func (m *Machine) Step(cost int) {
+	if cost <= 0 {
+		return
+	}
+	m.steps.Add(int64(cost))
+	m.work.Add(int64(cost))
+}
+
+// For executes body(i) for every i in [0, n) as one synchronous parallel
+// statement: ⌈n/p⌉ counted steps, n counted work. Iterations must be
+// mutually independent. For returns after all iterations complete.
+func (m *Machine) For(n int, body func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if !m.running.CompareAndSwap(false, true) {
+		panic("pram: nested or concurrent For on the same Machine")
+	}
+	defer m.running.Store(false)
+
+	m.calls.Add(1)
+	m.work.Add(int64(n))
+	m.steps.Add(int64((n + m.procs - 1) / m.procs))
+
+	w := m.workers
+	if n <= m.grain || w == 1 {
+		for i := 0; i < n; i++ {
+			body(i)
+		}
+		return
+	}
+	if chunks := (n + m.grain - 1) / m.grain; w > chunks {
+		w = chunks
+	}
+	chunk := (n + w - 1) / w
+	var wg sync.WaitGroup
+	for start := 0; start < n; start += chunk {
+		end := start + chunk
+		if end > n {
+			end = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				body(i)
+			}
+		}(start, end)
+	}
+	wg.Wait()
+}
+
+// ForRange executes body(lo, hi) on contiguous sub-ranges covering [0, n),
+// one call per executing worker. It is an escape hatch for bodies that keep
+// per-worker scratch state; the cost accounting is identical to For(n, ·).
+func (m *Machine) ForRange(n int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if !m.running.CompareAndSwap(false, true) {
+		panic("pram: nested or concurrent For on the same Machine")
+	}
+	defer m.running.Store(false)
+
+	m.calls.Add(1)
+	m.work.Add(int64(n))
+	m.steps.Add(int64((n + m.procs - 1) / m.procs))
+
+	w := m.workers
+	if n <= m.grain || w == 1 {
+		body(0, n)
+		return
+	}
+	if chunks := (n + m.grain - 1) / m.grain; w > chunks {
+		w = chunks
+	}
+	chunk := (n + w - 1) / w
+	var wg sync.WaitGroup
+	for start := 0; start < n; start += chunk {
+		end := start + chunk
+		if end > n {
+			end = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			body(lo, hi)
+		}(start, end)
+	}
+	wg.Wait()
+}

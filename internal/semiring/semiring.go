@@ -1,0 +1,53 @@
+// Package semiring implements the (min,+) closed semiring over float64
+// extended with +∞, the algebra in which all of the paper's dynamic
+// programs and matrix products are expressed (Section 4: "Matrix
+// multiplication shall be defined over the closed semiring (min,+)").
+//
+// The additive operation of the semiring is min (identity +∞) and the
+// multiplicative operation is + (identity 0). +∞ is absorbing for +.
+package semiring
+
+import "math"
+
+// Inf is the additive identity of the (min,+) semiring.
+var Inf = math.Inf(1)
+
+// IsInf reports whether v is the semiring's +∞.
+func IsInf(v float64) bool { return math.IsInf(v, 1) }
+
+// Plus is the semiring's multiplicative operation: ordinary addition with
+// +∞ absorbing. (Go's float64 addition already satisfies this; Plus exists
+// to document intent at call sites.)
+func Plus(a, b float64) float64 { return a + b }
+
+// Min is the semiring's additive operation.
+func Min(a, b float64) float64 {
+	if b < a {
+		return b
+	}
+	return a
+}
+
+// MinIdx returns the minimum of xs[lo:hi] together with the smallest index
+// attaining it, following the paper's tie-break rule for Cut matrices ("if
+// there is more than one value of k for which that sum is minimized, take
+// the smallest"). It returns (+∞, lo) for an empty range.
+func MinIdx(xs []float64, lo, hi int) (float64, int) {
+	best, arg := Inf, lo
+	for k := lo; k < hi; k++ {
+		if xs[k] < best {
+			best, arg = xs[k], k
+		}
+	}
+	return best, arg
+}
+
+// Sum returns the ordinary sum of xs (used for weight prefix sums, not a
+// semiring operation).
+func Sum(xs []float64) float64 {
+	s := 0.0
+	for _, v := range xs {
+		s += v
+	}
+	return s
+}

@@ -1,0 +1,79 @@
+package semiring
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestInfIdentityAndAbsorption(t *testing.T) {
+	if Min(Inf, 3) != 3 || Min(3, Inf) != 3 {
+		t.Error("+∞ must be the identity of min")
+	}
+	if !IsInf(Plus(Inf, 5)) || !IsInf(Plus(5, Inf)) {
+		t.Error("+∞ must be absorbing for +")
+	}
+	if !IsInf(Inf) || IsInf(0) || IsInf(math.Inf(-1)) {
+		t.Error("IsInf misclassifies")
+	}
+}
+
+func TestMin(t *testing.T) {
+	if Min(2, 3) != 2 || Min(3, 2) != 2 || Min(-1, -1) != -1 {
+		t.Error("Min wrong")
+	}
+}
+
+func TestMinIdxSmallestTieBreak(t *testing.T) {
+	xs := []float64{5, 2, 7, 2, 1, 1, 9}
+	v, k := MinIdx(xs, 0, len(xs))
+	if v != 1 || k != 4 {
+		t.Errorf("MinIdx = (%v,%d), want (1,4): smallest index wins ties", v, k)
+	}
+	v, k = MinIdx(xs, 1, 4)
+	if v != 2 || k != 1 {
+		t.Errorf("MinIdx over [1,4) = (%v,%d), want (2,1)", v, k)
+	}
+}
+
+func TestMinIdxEmptyAndAllInf(t *testing.T) {
+	xs := []float64{Inf, Inf}
+	v, k := MinIdx(xs, 0, 2)
+	if !IsInf(v) || k != 0 {
+		t.Errorf("all-∞ MinIdx = (%v,%d), want (+∞,0)", v, k)
+	}
+	v, k = MinIdx(xs, 1, 1)
+	if !IsInf(v) || k != 1 {
+		t.Errorf("empty MinIdx = (%v,%d), want (+∞,lo)", v, k)
+	}
+}
+
+func TestSum(t *testing.T) {
+	if Sum(nil) != 0 || Sum([]float64{1, 2, 3.5}) != 6.5 {
+		t.Error("Sum wrong")
+	}
+}
+
+// Semiring laws on finite values: min is associative/commutative with
+// identity Inf; + distributes over min.
+func TestSemiringLaws(t *testing.T) {
+	prop := func(a, b, c float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsNaN(c) {
+			return true
+		}
+		if Min(a, Min(b, c)) != Min(Min(a, b), c) {
+			return false
+		}
+		if Min(a, b) != Min(b, a) {
+			return false
+		}
+		if Min(a, Inf) != a {
+			return false
+		}
+		// Distributivity: a + min(b,c) == min(a+b, a+c).
+		return Plus(a, Min(b, c)) == Min(Plus(a, b), Plus(a, c))
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,97 @@
+// Package shannonfano implements Shannon–Fano coding as specified in
+// Section 7.3 of the paper: word lengths lᵢ with
+// log₂(1/pᵢ) ≤ lᵢ ≤ log₂(1/pᵢ)+1, realized as a prefix-code tree by the
+// parallel monotone tree construction (Theorem 7.4). By Claim 7.1 the
+// average word length is within one bit of the Huffman optimum.
+package shannonfano
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"partree/internal/huffman"
+	"partree/internal/leafpattern"
+	"partree/internal/pram"
+	"partree/internal/tree"
+)
+
+// Lengths returns the Shannon–Fano code lengths lᵢ = ⌈log₂(1/pᵢ)⌉ for a
+// probability vector (entries in (0,1], ideally summing to 1). The Kraft
+// sum of the result is ≤ Σpᵢ, so a prefix code always exists when the
+// input is a probability distribution.
+func Lengths(p []float64) []int {
+	out := make([]int, len(p))
+	for i, v := range p {
+		if v <= 0 || v > 1 || math.IsNaN(v) {
+			panic(fmt.Sprintf("shannonfano: probability %v at %d outside (0,1]", v, i))
+		}
+		// Smallest l ≥ 0 with 2^{-l} ≤ v, computed robustly against
+		// floating error at exact powers of two.
+		l := int(math.Ceil(-math.Log2(v) - 1e-12))
+		if l < 0 {
+			l = 0
+		}
+		for math.Ldexp(1, -l) > v {
+			l++
+		}
+		out[i] = l
+	}
+	return out
+}
+
+// Result is a Shannon–Fano code.
+type Result struct {
+	// Lengths[i] is the code length of symbol i.
+	Lengths []int
+	// Codes[i] is the code word of symbol i (canonical assignment).
+	Codes []huffman.Code
+	// Tree realizes the code: its leaves, left to right, are the symbols
+	// in non-decreasing length order; leaf Symbol fields hold original
+	// symbol indices.
+	Tree *tree.Node
+	// AverageLength is Σ pᵢ·lᵢ.
+	AverageLength float64
+}
+
+// Build constructs a Shannon–Fano code for the probability vector p using
+// the parallel monotone tree construction on machine m (Theorem 7.4:
+// O(log n) time, n/log n processors, average length ≤ Huffman + 1).
+func Build(m *pram.Machine, p []float64) (*Result, error) {
+	n := len(p)
+	if n == 0 {
+		return nil, fmt.Errorf("shannonfano: empty probability vector")
+	}
+	lengths := Lengths(p)
+
+	// Sort symbols by length (non-decreasing pattern for the constructor).
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return lengths[order[a]] < lengths[order[b]] })
+	pattern := make([]int, n)
+	for k, sym := range order {
+		pattern[k] = lengths[sym]
+	}
+
+	t, err := leafpattern.MonotonePar(m, pattern)
+	if err != nil {
+		return nil, fmt.Errorf("shannonfano: %w", err)
+	}
+	// Remap leaf symbols (pattern positions) to original symbol indices.
+	for _, leaf := range t.Leaves() {
+		leaf.Symbol = order[leaf.Symbol]
+		leaf.Weight = p[leaf.Symbol]
+	}
+
+	codes, err := huffman.Canonical(lengths)
+	if err != nil {
+		return nil, fmt.Errorf("shannonfano: %w", err)
+	}
+	avg := 0.0
+	for i, l := range lengths {
+		avg += p[i] * float64(l)
+	}
+	return &Result{Lengths: lengths, Codes: codes, Tree: t, AverageLength: avg}, nil
+}

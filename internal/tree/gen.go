@@ -1,0 +1,102 @@
+package tree
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// BuildCanonical constructs the canonical ordered full binary tree whose
+// leaf depths, read left to right, are the given non-increasing sequence.
+// The sequence must satisfy the Kraft equality Σ 2^{-l_i} = 1 (a full
+// tree); BuildCanonical returns nil otherwise. Leaves are numbered by
+// position. This is the textbook recursive construction: at depth d, if the
+// next leaf has depth d it is consumed, otherwise the node splits.
+func BuildCanonical(depths []int) *Node {
+	for i := 1; i < len(depths); i++ {
+		if depths[i] > depths[i-1] {
+			return nil // not non-increasing
+		}
+	}
+	pos := 0
+	var build func(d int) *Node
+	build = func(d int) *Node {
+		if pos >= len(depths) {
+			return nil
+		}
+		if depths[pos] < d {
+			return nil // Kraft deficit: cannot place a leaf this deep
+		}
+		if depths[pos] == d {
+			n := NewLeaf(pos, 0)
+			pos++
+			return n
+		}
+		l := build(d + 1)
+		if l == nil {
+			return nil
+		}
+		r := build(d + 1)
+		if r == nil {
+			return nil
+		}
+		return NewInternal(l, r)
+	}
+	t := build(0)
+	if t == nil || pos != len(depths) {
+		return nil
+	}
+	return t
+}
+
+// RandomLeftJustified returns a random left-justified tree with n leaves
+// (n ≥ 1). It draws a random depth multiset with Kraft sum exactly 1 (by
+// repeatedly splitting a random leaf), sorts it non-increasing, and builds
+// the canonical tree — any full tree with non-increasing leaf depths is
+// left-justified (every left sibling's subtree is complete down to the
+// levels its right sibling occupies). With probability ½ a chain of 1–3
+// single left children is grafted above the root, exercising condition (1)
+// of the definition.
+func RandomLeftJustified(rng *rand.Rand, n int) *Node {
+	if n < 1 {
+		panic("tree: need at least one leaf")
+	}
+	depths := []int{0}
+	for len(depths) < n {
+		i := rng.Intn(len(depths))
+		d := depths[i]
+		depths[i] = d + 1
+		depths = append(depths, d+1)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(depths)))
+	t := BuildCanonical(depths)
+	if rng.Intn(2) == 0 {
+		for k := 1 + rng.Intn(3); k > 0; k-- {
+			t = NewInternal(t, nil)
+		}
+	}
+	// Renumber leaves left to right.
+	for i, leaf := range t.Leaves() {
+		leaf.Symbol = i
+	}
+	return t
+}
+
+// RandomTree returns a uniformly-shaped random full binary tree with n
+// leaves (not necessarily left-justified), for contrast tests.
+func RandomTree(rng *rand.Rand, n int) *Node {
+	if n < 1 {
+		panic("tree: need at least one leaf")
+	}
+	next := 0
+	var build func(k int) *Node
+	build = func(k int) *Node {
+		if k == 1 {
+			n := NewLeaf(next, 0)
+			next++
+			return n
+		}
+		nl := 1 + rng.Intn(k-1)
+		return NewInternal(build(nl), build(k-nl))
+	}
+	return build(n)
+}

@@ -1,0 +1,59 @@
+package tree
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Render draws the tree as indented ASCII art, one node per line, with
+// box-drawing connectors. label is called for each node; nil uses a
+// default (leaf symbol / "·" for internal nodes).
+func Render(t *Node, label func(*Node) string) string {
+	if t == nil {
+		return "(empty)\n"
+	}
+	if label == nil {
+		label = func(v *Node) string {
+			if v.IsLeaf() {
+				if v.Weight != 0 {
+					return fmt.Sprintf("leaf %d (w=%.4g)", v.Symbol, v.Weight)
+				}
+				return fmt.Sprintf("leaf %d", v.Symbol)
+			}
+			return "·"
+		}
+	}
+	var b strings.Builder
+	var walk func(v *Node, prefix string, isLast bool, isRoot bool)
+	walk = func(v *Node, prefix string, isLast, isRoot bool) {
+		if isRoot {
+			b.WriteString(label(v) + "\n")
+		} else {
+			conn := "├── "
+			if isLast {
+				conn = "└── "
+			}
+			b.WriteString(prefix + conn + label(v) + "\n")
+		}
+		childPrefix := prefix
+		if !isRoot {
+			if isLast {
+				childPrefix += "    "
+			} else {
+				childPrefix += "│   "
+			}
+		}
+		var kids []*Node
+		if v.Left != nil {
+			kids = append(kids, v.Left)
+		}
+		if v.Right != nil {
+			kids = append(kids, v.Right)
+		}
+		for i, k := range kids {
+			walk(k, childPrefix, i == len(kids)-1, false)
+		}
+	}
+	walk(t, "", true, true)
+	return b.String()
+}

@@ -1,0 +1,32 @@
+package tree
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderBasic(t *testing.T) {
+	out := Render(fixture(), nil)
+	if !strings.Contains(out, "└──") || !strings.Contains(out, "leaf 3") {
+		t.Errorf("render output:\n%s", out)
+	}
+	lines := strings.Count(out, "\n")
+	if lines != fixture().Size() {
+		t.Errorf("render has %d lines, want one per node (%d)", lines, fixture().Size())
+	}
+}
+
+func TestRenderNilAndCustomLabel(t *testing.T) {
+	if Render(nil, nil) != "(empty)\n" {
+		t.Error("nil render wrong")
+	}
+	out := Render(NewLeaf(7, 0.5), func(v *Node) string { return "X" })
+	if out != "X\n" {
+		t.Errorf("custom label render = %q", out)
+	}
+	// Weighted leaf default label includes the weight.
+	out = Render(NewLeaf(2, 0.25), nil)
+	if !strings.Contains(out, "w=0.25") {
+		t.Errorf("weighted label missing: %q", out)
+	}
+}

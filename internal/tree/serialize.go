@@ -1,0 +1,92 @@
+package tree
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Serialization of tree SHAPE as a balanced-parentheses string plus the
+// leaf symbol sequence — the succinct form a code table would ship with
+// (canonical Huffman needs only the lengths, but arbitrary positional
+// trees, e.g. Section 7 constructions, need their shape).
+//
+// Grammar: node := "(" node node ")" | "(" node ")" | "L".
+// A single-child node always holds its child in Left, matching Validate.
+
+// Marshal encodes the tree shape and the leaf symbols.
+func Marshal(t *Node) (shape string, symbols []int) {
+	var b strings.Builder
+	var walk func(v *Node)
+	walk = func(v *Node) {
+		if v.IsLeaf() {
+			b.WriteByte('L')
+			symbols = append(symbols, v.Symbol)
+			return
+		}
+		b.WriteByte('(')
+		walk(v.Left)
+		if v.Right != nil {
+			walk(v.Right)
+		}
+		b.WriteByte(')')
+	}
+	if t != nil {
+		walk(t)
+	}
+	return b.String(), symbols
+}
+
+// Unmarshal reconstructs a tree from Marshal's output. Leaf weights are
+// zero; symbols are consumed left to right.
+func Unmarshal(shape string, symbols []int) (*Node, error) {
+	if shape == "" {
+		return nil, nil
+	}
+	pos, sym := 0, 0
+	var parse func() (*Node, error)
+	parse = func() (*Node, error) {
+		if pos >= len(shape) {
+			return nil, fmt.Errorf("tree: truncated shape at %d", pos)
+		}
+		switch shape[pos] {
+		case 'L':
+			pos++
+			if sym >= len(symbols) {
+				return nil, fmt.Errorf("tree: not enough symbols (need > %d)", len(symbols))
+			}
+			n := NewLeaf(symbols[sym], 0)
+			sym++
+			return n, nil
+		case '(':
+			pos++
+			left, err := parse()
+			if err != nil {
+				return nil, err
+			}
+			var right *Node
+			if pos < len(shape) && shape[pos] != ')' {
+				if right, err = parse(); err != nil {
+					return nil, err
+				}
+			}
+			if pos >= len(shape) || shape[pos] != ')' {
+				return nil, fmt.Errorf("tree: missing ')' at %d", pos)
+			}
+			pos++
+			return &Node{Left: left, Right: right}, nil
+		default:
+			return nil, fmt.Errorf("tree: unexpected %q at %d", shape[pos], pos)
+		}
+	}
+	t, err := parse()
+	if err != nil {
+		return nil, err
+	}
+	if pos != len(shape) {
+		return nil, fmt.Errorf("tree: trailing input at %d", pos)
+	}
+	if sym != len(symbols) {
+		return nil, fmt.Errorf("tree: %d unused symbols", len(symbols)-sym)
+	}
+	return t, nil
+}

@@ -1,0 +1,111 @@
+package tree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMarshalRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(457))
+	for trial := 0; trial < 40; trial++ {
+		var tr *Node
+		if trial%2 == 0 {
+			tr = RandomTree(rng, 1+rng.Intn(60))
+		} else {
+			tr = RandomLeftJustified(rng, 1+rng.Intn(60)) // includes chains
+		}
+		shape, syms := Marshal(tr)
+		back, err := Unmarshal(shape, syms)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !tr.Equal(back) {
+			t.Fatalf("trial %d: round trip changed the tree\n%s\nvs\n%s", trial, tr, back)
+		}
+	}
+}
+
+func TestMarshalKnown(t *testing.T) {
+	shape, syms := Marshal(fixture())
+	if shape != "((LL)L)" {
+		t.Errorf("shape = %q", shape)
+	}
+	if len(syms) != 3 || syms[0] != 1 || syms[2] != 3 {
+		t.Errorf("symbols = %v", syms)
+	}
+	single := NewInternal(NewLeaf(7, 0), nil)
+	shape, _ = Marshal(single)
+	if shape != "(L)" {
+		t.Errorf("single-child shape = %q", shape)
+	}
+}
+
+func TestMarshalNil(t *testing.T) {
+	shape, syms := Marshal(nil)
+	if shape != "" || len(syms) != 0 {
+		t.Error("nil marshal should be empty")
+	}
+	back, err := Unmarshal("", nil)
+	if err != nil || back != nil {
+		t.Error("empty unmarshal should be nil")
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	for _, c := range []struct {
+		shape string
+		syms  []int
+	}{
+		{"(L", []int{1}},       // missing close
+		{"(LL)x", []int{1, 2}}, // trailing garbage
+		{"L", nil},             // missing symbol
+		{"L", []int{1, 2}},     // extra symbols
+		{"q", []int{1}},        // bad byte
+		{"()", nil},            // empty internal node
+	} {
+		if _, err := Unmarshal(c.shape, c.syms); err == nil {
+			t.Errorf("Unmarshal(%q, %v) should fail", c.shape, c.syms)
+		}
+	}
+}
+
+// Property: canonical trees survive Marshal/Unmarshal and BuildCanonical
+// reconstructs trees from their own leaf depths.
+func TestCanonicalRoundTripProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := RandomLeftJustified(rng, 1+rng.Intn(40))
+		shape, syms := Marshal(tr)
+		back, err := Unmarshal(shape, syms)
+		if err != nil || !tr.Equal(back) {
+			return false
+		}
+		// Full trees with non-increasing depths rebuild canonically.
+		if tr.IsFull() {
+			depths := tr.LeafDepths()
+			nonInc := true
+			for i := 1; i < len(depths); i++ {
+				if depths[i] > depths[i-1] {
+					nonInc = false
+				}
+			}
+			if nonInc {
+				rebuilt := BuildCanonical(depths)
+				if rebuilt == nil {
+					return false
+				}
+				rd := rebuilt.LeafDepths()
+				for i := range depths {
+					if rd[i] != depths[i] {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

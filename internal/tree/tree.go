@@ -1,0 +1,339 @@
+// Package tree implements the ordered rooted binary trees of Section 2 of
+// the paper: construction, validation, leaf enumeration, the left-justified
+// property, and the RAKE and COMPRESS contraction operations with their
+// structural guarantees (Proposition 2.1, Lemma 2.1, Corollary 2.1).
+package tree
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Node is a node of an ordered rooted binary tree. A node with no children
+// is a leaf; leaves carry a Symbol (the index of the item they represent)
+// and a Weight (its frequency, where applicable). A node with exactly one
+// child stores it in Left (the paper's left-justified convention); Right
+// non-nil with Left nil is rejected by Validate.
+type Node struct {
+	Left, Right *Node
+	Symbol      int
+	Weight      float64
+}
+
+// NewLeaf returns a leaf node for the given symbol and weight.
+func NewLeaf(symbol int, weight float64) *Node {
+	return &Node{Symbol: symbol, Weight: weight}
+}
+
+// NewInternal returns an internal node with the given children. right may
+// be nil (a single left child); left must not be nil.
+func NewInternal(left, right *Node) *Node {
+	if left == nil {
+		panic("tree: internal node requires a left child")
+	}
+	return &Node{Left: left, Right: right}
+}
+
+// IsLeaf reports whether n has no children.
+func (n *Node) IsLeaf() bool { return n.Left == nil && n.Right == nil }
+
+// Validate checks structural sanity: no node has a right child without a
+// left child, and the tree is acyclic (each node appears once). It returns
+// a descriptive error for the first problem found.
+func (n *Node) Validate() error {
+	seen := make(map[*Node]bool)
+	var walk func(v *Node) error
+	walk = func(v *Node) error {
+		if v == nil {
+			return nil
+		}
+		if seen[v] {
+			return fmt.Errorf("tree: node %p appears twice (cycle or shared subtree)", v)
+		}
+		seen[v] = true
+		if v.Left == nil && v.Right != nil {
+			return fmt.Errorf("tree: node %p has a right child but no left child", v)
+		}
+		if err := walk(v.Left); err != nil {
+			return err
+		}
+		return walk(v.Right)
+	}
+	return walk(n)
+}
+
+// Size returns the number of nodes in the tree.
+func (n *Node) Size() int {
+	if n == nil {
+		return 0
+	}
+	return 1 + n.Left.Size() + n.Right.Size()
+}
+
+// CountLeaves returns the number of leaves.
+func (n *Node) CountLeaves() int {
+	if n == nil {
+		return 0
+	}
+	if n.IsLeaf() {
+		return 1
+	}
+	return n.Left.CountLeaves() + n.Right.CountLeaves()
+}
+
+// Height returns the length of the longest root-to-leaf path (a single
+// node has height 0); the height of an empty tree is -1.
+func (n *Node) Height() int {
+	if n == nil {
+		return -1
+	}
+	hl, hr := n.Left.Height(), n.Right.Height()
+	if hr > hl {
+		hl = hr
+	}
+	return hl + 1
+}
+
+// Leaves returns the leaves in left-to-right order.
+func (n *Node) Leaves() []*Node {
+	var out []*Node
+	var walk func(v *Node)
+	walk = func(v *Node) {
+		if v == nil {
+			return
+		}
+		if v.IsLeaf() {
+			out = append(out, v)
+			return
+		}
+		walk(v.Left)
+		walk(v.Right)
+	}
+	walk(n)
+	return out
+}
+
+// LeafDepths returns the depth (level) of each leaf in left-to-right order.
+func (n *Node) LeafDepths() []int {
+	var out []int
+	var walk func(v *Node, d int)
+	walk = func(v *Node, d int) {
+		if v == nil {
+			return
+		}
+		if v.IsLeaf() {
+			out = append(out, d)
+			return
+		}
+		walk(v.Left, d+1)
+		walk(v.Right, d+1)
+	}
+	walk(n, 0)
+	return out
+}
+
+// WeightedPathLength returns Σ leaf.Weight · depth(leaf), the average word
+// length of the code the tree represents.
+func (n *Node) WeightedPathLength() float64 {
+	var total float64
+	var walk func(v *Node, d int)
+	walk = func(v *Node, d int) {
+		if v == nil {
+			return
+		}
+		if v.IsLeaf() {
+			total += v.Weight * float64(d)
+			return
+		}
+		walk(v.Left, d+1)
+		walk(v.Right, d+1)
+	}
+	walk(n, 0)
+	return total
+}
+
+// Clone returns a deep copy of the tree.
+func (n *Node) Clone() *Node {
+	if n == nil {
+		return nil
+	}
+	return &Node{Left: n.Left.Clone(), Right: n.Right.Clone(), Symbol: n.Symbol, Weight: n.Weight}
+}
+
+// Equal reports whether two trees have identical shape, leaf symbols and
+// leaf weights.
+func (n *Node) Equal(o *Node) bool {
+	if n == nil || o == nil {
+		return n == o
+	}
+	if n.IsLeaf() != o.IsLeaf() {
+		return false
+	}
+	if n.IsLeaf() {
+		return n.Symbol == o.Symbol && n.Weight == o.Weight
+	}
+	return n.Left.Equal(o.Left) && n.Right.Equal(o.Right)
+}
+
+// LevelCounts returns, for each level l from 0 to Height, the number of
+// nodes at that level.
+func (n *Node) LevelCounts() []int {
+	if n == nil {
+		return nil
+	}
+	counts := make([]int, n.Height()+1)
+	var walk func(v *Node, d int)
+	walk = func(v *Node, d int) {
+		if v == nil {
+			return
+		}
+		counts[d]++
+		walk(v.Left, d+1)
+		walk(v.Right, d+1)
+	}
+	walk(n, 0)
+	return counts
+}
+
+// LeftmostPath returns the set of nodes on the leftmost root-to-node path
+// (following Left pointers from the root).
+func (n *Node) LeftmostPath() map[*Node]bool {
+	path := make(map[*Node]bool)
+	for v := n; v != nil; v = v.Left {
+		path[v] = true
+	}
+	return path
+}
+
+// IsFull reports whether every internal node has exactly two children.
+func (n *Node) IsFull() bool {
+	if n == nil || n.IsLeaf() {
+		return true
+	}
+	if n.Left == nil || n.Right == nil {
+		return false
+	}
+	return n.Left.IsFull() && n.Right.IsFull()
+}
+
+// IsLeftJustified reports whether the tree satisfies Definition 2 of the
+// paper:
+//
+//  1. a node with only one child has a left child, and
+//  2. for sibling nodes u (left) and v (right): whenever the subtree T_v is
+//     non-empty at some level l, T_u is complete at level l (has 2^l nodes).
+//
+// (Condition 2 is stated in the paper with a typo — "if T_u is not empty …
+// then T_u is complete"; the form used in the proof of Lemma 2.1, and here,
+// braces the right sibling by the left: T_v non-empty ⇒ T_u complete.)
+func (n *Node) IsLeftJustified() bool {
+	if n == nil {
+		return true
+	}
+	// Memoized level profiles, one slice per node: profile[v][l] = number of
+	// nodes at level l of the subtree rooted at v.
+	profiles := make(map[*Node][]int)
+	var profile func(v *Node) []int
+	profile = func(v *Node) []int {
+		if v == nil {
+			return nil
+		}
+		if p, ok := profiles[v]; ok {
+			return p
+		}
+		pl, pr := profile(v.Left), profile(v.Right)
+		h := len(pl)
+		if len(pr) > h {
+			h = len(pr)
+		}
+		p := make([]int, h+1)
+		p[0] = 1
+		for l := 0; l < h; l++ {
+			if l < len(pl) {
+				p[l+1] += pl[l]
+			}
+			if l < len(pr) {
+				p[l+1] += pr[l]
+			}
+		}
+		profiles[v] = p
+		return p
+	}
+
+	ok := true
+	var walk func(v *Node)
+	walk = func(v *Node) {
+		if v == nil || !ok {
+			return
+		}
+		if v.Left == nil && v.Right != nil {
+			ok = false
+			return
+		}
+		if v.Left != nil && v.Right != nil {
+			pu, pv := profile(v.Left), profile(v.Right)
+			for l := range pv {
+				if pv[l] > 0 && (l >= len(pu) || pu[l] != 1<<uint(l)) {
+					ok = false
+					return
+				}
+			}
+		}
+		walk(v.Left)
+		walk(v.Right)
+	}
+	walk(n)
+	return ok
+}
+
+// IsRightJustified is the mirror of IsLeftJustified ("right-justified
+// trees can be defined similarly", Section 2): single children hang
+// right, and a left sibling's occupancy of a level forces the right
+// sibling's subtree to be complete there.
+func (n *Node) IsRightJustified() bool {
+	return mirrorTree(n).IsLeftJustified()
+}
+
+// mirrorTree returns a deep copy with every node's children swapped.
+func mirrorTree(n *Node) *Node {
+	if n == nil {
+		return nil
+	}
+	if n.IsLeaf() {
+		return &Node{Symbol: n.Symbol, Weight: n.Weight}
+	}
+	// A single left child becomes a single right child in the mirror —
+	// represented directly (Validate's left-only convention intentionally
+	// does not apply to the transient mirror, so build the raw shape).
+	return &Node{
+		Left:   mirrorTree(n.Right),
+		Right:  mirrorTree(n.Left),
+		Symbol: n.Symbol,
+		Weight: n.Weight,
+	}
+}
+
+// String renders the tree compactly for debugging: leaves as their symbol,
+// internal nodes as (left right) or (left) for single-child nodes.
+func (n *Node) String() string {
+	var b strings.Builder
+	var walk func(v *Node)
+	walk = func(v *Node) {
+		if v == nil {
+			return
+		}
+		if v.IsLeaf() {
+			fmt.Fprintf(&b, "%d", v.Symbol)
+			return
+		}
+		b.WriteByte('(')
+		walk(v.Left)
+		if v.Right != nil {
+			b.WriteByte(' ')
+			walk(v.Right)
+		}
+		b.WriteByte(')')
+	}
+	walk(n)
+	return b.String()
+}

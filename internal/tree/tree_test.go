@@ -1,0 +1,221 @@
+package tree
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// small fixture:      r
+//
+//	   / \
+//	  a   3
+//	 / \
+//	1   2     (leaves by symbol)
+func fixture() *Node {
+	return NewInternal(NewInternal(NewLeaf(1, 0.2), NewLeaf(2, 0.3)), NewLeaf(3, 0.5))
+}
+
+func TestBasicAccessors(t *testing.T) {
+	r := fixture()
+	if r.Size() != 5 || r.CountLeaves() != 3 || r.Height() != 2 {
+		t.Errorf("size/leaves/height = %d/%d/%d", r.Size(), r.CountLeaves(), r.Height())
+	}
+	var nilNode *Node
+	if nilNode.Size() != 0 || nilNode.Height() != -1 || nilNode.CountLeaves() != 0 {
+		t.Error("nil tree accessors wrong")
+	}
+	leaves := r.Leaves()
+	if len(leaves) != 3 || leaves[0].Symbol != 1 || leaves[2].Symbol != 3 {
+		t.Errorf("leaves order wrong: %v", leaves)
+	}
+	d := r.LeafDepths()
+	if len(d) != 3 || d[0] != 2 || d[1] != 2 || d[2] != 1 {
+		t.Errorf("leaf depths = %v, want [2 2 1]", d)
+	}
+}
+
+func TestWeightedPathLength(t *testing.T) {
+	r := fixture()
+	want := 0.2*2 + 0.3*2 + 0.5*1
+	if got := r.WeightedPathLength(); got != want {
+		t.Errorf("WPL = %v, want %v", got, want)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := fixture().Validate(); err != nil {
+		t.Errorf("fixture should validate: %v", err)
+	}
+	bad := &Node{Right: NewLeaf(0, 0)}
+	if bad.Validate() == nil {
+		t.Error("right-only child must fail validation")
+	}
+	shared := NewLeaf(0, 0)
+	dup := NewInternal(shared, shared)
+	if dup.Validate() == nil {
+		t.Error("shared subtree must fail validation")
+	}
+}
+
+func TestCloneAndEqual(t *testing.T) {
+	r := fixture()
+	c := r.Clone()
+	if !r.Equal(c) {
+		t.Error("clone must be Equal")
+	}
+	c.Left.Left.Symbol = 99
+	if r.Equal(c) {
+		t.Error("modified clone must differ")
+	}
+	if !(*Node)(nil).Equal(nil) || r.Equal(nil) {
+		t.Error("nil equality wrong")
+	}
+}
+
+func TestLevelCounts(t *testing.T) {
+	r := fixture()
+	lc := r.LevelCounts()
+	if len(lc) != 3 || lc[0] != 1 || lc[1] != 2 || lc[2] != 2 {
+		t.Errorf("LevelCounts = %v, want [1 2 2]", lc)
+	}
+}
+
+func TestIsFullAndIsChain(t *testing.T) {
+	if !fixture().IsFull() {
+		t.Error("fixture is full")
+	}
+	chainy := NewInternal(NewInternal(NewLeaf(0, 0), nil), nil)
+	if chainy.IsFull() {
+		t.Error("single-child tree is not full")
+	}
+	if !IsChain(chainy) || IsChain(fixture()) {
+		t.Error("IsChain wrong")
+	}
+	if !IsChain(nil) || !IsChain(NewLeaf(0, 0)) {
+		t.Error("empty/singleton must be chains")
+	}
+	if ChainLength(chainy) != 2 {
+		t.Errorf("ChainLength = %d, want 2", ChainLength(chainy))
+	}
+}
+
+func TestIsLeftJustified(t *testing.T) {
+	// (leaf leaf) cherry: trivially left-justified.
+	if !NewInternal(NewLeaf(0, 0), NewLeaf(1, 0)).IsLeftJustified() {
+		t.Error("cherry must be left-justified")
+	}
+	// fixture: left subtree complete at levels 0,1; right leaf occupies
+	// level 0 only → left-justified.
+	if !fixture().IsLeftJustified() {
+		t.Error("fixture must be left-justified")
+	}
+	// Mirror of fixture: leaf on the left, cherry on the right. The right
+	// sibling occupies level 1 where the left subtree (a single leaf) is
+	// not complete → not left-justified.
+	mirror := NewInternal(NewLeaf(3, 0), NewInternal(NewLeaf(1, 0), NewLeaf(2, 0)))
+	if mirror.IsLeftJustified() {
+		t.Error("mirror must not be left-justified")
+	}
+	// A right-only child violates condition (1).
+	if (&Node{Right: NewLeaf(0, 0)}).IsLeftJustified() {
+		t.Error("right-only child must not be left-justified")
+	}
+	// Single left child chains are allowed.
+	if !NewInternal(NewInternal(NewLeaf(0, 0), nil), nil).IsLeftJustified() {
+		t.Error("left chain must be left-justified")
+	}
+}
+
+func TestBuildCanonical(t *testing.T) {
+	for _, depths := range [][]int{
+		{0},
+		{1, 1},
+		{2, 2, 1},
+		{3, 3, 2, 1},
+		{3, 3, 3, 3, 1},
+		{2, 2, 2, 2},
+	} {
+		tr := BuildCanonical(depths)
+		if tr == nil {
+			t.Fatalf("BuildCanonical(%v) = nil", depths)
+		}
+		got := tr.LeafDepths()
+		for i := range depths {
+			if got[i] != depths[i] {
+				t.Fatalf("depths %v: got %v", depths, got)
+			}
+		}
+		if !tr.IsFull() {
+			t.Errorf("canonical tree for %v must be full", depths)
+		}
+	}
+	// Kraft sum ≠ 1 or increasing sequences are rejected.
+	for _, bad := range [][]int{{1}, {2, 2, 2}, {1, 1, 1}, {1, 2, 2}} {
+		if BuildCanonical(bad) != nil {
+			t.Errorf("BuildCanonical(%v) should fail", bad)
+		}
+	}
+}
+
+func TestRandomLeftJustifiedIsLeftJustified(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(60)
+		tr := RandomLeftJustified(rng, n)
+		if tr.CountLeaves() != n {
+			t.Fatalf("trial %d: %d leaves, want %d", trial, tr.CountLeaves(), n)
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !tr.IsLeftJustified() {
+			t.Fatalf("trial %d: generator output not left-justified:\n%s", trial, tr)
+		}
+	}
+}
+
+func TestRandomTreeShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(40)
+		tr := RandomTree(rng, n)
+		if tr.CountLeaves() != n || !tr.IsFull() {
+			t.Fatalf("RandomTree(%d) malformed", n)
+		}
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	if s := fixture().String(); s != "((1 2) 3)" {
+		t.Errorf("String = %q", s)
+	}
+	single := NewInternal(NewLeaf(7, 0), nil)
+	if s := single.String(); s != "(7)" {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestIsRightJustified(t *testing.T) {
+	// The mirror image of the fixture: cherry on the right.
+	mirror := NewInternal(NewLeaf(3, 0), NewInternal(NewLeaf(1, 0), NewLeaf(2, 0)))
+	if !mirror.IsRightJustified() {
+		t.Error("mirror fixture must be right-justified")
+	}
+	if fixture().IsRightJustified() {
+		t.Error("the left-justified fixture must not be right-justified")
+	}
+	// A single right child is allowed on the right-justified side only.
+	if !(&Node{Right: NewLeaf(0, 0)}).IsRightJustified() {
+		t.Error("right-hanging chain must be right-justified")
+	}
+	rng := rand.New(rand.NewSource(521))
+	for trial := 0; trial < 15; trial++ {
+		lj := RandomLeftJustified(rng, 1+rng.Intn(40))
+		if !mirrorTree(lj).IsRightJustified() {
+			t.Fatalf("trial %d: mirror of left-justified must be right-justified", trial)
+		}
+	}
+	if !(*Node)(nil).IsRightJustified() {
+		t.Error("empty tree is vacuously right-justified")
+	}
+}

@@ -1,0 +1,72 @@
+package workload
+
+import (
+	"math/rand"
+	"strings"
+)
+
+// englishDigrams is a tiny first-order model of English letter structure:
+// for a handful of high-frequency letters, the letters that typically
+// follow them. Everything else falls back to the unigram distribution.
+var englishDigrams = map[byte]string{
+	't': "hhoeiaer", 'h': "eeeaaiot", 'e': "  rsndat", 'a': "ntlrsdcm",
+	'o': "nfurmntw", 'n': "  dgtesc", 'i': "nntsocle", 's': "  tteihso",
+	'r': "eeaiotsy", ' ': "tashwioba",
+}
+
+// Text generates n bytes of pseudo-English (letters and spaces) from a
+// first-order Markov chain seeded with English digram structure — a
+// workload whose byte histogram is realistically skewed for the coding
+// experiments, without shipping a corpus.
+func Text(rng *rand.Rand, n int) []byte {
+	// Unigram fallback weighted roughly like English (plus spaces).
+	const unigrams = "eeeeeeettttttaaaaaooooooiiiiinnnnnsssshhhhhhrrrrddddlllcccuummmwwffggyyppbbvk" +
+		"                "
+	out := make([]byte, n)
+	prev := byte(' ')
+	for i := range out {
+		var next byte
+		if follow, ok := englishDigrams[prev]; ok && rng.Intn(4) > 0 {
+			next = follow[rng.Intn(len(follow))]
+		} else {
+			next = unigrams[rng.Intn(len(unigrams))]
+		}
+		out[i] = next
+		prev = next
+	}
+	return out
+}
+
+// ByteFrequencies returns the frequency vector of the bytes present in
+// text together with the symbol list (sorted by byte value) and the
+// per-position symbol indices — ready for the coding APIs.
+func ByteFrequencies(text []byte) (freqs []float64, alphabet []byte, message []int) {
+	var counts [256]int
+	for _, b := range text {
+		counts[b]++
+	}
+	symOf := make(map[byte]int)
+	for b := 0; b < 256; b++ {
+		if counts[b] > 0 {
+			symOf[byte(b)] = len(freqs)
+			alphabet = append(alphabet, byte(b))
+			freqs = append(freqs, float64(counts[b]))
+		}
+	}
+	message = make([]int, len(text))
+	for i, b := range text {
+		message[i] = symOf[b]
+	}
+	return freqs, alphabet, message
+}
+
+// WordsSample returns k whitespace-separated tokens from the generated
+// text, for dictionary-style workloads.
+func WordsSample(rng *rand.Rand, k int) []string {
+	text := string(Text(rng, k*8+64))
+	fields := strings.Fields(text)
+	if len(fields) > k {
+		fields = fields[:k]
+	}
+	return fields
+}

@@ -1,0 +1,55 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestTextShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(439))
+	text := Text(rng, 10000)
+	if len(text) != 10000 {
+		t.Fatalf("length %d", len(text))
+	}
+	freqs, alphabet, msg := ByteFrequencies(text)
+	if len(freqs) != len(alphabet) || len(msg) != len(text) {
+		t.Fatal("shapes inconsistent")
+	}
+	// The distribution must be meaningfully skewed: entropy well below
+	// log2(alphabet size).
+	total := 0.0
+	for _, f := range freqs {
+		total += f
+	}
+	h := 0.0
+	for _, f := range freqs {
+		p := f / total
+		h -= p * math.Log2(p)
+	}
+	if h >= math.Log2(float64(len(alphabet)))-0.2 {
+		t.Errorf("entropy %.2f too close to uniform %.2f", h, math.Log2(float64(len(alphabet))))
+	}
+	// Message indices must reference the alphabet consistently.
+	for i, s := range msg {
+		if alphabet[s] != text[i] {
+			t.Fatalf("message index %d inconsistent", i)
+		}
+	}
+}
+
+func TestTextZeroAndWords(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if len(Text(rng, 0)) != 0 {
+		t.Error("zero-length text")
+	}
+	words := WordsSample(rng, 10)
+	if len(words) == 0 {
+		t.Error("no words sampled")
+	}
+	for _, w := range words {
+		if w == "" {
+			t.Error("empty word")
+		}
+	}
+}

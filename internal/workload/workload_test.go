@@ -1,0 +1,165 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func sums(t *testing.T, name string, xs []float64) {
+	t.Helper()
+	var s float64
+	for _, v := range xs {
+		if v < 0 {
+			t.Fatalf("%s: negative weight %v", name, v)
+		}
+		s += v
+	}
+	if math.Abs(s-1) > 1e-9 {
+		t.Fatalf("%s: sums to %v, want 1", name, s)
+	}
+}
+
+func TestFrequencyGenerators(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	sums(t, "uniform", Uniform(10))
+	sums(t, "zipf", Zipf(50, 1.1))
+	sums(t, "geometric", Geometric(30, 0.7))
+	sums(t, "random", Random(rng, 40))
+	sums(t, "fibonacci", Fibonacci(20))
+	sums(t, "english", English())
+	if len(English()) != 26 {
+		t.Error("English must have 26 letters")
+	}
+}
+
+func TestZipfDecreasing(t *testing.T) {
+	z := Zipf(20, 1.0)
+	for i := 1; i < len(z); i++ {
+		if z[i] > z[i-1] {
+			t.Fatal("Zipf must be non-increasing in rank order")
+		}
+	}
+}
+
+func TestGeometricRatio(t *testing.T) {
+	g := Geometric(10, 0.5)
+	for i := 1; i < len(g); i++ {
+		if math.Abs(g[i]/g[i-1]-0.5) > 1e-9 {
+			t.Fatal("Geometric ratio wrong")
+		}
+	}
+}
+
+func TestSortedAscending(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	s := SortedAscending(xs)
+	if s[0] != 1 || s[1] != 2 || s[2] != 3 {
+		t.Errorf("sorted = %v", s)
+	}
+	if xs[0] != 3 {
+		t.Error("input must not be modified")
+	}
+}
+
+func TestNormalizeZeroVector(t *testing.T) {
+	xs := []float64{0, 0}
+	Normalize(xs)
+	if xs[0] != 0 || xs[1] != 0 {
+		t.Error("zero vector must stay unchanged")
+	}
+}
+
+func kraft(pattern []int) float64 {
+	s := 0.0
+	for _, d := range pattern {
+		s += math.Pow(2, -float64(d))
+	}
+	return s
+}
+
+func TestMonotonePattern(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(100)
+		p := MonotonePattern(rng, n, 3)
+		if len(p) != n {
+			t.Fatalf("length %d, want %d", len(p), n)
+		}
+		for i := 1; i < n; i++ {
+			if p[i] > p[i-1] {
+				t.Fatalf("not non-increasing: %v", p)
+			}
+		}
+		if math.Abs(kraft(p)-1) > 1e-9 {
+			t.Fatalf("Kraft sum %v ≠ 1 for %v", kraft(p), p)
+		}
+	}
+}
+
+func TestBitonicPattern(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(100)
+		p := BitonicPattern(rng, n, 3)
+		if len(p) != n {
+			t.Fatalf("length wrong")
+		}
+		// Must be non-decreasing then non-increasing.
+		i := 1
+		for i < n && p[i] >= p[i-1] {
+			i++
+		}
+		for ; i < n; i++ {
+			if p[i] > p[i-1] {
+				t.Fatalf("not bitonic: %v", p)
+			}
+		}
+		if math.Abs(kraft(p)-1) > 1e-9 {
+			t.Fatalf("Kraft sum %v ≠ 1", kraft(p))
+		}
+	}
+}
+
+func TestTreePattern(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(100)
+		p := TreePattern(rng, n)
+		if len(p) != n {
+			t.Fatalf("length wrong")
+		}
+		if math.Abs(kraft(p)-1) > 1e-9 {
+			t.Fatalf("Kraft sum %v ≠ 1 for %v", kraft(p), p)
+		}
+	}
+}
+
+func TestFingers(t *testing.T) {
+	if Fingers([]int{}) != 0 {
+		t.Error("empty pattern has 0 fingers")
+	}
+	if Fingers([]int{2, 2, 1}) != 1 {
+		t.Error("monotone pattern has 1 finger")
+	}
+	if got := Fingers([]int{1, 3, 2, 4, 1}); got != 3 {
+		t.Errorf("two-peak pattern fingers = %d, want 3", got)
+	}
+}
+
+func TestFingerPattern(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, c := range []struct{ n, m int }{{64, 2}, {256, 8}, {1024, 16}, {100, 1}} {
+		p := FingerPattern(rng, c.n, c.m)
+		if len(p) != c.n {
+			t.Fatalf("n=%d m=%d: length %d", c.n, c.m, len(p))
+		}
+		if kraft(p) > 1+1e-9 {
+			t.Fatalf("n=%d m=%d: Kraft %v > 1", c.n, c.m, kraft(p))
+		}
+		got := Fingers(p)
+		if got < c.m/2 || got > 2*c.m+1 {
+			t.Fatalf("n=%d m=%d: measured fingers %d", c.n, c.m, got)
+		}
+	}
+}

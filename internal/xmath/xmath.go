@@ -1,0 +1,98 @@
+// Package xmath provides small integer and floating-point helpers shared by
+// the partree packages: ceiling logarithms, ceiling division, and tolerant
+// float comparison. All functions are allocation free.
+package xmath
+
+import "math"
+
+// CeilLog2 returns ⌈log₂ n⌉ for n ≥ 1. CeilLog2(1) = 0. It panics for n ≤ 0,
+// mirroring the domain of the logarithm.
+func CeilLog2(n int) int {
+	if n <= 0 {
+		panic("xmath: CeilLog2 of non-positive value")
+	}
+	l := 0
+	for v := n - 1; v > 0; v >>= 1 {
+		l++
+	}
+	return l
+}
+
+// FloorLog2 returns ⌊log₂ n⌋ for n ≥ 1. It panics for n ≤ 0.
+func FloorLog2(n int) int {
+	if n <= 0 {
+		panic("xmath: FloorLog2 of non-positive value")
+	}
+	l := -1
+	for v := n; v > 0; v >>= 1 {
+		l++
+	}
+	return l
+}
+
+// CeilDiv returns ⌈a/b⌉ for positive b.
+func CeilDiv(a, b int) int {
+	if b <= 0 {
+		panic("xmath: CeilDiv by non-positive divisor")
+	}
+	return (a + b - 1) / b
+}
+
+// NextPow2 returns the smallest power of two ≥ n, with NextPow2(0) = 1.
+func NextPow2(n int) int {
+	if n < 0 {
+		panic("xmath: NextPow2 of negative value")
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// IsPow2 reports whether n is a positive power of two.
+func IsPow2(n int) bool {
+	return n > 0 && n&(n-1) == 0
+}
+
+// AlmostEqual reports whether a and b differ by at most eps in absolute
+// terms, or by at most eps relative to the larger magnitude. It treats two
+// +Inf (or two -Inf) values as equal.
+func AlmostEqual(a, b, eps float64) bool {
+	if a == b {
+		return true // handles infinities of the same sign
+	}
+	if math.IsInf(a, 0) || math.IsInf(b, 0) || math.IsNaN(a) || math.IsNaN(b) {
+		return false // unequal infinities or NaNs never compare equal
+	}
+	diff := math.Abs(a - b)
+	if diff <= eps {
+		return true
+	}
+	m := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= eps*m
+}
+
+// MinInt returns the smaller of a and b.
+func MinInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// MaxInt returns the larger of a and b.
+func MaxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// AbsInt returns |a|.
+func AbsInt(a int) int {
+	if a < 0 {
+		return -a
+	}
+	return a
+}

@@ -1,0 +1,143 @@
+package xmath
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCeilLog2(t *testing.T) {
+	cases := []struct{ n, want int }{
+		{1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {7, 3}, {8, 3}, {9, 4},
+		{1023, 10}, {1024, 10}, {1025, 11},
+	}
+	for _, c := range cases {
+		if got := CeilLog2(c.n); got != c.want {
+			t.Errorf("CeilLog2(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestFloorLog2(t *testing.T) {
+	cases := []struct{ n, want int }{
+		{1, 0}, {2, 1}, {3, 1}, {4, 2}, {7, 2}, {8, 3}, {1023, 9}, {1024, 10},
+	}
+	for _, c := range cases {
+		if got := FloorLog2(c.n); got != c.want {
+			t.Errorf("FloorLog2(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestLogPanicsOnNonPositive(t *testing.T) {
+	for _, f := range []func(int) int{CeilLog2, FloorLog2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic for non-positive argument")
+				}
+			}()
+			f(0)
+		}()
+	}
+}
+
+func TestCeilDiv(t *testing.T) {
+	cases := []struct{ a, b, want int }{
+		{0, 1, 0}, {1, 1, 1}, {5, 2, 3}, {6, 2, 3}, {7, 2, 4}, {100, 7, 15},
+	}
+	for _, c := range cases {
+		if got := CeilDiv(c.a, c.b); got != c.want {
+			t.Errorf("CeilDiv(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestNextPow2(t *testing.T) {
+	cases := []struct{ n, want int }{
+		{0, 1}, {1, 1}, {2, 2}, {3, 4}, {4, 4}, {5, 8}, {1000, 1024},
+	}
+	for _, c := range cases {
+		if got := NextPow2(c.n); got != c.want {
+			t.Errorf("NextPow2(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestIsPow2(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8, 1024} {
+		if !IsPow2(n) {
+			t.Errorf("IsPow2(%d) = false, want true", n)
+		}
+	}
+	for _, n := range []int{0, -1, 3, 5, 6, 7, 1000} {
+		if IsPow2(n) {
+			t.Errorf("IsPow2(%d) = true, want false", n)
+		}
+	}
+}
+
+func TestAlmostEqual(t *testing.T) {
+	if !AlmostEqual(1.0, 1.0+1e-12, 1e-9) {
+		t.Error("tiny difference should compare equal")
+	}
+	if AlmostEqual(1.0, 1.1, 1e-9) {
+		t.Error("large difference should not compare equal")
+	}
+	if !AlmostEqual(math.Inf(1), math.Inf(1), 1e-9) {
+		t.Error("+Inf should equal +Inf")
+	}
+	if AlmostEqual(math.Inf(1), 1.0, 1e-9) {
+		t.Error("+Inf should not equal finite")
+	}
+	// Relative comparison at large magnitude.
+	if !AlmostEqual(1e15, 1e15+1, 1e-9) {
+		t.Error("relative tolerance should accept 1 part in 1e15")
+	}
+}
+
+// Property: CeilLog2 and FloorLog2 bracket the true logarithm, and
+// 2^CeilLog2(n) ≥ n > 2^(CeilLog2(n)-1) for n ≥ 2.
+func TestLogProperties(t *testing.T) {
+	prop := func(raw uint16) bool {
+		n := int(raw)%100000 + 1
+		cl, fl := CeilLog2(n), FloorLog2(n)
+		if cl < fl || cl > fl+1 {
+			return false
+		}
+		if 1<<cl < n {
+			return false
+		}
+		if n >= 2 && 1<<(cl-1) >= n {
+			return false
+		}
+		return 1<<fl <= n && (fl == 62 || n < 1<<(fl+1))
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: CeilDiv(a,b)*b ≥ a and (CeilDiv(a,b)-1)*b < a for a ≥ 1.
+func TestCeilDivProperties(t *testing.T) {
+	prop := func(ra, rb uint16) bool {
+		a, b := int(ra)+1, int(rb)%1000+1
+		q := CeilDiv(a, b)
+		return q*b >= a && (q-1)*b < a
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinMaxAbs(t *testing.T) {
+	if MinInt(3, 5) != 3 || MinInt(5, 3) != 3 {
+		t.Error("MinInt wrong")
+	}
+	if MaxInt(3, 5) != 5 || MaxInt(5, 3) != 5 {
+		t.Error("MaxInt wrong")
+	}
+	if AbsInt(-4) != 4 || AbsInt(4) != 4 || AbsInt(0) != 0 {
+		t.Error("AbsInt wrong")
+	}
+}

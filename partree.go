@@ -1,0 +1,77 @@
+// Package partree is a Go implementation of "Constructing Trees in
+// Parallel" (Atallah, Kosaraju, Larmore, Miller, Teng — SPAA 1989): PRAM
+// algorithms for building Huffman codes, Shannon–Fano codes, trees from
+// leaf-depth patterns, nearly optimal binary search trees, and linear
+// context-free language recognition, all driven by one engine — (min,+)
+// multiplication of concave (Monge) matrices, which needs only O(n²)
+// comparisons instead of the Θ(n³) of general matrices.
+//
+// The package exposes a small façade over the internal packages:
+//
+//   - Huffman coding: HuffmanTree / HuffmanCodes (sequential baselines),
+//     HuffmanParallel (Theorem 5.1's concave-matrix algorithm, with full
+//     tree reconstruction), HuffmanRakeCompressCost (Theorem 3.1).
+//   - Shannon–Fano coding: ShannonFano (Theorem 7.4; within one bit of
+//     Huffman by Claim 7.1).
+//   - Tree construction from leaf depths: TreeFromDepths (general
+//     patterns, Finger-Reduction, Theorem 7.3), TreeFromMonotoneDepths
+//     (Theorem 7.1) and TreeFromBitonicDepths (Theorem 7.2).
+//   - Binary search trees: OptimalBST (Knuth's exact O(n²) DP) and
+//     ApproxBST (Theorem 6.1's ε-approximation).
+//   - Linear context-free languages: NewLinearGrammar, RecognizeLinear
+//     (quadratic oracle), RecognizeLinearParallel (Theorem 8.1's
+//     separator divide and conquer over Boolean matrices), DeriveLinear.
+//   - The engine itself: ConcaveMultiply and IsConcave (Theorem 4.1).
+//
+// Parallel entry points execute on a simulated PRAM (a worker pool with
+// Brent-style step accounting); pass Options to control workers and
+// declared processor count, and inspect the returned Stats for the
+// counted parallel steps and work that the paper's bounds speak about.
+package partree
+
+import (
+	"partree/internal/pram"
+)
+
+// Options configures the simulated PRAM behind the parallel entry points.
+type Options struct {
+	// Workers is the number of OS-level goroutines executing parallel
+	// statements. 0 means GOMAXPROCS.
+	Workers int
+	// Processors is the declared PRAM processor count p used for step
+	// accounting (each parallel statement over n items costs ⌈n/p⌉ steps).
+	// 0 means unbounded (every statement costs one step).
+	Processors int
+}
+
+// Stats reports the simulated-PRAM cost of a parallel call.
+type Stats struct {
+	// Steps is the number of counted parallel time steps.
+	Steps int64
+	// Work is the total number of virtual processor operations.
+	Work int64
+}
+
+func (o Options) machine() *pram.Machine {
+	var opts []pram.Option
+	if o.Workers > 0 {
+		opts = append(opts, pram.WithWorkers(o.Workers))
+	}
+	if o.Processors > 0 {
+		opts = append(opts, pram.WithProcessors(o.Processors))
+	}
+	return pram.New(opts...)
+}
+
+func statsOf(m *pram.Machine) Stats {
+	c := m.Counters()
+	return Stats{Steps: c.Steps, Work: c.Work}
+}
+
+// firstOption returns the first option or the zero value.
+func firstOption(opts []Options) Options {
+	if len(opts) > 0 {
+		return opts[0]
+	}
+	return Options{}
+}
