@@ -2,9 +2,11 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench tables examples cover fuzz clean
+.PHONY: all build test test-race check vet bench tables examples cover fuzz clean
 
 all: build vet test
+
+check: build vet test test-race
 
 build:
 	$(GO) build ./...
@@ -14,6 +16,11 @@ vet:
 
 test:
 	$(GO) test ./...
+
+# The work-stealing runtime executes every For body concurrently; run the
+# whole suite under the race detector to keep statement bodies honest.
+test-race:
+	$(GO) test -race ./...
 
 # Regenerate the experiment measurements (EXPERIMENTS.md tables).
 tables:
@@ -35,6 +42,8 @@ cover:
 
 fuzz:
 	$(GO) test -fuzz=FuzzDecodeStream -fuzztime=30s ./internal/huffman
+	$(GO) test -fuzz=FuzzLeafPattern -fuzztime=30s ./internal/leafpattern
+	$(GO) test -fuzz=FuzzLinCFL -fuzztime=30s ./internal/lincfl
 
 clean:
 	rm -f cover.out test_output.txt bench_output.txt

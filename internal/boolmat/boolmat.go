@@ -126,6 +126,7 @@ func MulPar(m *pram.Machine, a, b *Matrix) *Matrix {
 	if a.C != b.R {
 		panic("boolmat: dimension mismatch")
 	}
+	defer m.Phase("boolmat.MulPar")()
 	out := New(a.R, b.C)
 	m.For(a.R, func(i int) {
 		arow := a.row(i)
@@ -161,6 +162,7 @@ func ClosurePar(mach *pram.Machine, m *Matrix) *Matrix {
 	if m.R != m.C {
 		panic("boolmat: closure of non-square matrix")
 	}
+	defer mach.Phase("boolmat.ClosurePar")()
 	cur := m.Clone().Or(Identity(m.R))
 	for span := 1; span < m.R; span <<= 1 {
 		cur = MulPar(mach, cur, cur)

@@ -94,6 +94,7 @@ func buildConcave(m *pram.Machine, weights []float64, mul mulFunc) *Result {
 
 	levels := xmath.CeilLog2(n)
 	heightCuts := make([]*matrix.IntMat, levels)
+	restore := m.Phase("hufpar.heights")
 	for h := 0; h < levels; h++ {
 		prod, cut := mul(m, a, a, &cnt)
 		heightCuts[h] = cut
@@ -109,6 +110,7 @@ func buildConcave(m *pram.Machine, weights []float64, mul mulFunc) *Result {
 		})
 		a = next
 	}
+	restore()
 
 	// Path matrix M' (Section 5): self-loop at 0 plus A-edges shifted by
 	// the full prefix weight S[0][j].
@@ -124,11 +126,13 @@ func buildConcave(m *pram.Machine, weights []float64, mul mulFunc) *Result {
 	squarings := xmath.CeilLog2(n + 1)
 	pathCuts := make([]*matrix.IntMat, squarings)
 	cur := mp
+	restore = m.Phase("hufpar.spine")
 	for sq := 0; sq < squarings; sq++ {
 		prod, cut := mul(m, cur, cur, &cnt)
 		pathCuts[sq] = cut
 		cur = prod
 	}
+	restore()
 	cost := cur.At(0, n)
 
 	t := reconstruct(weights, mp, pathCuts, heightCuts, n)

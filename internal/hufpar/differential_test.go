@@ -1,0 +1,75 @@
+package hufpar
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"partree/internal/huffman"
+	"partree/internal/pram"
+	"partree/internal/xmath"
+)
+
+// Differential property tests: the serial huffman package is a cheap,
+// independently tested oracle, so every parallel construction must land
+// on exactly its optimal cost, over seeded random weight profiles.
+
+// randSorted draws n positive weights from one of several shapes and
+// returns them ascending (the paper's algorithms assume sorted input).
+func randSorted(rng *rand.Rand, n int) []float64 {
+	xs := make([]float64, n)
+	switch rng.Intn(4) {
+	case 0: // uniform random
+		for i := range xs {
+			xs[i] = rng.Float64() + 1e-9
+		}
+	case 1: // exponentially spread — deep skewed trees
+		for i := range xs {
+			xs[i] = rng.Float64() * float64(int64(1)<<uint(rng.Intn(40)))
+		}
+	case 2: // many ties — stresses tie-breaking
+		for i := range xs {
+			xs[i] = float64(1 + rng.Intn(4))
+		}
+	default: // near-equal weights — balanced trees
+		for i := range xs {
+			xs[i] = 1 + rng.Float64()*1e-6
+		}
+	}
+	sort.Float64s(xs)
+	return xs
+}
+
+func TestDifferentialConcaveVsSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	m := pram.New(pram.WithWorkers(4))
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + rng.Intn(200)
+		w := randSorted(rng, n)
+		want := huffman.Cost(w)
+		res := BuildConcave(m, w)
+		if !xmath.AlmostEqual(res.Cost, want, 1e-6*(1+want)) {
+			t.Fatalf("trial %d (n=%d): parallel cost %v, serial optimal %v\nweights: %v",
+				trial, n, res.Cost, want, w)
+		}
+		if got := res.Tree.WeightedPathLength(); !xmath.AlmostEqual(got, want, 1e-6*(1+want)) {
+			t.Fatalf("trial %d (n=%d): tree weighted depth %v, serial optimal %v",
+				trial, n, got, want)
+		}
+	}
+}
+
+func TestDifferentialRakeCompressVsSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	m := pram.New(pram.WithWorkers(2), pram.WithGrain(32))
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + rng.Intn(150)
+		w := randSorted(rng, n)
+		want := huffman.Cost(w)
+		got := CostRakeCompress(m, w)
+		if !xmath.AlmostEqual(got, want, 1e-6*(1+want)) {
+			t.Fatalf("trial %d (n=%d): rake/compress cost %v, serial optimal %v\nweights: %v",
+				trial, n, got, want, w)
+		}
+	}
+}

@@ -28,6 +28,7 @@ func HeightLimited(m *pram.Machine, weights []float64, h int) (*tree.Node, float
 		return nil, 0, fmt.Errorf("hufpar: %d symbols cannot fit in height %d", n, h)
 	}
 	pre := prefixSums(weights)
+	defer m.Phase("hufpar.HeightLimited")()
 
 	s := matrix.NewInf(n+1, n+1)
 	for i := 0; i <= n; i++ {

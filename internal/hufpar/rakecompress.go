@@ -84,6 +84,7 @@ func CostRakeCompress(m *pram.Machine, weights []float64) float64 {
 
 	// Step 2: ⌈log n⌉ RAKE simulations. One parallel statement per round,
 	// one virtual processor per (i,j) pair scanning all split points.
+	restore := m.Phase("hufpar.rake")
 	for r := 0; r < rounds; r++ {
 		m.For(n*n, func(e int) {
 			i := e/n + 1
@@ -106,6 +107,7 @@ func CostRakeCompress(m *pram.Machine, weights []float64) float64 {
 		})
 		h, hNext = hNext, h
 	}
+	restore()
 
 	// Step 3: initialize F[i][j] = H[i+1][j] + p_{1,j} for 1 ≤ i < j ≤ n.
 	f := make([]float64, size)
@@ -123,6 +125,7 @@ func CostRakeCompress(m *pram.Machine, weights []float64) float64 {
 
 	// Step 4: ⌈log n⌉ COMPRESS simulations: F' = min(E, F⋆F) where E is the
 	// one-step extension kept inside via the i+1=j base of relation (2).
+	restore = m.Phase("hufpar.compress")
 	for r := 0; r < rounds; r++ {
 		m.For(n*n, func(e int) {
 			i := e/n + 1
@@ -141,6 +144,7 @@ func CostRakeCompress(m *pram.Machine, weights []float64) float64 {
 		})
 		f, fNext = fNext, f
 	}
+	restore()
 
 	// Step 5: F_{1,n} is the minimum average word length.
 	return f[idx(1, n)]

@@ -24,6 +24,7 @@ func BitonicPar(m *pram.Machine, pattern []int) (*tree.Node, error) {
 	if !IsBitonic(pattern) {
 		return nil, errNotBitonic
 	}
+	defer m.Phase("leafpattern.BitonicPar")()
 	n := len(pattern)
 
 	// Peak split: indices < peak form the rising (left) side.

@@ -18,6 +18,7 @@ func BuildPar(m *pram.Machine, pattern []int) (*tree.Node, int, error) {
 	if err := validate(pattern); err != nil {
 		return nil, 0, err
 	}
+	defer m.Phase("leafpattern.BuildPar")()
 	cur := records(pattern)
 	pending := make(map[int]*tree.Node)
 	nextPH := -1

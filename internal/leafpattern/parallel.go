@@ -37,6 +37,7 @@ func MonotonePar(m *pram.Machine, pattern []int) (*tree.Node, error) {
 	if !IsMonotone(pattern) {
 		return nil, errNotMonotone
 	}
+	defer m.Phase("leafpattern.MonotonePar")()
 	n := len(pattern)
 
 	// Normalize to non-increasing; remember to mirror the result back.

@@ -28,6 +28,7 @@ func RecognizeClosure(m *pram.Machine, g *grammar.Linear, w []byte) *ClosureResu
 	if n == 0 {
 		return res
 	}
+	defer m.Phase("lincfl.RecognizeClosure")()
 	k := g.NumNT
 	cells := n * (n + 1) / 2
 	// Triangular cell index for i ≤ j.

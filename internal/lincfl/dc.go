@@ -58,6 +58,7 @@ func RecognizeDC(m *pram.Machine, g *grammar.Linear, w []byte) *DCResult {
 	if len(w) == 0 {
 		return res
 	}
+	defer m.Phase("lincfl.RecognizeDC")()
 	ctx := &dcCtx{
 		g: g, w: w, k: g.NumNT, m: m, cnt: &boolmat.OpCounter{},
 		leftBlock:  make(map[byte]*boolmat.Matrix),

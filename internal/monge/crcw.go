@@ -20,6 +20,7 @@ import (
 // concave inputs; cnt counts comparisons (the all-pairs rounds cost a
 // constant factor more than the scans, still O(n²) per level).
 func CutBottomUpCRCW(mach *pram.Machine, a, b *matrix.Dense, cnt *matrix.OpCount) *matrix.IntMat {
+	defer mach.Phase("monge.CutBottomUpCRCW")()
 	c := newMulCtx(a, b, cnt)
 	p, q, r := a.R, a.C, b.C
 

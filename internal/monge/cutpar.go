@@ -13,6 +13,7 @@ import (
 // an unbounded machine is O(min(log p, log r)); with the bracketed scans
 // costing O(log q) … O(q) each, the CREW time bound of Theorem 4.1 follows.
 func CutRecursivePar(m *pram.Machine, a, b *matrix.Dense, cnt *matrix.OpCount) *matrix.IntMat {
+	defer m.Phase("monge.MulPar")()
 	return cutRecStridedPar(m, newMulCtx(a, b, cnt), 1, 1)
 }
 
@@ -81,6 +82,7 @@ func cutRecStridedPar(m *pram.Machine, c *mulCtx, rs, cs int) *matrix.IntMat {
 // is one additional parallel statement (O(1) time with p·r processors, as
 // the paper notes).
 func MulPar(m *pram.Machine, a, b *matrix.Dense, cnt *matrix.OpCount) (*matrix.Dense, *matrix.IntMat) {
+	defer m.Phase("monge.MulPar")()
 	cut := CutRecursivePar(m, a, b, cnt)
 	out := matrix.NewInf(cut.R, cut.C)
 	m.For(cut.R*cut.C, func(e int) {

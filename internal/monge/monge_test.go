@@ -6,6 +6,7 @@ import (
 	"testing/quick"
 
 	"partree/internal/matrix"
+	"partree/internal/pram"
 	"partree/internal/semiring"
 )
 
@@ -261,6 +262,46 @@ func TestCutExtremeShapes(t *testing.T) {
 			if !got.Equal(want, 1e-9) {
 				t.Fatalf("%s: shape %v values differ", name, s)
 			}
+		}
+	}
+}
+
+// TestDifferentialMulParVsBrute is the parallel path's differential
+// oracle: for seeded random Monge operands — rectangular and the
+// ∞-padded upper-triangular shape the Huffman DP multiplies — the
+// work-stealing MulPar must reproduce the naive O(pqr) product exactly,
+// values and cut matrix both.
+func TestDifferentialMulParVsBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	m := pram.New(pram.WithWorkers(4), pram.WithGrain(8))
+	for trial := 0; trial < 30; trial++ {
+		p, q, r := 1+rng.Intn(40), 1+rng.Intn(40), 1+rng.Intn(40)
+		a, b := randomPair(rng, p, q, r)
+		var c1, c2 matrix.OpCount
+		want, wantCut := matrix.MulBrute(a, b, &c1)
+		got, gotCut := MulPar(m, a, b, &c2)
+		if !got.Equal(want, 1e-9) {
+			t.Fatalf("trial %d dims (%d,%d,%d): parallel values differ from brute",
+				trial, p, q, r)
+		}
+		for i := 0; i < p; i++ {
+			for j := 0; j < r; j++ {
+				if gotCut.At(i, j) != wantCut.At(i, j) {
+					t.Fatalf("trial %d dims (%d,%d,%d): cut differs at (%d,%d): %d vs %d",
+						trial, p, q, r, i, j, gotCut.At(i, j), wantCut.At(i, j))
+				}
+			}
+		}
+	}
+	for trial := 0; trial < 15; trial++ {
+		n := 2 + rng.Intn(30)
+		a := RandomUpperTriangular(rng, n, 60, 4)
+		b := RandomUpperTriangular(rng, n, 60, 4)
+		var c1, c2 matrix.OpCount
+		want, _ := matrix.MulBrute(a, b, &c1)
+		got, _ := MulPar(m, a, b, &c2)
+		if !got.Equal(want, 1e-9) {
+			t.Fatalf("triangular trial %d n=%d: parallel values differ from brute", trial, n)
 		}
 	}
 }

@@ -47,6 +47,7 @@ var goldenRatio = (1 + math.Sqrt(5)) / 2
 // Lemma 6.2 then bounds the total error by ε. The instance's total
 // probability mass should be ≈ 1 for the lemma's bound to be meaningful.
 func Approx(m *pram.Machine, in *Instance, eps float64) *ApproxResult {
+	defer m.Phase("obst.Approx")()
 	n := in.N()
 	if eps <= 0 {
 		panic("obst: eps must be positive")

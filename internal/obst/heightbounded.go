@@ -28,6 +28,7 @@ func HeightBounded(m *pram.Machine, in *Instance, h int) (float64, *tree.Node, e
 		return 0, nil, fmt.Errorf("obst: %d keys cannot fit in height %d", n, h)
 	}
 	w := in.weights()
+	defer m.Phase("obst.HeightBounded")()
 
 	e := matrix.NewInf(n+1, n+1)
 	for a := 0; a <= n; a++ {

@@ -26,6 +26,7 @@ func MinDoublyLog(m *pram.Machine, xs []float64) (float64, int) {
 	if n == 0 {
 		panic("par: MinDoublyLog of empty slice")
 	}
+	defer m.Phase("par.MinDoublyLog")()
 	cur := append([]float64(nil), xs...)
 	rounds := 0
 	for len(cur) > 1 {

@@ -18,6 +18,7 @@ func Reduce[T any](m *pram.Machine, xs []T, id T, op func(T, T) T) T {
 	if n == 0 {
 		return id
 	}
+	defer m.Phase("par.Reduce")()
 	buf := make([]T, n)
 	copy(buf, xs)
 	for width := 1; width < n; width <<= 1 {
@@ -39,6 +40,7 @@ func Reduce[T any](m *pram.Machine, xs []T, id T, op func(T, T) T) T {
 // out[0] = id. It uses the Hillis–Steele doubling scheme: ⌈log₂ n⌉ rounds,
 // O(n log n) work. xs is not modified.
 func ScanExclusive[T any](m *pram.Machine, xs []T, id T, op func(T, T) T) []T {
+	defer m.Phase("par.Scan")()
 	inc := ScanInclusive(m, xs, op)
 	out := make([]T, len(xs))
 	m.For(len(xs), func(i int) {
@@ -54,6 +56,7 @@ func ScanExclusive[T any](m *pram.Machine, xs []T, id T, op func(T, T) T) []T {
 // ScanInclusive returns the inclusive prefix combination of xs:
 // out[i] = op(xs[0],…,xs[i]). ⌈log₂ n⌉ rounds. xs is not modified.
 func ScanInclusive[T any](m *pram.Machine, xs []T, op func(T, T) T) []T {
+	defer m.Phase("par.Scan")()
 	n := len(xs)
 	cur := make([]T, n)
 	copy(cur, xs)
@@ -86,6 +89,7 @@ func Pack[T any](m *pram.Machine, xs []T, keep []bool) []T {
 	if n == 0 {
 		return nil
 	}
+	defer m.Phase("par.Pack")()
 	ind := make([]int, n)
 	m.For(n, func(i int) {
 		if keep[i] {
@@ -109,6 +113,7 @@ func Pack[T any](m *pram.Machine, xs []T, keep []bool) []T {
 // work. next is not modified. Nodes not on any list (cycles) are not
 // supported and cause a panic after the round budget is exhausted.
 func ListRank(m *pram.Machine, next []int) []int {
+	defer m.Phase("par.ListRank")()
 	n := len(next)
 	rank := make([]int, n)
 	ptrA := make([]int, n)
@@ -157,6 +162,7 @@ func ListRank(m *pram.Machine, next []int) []int {
 // parallel merge). O(log² n) PRAM time, O(n log n) work with n processors.
 // It returns a newly allocated sorted slice; xs is not modified.
 func MergeSort[T any](m *pram.Machine, xs []T, less func(a, b T) bool) []T {
+	defer m.Phase("par.MergeSort")()
 	n := len(xs)
 	cur := make([]T, n)
 	copy(cur, xs)

@@ -48,6 +48,25 @@ func TestReduceLogRounds(t *testing.T) {
 	}
 }
 
+func TestReduceStatsPhase(t *testing.T) {
+	m := pram.New() // unbounded processors: one step per statement
+	n := 1024
+	xs := make([]int, n)
+	Reduce(m, xs, 0, func(a, b int) int { return a + b })
+	st := m.Stats()
+	ps, ok := st.Phases["par.Reduce"]
+	if !ok {
+		t.Fatalf("phase par.Reduce missing; have %v", st.PhaseNames())
+	}
+	if want := int64(xmath.CeilLog2(n)); ps.Steps != want || st.Steps != want {
+		t.Errorf("Stats steps: phase=%d total=%d, want %d (= ⌈log₂ %d⌉)",
+			ps.Steps, st.Steps, want, n)
+	}
+	if ps.Work != int64(n-1) {
+		t.Errorf("Stats work: %d combine ops, want %d", ps.Work, n-1)
+	}
+}
+
 func TestScanInclusive(t *testing.T) {
 	m := mach()
 	for _, n := range []int{0, 1, 2, 5, 64, 100} {

@@ -5,15 +5,23 @@
 // The paper's cost model counts parallel time steps on a machine with p
 // processors; a parallel statement over n virtual processors costs ⌈n/p⌉
 // steps (Brent's scheduling principle). A Machine reproduces exactly that
-// accounting while running the statement bodies on a pool of real goroutines,
-// so the counted bounds can be validated independently of the host's core
-// count and the host still gets genuine speedup.
+// accounting while running the statement bodies on a work-stealing runtime
+// (per-worker deques, chunk stealing, adaptive grain — see sched.go), so the
+// counted bounds can be validated independently of the host's core count and
+// the host still gets genuine speedup even when the iterations' costs are
+// skewed.
 //
 // The single execution primitive is Machine.For: one synchronous parallel
 // statement. Within a single For call the iterations must be independent —
 // the barrier is the return of For. Reads of values written during the same
 // For call are undefined, exactly as on a synchronous PRAM where all reads
-// of a step happen before all writes commit.
+// of a step happen before all writes commit. The scheduler may execute
+// iterations in any order and any interleaving.
+//
+// Beyond the counted Counters, every Machine keeps a Stats snapshot per
+// labeled Phase: counted steps and work, plus measured steal counts, span
+// estimate and barrier wait, so the paper's step counts are observable
+// metrics alongside the scheduler's constant factors.
 package pram
 
 import (
@@ -21,6 +29,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 func defaultWorkers() int { return runtime.GOMAXPROCS(0) }
@@ -55,7 +64,8 @@ func (m Model) String() string {
 	}
 }
 
-// Counters is a snapshot of a Machine's cost accounting.
+// Counters is a snapshot of a Machine's counted cost accounting (the
+// model-level subset of Stats, kept for compatibility).
 type Counters struct {
 	// Steps is the number of parallel time steps: each For(n, ·) contributes
 	// ⌈n/Processors⌉, each sequential Step contributes its cost.
@@ -72,16 +82,18 @@ type Counters struct {
 // goroutines and must not be nested; algorithms that need nested parallelism
 // flatten their index spaces into a single For.
 type Machine struct {
-	model   Model
-	procs   int // declared processor count p for step accounting
-	workers int // real goroutines used to execute bodies
-	grain   int // minimum iterations per goroutine before splitting
-
-	steps atomic.Int64
-	work  atomic.Int64
-	calls atomic.Int64
+	model      Model
+	procs      int // declared processor count p for step accounting
+	workers    int // real goroutines used to execute bodies
+	fixedGrain int // 0 = adaptive; >0 pins the chunk size (WithGrain)
 
 	running atomic.Bool // guards against nested/concurrent For
+
+	statsMu   sync.Mutex
+	phase     string
+	phases    map[string]*PhaseStats
+	total     PhaseStats
+	nsPerElem float64 // EWMA of measured per-element cost (adaptive grain)
 }
 
 // Option configures a Machine.
@@ -113,27 +125,28 @@ func WithWorkers(w int) Option {
 	}
 }
 
-// WithGrain sets the minimum number of iterations a goroutine receives
-// before the machine bothers splitting a statement across workers. Small
-// statements run inline on the calling goroutine. The default is 1024.
+// WithGrain pins the number of iterations a worker takes per deque pop and
+// disables the adaptive controller. Statements with n ≤ grain run inline on
+// the calling goroutine. Without this option the machine sizes chunks
+// adaptively from the measured per-element cost.
 func WithGrain(g int) Option {
 	return func(m *Machine) {
 		if g < 1 {
 			panic("pram: grain must be ≥ 1")
 		}
-		m.grain = g
+		m.fixedGrain = g
 	}
 }
 
 // New constructs a Machine. With no options it models an unbounded-processor
 // CREW PRAM (p = very large, so every parallel statement costs one step)
-// executed on GOMAXPROCS goroutines.
+// executed on GOMAXPROCS goroutines with adaptive grain.
 func New(opts ...Option) *Machine {
 	m := &Machine{
 		model:   CREW,
 		procs:   1 << 62, // effectively unbounded: one step per statement
 		workers: defaultWorkers(),
-		grain:   1024,
+		phases:  make(map[string]*PhaseStats),
 	}
 	for _, o := range opts {
 		o(m)
@@ -150,20 +163,33 @@ func (m *Machine) Processors() int { return m.procs }
 // Workers returns the number of executing goroutines.
 func (m *Machine) Workers() int { return m.workers }
 
-// Counters returns a snapshot of the accumulated cost counters.
+// Grain returns the chunk size the next large statement would use: the
+// pinned WithGrain value or the adaptive controller's current choice.
+func (m *Machine) Grain() int {
+	m.statsMu.Lock()
+	defer m.statsMu.Unlock()
+	return m.grainLocked()
+}
+
+// Counters returns a snapshot of the accumulated counted cost.
 func (m *Machine) Counters() Counters {
+	m.statsMu.Lock()
+	defer m.statsMu.Unlock()
 	return Counters{
-		Steps: m.steps.Load(),
-		Work:  m.work.Load(),
-		Calls: m.calls.Load(),
+		Steps: m.total.Steps,
+		Work:  m.total.Work,
+		Calls: m.total.Calls,
 	}
 }
 
-// Reset zeroes the cost counters.
+// Reset zeroes the cost counters and the per-phase stats. The adaptive
+// grain calibration is deliberately kept: it describes the workload, not
+// the measurement window.
 func (m *Machine) Reset() {
-	m.steps.Store(0)
-	m.work.Store(0)
-	m.calls.Store(0)
+	m.statsMu.Lock()
+	m.total = PhaseStats{}
+	m.phases = make(map[string]*PhaseStats)
+	m.statsMu.Unlock()
 }
 
 // Step records cost time sequential steps (and the same amount of work)
@@ -173,58 +199,31 @@ func (m *Machine) Step(cost int) {
 	if cost <= 0 {
 		return
 	}
-	m.steps.Add(int64(cost))
-	m.work.Add(int64(cost))
+	m.record(int64(cost), int64(cost), 0, stmtStats{})
 }
 
 // For executes body(i) for every i in [0, n) as one synchronous parallel
 // statement: ⌈n/p⌉ counted steps, n counted work. Iterations must be
 // mutually independent. For returns after all iterations complete.
 func (m *Machine) For(n int, body func(i int)) {
-	if n <= 0 {
-		return
-	}
-	if !m.running.CompareAndSwap(false, true) {
-		panic("pram: nested or concurrent For on the same Machine")
-	}
-	defer m.running.Store(false)
-
-	m.calls.Add(1)
-	m.work.Add(int64(n))
-	m.steps.Add(int64((n + m.procs - 1) / m.procs))
-
-	w := m.workers
-	if n <= m.grain || w == 1 {
-		for i := 0; i < n; i++ {
+	m.forChunked(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
 			body(i)
 		}
-		return
-	}
-	if chunks := (n + m.grain - 1) / m.grain; w > chunks {
-		w = chunks
-	}
-	chunk := (n + w - 1) / w
-	var wg sync.WaitGroup
-	for start := 0; start < n; start += chunk {
-		end := start + chunk
-		if end > n {
-			end = n
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				body(i)
-			}
-		}(start, end)
-	}
-	wg.Wait()
+	})
 }
 
-// ForRange executes body(lo, hi) on contiguous sub-ranges covering [0, n),
-// one call per executing worker. It is an escape hatch for bodies that keep
-// per-worker scratch state; the cost accounting is identical to For(n, ·).
+// ForRange executes body(lo, hi) on contiguous sub-ranges covering [0, n).
+// It is an escape hatch for bodies that keep per-call scratch state; the
+// cost accounting is identical to For(n, ·). The scheduler issues one call
+// per grain-sized chunk (at least one per executing worker), so bodies must
+// tolerate any number of calls.
 func (m *Machine) ForRange(n int, body func(lo, hi int)) {
+	m.forChunked(n, body)
+}
+
+// forChunked is the shared scheduling core of For and ForRange.
+func (m *Machine) forChunked(n int, body func(lo, hi int)) {
 	if n <= 0 {
 		return
 	}
@@ -233,30 +232,23 @@ func (m *Machine) ForRange(n int, body func(lo, hi int)) {
 	}
 	defer m.running.Store(false)
 
-	m.calls.Add(1)
-	m.work.Add(int64(n))
-	m.steps.Add(int64((n + m.procs - 1) / m.procs))
+	steps := int64((n + m.procs - 1) / m.procs)
 
+	g := m.Grain()
 	w := m.workers
-	if n <= m.grain || w == 1 {
-		body(0, n)
-		return
-	}
-	if chunks := (n + m.grain - 1) / m.grain; w > chunks {
+	if chunks := (n + g - 1) / g; w > chunks {
 		w = chunks
 	}
-	chunk := (n + w - 1) / w
-	var wg sync.WaitGroup
-	for start := 0; start < n; start += chunk {
-		end := start + chunk
-		if end > n {
-			end = n
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			body(lo, hi)
-		}(start, end)
+	if w == 1 {
+		start := time.Now()
+		body(0, n)
+		el := time.Since(start)
+		m.record(steps, int64(n), 1, stmtStats{span: el, busy: el})
+		m.observeCost(n, el)
+		return
 	}
-	wg.Wait()
+
+	st := run(n, w, g, body)
+	m.record(steps, int64(n), 1, st)
+	m.observeCost(n, st.busy)
 }

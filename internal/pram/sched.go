@@ -1,0 +1,200 @@
+package pram
+
+import (
+	"sync"
+	"time"
+)
+
+// The execution engine behind Machine.For: a work-stealing scheduler.
+//
+// Each parallel statement's index space [0, n) is partitioned evenly into
+// one contiguous range per executing worker, held in a per-worker deque.
+// A worker pops grain-sized chunks from the bottom (low end) of its own
+// range; when its range is empty it steals the top half of a victim's
+// remaining range and installs it as its own (chunk stealing, in the
+// style of lazy binary splitting). Stealing moves whole half-ranges, so
+// the total number of steals per statement is O(w log(n/g)) and the mutex
+// on each deque is uncontended in the common case.
+//
+// A thief executes the first grain of a stolen range immediately and
+// parks only the remainder in its own deque. That ordering is what makes
+// the scheduler livelock-free: every successful steal executes at least
+// one index before the thief steals again, so steals per statement are
+// bounded by the element count. (Install-then-pop, the obvious ordering,
+// lets another thief snatch the range back through the window between
+// install and pop — on a contended host two workers can phase-lock into
+// stealing a single index back and forth indefinitely.)
+//
+// A worker exits after one full scan of all deques finds nothing to
+// steal. The chunk a thief is currently executing is invisible to that
+// scan, so a worker can exit while work remains in flight — that only
+// reduces parallelism at the statement's tail, never correctness,
+// because the holder always executes what it stole. The statement
+// barrier is the WaitGroup in run(): For returns only after every range
+// has been executed exactly once.
+
+// wdeque is one worker's deque: a contiguous sub-range [lo, hi) of the
+// statement's index space. Bottom (lo side) is popped by the owner; the
+// top half is removed by thieves.
+type wdeque struct {
+	mu     sync.Mutex
+	lo, hi int
+}
+
+// pop removes up to g indices from the bottom of the range.
+func (d *wdeque) pop(g int) (lo, hi int, ok bool) {
+	d.mu.Lock()
+	if d.lo >= d.hi {
+		d.mu.Unlock()
+		return 0, 0, false
+	}
+	lo = d.lo
+	hi = lo + g
+	if hi > d.hi {
+		hi = d.hi
+	}
+	d.lo = hi
+	d.mu.Unlock()
+	return lo, hi, true
+}
+
+// steal removes the top half of the remaining range (all of it when only
+// one index remains).
+func (d *wdeque) steal() (lo, hi int, ok bool) {
+	d.mu.Lock()
+	n := d.hi - d.lo
+	if n <= 0 {
+		d.mu.Unlock()
+		return 0, 0, false
+	}
+	mid := d.lo + n/2 // n == 1 → mid == lo: the thief takes the lone index
+	lo, hi = mid, d.hi
+	d.hi = mid
+	d.mu.Unlock()
+	return lo, hi, true
+}
+
+// install replaces the worker's (empty) range with a stolen one.
+func (d *wdeque) install(lo, hi int) {
+	d.mu.Lock()
+	d.lo, d.hi = lo, hi
+	d.mu.Unlock()
+}
+
+// workerStats is one worker's contribution to a statement's observability
+// counters, written only by that worker during the statement and read by
+// the caller after the barrier.
+type workerStats struct {
+	busy   time.Duration // time spent executing body chunks
+	finish time.Duration // time from statement start until the worker exited
+	steals int64
+	elems  int
+}
+
+// run executes body over [0, n) on w workers (the caller is worker 0)
+// with chunk size g, and returns the aggregated statement measurements.
+func run(n, w, g int, body func(lo, hi int)) stmtStats {
+	dq := make([]wdeque, w)
+	chunk := (n + w - 1) / w
+	for i := 0; i < w; i++ {
+		lo := i * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo > hi {
+			lo = hi
+		}
+		dq[i].lo, dq[i].hi = lo, hi
+	}
+
+	ws := make([]workerStats, w)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 1; i < w; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			worker(id, dq, g, body, &ws[id], start)
+		}(i)
+	}
+	worker(0, dq, g, body, &ws[0], start)
+	wg.Wait()
+
+	var st stmtStats
+	var maxFinish time.Duration
+	for i := range ws {
+		st.busy += ws[i].busy
+		st.steals += ws[i].steals
+		if ws[i].finish > maxFinish {
+			maxFinish = ws[i].finish
+		}
+	}
+	for i := range ws {
+		st.barrierWait += maxFinish - ws[i].finish
+	}
+	st.span = maxFinish
+	return st
+}
+
+// worker is the per-goroutine scheduling loop: drain own deque, then
+// steal, until a full victim scan comes up empty. A stolen range's first
+// grain is executed before anything else can steal it back (see the
+// package comment on livelock freedom).
+func worker(id int, dq []wdeque, g int, body func(lo, hi int), ws *workerStats, start time.Time) {
+	seed := uint32(id)*2654435761 + 1
+	for {
+		lo, hi, ok := dq[id].pop(g)
+		if !ok {
+			lo, hi, ok = steal(id, dq, &seed)
+			if !ok {
+				break
+			}
+			ws.steals++
+			if hi-lo > g {
+				// Park the remainder where other thieves can find it;
+				// our own deque is empty (pop just failed and only we
+				// install into it).
+				dq[id].install(lo+g, hi)
+				hi = lo + g
+			}
+		}
+		t0 := time.Now()
+		body(lo, hi)
+		ws.busy += time.Since(t0)
+		ws.elems += hi - lo
+	}
+	ws.finish = time.Since(start)
+}
+
+// steal scans the other deques from a pseudo-random start and returns the
+// first successfully stolen range.
+func steal(id int, dq []wdeque, seed *uint32) (int, int, bool) {
+	n := len(dq)
+	off := int(xorshift32(seed) % uint32(n))
+	for t := 0; t < n; t++ {
+		v := off + t
+		if v >= n {
+			v -= n
+		}
+		if v == id {
+			continue
+		}
+		if lo, hi, ok := dq[v].steal(); ok {
+			return lo, hi, true
+		}
+	}
+	return 0, 0, false
+}
+
+// xorshift32 is a tiny deterministic PRNG for victim selection; seeding
+// by worker id keeps schedules reproducible enough to debug while still
+// spreading contention.
+func xorshift32(s *uint32) uint32 {
+	x := *s
+	x ^= x << 13
+	x ^= x >> 17
+	x ^= x << 5
+	*s = x
+	return x
+}

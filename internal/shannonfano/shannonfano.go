@@ -62,6 +62,7 @@ func Build(m *pram.Machine, p []float64) (*Result, error) {
 	if n == 0 {
 		return nil, fmt.Errorf("shannonfano: empty probability vector")
 	}
+	defer m.Phase("shannonfano.Build")()
 	lengths := Lengths(p)
 
 	// Sort symbols by length (non-decreasing pattern for the constructor).

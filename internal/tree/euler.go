@@ -20,6 +20,7 @@ func DepthsParallel(m *pram.Machine, t *Node) (map[*Node]int, []int) {
 	if t == nil {
 		return map[*Node]int{}, nil
 	}
+	defer m.Phase("tree.DepthsParallel")()
 	// Assign preorder ids and collect the Euler tour as a linked list of
 	// signed steps: +1 entering a node (except the root), -1 leaving.
 	id := make(map[*Node]int)

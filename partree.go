@@ -30,6 +30,8 @@
 package partree
 
 import (
+	"time"
+
 	"partree/internal/pram"
 )
 
@@ -44,12 +46,29 @@ type Options struct {
 	Processors int
 }
 
+// PhaseStats is the per-phase cost and scheduler breakdown of a parallel
+// call: counted Steps/Work/Calls plus measured Steals, Span, Busy and
+// BarrierWait (see the pram package for exact semantics).
+type PhaseStats = pram.PhaseStats
+
 // Stats reports the simulated-PRAM cost of a parallel call.
 type Stats struct {
 	// Steps is the number of counted parallel time steps.
 	Steps int64
 	// Work is the total number of virtual processor operations.
 	Work int64
+	// Steals counts work-stealing events in the runtime — how often the
+	// scheduler rebalanced skewed statements across workers.
+	Steals int64
+	// Span is the measured critical-path estimate: the sum over parallel
+	// statements of the slowest worker's wall time.
+	Span time.Duration
+	// BarrierWait is the total time workers idled at statement barriers
+	// waiting for the slowest worker.
+	BarrierWait time.Duration
+	// Phases breaks the cost down by algorithm phase (e.g. "monge.MulPar",
+	// "hufpar.spine"). Nil when the call issued no parallel statements.
+	Phases map[string]PhaseStats
 }
 
 func (o Options) machine() *pram.Machine {
@@ -64,8 +83,18 @@ func (o Options) machine() *pram.Machine {
 }
 
 func statsOf(m *pram.Machine) Stats {
-	c := m.Counters()
-	return Stats{Steps: c.Steps, Work: c.Work}
+	s := m.Stats()
+	out := Stats{
+		Steps:       s.Steps,
+		Work:        s.Work,
+		Steals:      s.Steals,
+		Span:        s.Span,
+		BarrierWait: s.BarrierWait,
+	}
+	if len(s.Phases) > 0 {
+		out.Phases = s.Phases
+	}
+	return out
 }
 
 // firstOption returns the first option or the zero value.

@@ -3,6 +3,7 @@ package partree
 import (
 	"errors"
 	"math/rand"
+	"sort"
 	"testing"
 
 	"partree/internal/workload"
@@ -290,4 +291,44 @@ func TestLanguageExtrasFacade(t *testing.T) {
 	if CountDerivations(g, []byte("ab")).Sign() != 0 {
 		t.Error("non-member should count 0")
 	}
+}
+
+func TestStatsPhasesAndScheduler(t *testing.T) {
+	freqs := workload.SortedAscending(workload.Zipf(200, 1.2))
+	res := HuffmanParallel(freqs, Options{Workers: 2})
+	st := res.Stats
+	if st.Steps == 0 || st.Work == 0 {
+		t.Fatalf("counted stats empty: %+v", st)
+	}
+	if len(st.Phases) == 0 {
+		t.Fatal("phase breakdown missing")
+	}
+	var steps, work int64
+	for _, ps := range st.Phases {
+		steps += ps.Steps
+		work += ps.Work
+	}
+	if steps != st.Steps || work != st.Work {
+		t.Errorf("phase sums (steps %d, work %d) disagree with totals (%d, %d)",
+			steps, work, st.Steps, st.Work)
+	}
+	// "hufpar.spine" itself delegates every statement to monge.MulPar,
+	// whose inner label wins (innermost attribution).
+	for _, name := range []string{"hufpar.heights", "monge.MulPar"} {
+		if _, ok := st.Phases[name]; !ok {
+			t.Errorf("expected phase %q; have %v", name, phaseNames(st.Phases))
+		}
+	}
+	if st.Span < 0 || st.BarrierWait < 0 || st.Steals < 0 {
+		t.Errorf("negative scheduler stats: %+v", st)
+	}
+}
+
+func phaseNames(m map[string]PhaseStats) []string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
 }
