@@ -2,11 +2,11 @@
 
 GO ?= go
 
-.PHONY: all build test test-race check vet bench tables examples cover fuzz clean
+.PHONY: all build test test-race test-e2e check vet bench tables examples cover fuzz clean
 
 all: build vet test
 
-check: build vet test test-race
+check: build vet test test-race test-e2e
 
 build:
 	$(GO) build ./...
@@ -21,6 +21,12 @@ test:
 # whole suite under the race detector to keep statement bodies honest.
 test-race:
 	$(GO) test -race ./...
+
+# End-to-end tests of the partreed HTTP service: differential checks
+# against the serial oracles, concurrent-client batching, load shedding
+# and graceful drain, all through real httptest round trips.
+test-e2e:
+	$(GO) test -race -run 'TestE2E' ./internal/serve
 
 # Regenerate the experiment measurements (EXPERIMENTS.md tables).
 tables:
@@ -44,6 +50,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzDecodeStream -fuzztime=30s ./internal/huffman
 	$(GO) test -fuzz=FuzzLeafPattern -fuzztime=30s ./internal/leafpattern
 	$(GO) test -fuzz=FuzzLinCFL -fuzztime=30s ./internal/lincfl
+	$(GO) test -fuzz=FuzzDecodeRequest -fuzztime=30s ./internal/serve
 
 clean:
 	rm -f cover.out test_output.txt bench_output.txt

@@ -1,0 +1,183 @@
+package partree
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"partree/internal/huffman"
+	"partree/internal/leafpattern"
+	"partree/internal/lincfl"
+	"partree/internal/obst"
+	"partree/internal/shannonfano"
+)
+
+// Batch-friendly entry points. The paper's parallel algorithms attack one
+// large instance; real coding workloads are the opposite shape — millions
+// of small weight vectors, each far too small to benefit from
+// instance-level parallelism. These entry points batch many small jobs
+// onto ONE simulated-PRAM machine run: a single parallel statement over
+// the jobs, each job solved by the corresponding serial oracle inside the
+// statement body. The work-stealing runtime spreads the jobs across
+// workers (jobs are independent, so the For contract holds), and the
+// returned Stats charges the whole batch as one statement — the cost
+// model the partreed service's request batcher is built on.
+
+// ErrEmptyJob is reported (per job, not per batch) when a job carries an
+// empty input vector.
+var ErrEmptyJob = errors.New("partree: empty batch job")
+
+// HuffmanBatchResult is one job's output from HuffmanBatch.
+type HuffmanBatchResult struct {
+	// Lengths[i] is symbol i's optimal code length; Codes[i] the canonical
+	// code word.
+	Lengths []int
+	Codes   []Codeword
+	// Cost is Σ wᵢ·lᵢ in the job's own weight scale.
+	Cost float64
+	// Err is non-nil when the job was empty or its optimal code is not
+	// representable (a code word would exceed 63 bits).
+	Err error
+}
+
+// HuffmanBatch solves many independent Huffman coding jobs in one
+// parallel statement on one machine, each with the sequential O(n log n)
+// oracle. Results are positionally aligned with jobs.
+func HuffmanBatch(jobs [][]float64, opts ...Options) ([]HuffmanBatchResult, Stats) {
+	m := firstOption(opts).machine()
+	out := make([]HuffmanBatchResult, len(jobs))
+	restore := m.Phase("batch.huffman")
+	m.For(len(jobs), func(i int) {
+		w := jobs[i]
+		if len(w) == 0 {
+			out[i].Err = ErrEmptyJob
+			return
+		}
+		t := HuffmanTree(w)
+		lengths := huffman.CodeLengths(t, len(w))
+		codes, err := huffman.Canonical(lengths)
+		if err != nil {
+			out[i].Err = err
+			return
+		}
+		cost := 0.0
+		for k, l := range lengths {
+			cost += w[k] * float64(l)
+		}
+		out[i] = HuffmanBatchResult{Lengths: lengths, Codes: codes, Cost: cost}
+	})
+	restore()
+	return out, statsOf(m)
+}
+
+// ShannonFanoBatchResult is one job's output from ShannonFanoBatch.
+type ShannonFanoBatchResult struct {
+	Lengths []int
+	Codes   []Codeword
+	// AverageLength is Σ pᵢ·lᵢ.
+	AverageLength float64
+	Err           error
+}
+
+// ShannonFanoBatch computes Shannon–Fano codes (lᵢ = ⌈log₂ 1/pᵢ⌉, Section
+// 7.3) for many probability vectors in one parallel statement. Every
+// entry of every job must lie in (0,1]; violating jobs get a per-job Err
+// rather than poisoning the batch.
+func ShannonFanoBatch(jobs [][]float64, opts ...Options) ([]ShannonFanoBatchResult, Stats) {
+	m := firstOption(opts).machine()
+	out := make([]ShannonFanoBatchResult, len(jobs))
+	restore := m.Phase("batch.shannonfano")
+	m.For(len(jobs), func(i int) {
+		p := jobs[i]
+		if len(p) == 0 {
+			out[i].Err = ErrEmptyJob
+			return
+		}
+		for k, v := range p {
+			if !(v > 0 && v <= 1) || math.IsNaN(v) {
+				out[i].Err = fmt.Errorf("partree: probability %v at %d outside (0,1]", v, k)
+				return
+			}
+		}
+		lengths := shannonfano.Lengths(p)
+		codes, err := huffman.Canonical(lengths)
+		if err != nil {
+			out[i].Err = err
+			return
+		}
+		avg := 0.0
+		for k, l := range lengths {
+			avg += p[k] * float64(l)
+		}
+		out[i] = ShannonFanoBatchResult{Lengths: lengths, Codes: codes, AverageLength: avg}
+	})
+	restore()
+	return out, statsOf(m)
+}
+
+// PatternBatchResult is one job's output from TreeFromDepthsBatch.
+type PatternBatchResult struct {
+	// Tree realizes the job's depth pattern; nil when Err is set.
+	Tree *Tree
+	// Err is ErrNoTree (possibly wrapped) for unrealizable patterns, or a
+	// validation error.
+	Err error
+}
+
+// TreeFromDepthsBatch solves many tree-construction jobs (Definition 1.1)
+// in one parallel statement, each with the sequential greedy packing
+// oracle.
+func TreeFromDepthsBatch(jobs [][]int, opts ...Options) ([]PatternBatchResult, Stats) {
+	m := firstOption(opts).machine()
+	out := make([]PatternBatchResult, len(jobs))
+	restore := m.Phase("batch.leafpattern")
+	m.For(len(jobs), func(i int) {
+		t, err := leafpattern.Greedy(jobs[i])
+		out[i] = PatternBatchResult{Tree: t, Err: err}
+	})
+	restore()
+	return out, statsOf(m)
+}
+
+// BSTBatchResult is one job's output from OptimalBSTBatch.
+type BSTBatchResult struct {
+	// Cost is the optimal weighted path length; Tree an optimal search
+	// tree (internal nodes carry key indices, leaves gap indices).
+	Cost float64
+	Tree *Tree
+}
+
+// OptimalBSTBatch solves many optimal-binary-search-tree instances in one
+// parallel statement, each with Knuth's exact O(n²) dynamic program.
+// Instances must come from NewBSTInstance.
+func OptimalBSTBatch(jobs []*BSTInstance, opts ...Options) ([]BSTBatchResult, Stats) {
+	m := firstOption(opts).machine()
+	out := make([]BSTBatchResult, len(jobs))
+	restore := m.Phase("batch.obst")
+	m.For(len(jobs), func(i int) {
+		cost, t := obst.Knuth(jobs[i])
+		out[i] = BSTBatchResult{Cost: cost, Tree: t}
+	})
+	restore()
+	return out, statsOf(m)
+}
+
+// LinCFLBatchJob is one recognition query: is Word in L(Grammar)?
+type LinCFLBatchJob struct {
+	Grammar *LinearGrammar
+	Word    []byte
+}
+
+// RecognizeLinearBatch answers many membership queries in one parallel
+// statement, each with the quadratic sequential dynamic program. Jobs may
+// mix grammars freely.
+func RecognizeLinearBatch(jobs []LinCFLBatchJob, opts ...Options) ([]bool, Stats) {
+	m := firstOption(opts).machine()
+	out := make([]bool, len(jobs))
+	restore := m.Phase("batch.lincfl")
+	m.For(len(jobs), func(i int) {
+		out[i] = lincfl.Sequential(jobs[i].Grammar, jobs[i].Word)
+	})
+	restore()
+	return out, statsOf(m)
+}

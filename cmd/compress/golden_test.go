@@ -1,0 +1,116 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errw bytes.Buffer
+	code = run(args, &out, &errw)
+	return code, out.String(), errw.String()
+}
+
+func writeTemp(t *testing.T, name string, data []byte) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestGoldenStats locks the -stats report byte for byte.
+func TestGoldenStats(t *testing.T) {
+	p := writeTemp(t, "sample.txt", []byte("abracadabra, abracadabra!"))
+	code, stdout, stderr := runCLI(t, "-stats", p)
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr = %q", code, stderr)
+	}
+	want := "bytes: 25  alphabet: 8\n" +
+		"entropy:        2.5151 bits/byte\n" +
+		"huffman:        2.5600 bits/byte\n" +
+		"adaptive (FGK): 3.3200 bits/byte\n"
+	if stdout != want {
+		t.Errorf("stats output:\n%q\nwant:\n%q", stdout, want)
+	}
+}
+
+// TestGoldenRoundTrip locks the container magics and proves both codecs
+// restore the exact input bytes through the CLI surface.
+func TestGoldenRoundTrip(t *testing.T) {
+	input := []byte("abracadabra, abracadabra! the quick brown fox\x00\xff")
+	for _, tc := range []struct {
+		name  string
+		flags []string
+		magic string
+	}{
+		{"static", nil, "pts"},
+		{"adaptive", []string{"-adaptive"}, "pta"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			src := writeTemp(t, "in.bin", input)
+			packed := filepath.Join(t.TempDir(), "out.pt")
+
+			args := append(append([]string{}, tc.flags...), "-o", packed, src)
+			if code, _, stderr := runCLI(t, args...); code != 0 {
+				t.Fatalf("compress exit = %d, stderr = %q", code, stderr)
+			}
+			blob, err := os.ReadFile(packed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(blob) < 3 || string(blob[:3]) != tc.magic {
+				t.Fatalf("container magic = %q, want %q", blob[:3], tc.magic)
+			}
+
+			code, stdout, stderr := runCLI(t, "-d", packed)
+			if code != 0 {
+				t.Fatalf("decompress exit = %d, stderr = %q", code, stderr)
+			}
+			if !bytes.Equal([]byte(stdout), input) {
+				t.Errorf("round trip mismatch:\n got %q\nwant %q", stdout, input)
+			}
+		})
+	}
+}
+
+// TestGoldenErrors locks stderr and exit codes on the failure paths.
+func TestGoldenErrors(t *testing.T) {
+	t.Run("usage", func(t *testing.T) {
+		code, _, stderr := runCLI(t)
+		if code != 1 || stderr != "usage: compress [-d] [-adaptive] [-o out] file\n" {
+			t.Errorf("code = %d, stderr = %q", code, stderr)
+		}
+	})
+	t.Run("missing file", func(t *testing.T) {
+		code, _, stderr := runCLI(t, "nosuchfile")
+		if code != 1 || !strings.Contains(stderr, "compress: open nosuchfile:") {
+			t.Errorf("code = %d, stderr = %q", code, stderr)
+		}
+	})
+	t.Run("unknown container", func(t *testing.T) {
+		p := writeTemp(t, "bad.pt", []byte("abracadabra"))
+		code, _, stderr := runCLI(t, "-d", p)
+		if code != 1 || stderr != "compress: unknown container \"abr\"\n" {
+			t.Errorf("code = %d, stderr = %q", code, stderr)
+		}
+	})
+	t.Run("empty input refused", func(t *testing.T) {
+		p := writeTemp(t, "empty", nil)
+		code, _, stderr := runCLI(t, p)
+		if code != 1 || stderr != "compress: refusing to compress an empty file\n" {
+			t.Errorf("code = %d, stderr = %q", code, stderr)
+		}
+	})
+	t.Run("bad flag", func(t *testing.T) {
+		code, _, stderr := runCLI(t, "-nosuchflag", "x")
+		if code != 2 || !strings.Contains(stderr, "flag provided but not defined") {
+			t.Errorf("code = %d, stderr = %q", code, stderr)
+		}
+	})
+}

@@ -25,26 +25,36 @@ import (
 const adaptiveMagic = "pta"
 
 func main() {
-	decompress := flag.Bool("d", false, "decompress")
-	adaptive := flag.Bool("adaptive", false, "use one-pass adaptive (FGK) coding")
-	out := flag.String("o", "", "output file (default stdout)")
-	stats := flag.Bool("stats", false, "only print achievable rates")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: compress [-d] [-adaptive] [-o out] file")
-		os.Exit(1)
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("compress", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	decompress := fs.Bool("d", false, "decompress")
+	adaptive := fs.Bool("adaptive", false, "use one-pass adaptive (FGK) coding")
+	out := fs.String("o", "", "output file (default stdout)")
+	stats := fs.Bool("stats", false, "only print achievable rates")
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
-	data, err := os.ReadFile(flag.Arg(0))
+
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: compress [-d] [-adaptive] [-o out] file")
+		return 1
+	}
+	data, err := os.ReadFile(fs.Arg(0))
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "compress:", err)
+		return 1
 	}
 
-	var w io.Writer = os.Stdout
+	w := stdout
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			fatal(err)
+			fmt.Fprintln(stderr, "compress:", err)
+			return 1
 		}
 		defer f.Close()
 		w = f
@@ -52,36 +62,34 @@ func main() {
 
 	switch {
 	case *stats:
-		printStats(data)
+		printStats(w, data)
 	case *decompress:
 		if err := doDecompress(w, data); err != nil {
-			fatal(err)
+			fmt.Fprintln(stderr, "compress:", err)
+			return 1
 		}
 	default:
 		if err := doCompress(w, data, *adaptive); err != nil {
-			fatal(err)
+			fmt.Fprintln(stderr, "compress:", err)
+			return 1
 		}
 	}
+	return 0
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "compress:", err)
-	os.Exit(1)
-}
-
-func printStats(data []byte) {
+func printStats(w io.Writer, data []byte) {
 	if len(data) == 0 {
-		fmt.Println("empty input")
+		fmt.Fprintln(w, "empty input")
 		return
 	}
 	freqs, _, msg := byteFrequencies(data)
 	h := partree.Entropy(freqs)
 	opt := partree.HuffmanCost(freqs) / float64(len(data))
 	_, abits := partree.AdaptiveEncode(msg, len(freqs))
-	fmt.Printf("bytes: %d  alphabet: %d\n", len(data), len(freqs))
-	fmt.Printf("entropy:        %.4f bits/byte\n", h)
-	fmt.Printf("huffman:        %.4f bits/byte\n", opt)
-	fmt.Printf("adaptive (FGK): %.4f bits/byte\n", float64(abits)/float64(len(data)))
+	fmt.Fprintf(w, "bytes: %d  alphabet: %d\n", len(data), len(freqs))
+	fmt.Fprintf(w, "entropy:        %.4f bits/byte\n", h)
+	fmt.Fprintf(w, "huffman:        %.4f bits/byte\n", opt)
+	fmt.Fprintf(w, "adaptive (FGK): %.4f bits/byte\n", float64(abits)/float64(len(data)))
 }
 
 func byteFrequencies(data []byte) ([]float64, []byte, []int) {

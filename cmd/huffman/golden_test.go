@@ -1,0 +1,115 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// runCLI drives run() exactly as main does, capturing both streams.
+func runCLI(t *testing.T, stdin string, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errw strings.Builder
+	code = run(args, strings.NewReader(stdin), &out, &errw)
+	return code, out.String(), errw.String()
+}
+
+// TestGoldenOutputs locks stdout and exit codes for the deterministic
+// engines, so CLI behavior cannot drift silently.
+func TestGoldenOutputs(t *testing.T) {
+	cases := []struct {
+		name       string
+		args       []string
+		stdin      string
+		wantCode   int
+		wantStdout string
+		wantStderr string
+	}{
+		{
+			name:     "seq code table",
+			args:     []string{"5", "2", "1", "1"},
+			wantCode: 0,
+			wantStdout: "symbols: 4  average word length: 1.66667 bits/symbol\n" +
+				"s0                5  0\n" +
+				"s1                2  10\n" +
+				"s2                1  110\n" +
+				"s3                1  111\n",
+		},
+		{
+			name:     "shannonfano",
+			args:     []string{"-engine=shannonfano", "5", "2", "1", "1"},
+			wantCode: 0,
+			wantStdout: "average word length: 2.11111 (huffman: 1.66667)\n" +
+				"s0           0.5556  0\n" +
+				"s1           0.2222  100\n" +
+				"s2           0.1111  1010\n" +
+				"s3           0.1111  1011\n",
+		},
+		{
+			name:       "rakecompress cost only",
+			args:       []string{"-engine=rakecompress", "5", "2", "1", "1"},
+			wantCode:   0,
+			wantStdout: "optimal average word length: 15\n",
+		},
+		{
+			name:     "text mode byte frequencies",
+			args:     []string{"-text"},
+			stdin:    "abracadabra",
+			wantCode: 0,
+			wantStdout: "symbols: 5  average word length: 2.09091 bits/symbol\n" +
+				"'a'               5  0\n" +
+				"'b'               2  100\n" +
+				"'r'               2  111\n" +
+				"'c'               1  101\n" +
+				"'d'               1  110\n",
+		},
+		{
+			name:       "length limited",
+			args:       []string{"-maxlen", "2", "5", "2", "1", "1"},
+			wantCode:   0,
+			wantStdout: "length-limited (≤ 2 bits): 2 bits/symbol (unrestricted: 1.66667)\n",
+		},
+		{
+			name:       "unknown engine",
+			args:       []string{"-engine=nope", "1", "2"},
+			wantCode:   1,
+			wantStderr: "huffman: unknown engine \"nope\"\n",
+		},
+		{
+			name:       "bad frequency",
+			args:       []string{"1", "abc"},
+			wantCode:   1,
+			wantStderr: "huffman: bad frequency \"abc\": strconv.ParseFloat: parsing \"abc\": invalid syntax\n",
+		},
+		{
+			name:       "no symbols",
+			args:       nil,
+			wantCode:   1,
+			wantStderr: "huffman: no symbols (pass frequencies or -text with stdin)\n",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, stdout, stderr := runCLI(t, tc.stdin, tc.args...)
+			if code != tc.wantCode {
+				t.Errorf("exit code = %d, want %d (stderr: %q)", code, tc.wantCode, stderr)
+			}
+			if stdout != tc.wantStdout {
+				t.Errorf("stdout:\n%q\nwant:\n%q", stdout, tc.wantStdout)
+			}
+			if tc.wantStderr != "" && stderr != tc.wantStderr {
+				t.Errorf("stderr:\n%q\nwant:\n%q", stderr, tc.wantStderr)
+			}
+		})
+	}
+}
+
+// TestGoldenFlagError locks the exit code for unparseable flags.
+func TestGoldenFlagError(t *testing.T) {
+	code, _, stderr := runCLI(t, "", "-nosuchflag")
+	if code != 2 {
+		t.Errorf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "flag provided but not defined") {
+		t.Errorf("stderr = %q", stderr)
+	}
+}

@@ -25,23 +25,31 @@ import (
 )
 
 func main() {
-	engine := flag.String("engine", "seq", "seq | parallel | rakecompress | shannonfano")
-	text := flag.Bool("text", false, "read text from stdin and use byte frequencies")
-	showCodes := flag.Bool("codes", true, "print the code table")
-	showTree := flag.Bool("tree", false, "print the code tree")
-	showStats := flag.Bool("stats", false, "print PRAM statistics")
-	workers := flag.Int("workers", 0, "worker goroutines for parallel engines (0 = GOMAXPROCS)")
-	maxLen := flag.Int("maxlen", 0, "restrict code words to this many bits (0 = unrestricted)")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
 
-	freqs, labels, err := readInput(*text, flag.Args())
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("huffman", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	engine := fs.String("engine", "seq", "seq | parallel | rakecompress | shannonfano")
+	text := fs.Bool("text", false, "read text from stdin and use byte frequencies")
+	showCodes := fs.Bool("codes", true, "print the code table")
+	showTree := fs.Bool("tree", false, "print the code tree")
+	showStats := fs.Bool("stats", false, "print PRAM statistics")
+	workers := fs.Int("workers", 0, "worker goroutines for parallel engines (0 = GOMAXPROCS)")
+	maxLen := fs.Int("maxlen", 0, "restrict code words to this many bits (0 = unrestricted)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	freqs, labels, err := readInput(*text, stdin, fs.Args())
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "huffman:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "huffman:", err)
+		return 1
 	}
 	if len(freqs) == 0 {
-		fmt.Fprintln(os.Stderr, "huffman: no symbols (pass frequencies or -text with stdin)")
-		os.Exit(1)
+		fmt.Fprintln(stderr, "huffman: no symbols (pass frequencies or -text with stdin)")
+		return 1
 	}
 
 	opts := partree.Options{Workers: *workers}
@@ -54,19 +62,19 @@ func main() {
 		sort.Float64s(sorted)
 		tr, cost, err := partree.HuffmanHeightLimited(sorted, *maxLen, opts)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "huffman:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "huffman:", err)
+			return 1
 		}
 		total := 0.0
 		for _, f := range freqs {
 			total += f
 		}
-		fmt.Printf("length-limited (≤ %d bits): %.6g bits/symbol (unrestricted: %.6g)\n",
+		fmt.Fprintf(stdout, "length-limited (≤ %d bits): %.6g bits/symbol (unrestricted: %.6g)\n",
 			*maxLen, cost/total, partree.HuffmanCost(freqs)/total)
 		if *showTree {
-			fmt.Print(tree.Render(tr, nil))
+			fmt.Fprint(stdout, tree.Render(tr, nil))
 		}
-		return
+		return 0
 	}
 
 	switch *engine {
@@ -77,18 +85,18 @@ func main() {
 		res := partree.HuffmanParallel(freqs, opts)
 		t, avg = res.Tree, res.Cost
 		if *showStats {
-			fmt.Printf("steps=%d work=%d comparisons=%d\n",
+			fmt.Fprintf(stdout, "steps=%d work=%d comparisons=%d\n",
 				res.Stats.Steps, res.Stats.Work, res.Comparisons)
 		}
 	case "rakecompress":
 		sorted := append([]float64(nil), freqs...)
 		sort.Float64s(sorted)
 		cost, stats := partree.HuffmanRakeCompressCost(sorted, opts)
-		fmt.Printf("optimal average word length: %.6g\n", cost)
+		fmt.Fprintf(stdout, "optimal average word length: %.6g\n", cost)
 		if *showStats {
-			fmt.Printf("steps=%d work=%d\n", stats.Steps, stats.Work)
+			fmt.Fprintf(stdout, "steps=%d work=%d\n", stats.Steps, stats.Work)
 		}
-		return // cost-only engine
+		return 0 // cost-only engine
 	case "shannonfano":
 		total := 0.0
 		for _, f := range freqs {
@@ -100,47 +108,48 @@ func main() {
 		}
 		res, err := partree.ShannonFano(probs, opts)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "huffman:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "huffman:", err)
+			return 1
 		}
-		fmt.Printf("average word length: %.6g (huffman: %.6g)\n",
+		fmt.Fprintf(stdout, "average word length: %.6g (huffman: %.6g)\n",
 			res.AverageLength, partree.HuffmanCost(probs))
 		if *showCodes {
-			printCodes(res.Codes, probs, labels)
+			printCodes(stdout, res.Codes, probs, labels)
 		}
 		if *showTree {
-			fmt.Print(tree.Render(res.Tree, nil))
+			fmt.Fprint(stdout, tree.Render(res.Tree, nil))
 		}
 		if *showStats {
-			fmt.Printf("steps=%d work=%d\n", res.Stats.Steps, res.Stats.Work)
+			fmt.Fprintf(stdout, "steps=%d work=%d\n", res.Stats.Steps, res.Stats.Work)
 		}
-		return
+		return 0
 	default:
-		fmt.Fprintf(os.Stderr, "huffman: unknown engine %q\n", *engine)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "huffman: unknown engine %q\n", *engine)
+		return 1
 	}
 
 	total := 0.0
 	for _, f := range freqs {
 		total += f
 	}
-	fmt.Printf("symbols: %d  average word length: %.6g bits/symbol\n", len(freqs), avg/total)
+	fmt.Fprintf(stdout, "symbols: %d  average word length: %.6g bits/symbol\n", len(freqs), avg/total)
 	if *showCodes {
 		codes, err := partree.HuffmanCodes(freqs)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "huffman:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "huffman:", err)
+			return 1
 		}
-		printCodes(codes, freqs, labels)
+		printCodes(stdout, codes, freqs, labels)
 	}
 	if *showTree {
-		fmt.Print(tree.Render(t, nil))
+		fmt.Fprint(stdout, tree.Render(t, nil))
 	}
+	return 0
 }
 
-func readInput(text bool, args []string) ([]float64, []string, error) {
+func readInput(text bool, stdin io.Reader, args []string) ([]float64, []string, error) {
 	if text {
-		data, err := io.ReadAll(bufio.NewReader(os.Stdin))
+		data, err := io.ReadAll(bufio.NewReader(stdin))
 		if err != nil {
 			return nil, nil, err
 		}
@@ -171,13 +180,13 @@ func readInput(text bool, args []string) ([]float64, []string, error) {
 	return freqs, labels, nil
 }
 
-func printCodes(codes []partree.Codeword, freqs []float64, labels []string) {
+func printCodes(w io.Writer, codes []partree.Codeword, freqs []float64, labels []string) {
 	order := make([]int, len(codes))
 	for i := range order {
 		order[i] = i
 	}
 	sort.SliceStable(order, func(a, b int) bool { return freqs[order[a]] > freqs[order[b]] })
 	for _, i := range order {
-		fmt.Printf("%-8s %10.4g  %s\n", labels[i], freqs[i], codes[i])
+		fmt.Fprintf(w, "%-8s %10.4g  %s\n", labels[i], freqs[i], codes[i])
 	}
 }

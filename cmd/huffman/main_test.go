@@ -3,7 +3,7 @@ package main
 import "testing"
 
 func TestReadInputArgs(t *testing.T) {
-	freqs, labels, err := readInput(false, []string{"1.5", "2", "0.25"})
+	freqs, labels, err := readInput(false, nil, []string{"1.5", "2", "0.25"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -13,10 +13,10 @@ func TestReadInputArgs(t *testing.T) {
 	if labels[1] != "s1" {
 		t.Errorf("labels = %v", labels)
 	}
-	if _, _, err := readInput(false, []string{"abc"}); err == nil {
+	if _, _, err := readInput(false, nil, []string{"abc"}); err == nil {
 		t.Error("bad frequency must error")
 	}
-	if freqs, _, err := readInput(false, nil); err != nil || len(freqs) != 0 {
+	if freqs, _, err := readInput(false, nil, nil); err != nil || len(freqs) != 0 {
 		t.Error("no args should give empty frequencies")
 	}
 }

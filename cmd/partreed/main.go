@@ -1,0 +1,111 @@
+// Command partreed serves the partree tree-construction engines over a
+// JSON HTTP API. Concurrent small requests are coalesced into batches
+// that run as one data-parallel PRAM pass per engine, results are cached
+// by canonical request hash, and overload is shed with 429s so the
+// service stays responsive.
+//
+// Endpoints:
+//
+//	POST /v1/huffman             {"weights":[...]}
+//	POST /v1/shannonfano         {"weights":[...]}
+//	POST /v1/treefromdepths      {"depths":[...]}
+//	POST /v1/obst                {"keys":[...],"gaps":[...]}
+//	POST /v1/lincfl/recognize    {"grammar":"palindrome","word":"..."}
+//	GET  /healthz                liveness + uptime
+//	GET  /statsz                 cache/batcher counters and PRAM phase stats
+//
+// Example:
+//
+//	partreed -addr :8080 -max-batch 64 -linger 200us &
+//	curl -s localhost:8080/v1/huffman -d '{"weights":[5,2,1,1]}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"partree/internal/serve"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("partreed", flag.ContinueOnError)
+	var (
+		addr       = fs.String("addr", ":8080", "listen address")
+		workers    = fs.Int("workers", 0, "PRAM worker goroutines per batch run (0 = GOMAXPROCS)")
+		maxBatch   = fs.Int("max-batch", 64, "max jobs coalesced into one engine batch")
+		linger     = fs.Duration("linger", 200*time.Microsecond, "how long an open batch waits for more jobs")
+		cacheSize  = fs.Int("cache-size", 4096, "LRU result cache entries (negative disables caching)")
+		inflight   = fs.Int("max-inflight", 256, "concurrent requests admitted before shedding with 429")
+		reqTimeout = fs.Duration("request-timeout", 10*time.Second, "per-request deadline")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "partreed: unexpected arguments: %v\n", fs.Args())
+		return 2
+	}
+
+	logger := log.New(os.Stderr, "partreed: ", log.LstdFlags)
+	s := serve.New(serve.Config{
+		Workers:        *workers,
+		MaxBatch:       *maxBatch,
+		Linger:         *linger,
+		CacheSize:      *cacheSize,
+		MaxInflight:    *inflight,
+		RequestTimeout: *reqTimeout,
+		Logf:           logger.Printf,
+	})
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+
+	logger.Printf("listening on %s (max-batch=%d linger=%v cache=%d inflight=%d)",
+		*addr, *maxBatch, *linger, *cacheSize, *inflight)
+
+	select {
+	case err := <-errc:
+		// Listen failed before any signal.
+		logger.Printf("serve error: %v", err)
+		s.Close()
+		return 1
+	case sig := <-sigc:
+		logger.Printf("received %v; draining", sig)
+	}
+
+	// Stop accepting connections, let in-flight requests finish, then
+	// drain the batchers so every admitted job completes.
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		logger.Printf("shutdown: %v", err)
+	}
+	s.Close()
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logger.Printf("serve error: %v", err)
+		return 1
+	}
+	logger.Printf("drained; bye")
+	return 0
+}

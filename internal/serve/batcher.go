@@ -1,0 +1,269 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrShuttingDown is returned by Submit once the batcher has been closed.
+var ErrShuttingDown = errors.New("serve: shutting down")
+
+// errBatchPanic is distributed to every job of a batch whose executor
+// panicked; the panic value itself goes to the server log.
+var errBatchPanic = errors.New("serve: engine panic while executing batch")
+
+// batcher coalesces concurrently arriving small jobs into batches that
+// one engine call executes on one PRAM machine run. A batch is cut when
+// it reaches maxBatch jobs (full cut), when the linger deadline since the
+// batch's first job expires (linger cut), or when the batcher drains at
+// shutdown (drain cut).
+//
+// The exec callback receives the batched requests in arrival order and
+// must return one response per request, positionally aligned. It runs on
+// the batcher's single collector goroutine, so implementations need no
+// internal locking; they typically call one of the partree *Batch entry
+// points and fold the returned Stats into the server's accumulators.
+type batcher[Req, Resp any] struct {
+	name     string
+	maxBatch int
+	linger   time.Duration
+	exec     func([]Req) []Resp
+
+	// mu is held for reading around every queue send and for writing in
+	// Close; after Close sets closed under the write lock, no new send can
+	// begin and every started send has completed, so the collector's final
+	// drain observes every job that will ever be submitted.
+	mu     sync.RWMutex
+	closed bool
+	queue  chan *pending[Req, Resp]
+	quit   chan struct{}
+	done   chan struct{}
+
+	// Counters, guarded by cmu.
+	cmu        sync.Mutex
+	batches    int64
+	jobs       int64
+	fullCuts   int64
+	lingerCuts int64
+	drainCuts  int64
+	maxSeen    int
+}
+
+// pending is one submitted job waiting for its batch to execute.
+type pending[Req, Resp any] struct {
+	req  Req
+	resp Resp
+	err  error
+	done chan struct{}
+}
+
+func newBatcher[Req, Resp any](name string, maxBatch int, linger time.Duration, queueDepth int, exec func([]Req) []Resp) *batcher[Req, Resp] {
+	if maxBatch < 1 {
+		maxBatch = 1
+	}
+	if queueDepth < maxBatch {
+		queueDepth = maxBatch
+	}
+	b := &batcher[Req, Resp]{
+		name:     name,
+		maxBatch: maxBatch,
+		linger:   linger,
+		exec:     exec,
+		queue:    make(chan *pending[Req, Resp], queueDepth),
+		quit:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go b.loop()
+	return b
+}
+
+// Submit enqueues one job and blocks until its batch has executed, the
+// context is done, or the batcher shuts down. A job whose Submit has
+// returned nil error was executed; its response is valid.
+func (b *batcher[Req, Resp]) Submit(ctx context.Context, req Req) (Resp, error) {
+	var zero Resp
+	p := &pending[Req, Resp]{req: req, done: make(chan struct{})}
+
+	b.mu.RLock()
+	if b.closed {
+		b.mu.RUnlock()
+		return zero, ErrShuttingDown
+	}
+	select {
+	case b.queue <- p:
+		b.mu.RUnlock()
+	case <-ctx.Done():
+		b.mu.RUnlock()
+		return zero, ctx.Err()
+	}
+
+	select {
+	case <-p.done:
+		return p.resp, p.err
+	case <-ctx.Done():
+		// The job may still execute later; its slot outlives us.
+		return zero, ctx.Err()
+	}
+}
+
+// Close stops admission, drains every queued job into final batches,
+// waits for them to execute, and returns. Idempotent.
+func (b *batcher[Req, Resp]) Close() {
+	b.mu.Lock()
+	already := b.closed
+	b.closed = true
+	b.mu.Unlock()
+	if !already {
+		close(b.quit)
+	}
+	<-b.done
+}
+
+func (b *batcher[Req, Resp]) loop() {
+	defer close(b.done)
+	for {
+		var first *pending[Req, Resp]
+		select {
+		case first = <-b.queue:
+		case <-b.quit:
+			b.drain()
+			return
+		}
+		batch := append(make([]*pending[Req, Resp], 0, b.maxBatch), first)
+		batch, cut := b.collect(batch)
+		b.runBatch(batch, cut)
+	}
+}
+
+// collect fills the batch after its first job: up to maxBatch jobs, or
+// whatever has arrived when the linger deadline passes. With linger == 0
+// it takes only what is already queued (dispatch without delay).
+func (b *batcher[Req, Resp]) collect(batch []*pending[Req, Resp]) ([]*pending[Req, Resp], string) {
+	if len(batch) >= b.maxBatch {
+		return batch, "full"
+	}
+	if b.linger <= 0 {
+		for len(batch) < b.maxBatch {
+			select {
+			case p := <-b.queue:
+				batch = append(batch, p)
+			default:
+				return batch, "linger"
+			}
+		}
+		return batch, "full"
+	}
+	timer := time.NewTimer(b.linger)
+	defer timer.Stop()
+	for len(batch) < b.maxBatch {
+		select {
+		case p := <-b.queue:
+			batch = append(batch, p)
+		case <-timer.C:
+			return batch, "linger"
+		case <-b.quit:
+			// Shutdown while lingering: cut immediately; the remaining
+			// queue is handled by drain after loop observes quit.
+			return batch, "drain"
+		}
+	}
+	return batch, "full"
+}
+
+// drain executes everything still queued at shutdown. Close guarantees no
+// new sends start after quit closes, so a sweep to empty is complete.
+func (b *batcher[Req, Resp]) drain() {
+	for {
+		var batch []*pending[Req, Resp]
+		for len(batch) < b.maxBatch {
+			select {
+			case p := <-b.queue:
+				batch = append(batch, p)
+			default:
+				goto flush
+			}
+		}
+	flush:
+		if len(batch) == 0 {
+			return
+		}
+		b.runBatch(batch, "drain")
+	}
+}
+
+func (b *batcher[Req, Resp]) runBatch(batch []*pending[Req, Resp], cut string) {
+	reqs := make([]Req, len(batch))
+	for i, p := range batch {
+		reqs[i] = p.req
+	}
+	resps, panicked := b.safeExec(reqs)
+	for i, p := range batch {
+		if panicked || i >= len(resps) {
+			p.err = errBatchPanic
+		} else {
+			p.resp = resps[i]
+		}
+		close(p.done)
+	}
+
+	b.cmu.Lock()
+	b.batches++
+	b.jobs += int64(len(batch))
+	if len(batch) > b.maxSeen {
+		b.maxSeen = len(batch)
+	}
+	switch cut {
+	case "full":
+		b.fullCuts++
+	case "linger":
+		b.lingerCuts++
+	default:
+		b.drainCuts++
+	}
+	b.cmu.Unlock()
+}
+
+// safeExec shields the collector goroutine from a panicking executor: the
+// batch fails as a unit instead of killing the process.
+func (b *batcher[Req, Resp]) safeExec(reqs []Req) (resps []Resp, panicked bool) {
+	defer func() {
+		if recover() != nil {
+			panicked = true
+		}
+	}()
+	return b.exec(reqs), false
+}
+
+// BatcherCounters is a snapshot of one engine batcher's counters.
+type BatcherCounters struct {
+	Batches      int64   `json:"batches"`
+	Jobs         int64   `json:"jobs"`
+	AvgBatch     float64 `json:"avg_batch"`
+	MaxBatch     int     `json:"max_batch_seen"`
+	FullCuts     int64   `json:"full_cuts"`
+	LingerCuts   int64   `json:"linger_cuts"`
+	DrainCuts    int64   `json:"drain_cuts"`
+	MaxBatchConf int     `json:"max_batch"`
+	LingerUS     int64   `json:"linger_us"`
+}
+
+func (b *batcher[Req, Resp]) counters() BatcherCounters {
+	b.cmu.Lock()
+	defer b.cmu.Unlock()
+	c := BatcherCounters{
+		Batches:      b.batches,
+		Jobs:         b.jobs,
+		MaxBatch:     b.maxSeen,
+		FullCuts:     b.fullCuts,
+		LingerCuts:   b.lingerCuts,
+		DrainCuts:    b.drainCuts,
+		MaxBatchConf: b.maxBatch,
+		LingerUS:     b.linger.Microseconds(),
+	}
+	if b.batches > 0 {
+		c.AvgBatch = float64(b.jobs) / float64(b.batches)
+	}
+	return c
+}

@@ -1,0 +1,334 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// echoExec doubles each input; positional so misalignment is detectable.
+func echoExec(reqs []int) []string {
+	out := make([]string, len(reqs))
+	for i, r := range reqs {
+		out[i] = fmt.Sprintf("r%d", r)
+	}
+	return out
+}
+
+func TestBatcherLingerCut(t *testing.T) {
+	b := newBatcher("t", 64, 5*time.Millisecond, 128, echoExec)
+	defer b.Close()
+
+	const n = 4
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := b.Submit(context.Background(), i)
+			if err != nil || resp != fmt.Sprintf("r%d", i) {
+				t.Errorf("job %d: resp=%q err=%v", i, resp, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	c := b.counters()
+	if c.Jobs != n {
+		t.Errorf("jobs = %d, want %d", c.Jobs, n)
+	}
+	// Far below maxBatch, so every cut must be a linger (or trivially
+	// immediate-dispatch) cut — never a full cut.
+	if c.FullCuts != 0 {
+		t.Errorf("full cuts = %d, want 0 (maxBatch %d never reached)", c.FullCuts, 64)
+	}
+	if c.LingerCuts == 0 {
+		t.Error("no linger cuts recorded")
+	}
+}
+
+func TestBatcherFullCut(t *testing.T) {
+	const maxBatch = 4
+	gate := make(chan struct{})
+	entered := make(chan int, 8) // exec reports batch sizes before blocking
+	exec := func(reqs []int) []string {
+		entered <- len(reqs)
+		<-gate
+		return echoExec(reqs)
+	}
+	// Linger far beyond the test's life: a cut before gate release can
+	// only be a full cut.
+	b := newBatcher("t", maxBatch, time.Minute, 64, exec)
+	defer b.Close()
+
+	const n = 2 * maxBatch
+	var wg sync.WaitGroup
+	results := make([]string, n)
+	errs := make([]error, n)
+	submit := func(i int) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[i], errs[i] = b.Submit(context.Background(), i)
+		}()
+	}
+	for i := 0; i < maxBatch; i++ {
+		submit(i)
+	}
+	// The open batch fills to maxBatch and cuts without waiting for the
+	// one-minute linger; exec reports its size and blocks on gate.
+	if size := <-entered; size != maxBatch {
+		t.Fatalf("first batch size = %d, want %d", size, maxBatch)
+	}
+	// Queue a second full batch behind the blocked collector.
+	for i := maxBatch; i < n; i++ {
+		submit(i)
+	}
+	waitFor(t, func() bool { return len(b.queue) == maxBatch })
+	close(gate)
+	if size := <-entered; size != maxBatch {
+		t.Fatalf("second batch size = %d, want %d", size, maxBatch)
+	}
+	wg.Wait()
+
+	for i := 0; i < n; i++ {
+		if errs[i] != nil || results[i] != fmt.Sprintf("r%d", i) {
+			t.Errorf("job %d: resp=%q err=%v", i, results[i], errs[i])
+		}
+	}
+	c := b.counters()
+	if c.FullCuts != 2 {
+		t.Errorf("full cuts = %d, want 2 (%+v)", c.FullCuts, c)
+	}
+	if c.LingerCuts != 0 {
+		t.Errorf("linger cuts = %d, want 0 (%+v)", c.LingerCuts, c)
+	}
+	if c.MaxBatch != maxBatch {
+		t.Errorf("max batch seen = %d, want %d", c.MaxBatch, maxBatch)
+	}
+	if c.Jobs != n {
+		t.Errorf("jobs = %d, want %d", c.Jobs, n)
+	}
+}
+
+func TestBatcherDrainOnShutdown(t *testing.T) {
+	gate := make(chan struct{})
+	entered := make(chan int, 8)
+	var execMu sync.Mutex
+	var executed int
+	exec := func(reqs []int) []string {
+		entered <- len(reqs)
+		<-gate
+		execMu.Lock()
+		executed += len(reqs)
+		execMu.Unlock()
+		return echoExec(reqs)
+	}
+	const maxBatch = 4
+	b := newBatcher("t", maxBatch, time.Minute, 64, exec)
+
+	const n = 7
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	submit := func(i int) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, errs[i] = b.Submit(context.Background(), i)
+		}()
+	}
+	// First full batch fills, cuts, and blocks in exec on the gate.
+	for i := 0; i < maxBatch; i++ {
+		submit(i)
+	}
+	if size := <-entered; size != maxBatch {
+		t.Fatalf("first batch size = %d, want %d", size, maxBatch)
+	}
+	// Three more jobs queue behind the blocked collector; at Close they
+	// must drain, not drop.
+	for i := maxBatch; i < n; i++ {
+		submit(i)
+	}
+	waitFor(t, func() bool { return len(b.queue) == n-maxBatch })
+
+	closed := make(chan struct{})
+	go func() { b.Close(); close(closed) }()
+	close(gate)
+
+	select {
+	case <-closed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not drain and return")
+	}
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("job %d lost at shutdown: %v", i, err)
+		}
+	}
+	execMu.Lock()
+	got := executed
+	execMu.Unlock()
+	if got != n {
+		t.Errorf("executed %d jobs, want %d", got, n)
+	}
+	if c := b.counters(); c.DrainCuts < 1 {
+		t.Errorf("drain cuts = %d, want >= 1 (%+v)", c.DrainCuts, c)
+	}
+
+	// Post-close submits are refused.
+	if _, err := b.Submit(context.Background(), 99); !errors.Is(err, ErrShuttingDown) {
+		t.Errorf("Submit after Close: err = %v, want ErrShuttingDown", err)
+	}
+	b.Close() // idempotent
+}
+
+// TestBatcherLingeringBatchFlushedAtClose covers the other drain path: a
+// batch still open on its linger timer when Close fires is cut and
+// executed, so no admitted job is ever lost.
+func TestBatcherLingeringBatchFlushedAtClose(t *testing.T) {
+	b := newBatcher("t", 4, time.Minute, 16, echoExec)
+
+	// Enqueue pendings directly (white-box) so admission is synchronous:
+	// after the sends, len(queue)==0 proves the collector pulled all
+	// three into an open batch that can only be waiting on the
+	// one-minute linger timer (maxBatch 4 is never reached).
+	const n = 3
+	ps := make([]*pending[int, string], n)
+	for i := range ps {
+		ps[i] = &pending[int, string]{req: i, done: make(chan struct{})}
+		b.queue <- ps[i]
+	}
+	waitFor(t, func() bool { return len(b.queue) == 0 })
+
+	start := time.Now()
+	b.Close()
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("Close took %v; lingering batch not cut promptly", elapsed)
+	}
+
+	for i, p := range ps {
+		select {
+		case <-p.done:
+		default:
+			t.Fatalf("job %d never completed", i)
+		}
+		if p.err != nil || p.resp != fmt.Sprintf("r%d", i) {
+			t.Errorf("job %d: resp=%q err=%v", i, p.resp, p.err)
+		}
+	}
+	if c := b.counters(); c.Jobs != n || c.DrainCuts < 1 {
+		t.Errorf("counters = %+v, want %d jobs and >= 1 drain cut", c, n)
+	}
+}
+
+func TestBatcherExecPanicFailsBatchOnly(t *testing.T) {
+	var calls int
+	exec := func(reqs []int) []string {
+		calls++
+		if reqs[0] < 0 {
+			panic("engine exploded")
+		}
+		return echoExec(reqs)
+	}
+	b := newBatcher("t", 1, 0, 16, exec)
+	defer b.Close()
+
+	if _, err := b.Submit(context.Background(), -1); !errors.Is(err, errBatchPanic) {
+		t.Fatalf("panicking batch: err = %v, want errBatchPanic", err)
+	}
+	// Collector survived the panic and serves the next batch.
+	resp, err := b.Submit(context.Background(), 7)
+	if err != nil || resp != "r7" {
+		t.Fatalf("after panic: resp=%q err=%v", resp, err)
+	}
+	if calls != 2 {
+		t.Errorf("exec ran %d times, want 2", calls)
+	}
+}
+
+func TestBatcherShortExecResponseFailsUnmatchedJobs(t *testing.T) {
+	exec := func(reqs []int) []string {
+		return echoExec(reqs)[:len(reqs)-1] // drop the last response
+	}
+	gate := make(chan struct{})
+	gated := func(reqs []int) []string { <-gate; return exec(reqs) }
+	b := newBatcher("t", 2, time.Minute, 16, gated)
+	defer b.Close()
+
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	resps := make([]string, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resps[i], errs[i] = b.Submit(context.Background(), i)
+		}(i)
+	}
+	waitFor(t, func() bool {
+		b.cmu.Lock()
+		defer b.cmu.Unlock()
+		return b.batches == 0 && len(b.queue) == 0
+	})
+	close(gate)
+	wg.Wait()
+
+	var failed int
+	for i := range errs {
+		if errs[i] != nil {
+			if !errors.Is(errs[i], errBatchPanic) {
+				t.Errorf("job %d: err = %v, want errBatchPanic", i, errs[i])
+			}
+			failed++
+		} else if resps[i] != fmt.Sprintf("r%d", i) {
+			t.Errorf("job %d: resp = %q", i, resps[i])
+		}
+	}
+	if failed != 1 {
+		t.Errorf("%d jobs failed, want exactly the unmatched 1", failed)
+	}
+}
+
+func TestBatcherSubmitHonorsContext(t *testing.T) {
+	gate := make(chan struct{})
+	b := newBatcher("t", 1, 0, 1, func(reqs []int) []string {
+		<-gate
+		return echoExec(reqs)
+	})
+	defer func() { close(gate); b.Close() }()
+
+	// First job occupies the collector; second fills the depth-1 queue;
+	// third cannot enqueue and must obey its context.
+	go b.Submit(context.Background(), 0)
+	waitFor(t, func() bool {
+		b.cmu.Lock()
+		defer b.cmu.Unlock()
+		return b.batches == 0 && len(b.queue) == 0
+	})
+	go b.Submit(context.Background(), 1)
+	waitFor(t, func() bool { return len(b.queue) == 1 })
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	_, err := b.Submit(ctx, 2)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("blocked Submit: err = %v, want DeadlineExceeded", err)
+	}
+}
+
+// waitFor polls cond until true or fails the test after 5s.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never became true")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,574 @@
+// Package serve implements partreed, the batched tree-construction
+// service: an HTTP JSON façade over the partree engines that coalesces
+// concurrently arriving small jobs into one simulated-PRAM machine run
+// per engine (the partree *Batch entry points), caches results under
+// canonical request hashes with single-flight de-duplication, and sheds
+// load when its admission queue is full.
+//
+// Request path, outermost first:
+//
+//	recover → admission limiter (429 + Retry-After when full) →
+//	per-request deadline → decode/validate (structured 400) →
+//	cache lookup (single-flight) → batcher (one PRAM run per batch)
+//
+// /healthz bypasses the limiter so the server stays observable under
+// saturation; /statsz reports the per-phase PRAM PhaseStats alongside
+// cache, batcher, and shedding counters.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"partree"
+	"partree/internal/tree"
+)
+
+// Config parameterizes a Server. The zero value gets sensible defaults
+// from setDefaults.
+type Config struct {
+	// Workers is the PRAM worker count per batch run (0 = GOMAXPROCS).
+	Workers int
+	// MaxBatch is the largest number of jobs one machine run executes.
+	MaxBatch int
+	// Linger is how long an open batch waits for company after its first
+	// job before it is cut. 0 dispatches immediately with whatever has
+	// already queued.
+	Linger time.Duration
+	// CacheSize is the result cache capacity in entries; 0 means the
+	// default (4096), negative disables caching entirely.
+	CacheSize int
+	// MaxInflight bounds concurrently admitted /v1 requests; excess
+	// requests are shed with 429 + Retry-After.
+	MaxInflight int
+	// RequestTimeout is the per-request context deadline.
+	RequestTimeout time.Duration
+	// Limits bounds request payloads (see Limits).
+	Limits Limits
+	// Logf receives server diagnostics (panics, shutdown). nil = log.Printf.
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) setDefaults() {
+	if c.MaxBatch == 0 {
+		c.MaxBatch = 64
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 4096
+	}
+	if c.MaxInflight == 0 {
+		c.MaxInflight = 256
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 10 * time.Second
+	}
+	if c.Logf == nil {
+		c.Logf = log.Printf
+	}
+	c.Limits.setDefaults()
+}
+
+// engineNames indexes every per-engine accumulator in a fixed order.
+var engineNames = []string{"huffman", "shannonfano", "treefromdepths", "obst", "lincfl"}
+
+// Server is the partreed HTTP service. Construct with New; always Close
+// to drain in-flight batches.
+type Server struct {
+	cfg   Config
+	start time.Time
+	mux   *http.ServeMux
+	cache *lruCache // nil when disabled
+
+	inflight chan struct{}
+	shed     atomic.Int64
+	panics   atomic.Int64
+
+	served map[string]*endpointCounters
+
+	statsMu     sync.Mutex
+	engineStats map[string]*accumulatedStats
+
+	hufBatch *batcher[[]float64, partree.HuffmanBatchResult]
+	sfBatch  *batcher[[]float64, partree.ShannonFanoBatchResult]
+	patBatch *batcher[[]int, partree.PatternBatchResult]
+	bstBatch *batcher[*partree.BSTInstance, partree.BSTBatchResult]
+	cflBatch *batcher[partree.LinCFLBatchJob, bool]
+}
+
+type endpointCounters struct {
+	OK     atomic.Int64
+	Errors atomic.Int64
+}
+
+// accumulatedStats folds the partree.Stats of successive batch runs.
+type accumulatedStats struct {
+	steps, work, steals int64
+	span, barrier       time.Duration
+	phases              map[string]partree.PhaseStats
+}
+
+// New builds a Server and starts its per-engine batch collectors.
+func New(cfg Config) *Server {
+	cfg.setDefaults()
+	s := &Server{
+		cfg:         cfg,
+		start:       time.Now(),
+		mux:         http.NewServeMux(),
+		inflight:    make(chan struct{}, cfg.MaxInflight),
+		served:      make(map[string]*endpointCounters, len(engineNames)),
+		engineStats: make(map[string]*accumulatedStats, len(engineNames)),
+	}
+	if cfg.CacheSize > 0 {
+		s.cache = newLRUCache(cfg.CacheSize)
+	}
+	for _, name := range engineNames {
+		s.served[name] = &endpointCounters{}
+		s.engineStats[name] = &accumulatedStats{phases: make(map[string]partree.PhaseStats)}
+	}
+	opts := partree.Options{Workers: cfg.Workers}
+	queueDepth := cfg.MaxInflight
+	s.hufBatch = newBatcher("huffman", cfg.MaxBatch, cfg.Linger, queueDepth,
+		func(reqs [][]float64) []partree.HuffmanBatchResult {
+			res, st := partree.HuffmanBatch(reqs, opts)
+			s.addStats("huffman", st)
+			return res
+		})
+	s.sfBatch = newBatcher("shannonfano", cfg.MaxBatch, cfg.Linger, queueDepth,
+		func(reqs [][]float64) []partree.ShannonFanoBatchResult {
+			res, st := partree.ShannonFanoBatch(reqs, opts)
+			s.addStats("shannonfano", st)
+			return res
+		})
+	s.patBatch = newBatcher("treefromdepths", cfg.MaxBatch, cfg.Linger, queueDepth,
+		func(reqs [][]int) []partree.PatternBatchResult {
+			res, st := partree.TreeFromDepthsBatch(reqs, opts)
+			s.addStats("treefromdepths", st)
+			return res
+		})
+	s.bstBatch = newBatcher("obst", cfg.MaxBatch, cfg.Linger, queueDepth,
+		func(reqs []*partree.BSTInstance) []partree.BSTBatchResult {
+			res, st := partree.OptimalBSTBatch(reqs, opts)
+			s.addStats("obst", st)
+			return res
+		})
+	s.cflBatch = newBatcher("lincfl", cfg.MaxBatch, cfg.Linger, queueDepth,
+		func(reqs []partree.LinCFLBatchJob) []bool {
+			res, st := partree.RecognizeLinearBatch(reqs, opts)
+			s.addStats("lincfl", st)
+			return res
+		})
+
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/statsz", s.handleStatsz)
+	s.mux.Handle("/v1/huffman", s.v1(s.handleHuffman))
+	s.mux.Handle("/v1/shannonfano", s.v1(s.handleShannonFano))
+	s.mux.Handle("/v1/treefromdepths", s.v1(s.handleTreeFromDepths))
+	s.mux.Handle("/v1/obst", s.v1(s.handleOBST))
+	s.mux.Handle("/v1/lincfl/recognize", s.v1(s.handleLinCFL))
+	return s
+}
+
+// Handler returns the service's root handler (panic recovery included).
+func (s *Server) Handler() http.Handler { return s.recoverer(s.mux) }
+
+// Close drains every batcher: queued jobs execute, then collectors exit.
+// In-flight HTTP requests should be drained first (http.Server.Shutdown);
+// requests arriving afterwards get 503.
+func (s *Server) Close() {
+	var wg sync.WaitGroup
+	for _, c := range []interface{ Close() }{s.hufBatch, s.sfBatch, s.patBatch, s.bstBatch, s.cflBatch} {
+		wg.Add(1)
+		go func(c interface{ Close() }) {
+			defer wg.Done()
+			c.Close()
+		}(c)
+	}
+	wg.Wait()
+}
+
+func (s *Server) addStats(engine string, st partree.Stats) {
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+	acc := s.engineStats[engine]
+	acc.steps += st.Steps
+	acc.work += st.Work
+	acc.steals += st.Steals
+	acc.span += st.Span
+	acc.barrier += st.BarrierWait
+	for name, ps := range st.Phases {
+		merged := acc.phases[name]
+		merged.Steps += ps.Steps
+		merged.Work += ps.Work
+		merged.Calls += ps.Calls
+		merged.Steals += ps.Steals
+		merged.Span += ps.Span
+		merged.Busy += ps.Busy
+		merged.BarrierWait += ps.BarrierWait
+		acc.phases[name] = merged
+	}
+}
+
+// --- middleware ---
+
+// recoverer converts a handler panic into a structured 500 instead of
+// killing the connection (and process) — the backstop behind strict
+// request validation.
+func (s *Server) recoverer(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if v := recover(); v != nil {
+				s.panics.Add(1)
+				s.cfg.Logf("serve: panic handling %s: %v", r.URL.Path, v)
+				writeError(w, &apiError{
+					Status:  http.StatusInternalServerError,
+					Code:    "internal",
+					Message: "internal error",
+				})
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// v1 wraps an engine handler with the POST check, the admission limiter,
+// and the per-request deadline.
+func (s *Server) v1(h func(w http.ResponseWriter, r *http.Request)) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			w.Header().Set("Allow", http.MethodPost)
+			writeError(w, &apiError{Status: http.StatusMethodNotAllowed, Code: "method", Message: "POST required"})
+			return
+		}
+		select {
+		case s.inflight <- struct{}{}:
+			defer func() { <-s.inflight }()
+		default:
+			s.shed.Add(1)
+			w.Header().Set("Retry-After", "1")
+			writeError(w, &apiError{Status: http.StatusTooManyRequests, Code: "overloaded", Message: "admission queue full; retry"})
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		h(w, r.WithContext(ctx))
+	})
+}
+
+// --- response plumbing ---
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, e *apiError) {
+	writeJSON(w, e.Status, map[string]any{"error": e})
+}
+
+// finish maps the outcome of a cached batch computation onto the wire:
+// engine/context errors to their statuses, values to 200 with a cache
+// disposition header.
+func (s *Server) finish(w http.ResponseWriter, engine string, val any, hit bool, err error) {
+	counters := s.served[engine]
+	if err != nil {
+		counters.Errors.Add(1)
+		var ae *apiError
+		switch {
+		case errors.As(err, &ae):
+			writeError(w, ae)
+		case errors.Is(err, context.DeadlineExceeded):
+			writeError(w, &apiError{Status: http.StatusServiceUnavailable, Code: "timeout", Message: "request deadline exceeded"})
+		case errors.Is(err, ErrShuttingDown):
+			writeError(w, &apiError{Status: http.StatusServiceUnavailable, Code: "shutdown", Message: "server shutting down"})
+		case errors.Is(err, context.Canceled):
+			// Client went away; nothing useful to write, but keep the
+			// status line coherent for intermediaries.
+			writeError(w, &apiError{Status: http.StatusServiceUnavailable, Code: "canceled", Message: "request canceled"})
+		default:
+			writeError(w, &apiError{Status: http.StatusInternalServerError, Code: "internal", Message: err.Error()})
+		}
+		return
+	}
+	counters.OK.Add(1)
+	if hit {
+		w.Header().Set("X-Partree-Cache", "hit")
+	} else {
+		w.Header().Set("X-Partree-Cache", "miss")
+	}
+	writeJSON(w, http.StatusOK, val)
+}
+
+// --- engine handlers ---
+
+func codeStrings(codes []partree.Codeword) []string {
+	out := make([]string, len(codes))
+	for i, c := range codes {
+		out[i] = c.String()
+	}
+	return out
+}
+
+func (s *Server) handleHuffman(w http.ResponseWriter, r *http.Request) {
+	var req codingRequest
+	if e := decodeJSON(r, s.cfg.Limits.MaxBodyBytes, &req); e != nil {
+		s.served["huffman"].Errors.Add(1)
+		writeError(w, e)
+		return
+	}
+	probs, e := normalizeWeights(req.Weights, s.cfg.Limits)
+	if e != nil {
+		s.served["huffman"].Errors.Add(1)
+		writeError(w, e)
+		return
+	}
+	key := keyForFloats("huffman", probs)
+	val, hit, err := s.cache.Do(r.Context(), key, func() (any, error) {
+		res, err := s.hufBatch.Submit(r.Context(), probs)
+		if err != nil {
+			return nil, err
+		}
+		if res.Err != nil {
+			return nil, badRequest("engine", "%v", res.Err)
+		}
+		return &codingResponse{
+			N:       len(probs),
+			Lengths: res.Lengths,
+			Codes:   codeStrings(res.Codes),
+			AvgBits: res.Cost,
+		}, nil
+	})
+	s.finish(w, "huffman", val, hit, err)
+}
+
+func (s *Server) handleShannonFano(w http.ResponseWriter, r *http.Request) {
+	var req codingRequest
+	if e := decodeJSON(r, s.cfg.Limits.MaxBodyBytes, &req); e != nil {
+		s.served["shannonfano"].Errors.Add(1)
+		writeError(w, e)
+		return
+	}
+	probs, e := normalizeWeights(req.Weights, s.cfg.Limits)
+	if e != nil {
+		s.served["shannonfano"].Errors.Add(1)
+		writeError(w, e)
+		return
+	}
+	key := keyForFloats("shannonfano", probs)
+	val, hit, err := s.cache.Do(r.Context(), key, func() (any, error) {
+		res, err := s.sfBatch.Submit(r.Context(), probs)
+		if err != nil {
+			return nil, err
+		}
+		if res.Err != nil {
+			return nil, badRequest("engine", "%v", res.Err)
+		}
+		return &codingResponse{
+			N:       len(probs),
+			Lengths: res.Lengths,
+			Codes:   codeStrings(res.Codes),
+			AvgBits: res.AverageLength,
+		}, nil
+	})
+	s.finish(w, "shannonfano", val, hit, err)
+}
+
+func (s *Server) handleTreeFromDepths(w http.ResponseWriter, r *http.Request) {
+	var req depthsRequest
+	if e := decodeJSON(r, s.cfg.Limits.MaxBodyBytes, &req); e != nil {
+		s.served["treefromdepths"].Errors.Add(1)
+		writeError(w, e)
+		return
+	}
+	if e := validateDepths(req.Depths, s.cfg.Limits); e != nil {
+		s.served["treefromdepths"].Errors.Add(1)
+		writeError(w, e)
+		return
+	}
+	key := keyForInts("treefromdepths", req.Depths)
+	val, hit, err := s.cache.Do(r.Context(), key, func() (any, error) {
+		res, err := s.patBatch.Submit(r.Context(), req.Depths)
+		if err != nil {
+			return nil, err
+		}
+		if res.Err != nil {
+			// An unrealizable pattern is a valid query with a negative
+			// answer, not a client error.
+			if errors.Is(res.Err, partree.ErrNoTree) {
+				return &depthsResponse{Realizable: false, Reason: res.Err.Error()}, nil
+			}
+			return nil, badRequest("engine", "%v", res.Err)
+		}
+		shape, symbols := tree.Marshal(res.Tree)
+		return &depthsResponse{Realizable: true, Shape: shape, Symbols: symbols}, nil
+	})
+	s.finish(w, "treefromdepths", val, hit, err)
+}
+
+func (s *Server) handleOBST(w http.ResponseWriter, r *http.Request) {
+	var req obstRequest
+	if e := decodeJSON(r, s.cfg.Limits.MaxBodyBytes, &req); e != nil {
+		s.served["obst"].Errors.Add(1)
+		writeError(w, e)
+		return
+	}
+	keys, gaps, e := normalizeOBST(&req, s.cfg.Limits)
+	if e != nil {
+		s.served["obst"].Errors.Add(1)
+		writeError(w, e)
+		return
+	}
+	in, ierr := partree.NewBSTInstance(keys, gaps)
+	if ierr != nil {
+		s.served["obst"].Errors.Add(1)
+		writeError(w, badRequest("bad_instance", "%v", ierr))
+		return
+	}
+	key := keyForOBST(keys, gaps)
+	val, hit, err := s.cache.Do(r.Context(), key, func() (any, error) {
+		res, err := s.bstBatch.Submit(r.Context(), in)
+		if err != nil {
+			return nil, err
+		}
+		shape, symbols := tree.Marshal(res.Tree)
+		return &obstResponse{N: len(keys), Cost: res.Cost, Shape: shape, Symbols: symbols}, nil
+	})
+	s.finish(w, "obst", val, hit, err)
+}
+
+func (s *Server) handleLinCFL(w http.ResponseWriter, r *http.Request) {
+	var req lincflRequest
+	if e := decodeJSON(r, s.cfg.Limits.MaxBodyBytes, &req); e != nil {
+		s.served["lincfl"].Errors.Add(1)
+		writeError(w, e)
+		return
+	}
+	g, word, e := parseLinCFL(&req, s.cfg.Limits)
+	if e != nil {
+		s.served["lincfl"].Errors.Add(1)
+		writeError(w, e)
+		return
+	}
+	key := keyForLinCFL(&req)
+	val, hit, err := s.cache.Do(r.Context(), key, func() (any, error) {
+		accepted, err := s.cflBatch.Submit(r.Context(), partree.LinCFLBatchJob{Grammar: g, Word: word})
+		if err != nil {
+			return nil, err
+		}
+		return &lincflResponse{Accepted: accepted}, nil
+	})
+	s.finish(w, "lincfl", val, hit, err)
+}
+
+// --- observability endpoints ---
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":       true,
+		"uptime_s": time.Since(s.start).Seconds(),
+	})
+}
+
+// phaseJSON mirrors partree.PhaseStats with JSON-friendly durations.
+type phaseJSON struct {
+	Steps     int64   `json:"steps"`
+	Work      int64   `json:"work"`
+	Calls     int64   `json:"calls"`
+	Steals    int64   `json:"steals"`
+	SpanMS    float64 `json:"span_ms"`
+	BusyMS    float64 `json:"busy_ms"`
+	BarrierMS float64 `json:"barrier_ms"`
+}
+
+type engineStatsJSON struct {
+	Steps     int64                `json:"steps"`
+	Work      int64                `json:"work"`
+	Steals    int64                `json:"steals"`
+	SpanMS    float64              `json:"span_ms"`
+	BarrierMS float64              `json:"barrier_ms"`
+	Phases    map[string]phaseJSON `json:"phases,omitempty"`
+}
+
+// StatsSnapshot is the /statsz payload.
+type StatsSnapshot struct {
+	UptimeS  float64                    `json:"uptime_s"`
+	Inflight int                        `json:"inflight"`
+	Capacity int                        `json:"inflight_capacity"`
+	Shed     int64                      `json:"shed"`
+	Panics   int64                      `json:"panics"`
+	Requests map[string]map[string]any  `json:"requests"`
+	Cache    CacheCounters              `json:"cache"`
+	Batchers map[string]BatcherCounters `json:"batchers"`
+	PRAM     map[string]engineStatsJSON `json:"pram"`
+}
+
+// Snapshot assembles the current statistics (also served at /statsz).
+func (s *Server) Snapshot() StatsSnapshot {
+	snap := StatsSnapshot{
+		UptimeS:  time.Since(s.start).Seconds(),
+		Inflight: len(s.inflight),
+		Capacity: cap(s.inflight),
+		Shed:     s.shed.Load(),
+		Panics:   s.panics.Load(),
+		Requests: make(map[string]map[string]any, len(engineNames)),
+		Cache:    s.cache.counters(),
+		Batchers: map[string]BatcherCounters{
+			"huffman":        s.hufBatch.counters(),
+			"shannonfano":    s.sfBatch.counters(),
+			"treefromdepths": s.patBatch.counters(),
+			"obst":           s.bstBatch.counters(),
+			"lincfl":         s.cflBatch.counters(),
+		},
+		PRAM: make(map[string]engineStatsJSON, len(engineNames)),
+	}
+	for _, name := range engineNames {
+		c := s.served[name]
+		snap.Requests[name] = map[string]any{"ok": c.OK.Load(), "errors": c.Errors.Load()}
+	}
+	s.statsMu.Lock()
+	for _, name := range engineNames {
+		acc := s.engineStats[name]
+		es := engineStatsJSON{
+			Steps:     acc.steps,
+			Work:      acc.work,
+			Steals:    acc.steals,
+			SpanMS:    acc.span.Seconds() * 1e3,
+			BarrierMS: acc.barrier.Seconds() * 1e3,
+		}
+		if len(acc.phases) > 0 {
+			es.Phases = make(map[string]phaseJSON, len(acc.phases))
+			for pn, ps := range acc.phases {
+				es.Phases[pn] = phaseJSON{
+					Steps:     ps.Steps,
+					Work:      ps.Work,
+					Calls:     ps.Calls,
+					Steals:    ps.Steals,
+					SpanMS:    ps.Span.Seconds() * 1e3,
+					BusyMS:    ps.Busy.Seconds() * 1e3,
+					BarrierMS: ps.BarrierWait.Seconds() * 1e3,
+				}
+			}
+		}
+		snap.PRAM[name] = es
+	}
+	s.statsMu.Unlock()
+	return snap
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Snapshot())
+}
+
+// String identifies the server configuration in logs.
+func (s *Server) String() string {
+	return fmt.Sprintf("partreed(maxBatch=%d linger=%s cache=%d inflight=%d)",
+		s.cfg.MaxBatch, s.cfg.Linger, s.cfg.CacheSize, cap(s.inflight))
+}
