@@ -2,11 +2,11 @@
 
 GO ?= go
 
-.PHONY: all build test test-race test-e2e check vet bench tables examples cover fuzz clean
+.PHONY: all build test test-race test-e2e test-pooldebug check vet bench bench-gate bench-baseline tables examples cover fuzz clean
 
 all: build vet test
 
-check: build vet test test-race test-e2e
+check: build vet test test-race test-e2e test-pooldebug bench-gate
 
 build:
 	$(GO) build ./...
@@ -28,12 +28,29 @@ test-race:
 test-e2e:
 	$(GO) test -race -run 'TestE2E' ./internal/serve
 
+# The pooldebug build tag arms the workspace arena's misuse detectors
+# (double-release ledger, released-slab poisoning); run every pooled
+# kernel's tests under it so ownership bugs fail loudly.
+test-pooldebug:
+	$(GO) test -tags pooldebug ./internal/pool ./internal/boolmat ./internal/matrix ./internal/monge ./internal/lincfl ./internal/serve
+
 # Regenerate the experiment measurements (EXPERIMENTS.md tables).
 tables:
 	$(GO) run ./cmd/benchtables
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Allocation-regression gate: measure E11 (pooled vs unpooled allocs/op
+# on the lincfl and partreed hot paths) and enforce the ≥70% reduction
+# plus the committed BENCH_BASELINE.json band. Skips the baseline check
+# gracefully when the file is absent.
+bench-gate:
+	$(GO) run ./cmd/benchtables -exp E11 | $(GO) run ./cmd/benchgate -baseline BENCH_BASELINE.json
+
+# Refresh the committed allocation baseline from the current tree.
+bench-baseline:
+	$(GO) run ./cmd/benchtables -exp E11 | $(GO) run ./cmd/benchgate -baseline BENCH_BASELINE.json -write
 
 examples:
 	$(GO) run ./examples/quickstart
@@ -51,6 +68,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzLeafPattern -fuzztime=30s ./internal/leafpattern
 	$(GO) test -fuzz=FuzzLinCFL -fuzztime=30s ./internal/lincfl
 	$(GO) test -fuzz=FuzzDecodeRequest -fuzztime=30s ./internal/serve
+	$(GO) test -fuzz=FuzzConcaveMultiply -fuzztime=30s ./internal/monge
 
 clean:
 	rm -f cover.out test_output.txt bench_output.txt

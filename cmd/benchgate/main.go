@@ -1,0 +1,190 @@
+// Command benchgate is the allocation-regression gate for the workspace
+// arena (ISSUE: pooled-workspace kernels). It reads the E11 BENCH-JSON
+// line from stdin — pipe `benchtables -exp E11` into it — and enforces:
+//
+//  1. The pooling invariant: on every kernel, the pooled run must remove
+//     at least -min-reduction (default 70%) of the unpooled allocs/op,
+//     and must not be slower than the unpooled run beyond -ns-band.
+//     This check is ratio-based, so it holds on any machine.
+//  2. The regression band: pooled allocs/op must stay within -alloc-band
+//     (plus a small absolute slack) of the committed baseline file.
+//     Allocation counts are deterministic, so the band is tight.
+//
+// When the baseline file does not exist the gate checks only the pooling
+// invariant and exits 0 with a notice, so fresh clones and CI bootstrap
+// runs pass; commit a baseline with -write to arm the regression check.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+type row struct {
+	Kernel   string  `json:"kernel"`
+	Pooled   bool    `json:"pooled"`
+	NsOp     float64 `json:"ns_op"`
+	AllocsOp int64   `json:"allocs_op"`
+	BytesOp  int64   `json:"bytes_op"`
+}
+
+type report struct {
+	Experiment string `json:"experiment"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	Runs       []row  `json:"runs"`
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_BASELINE.json", "committed baseline file")
+	write := flag.Bool("write", false, "rewrite the baseline from this run instead of gating")
+	minReduction := flag.Float64("min-reduction", 0.70, "required fractional allocs/op reduction, pooled vs unpooled")
+	nsBand := flag.Float64("ns-band", 0.25, "pooled ns/op may exceed unpooled by at most this fraction")
+	allocBand := flag.Float64("alloc-band", 0.15, "pooled allocs/op may exceed baseline by at most this fraction")
+	allocSlack := flag.Int64("alloc-slack", 16, "absolute allocs/op slack on top of -alloc-band")
+	flag.Parse()
+
+	cur, err := readReport(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *write {
+		blob, err := json.MarshalIndent(cur, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*baselinePath, append(blob, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("benchgate: wrote %s (%d rows)\n", *baselinePath, len(cur.Runs))
+		return
+	}
+
+	failures := 0
+	fail := func(format string, args ...any) {
+		failures++
+		fmt.Fprintf(os.Stderr, "benchgate: FAIL: "+format+"\n", args...)
+	}
+
+	// Invariant 1: the pooled run earns its keep against the unpooled run
+	// measured in the same process on the same machine.
+	for kernel, pair := range pairByKernel(cur.Runs) {
+		un, po := pair[0], pair[1]
+		if un == nil || po == nil {
+			fail("%s: missing pooled or unpooled row", kernel)
+			continue
+		}
+		reduction := 1 - float64(po.AllocsOp)/float64(un.AllocsOp)
+		if reduction < *minReduction {
+			fail("%s: allocs/op reduction %.1f%% < required %.0f%% (unpooled %d, pooled %d)",
+				kernel, 100*reduction, 100**minReduction, un.AllocsOp, po.AllocsOp)
+		} else {
+			fmt.Printf("benchgate: %s: allocs/op %d -> %d (%.1f%% reduction) ok\n",
+				kernel, un.AllocsOp, po.AllocsOp, 100*reduction)
+		}
+		if po.NsOp > un.NsOp*(1+*nsBand) {
+			fail("%s: pooled ns/op %.0f exceeds unpooled %.0f by more than %.0f%%",
+				kernel, po.NsOp, un.NsOp, 100**nsBand)
+		}
+	}
+
+	// Invariant 2: no creep against the committed baseline.
+	base, err := readBaseline(*baselinePath)
+	switch {
+	case os.IsNotExist(err):
+		fmt.Printf("benchgate: no baseline at %s; skipping regression check (commit one with -write)\n", *baselinePath)
+	case err != nil:
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(1)
+	default:
+		basePairs := pairByKernel(base.Runs)
+		for kernel, pair := range pairByKernel(cur.Runs) {
+			po := pair[1]
+			bp, ok := basePairs[kernel]
+			if !ok || bp[1] == nil || po == nil {
+				fmt.Printf("benchgate: %s: not in baseline; skipping\n", kernel)
+				continue
+			}
+			limit := int64(float64(bp[1].AllocsOp)*(1+*allocBand)) + *allocSlack
+			if po.AllocsOp > limit {
+				fail("%s: pooled allocs/op %d exceeds baseline %d (limit %d)",
+					kernel, po.AllocsOp, bp[1].AllocsOp, limit)
+			} else {
+				fmt.Printf("benchgate: %s: pooled allocs/op %d vs baseline %d (limit %d) ok\n",
+					kernel, po.AllocsOp, bp[1].AllocsOp, limit)
+			}
+		}
+	}
+
+	if failures > 0 {
+		os.Exit(1)
+	}
+	fmt.Println("benchgate: pass")
+}
+
+// pairByKernel indexes rows as [unpooled, pooled] per kernel.
+func pairByKernel(rows []row) map[string]*[2]*row {
+	out := make(map[string]*[2]*row)
+	for i := range rows {
+		r := &rows[i]
+		p, ok := out[r.Kernel]
+		if !ok {
+			p = new([2]*row)
+			out[r.Kernel] = p
+		}
+		if r.Pooled {
+			p[1] = r
+		} else {
+			p[0] = r
+		}
+	}
+	return out
+}
+
+// readReport scans stdin for the E11 BENCH-JSON line (other experiment
+// output may precede it).
+func readReport(f *os.File) (*report, error) {
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	var rep *report
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		blob, ok := strings.CutPrefix(line, "BENCH-JSON ")
+		if !ok {
+			continue
+		}
+		var r report
+		if err := json.Unmarshal([]byte(blob), &r); err != nil {
+			return nil, fmt.Errorf("parsing BENCH-JSON line: %w", err)
+		}
+		if r.Experiment == "E11" {
+			rep = &r
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if rep == nil {
+		return nil, fmt.Errorf("no E11 BENCH-JSON line on stdin (pipe `benchtables -exp E11` in)")
+	}
+	return rep, nil
+}
+
+func readBaseline(path string) (*report, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r report
+	if err := json.Unmarshal(blob, &r); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	return &r, nil
+}

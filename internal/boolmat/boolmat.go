@@ -10,8 +10,10 @@ package boolmat
 import (
 	"math/bits"
 	"strings"
+	"sync"
 	"sync/atomic"
 
+	"partree/internal/pool"
 	"partree/internal/pram"
 )
 
@@ -20,6 +22,10 @@ type Matrix struct {
 	R, C  int
 	words int // words per row
 	bits  []uint64
+	// pooled marks a matrix whose word slab came from the workspace
+	// arena; released flips on Release so double releases fail loudly.
+	pooled   bool
+	released bool
 }
 
 // New returns an all-false R×C matrix.
@@ -31,9 +37,54 @@ func New(r, c int) *Matrix {
 	return &Matrix{R: r, C: c, words: w, bits: make([]uint64, r*w)}
 }
 
-// Identity returns the n×n identity.
+// headerPool recycles the Matrix structs themselves: the separator
+// recursion creates and releases so many matrices that the 48-byte
+// headers dominate the allocation profile once the word slabs are
+// pooled.
+var headerPool = sync.Pool{New: func() any { return new(Matrix) }}
+
+// NewFromPool returns an all-false R×C matrix whose word slab is drawn
+// from the workspace arena. Call Release when done with it; forgetting
+// to is safe (the slab is collected) but forfeits the reuse.
+func NewFromPool(r, c int) *Matrix {
+	if r < 0 || c < 0 {
+		panic("boolmat: negative dimension")
+	}
+	w := (c + 63) / 64
+	if reuseHeaders && pool.Enabled() {
+		m := headerPool.Get().(*Matrix)
+		m.R, m.C, m.words = r, c, w
+		m.bits = pool.Uint64s(r * w)
+		m.pooled, m.released = true, false
+		return m
+	}
+	return &Matrix{R: r, C: c, words: w, bits: pool.Uint64s(r * w), pooled: true}
+}
+
+// Release returns the matrix's word slab to the arena. The matrix must
+// not be used afterwards — its storage is dropped, so any access panics
+// instead of silently reading recycled words. Releasing twice panics.
+func (m *Matrix) Release() {
+	if m == nil {
+		return
+	}
+	if m.released {
+		panic("boolmat: double release of Matrix")
+	}
+	m.released = true
+	if m.pooled {
+		pool.PutUint64s(m.bits)
+	}
+	m.bits = nil
+	if m.pooled && reuseHeaders && pool.Enabled() {
+		headerPool.Put(m)
+	}
+}
+
+// Identity returns the n×n identity (pool-backed: the separator
+// recursion churns through one per leaf region).
 func Identity(n int) *Matrix {
-	m := New(n, n)
+	m := NewFromPool(n, n)
 	for i := 0; i < n; i++ {
 		m.Set(i, i, true)
 	}
@@ -42,11 +93,13 @@ func Identity(n int) *Matrix {
 
 // Get returns entry (i,j).
 func (m *Matrix) Get(i, j int) bool {
+	m.check()
 	return m.bits[i*m.words+j/64]>>(uint(j)%64)&1 == 1
 }
 
 // Set assigns entry (i,j).
 func (m *Matrix) Set(i, j int, v bool) {
+	m.check()
 	w := &m.bits[i*m.words+j/64]
 	mask := uint64(1) << (uint(j) % 64)
 	if v {
@@ -57,7 +110,7 @@ func (m *Matrix) Set(i, j int, v bool) {
 }
 
 // row returns the packed words of row i.
-func (m *Matrix) row(i int) []uint64 { return m.bits[i*m.words : (i+1)*m.words] }
+func (m *Matrix) row(i int) []uint64 { m.check(); return m.bits[i*m.words : (i+1)*m.words] }
 
 // Clone returns a deep copy.
 func (m *Matrix) Clone() *Matrix {
@@ -99,59 +152,98 @@ func (m *Matrix) Or(o *Matrix) *Matrix {
 	return m
 }
 
+// mulKTile picks the k-tile height for the blocked kernel: the number of
+// B rows (a multiple of 64, so tiles stay word-aligned in A's rows) whose
+// packed words fit a ~256 KiB cache budget. B's rows are its packed
+// columns-of-words layout, built once at Set time, so a tile is a
+// contiguous, reusable byte range of b.bits.
+func mulKTile(words int) int {
+	const budget = 1 << 18 // bytes of B rows resident per tile
+	kt := budget / (words * 8)
+	kt &^= 63
+	if kt < 64 {
+		kt = 64
+	}
+	return kt
+}
+
+// mulRowInto ORs into orow every B row selected by the set bits of
+// arow's words [w0, w1). Zero words are skipped whole; set bits are
+// found with trailing-zero scans instead of per-bit probes.
+func mulRowInto(orow, arow []uint64, b *Matrix, w0, w1 int) {
+	for w := w0; w < w1; w++ {
+		bitsW := arow[w]
+		for bitsW != 0 {
+			k := w<<6 + bits.TrailingZeros64(bitsW)
+			bitsW &= bitsW - 1
+			brow := b.row(k)
+			for x := range orow {
+				orow[x] |= brow[x]
+			}
+		}
+	}
+}
+
 // Mul returns the Boolean product m·o: out[i][j] = ∨ₖ m[i][k] ∧ o[k][j],
-// computed row-wise with word-level parallelism (n³/64 word-ORs).
+// computed row-wise with word-level parallelism (n³/64 word-ORs in the
+// dense model). The kernel is cache-blocked: A's columns are walked in
+// word-aligned k-tiles sized so the touched band of B stays resident
+// across all rows of A, and zero words of A are skipped entirely. The
+// output slab comes from the workspace arena (Release it to recycle).
 func Mul(a, b *Matrix) *Matrix {
 	if a.C != b.R {
 		panic("boolmat: dimension mismatch")
 	}
-	out := New(a.R, b.C)
-	for i := 0; i < a.R; i++ {
-		arow := a.row(i)
-		orow := out.row(i)
-		for k := 0; k < a.C; k++ {
-			if arow[k/64]>>(uint(k)%64)&1 == 1 {
-				brow := b.row(k)
-				for w := range orow {
-					orow[w] |= brow[w]
-				}
-			}
+	out := NewFromPool(a.R, b.C)
+	if a.C == 0 || b.C == 0 {
+		return out
+	}
+	kt := mulKTile(b.words)
+	for k0 := 0; k0 < a.C; k0 += kt {
+		k1 := k0 + kt
+		if k1 > a.C {
+			k1 = a.C
+		}
+		w0, w1 := k0>>6, (k1+63)>>6
+		for i := 0; i < a.R; i++ {
+			mulRowInto(out.row(i), a.row(i), b, w0, w1)
 		}
 	}
 	return out
 }
 
 // MulPar is the PRAM form of Mul: one virtual processor per output row.
+// Each row body uses the word-skipping scan; cross-row B reuse comes from
+// the runtime handing each worker contiguous row chunks.
 func MulPar(m *pram.Machine, a, b *Matrix) *Matrix {
 	if a.C != b.R {
 		panic("boolmat: dimension mismatch")
 	}
 	defer m.Phase("boolmat.MulPar")()
-	out := New(a.R, b.C)
+	out := NewFromPool(a.R, b.C)
+	if a.C == 0 || b.C == 0 {
+		return out
+	}
+	aw := (a.C + 63) >> 6
 	m.For(a.R, func(i int) {
-		arow := a.row(i)
-		orow := out.row(i)
-		for k := 0; k < a.C; k++ {
-			if arow[k/64]>>(uint(k)%64)&1 == 1 {
-				brow := b.row(k)
-				for w := range orow {
-					orow[w] |= brow[w]
-				}
-			}
-		}
+		mulRowInto(out.row(i), a.row(i), b, 0, aw)
 	})
 	return out
 }
 
 // Closure returns the reflexive-transitive closure of a square matrix by
-// ⌈log₂ n⌉ squarings of (I ∨ m).
+// ⌈log₂ n⌉ squarings of (I ∨ m), recycling each intermediate square.
 func Closure(m *Matrix) *Matrix {
 	if m.R != m.C {
 		panic("boolmat: closure of non-square matrix")
 	}
-	cur := m.Clone().Or(Identity(m.R))
+	id := Identity(m.R)
+	cur := m.Clone().Or(id)
+	id.Release()
 	for span := 1; span < m.R; span <<= 1 {
-		cur = Mul(cur, cur)
+		next := Mul(cur, cur)
+		cur.Release()
+		cur = next
 	}
 	return cur
 }
@@ -163,9 +255,13 @@ func ClosurePar(mach *pram.Machine, m *Matrix) *Matrix {
 		panic("boolmat: closure of non-square matrix")
 	}
 	defer mach.Phase("boolmat.ClosurePar")()
-	cur := m.Clone().Or(Identity(m.R))
+	id := Identity(m.R)
+	cur := m.Clone().Or(id)
+	id.Release()
 	for span := 1; span < m.R; span <<= 1 {
-		cur = MulPar(mach, cur, cur)
+		next := MulPar(mach, cur, cur)
+		cur.Release()
+		cur = next
 	}
 	return cur
 }
@@ -189,10 +285,38 @@ func (c *OpCounter) Load() int64 {
 	return c.n.Load()
 }
 
-// MulCounted is Mul with word-operation counting.
+// MulCounted is Mul with word-operation counting, charged as the
+// multiply executes — one operation per word of A scanned plus one per
+// output word OR'd — rather than recomputed from the dense n³/64 formula
+// after the fact. The count therefore reflects the work the blocked
+// kernel actually performs on sparse inputs.
 func MulCounted(a, b *Matrix, cnt *OpCounter) *Matrix {
-	out := Mul(a, b)
-	cnt.Add(int64(a.R) * int64(a.C) * int64((b.C+63)/64))
+	if a.C != b.R {
+		panic("boolmat: dimension mismatch")
+	}
+	out := NewFromPool(a.R, b.C)
+	if a.C == 0 || b.C == 0 {
+		return out
+	}
+	var ops int64
+	ow := int64(out.words)
+	for i := 0; i < a.R; i++ {
+		arow := a.row(i)
+		orow := out.row(i)
+		for w, bitsW := range arow {
+			ops++ // the scan reads one word of A
+			for bitsW != 0 {
+				k := w<<6 + bits.TrailingZeros64(bitsW)
+				bitsW &= bitsW - 1
+				brow := b.row(k)
+				for x := range orow {
+					orow[x] |= brow[x]
+				}
+				ops += ow
+			}
+		}
+	}
+	cnt.Add(ops)
 	return out
 }
 

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"partree/internal/pool"
 	"partree/internal/pram"
 )
 
@@ -146,16 +147,80 @@ func TestClosureMatchesFloydWarshall(t *testing.T) {
 }
 
 func TestMulCounted(t *testing.T) {
+	// All-false product: the scan reads each of the 8 rows' single packed
+	// word and ORs nothing.
 	var cnt OpCounter
 	a, b := New(8, 8), New(8, 8)
 	MulCounted(a, b, &cnt)
-	if cnt.Load() != 64 { // 8·8·1 word
-		t.Errorf("ops = %d, want 64", cnt.Load())
+	if cnt.Load() != 8 {
+		t.Errorf("all-false ops = %d, want 8 (one scanned word per row)", cnt.Load())
+	}
+	// With s set bits in A, the multiply additionally ORs s output rows of
+	// one word each — counted during the multiply, so the tally reflects
+	// the sparse work actually done.
+	a.Set(0, 3, true)
+	a.Set(5, 1, true)
+	a.Set(5, 7, true)
+	b.Set(3, 2, true)
+	b.Set(1, 6, true)
+	var cnt2 OpCounter
+	got := MulCounted(a, b, &cnt2)
+	if want := int64(8 + 3); cnt2.Load() != want {
+		t.Errorf("sparse ops = %d, want %d", cnt2.Load(), want)
+	}
+	if !got.Equal(Mul(a, b)) {
+		t.Error("MulCounted product differs from Mul")
 	}
 	var nilCnt *OpCounter
 	nilCnt.Add(3)
 	if nilCnt.Load() != 0 {
 		t.Error("nil counter must be inert")
+	}
+}
+
+func TestReleaseRecyclesAndDoubleReleasePanics(t *testing.T) {
+	pool.Reset()
+	defer pool.Reset()
+	m := NewFromPool(8, 130)
+	m.Set(3, 100, true)
+	m.Release()
+	if st := pool.Snapshot(); st.Puts == 0 {
+		t.Error("Release did not return the slab to the arena")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double Release did not panic")
+		}
+	}()
+	m.Release()
+}
+
+// TestPooledMulMatchesUnpooled locks the blocked pooled kernel to the
+// unpooled baseline bit-for-bit on random matrices spanning tile
+// boundaries.
+func TestPooledMulMatchesUnpooled(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 20; trial++ {
+		p, q, r := 1+rng.Intn(90), 1+rng.Intn(150), 1+rng.Intn(90)
+		a, b := New(p, q), New(q, r)
+		for i := 0; i < p; i++ {
+			for j := 0; j < q; j++ {
+				a.Set(i, j, rng.Intn(4) == 0)
+			}
+		}
+		for i := 0; i < q; i++ {
+			for j := 0; j < r; j++ {
+				b.Set(i, j, rng.Intn(4) == 0)
+			}
+		}
+		pooled := Mul(a, b)
+		prev := pool.SetEnabled(false)
+		plain := Mul(a, b)
+		pool.SetEnabled(prev)
+		if !pooled.Equal(plain) {
+			t.Fatalf("trial %d (%dx%dx%d): pooled product differs from unpooled", trial, p, q, r)
+		}
+		pooled.Release()
 	}
 }
 

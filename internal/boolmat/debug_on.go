@@ -1,0 +1,15 @@
+//go:build pooldebug
+
+package boolmat
+
+// check panics with a targeted message when a released matrix is
+// accessed. Compiled in only under the pooldebug build tag.
+func (m *Matrix) check() {
+	if m.released {
+		panic("boolmat: use of Matrix after Release")
+	}
+}
+
+// reuseHeaders is off under pooldebug so every Matrix keeps a unique
+// header and the released flag on a stale reference stays trustworthy.
+const reuseHeaders = false

@@ -1,0 +1,47 @@
+package lincfl
+
+import (
+	"testing"
+
+	"partree/internal/grammar"
+	"partree/internal/pool"
+	"partree/internal/pram"
+)
+
+func palindromeWord(n int) []byte {
+	w := make([]byte, n)
+	for i := 0; i < n/2; i++ {
+		w[i] = "ab"[i%2]
+		w[n-1-i] = w[i]
+	}
+	w[n/2] = 'c'
+	return w
+}
+
+// BenchmarkRecognizeDC measures the separator divide-and-conquer on the
+// palindrome grammar; run with -benchmem to see the workspace arena's
+// effect (BenchmarkRecognizeDCUnpooled is the same kernel with pooling
+// off).
+func BenchmarkRecognizeDC(b *testing.B) {
+	g := grammar.Palindrome()
+	w := palindromeWord(127)
+	m := pram.New(pram.WithGrain(64))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RecognizeDC(m, g, w)
+	}
+}
+
+func BenchmarkRecognizeDCUnpooled(b *testing.B) {
+	prev := pool.SetEnabled(false)
+	defer pool.SetEnabled(prev)
+	g := grammar.Palindrome()
+	w := palindromeWord(127)
+	m := pram.New(pram.WithGrain(64))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RecognizeDC(m, g, w)
+	}
+}

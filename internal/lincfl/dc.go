@@ -49,6 +49,14 @@ type dcCtx struct {
 
 	leftBlock  map[byte]*boolmat.Matrix // [A][B] = A → tB
 	rightBlock map[byte]*boolmat.Matrix // [A][B] = A → Bt
+	empty      *boolmat.Matrix          // shared all-false K×K block
+}
+
+// release returns every matrix to the workspace arena.
+func release(ms ...*boolmat.Matrix) {
+	for _, m := range ms {
+		m.Release()
+	}
 }
 
 // RecognizeDC reports whether w ∈ L(G) using the separator
@@ -86,8 +94,8 @@ func RecognizeDC(m *pram.Machine, g *grammar.Linear, w []byte) *DCResult {
 	// Start vertex: cell (0, n-1) — the top-right corner, which is
 	// in-index (n-1) of the triangle's first row (or 0 when n == 1).
 	in := triIn(0, n-1)
-	startCell := [2]int{0, n - 1}
-	startIdx := in.index[startCell]*ctx.k + g.Start
+	si, _ := in.lookup([2]int{0, n - 1})
+	startIdx := si*ctx.k + g.Start
 	for d := 0; d < n; d++ {
 		for _, r := range ctx.g.Term {
 			if r.T == w[d] && reach.Get(startIdx, d*ctx.k+r.A) {
@@ -98,80 +106,125 @@ func RecognizeDC(m *pram.Machine, g *grammar.Linear, w []byte) *DCResult {
 	res.Products = ctx.prods
 	res.WordOps = ctx.cnt.Load()
 	res.Depth = ctx.depth
+	reach.Release()
 	return res
 }
 
-// boundary is an ordered list of cells with an index.
+// boundary is an ordered list of grid cells along one edge of a region.
+// Each of the four shapes (triangle/rectangle entry/exit) has a closed
+// form, so the list is never materialized: cell(i) and lookup compute
+// both directions arithmetically and a boundary is a plain value — the
+// separator recursion creates millions of them, and a map-backed index
+// used to dominate the recognizer's allocation profile.
 type boundary struct {
-	cells [][2]int
-	index map[[2]int]int
+	kind       bkind
+	a, b, c, d int // rows a..b, cols c..d (triangles use a..b for both)
 }
 
-func newBoundary(cells [][2]int) boundary {
-	idx := make(map[[2]int]int, len(cells))
-	for i, c := range cells {
-		idx[c] = i
+type bkind uint8
+
+const (
+	bTriIn   bkind = iota // first row, then last column (minus the shared corner)
+	bTriOut               // the diagonal
+	bRectIn               // top row, then right column (minus the shared corner)
+	bRectOut              // left column, then bottom row (minus the shared corner)
+)
+
+// size returns the number of cells on the boundary.
+func (bd boundary) size() int {
+	switch bd.kind {
+	case bTriIn:
+		return 2*(bd.b-bd.a) + 1
+	case bTriOut:
+		return bd.b - bd.a + 1
+	default: // bRectIn, bRectOut
+		return (bd.b - bd.a) + (bd.d - bd.c) + 1
 	}
-	return boundary{cells: cells, index: idx}
+}
+
+// cell returns the i-th cell in boundary order.
+func (bd boundary) cell(i int) [2]int {
+	switch bd.kind {
+	case bTriIn:
+		if row := bd.b - bd.a + 1; i < row {
+			return [2]int{bd.a, bd.a + i}
+		} else {
+			return [2]int{bd.a + 1 + (i - row), bd.b}
+		}
+	case bTriOut:
+		return [2]int{bd.a + i, bd.a + i}
+	case bRectIn:
+		if row := bd.d - bd.c + 1; i < row {
+			return [2]int{bd.a, bd.c + i}
+		} else {
+			return [2]int{bd.a + 1 + (i - row), bd.d}
+		}
+	default: // bRectOut
+		if col := bd.b - bd.a + 1; i < col {
+			return [2]int{bd.a + i, bd.c}
+		} else {
+			return [2]int{bd.b, bd.c + 1 + (i - col)}
+		}
+	}
+}
+
+// lookup is the inverse of cell: the position of a cell on the boundary.
+func (bd boundary) lookup(cell [2]int) (int, bool) {
+	i, j := cell[0], cell[1]
+	switch bd.kind {
+	case bTriIn:
+		if i == bd.a && j >= bd.a && j <= bd.b {
+			return j - bd.a, true
+		}
+		if j == bd.b && i > bd.a && i <= bd.b {
+			return (bd.b - bd.a + 1) + (i - bd.a - 1), true
+		}
+	case bTriOut:
+		if i == j && i >= bd.a && i <= bd.b {
+			return i - bd.a, true
+		}
+	case bRectIn:
+		if i == bd.a && j >= bd.c && j <= bd.d {
+			return j - bd.c, true
+		}
+		if j == bd.d && i > bd.a && i <= bd.b {
+			return (bd.d - bd.c + 1) + (i - bd.a - 1), true
+		}
+	case bRectOut:
+		if j == bd.c && i >= bd.a && i <= bd.b {
+			return i - bd.a, true
+		}
+		if i == bd.b && j > bd.c && j <= bd.d {
+			return (bd.b - bd.a + 1) + (j - bd.c - 1), true
+		}
+	}
+	return 0, false
 }
 
 // triIn is the triangle's entry boundary: first row, then last column
 // (excluding the shared corner).
-func triIn(lo, hi int) boundary {
-	var cells [][2]int
-	for j := lo; j <= hi; j++ {
-		cells = append(cells, [2]int{lo, j})
-	}
-	for i := lo + 1; i <= hi; i++ {
-		cells = append(cells, [2]int{i, hi})
-	}
-	return newBoundary(cells)
-}
+func triIn(lo, hi int) boundary { return boundary{kind: bTriIn, a: lo, b: hi} }
 
 // triOut is the triangle's exit boundary: the diagonal.
-func triOut(lo, hi int) boundary {
-	var cells [][2]int
-	for d := lo; d <= hi; d++ {
-		cells = append(cells, [2]int{d, d})
-	}
-	return newBoundary(cells)
-}
+func triOut(lo, hi int) boundary { return boundary{kind: bTriOut, a: lo, b: hi} }
 
 // rectIn: top row, then right column (excluding the shared corner).
-func rectIn(a, b, c, d int) boundary {
-	var cells [][2]int
-	for j := c; j <= d; j++ {
-		cells = append(cells, [2]int{a, j})
-	}
-	for i := a + 1; i <= b; i++ {
-		cells = append(cells, [2]int{i, d})
-	}
-	return newBoundary(cells)
-}
+func rectIn(a, b, c, d int) boundary { return boundary{kind: bRectIn, a: a, b: b, c: c, d: d} }
 
 // rectOut: left column, then bottom row (excluding the shared corner).
-func rectOut(a, b, c, d int) boundary {
-	var cells [][2]int
-	for i := a; i <= b; i++ {
-		cells = append(cells, [2]int{i, c})
-	}
-	for j := c + 1; j <= d; j++ {
-		cells = append(cells, [2]int{b, j})
-	}
-	return newBoundary(cells)
-}
+func rectOut(a, b, c, d int) boundary { return boundary{kind: bRectOut, a: a, b: b, c: c, d: d} }
 
 // inject builds the |from|·K × |to|·K matrix that routes state (cell, A)
 // to (mapCell(cell), B) for every (A,B) set in block (nil block = the
 // identity on nonterminals). Cells that mapCell rejects route nowhere.
 func (ctx *dcCtx) inject(from, to boundary, mapCell func([2]int) ([2]int, bool), block *boolmat.Matrix) *boolmat.Matrix {
-	out := boolmat.New(len(from.cells)*ctx.k, len(to.cells)*ctx.k)
-	for fi, cell := range from.cells {
-		tc, ok := mapCell(cell)
+	out := boolmat.NewFromPool(from.size()*ctx.k, to.size()*ctx.k)
+	for fi, fn := 0, from.size(); fi < fn; fi++ {
+		tc, ok := mapCell(from.cell(fi))
 		if !ok {
 			continue
 		}
-		ti, ok := to.index[tc]
+		ti, ok := to.lookup(tc)
 		if !ok {
 			continue
 		}
@@ -233,14 +286,23 @@ func (ctx *dcCtx) blockLeft(t byte) *boolmat.Matrix {
 	if b, ok := ctx.leftBlock[t]; ok {
 		return b
 	}
-	return boolmat.New(ctx.k, ctx.k) // no rules: empty block
+	return ctx.emptyBlock() // no rules: empty block
 }
 
 func (ctx *dcCtx) blockRight(t byte) *boolmat.Matrix {
 	if b, ok := ctx.rightBlock[t]; ok {
 		return b
 	}
-	return boolmat.New(ctx.k, ctx.k)
+	return ctx.emptyBlock()
+}
+
+// emptyBlock lazily builds the shared all-false block; inject only reads
+// blocks, so one instance serves every terminal with no rules.
+func (ctx *dcCtx) emptyBlock() *boolmat.Matrix {
+	if ctx.empty == nil {
+		ctx.empty = boolmat.New(ctx.k, ctx.k)
+	}
+	return ctx.empty
 }
 
 // tri computes the triangle reachability IN×OUT.
@@ -253,7 +315,12 @@ func (ctx *dcCtx) tri(lo, hi, depth int) *boolmat.Matrix {
 	rl := ctx.tri(lo, mid, depth+1)
 	rr := ctx.tri(mid+1, hi, depth+1)
 	rq := ctx.rect(lo, mid, mid+1, hi, depth+1)
-	return ctx.combineTri(lo, hi, rl, rr, rq)
+	res := ctx.combineTri(lo, hi, rl, rr, rq)
+	// The children are fully folded into res; recycle their slabs for the
+	// sibling recursions. (The caching extractor keeps its children alive
+	// instead — see derive_dc.go.)
+	release(rl, rr, rq)
+	return res
 }
 
 // combineTri assembles a triangle's boundary reachability from its three
@@ -273,15 +340,20 @@ func (ctx *dcCtx) combineTri(lo, hi int, rl, rr, rq *boolmat.Matrix) *boolmat.Ma
 	rFull := ctx.mul(rr, routT)                // IN(R) → OUT(T)
 	xl := ctx.inject(outQ, inL, crossLeft(mid+1), ctx.blockRight(ctx.w[mid+1]))
 	xr := ctx.inject(outQ, inR, crossDown(mid), ctx.blockLeft(ctx.w[mid]))
-	qFull := ctx.mul(rq, ctx.mul(xl, lFull).Or(ctx.mul(xr, rFull))) // IN(Q) → OUT(T)
+	ql := ctx.mul(xl, lFull)
+	qr := ctx.mul(xr, rFull)
+	qFull := ctx.mul(rq, ql.Or(qr)) // IN(Q) → OUT(T)
+	release(loutT, routT, xl, xr, ql, qr)
 
 	// IN(T) routing.
 	sl := ctx.inject(inT, inL, same, nil)
 	sr := ctx.inject(inT, inR, same, nil)
 	sq := ctx.inject(inT, inQ, same, nil)
 	res := ctx.mul(sl, lFull)
-	res.Or(ctx.mul(sr, rFull))
-	res.Or(ctx.mul(sq, qFull))
+	tr := ctx.mul(sr, rFull)
+	tq := ctx.mul(sq, qFull)
+	res.Or(tr).Or(tq)
+	release(sl, sr, sq, tr, tq, lFull, rFull, qFull)
 	return res
 }
 
@@ -291,23 +363,13 @@ func (ctx *dcCtx) rect(a, b, c, d, depth int) *boolmat.Matrix {
 	if a == b && c == d {
 		return boolmat.Identity(ctx.k)
 	}
-	inQ := rectIn(a, b, c, d)
-	outQ := rectOut(a, b, c, d)
-
 	if a == b {
 		// Single row: split columns.
 		m2 := (c + d) / 2
 		rw := ctx.rect(a, b, c, m2, depth+1)
 		re := ctx.rect(a, b, m2+1, d, depth+1)
-		inW, outW := rectIn(a, b, c, m2), rectOut(a, b, c, m2)
-		inE, outE := rectIn(a, b, m2+1, d), rectOut(a, b, m2+1, d)
-		woutQ := ctx.inject(outW, outQ, same, nil)
-		eoutQ := ctx.inject(outE, outQ, same, nil)
-		wFull := ctx.mul(rw, woutQ)
-		xw := ctx.inject(outE, inW, crossLeft(m2+1), ctx.blockRight(ctx.w[m2+1]))
-		eFull := ctx.mul(re, eoutQ.Or(ctx.mul(xw, wFull)))
-		res := ctx.mul(ctx.inject(inQ, inW, same, nil), wFull)
-		res.Or(ctx.mul(ctx.inject(inQ, inE, same, nil), eFull))
+		res := ctx.combineRectRow(a, b, c, d, rw, re)
+		release(rw, re)
 		return res
 	}
 	if c == d {
@@ -315,19 +377,10 @@ func (ctx *dcCtx) rect(a, b, c, d, depth int) *boolmat.Matrix {
 		m1 := (a + b) / 2
 		rn := ctx.rect(a, m1, c, d, depth+1)
 		rs := ctx.rect(m1+1, b, c, d, depth+1)
-		inN, outN := rectIn(a, m1, c, d), rectOut(a, m1, c, d)
-		inS, outS := rectIn(m1+1, b, c, d), rectOut(m1+1, b, c, d)
-		noutQ := ctx.inject(outN, outQ, same, nil)
-		soutQ := ctx.inject(outS, outQ, same, nil)
-		sFull := ctx.mul(rs, soutQ)
-		xn := ctx.inject(outN, inS, crossDown(m1), ctx.blockLeft(ctx.w[m1]))
-		// IN(N) → OUT(Q): direct exits plus crossing down into S.
-		nFull := ctx.mul(rn, noutQ.Or(ctx.mul(xn, sFull)))
-		res := ctx.mul(ctx.inject(inQ, inN, same, nil), nFull)
-		res.Or(ctx.mul(ctx.inject(inQ, inS, same, nil), sFull))
+		res := ctx.combineRectCol(a, b, c, d, rn, rs)
+		release(rn, rs)
 		return res
 	}
-
 	// Full quadrant split.
 	m1 := (a + b) / 2
 	m2 := (c + d) / 2
@@ -335,23 +388,95 @@ func (ctx *dcCtx) rect(a, b, c, d, depth int) *boolmat.Matrix {
 	rne := ctx.rect(a, m1, m2+1, d, depth+1)
 	rsw := ctx.rect(m1+1, b, c, m2, depth+1)
 	rse := ctx.rect(m1+1, b, m2+1, d, depth+1)
+	res := ctx.combineRectQuad(a, b, c, d, rnw, rne, rsw, rse)
+	release(rnw, rne, rsw, rse)
+	return res
+}
+
+// combineRectRow assembles a single-row rectangle from its west/east
+// halves. Like combineTri, it releases every intermediate it creates but
+// leaves the child matrices to the caller (the extractor caches them).
+func (ctx *dcCtx) combineRectRow(a, b, c, d int, rw, re *boolmat.Matrix) *boolmat.Matrix {
+	inQ := rectIn(a, b, c, d)
+	outQ := rectOut(a, b, c, d)
+	m2 := (c + d) / 2
+	inW, outW := rectIn(a, b, c, m2), rectOut(a, b, c, m2)
+	inE, outE := rectIn(a, b, m2+1, d), rectOut(a, b, m2+1, d)
+	woutQ := ctx.inject(outW, outQ, same, nil)
+	eoutQ := ctx.inject(outE, outQ, same, nil)
+	wFull := ctx.mul(rw, woutQ)
+	xw := ctx.inject(outE, inW, crossLeft(m2+1), ctx.blockRight(ctx.w[m2+1]))
+	xwF := ctx.mul(xw, wFull)
+	eFull := ctx.mul(re, eoutQ.Or(xwF))
+	sw := ctx.inject(inQ, inW, same, nil)
+	se := ctx.inject(inQ, inE, same, nil)
+	res := ctx.mul(sw, wFull)
+	te := ctx.mul(se, eFull)
+	res.Or(te)
+	release(woutQ, eoutQ, xw, xwF, sw, se, te, wFull, eFull)
+	return res
+}
+
+// combineRectCol assembles a single-column rectangle from its north/south
+// halves.
+func (ctx *dcCtx) combineRectCol(a, b, c, d int, rn, rs *boolmat.Matrix) *boolmat.Matrix {
+	inQ := rectIn(a, b, c, d)
+	outQ := rectOut(a, b, c, d)
+	m1 := (a + b) / 2
+	inN, outN := rectIn(a, m1, c, d), rectOut(a, m1, c, d)
+	inS, outS := rectIn(m1+1, b, c, d), rectOut(m1+1, b, c, d)
+	noutQ := ctx.inject(outN, outQ, same, nil)
+	soutQ := ctx.inject(outS, outQ, same, nil)
+	sFull := ctx.mul(rs, soutQ)
+	xn := ctx.inject(outN, inS, crossDown(m1), ctx.blockLeft(ctx.w[m1]))
+	xnF := ctx.mul(xn, sFull)
+	// IN(N) → OUT(Q): direct exits plus crossing down into S.
+	nFull := ctx.mul(rn, noutQ.Or(xnF))
+	sn := ctx.inject(inQ, inN, same, nil)
+	ss := ctx.inject(inQ, inS, same, nil)
+	res := ctx.mul(sn, nFull)
+	ts := ctx.mul(ss, sFull)
+	res.Or(ts)
+	release(noutQ, soutQ, xn, xnF, sn, ss, ts, nFull, sFull)
+	return res
+}
+
+// combineRectQuad assembles a rectangle from its four quadrants.
+func (ctx *dcCtx) combineRectQuad(a, b, c, d int, rnw, rne, rsw, rse *boolmat.Matrix) *boolmat.Matrix {
+	inQ := rectIn(a, b, c, d)
+	outQ := rectOut(a, b, c, d)
+	m1 := (a + b) / 2
+	m2 := (c + d) / 2
 
 	inNW, outNW := rectIn(a, m1, c, m2), rectOut(a, m1, c, m2)
 	inNE, outNE := rectIn(a, m1, m2+1, d), rectOut(a, m1, m2+1, d)
 	inSW, outSW := rectIn(m1+1, b, c, m2), rectOut(m1+1, b, c, m2)
 	inSE, outSE := rectIn(m1+1, b, m2+1, d), rectOut(m1+1, b, m2+1, d)
 
-	swFull := ctx.mul(rsw, ctx.inject(outSW, outQ, same, nil))
+	swOut := ctx.inject(outSW, outQ, same, nil)
+	swFull := ctx.mul(rsw, swOut)
 	xwDown := ctx.inject(outNW, inSW, crossDown(m1), ctx.blockLeft(ctx.w[m1]))
-	nwFull := ctx.mul(rnw, ctx.inject(outNW, outQ, same, nil).Or(ctx.mul(xwDown, swFull)))
+	xwF := ctx.mul(xwDown, swFull)
+	nwOut := ctx.inject(outNW, outQ, same, nil)
+	nwFull := ctx.mul(rnw, nwOut.Or(xwF))
 	xsLeft := ctx.inject(outSE, inSW, crossLeft(m2+1), ctx.blockRight(ctx.w[m2+1]))
-	seFull := ctx.mul(rse, ctx.inject(outSE, outQ, same, nil).Or(ctx.mul(xsLeft, swFull)))
+	xsF := ctx.mul(xsLeft, swFull)
+	seOut := ctx.inject(outSE, outQ, same, nil)
+	seFull := ctx.mul(rse, seOut.Or(xsF))
 	xnLeft := ctx.inject(outNE, inNW, crossLeft(m2+1), ctx.blockRight(ctx.w[m2+1]))
 	xeDown := ctx.inject(outNE, inSE, crossDown(m1), ctx.blockLeft(ctx.w[m1]))
-	neFull := ctx.mul(rne, ctx.mul(xnLeft, nwFull).Or(ctx.mul(xeDown, seFull)))
+	xnF := ctx.mul(xnLeft, nwFull)
+	xeF := ctx.mul(xeDown, seFull)
+	neFull := ctx.mul(rne, xnF.Or(xeF))
+	release(swOut, xwDown, xwF, nwOut, xsLeft, xsF, seOut, xnLeft, xeDown, xnF, xeF)
 
-	res := ctx.mul(ctx.inject(inQ, inNW, same, nil), nwFull)
-	res.Or(ctx.mul(ctx.inject(inQ, inNE, same, nil), neFull))
-	res.Or(ctx.mul(ctx.inject(inQ, inSE, same, nil), seFull))
+	snw := ctx.inject(inQ, inNW, same, nil)
+	sne := ctx.inject(inQ, inNE, same, nil)
+	sse := ctx.inject(inQ, inSE, same, nil)
+	res := ctx.mul(snw, nwFull)
+	tne := ctx.mul(sne, neFull)
+	tse := ctx.mul(sse, seFull)
+	res.Or(tne).Or(tse)
+	release(snw, sne, sse, tne, tse, nwFull, neFull, swFull, seFull)
 	return res
 }

@@ -22,7 +22,8 @@ func DeriveDC(m *pram.Machine, g *grammar.Linear, w []byte) ([]Step, bool) {
 
 	in := triIn(0, n-1)
 	start := vertex{cell: [2]int{0, n - 1}, nt: g.Start}
-	sIdx := in.index[start.cell]*ctx.k + start.nt
+	si, _ := in.lookup(start.cell)
+	sIdx := si*ctx.k + start.nt
 	var target vertex
 	found := false
 	for d := 0; d < n && !found; d++ {
@@ -140,67 +141,25 @@ func (t *traceCtx) rectUncached(a, b, c, d, depth int) *boolmat.Matrix {
 	if a == b && c == d {
 		return boolmat.Identity(ctx.k)
 	}
-	inQ := rectIn(a, b, c, d)
-	outQ := rectOut(a, b, c, d)
-
+	// The combine helpers release their own intermediates; the children
+	// stay alive in the caches for the extraction walk.
 	if a == b {
 		m2 := (c + d) / 2
 		rw := t.rect(a, b, c, m2, depth+1)
 		re := t.rect(a, b, m2+1, d, depth+1)
-		inW, outW := rectIn(a, b, c, m2), rectOut(a, b, c, m2)
-		inE, outE := rectIn(a, b, m2+1, d), rectOut(a, b, m2+1, d)
-		woutQ := ctx.inject(outW, outQ, same, nil)
-		eoutQ := ctx.inject(outE, outQ, same, nil)
-		wFull := ctx.mul(rw, woutQ)
-		xw := ctx.inject(outE, inW, crossLeft(m2+1), ctx.blockRight(ctx.w[m2+1]))
-		eFull := ctx.mul(re, eoutQ.Or(ctx.mul(xw, wFull)))
-		res := ctx.mul(ctx.inject(inQ, inW, same, nil), wFull)
-		res.Or(ctx.mul(ctx.inject(inQ, inE, same, nil), eFull))
-		return res
+		return ctx.combineRectRow(a, b, c, d, rw, re)
 	}
 	if c == d {
 		m1 := (a + b) / 2
 		rn := t.rect(a, m1, c, d, depth+1)
 		rs := t.rect(m1+1, b, c, d, depth+1)
-		inN, outN := rectIn(a, m1, c, d), rectOut(a, m1, c, d)
-		inS, outS := rectIn(m1+1, b, c, d), rectOut(m1+1, b, c, d)
-		noutQ := ctx.inject(outN, outQ, same, nil)
-		soutQ := ctx.inject(outS, outQ, same, nil)
-		sFull := ctx.mul(rs, soutQ)
-		xn := ctx.inject(outN, inS, crossDown(m1), ctx.blockLeft(ctx.w[m1]))
-		nFull := ctx.mul(rn, noutQ.Or(ctx.mul(xn, sFull)))
-		res := ctx.mul(ctx.inject(inQ, inN, same, nil), nFull)
-		res.Or(ctx.mul(ctx.inject(inQ, inS, same, nil), sFull))
-		return res
+		return ctx.combineRectCol(a, b, c, d, rn, rs)
 	}
-
 	m1 := (a + b) / 2
 	m2 := (c + d) / 2
 	rnw := t.rect(a, m1, c, m2, depth+1)
 	rne := t.rect(a, m1, m2+1, d, depth+1)
 	rsw := t.rect(m1+1, b, c, m2, depth+1)
 	rse := t.rect(m1+1, b, m2+1, d, depth+1)
-
-	inNW := rectIn(a, m1, c, m2)
-	outNW := rectOut(a, m1, c, m2)
-	inNE := rectIn(a, m1, m2+1, d)
-	outNE := rectOut(a, m1, m2+1, d)
-	inSW := rectIn(m1+1, b, c, m2)
-	outSW := rectOut(m1+1, b, c, m2)
-	inSE := rectIn(m1+1, b, m2+1, d)
-	outSE := rectOut(m1+1, b, m2+1, d)
-
-	swFull := ctx.mul(rsw, ctx.inject(outSW, outQ, same, nil))
-	xwDown := ctx.inject(outNW, inSW, crossDown(m1), ctx.blockLeft(ctx.w[m1]))
-	nwFull := ctx.mul(rnw, ctx.inject(outNW, outQ, same, nil).Or(ctx.mul(xwDown, swFull)))
-	xsLeft := ctx.inject(outSE, inSW, crossLeft(m2+1), ctx.blockRight(ctx.w[m2+1]))
-	seFull := ctx.mul(rse, ctx.inject(outSE, outQ, same, nil).Or(ctx.mul(xsLeft, swFull)))
-	xnLeft := ctx.inject(outNE, inNW, crossLeft(m2+1), ctx.blockRight(ctx.w[m2+1]))
-	xeDown := ctx.inject(outNE, inSE, crossDown(m1), ctx.blockLeft(ctx.w[m1]))
-	neFull := ctx.mul(rne, ctx.mul(xnLeft, nwFull).Or(ctx.mul(xeDown, seFull)))
-
-	res := ctx.mul(ctx.inject(inQ, inNW, same, nil), nwFull)
-	res.Or(ctx.mul(ctx.inject(inQ, inNE, same, nil), neFull))
-	res.Or(ctx.mul(ctx.inject(inQ, inSE, same, nil), seFull))
-	return res
+	return ctx.combineRectQuad(a, b, c, d, rnw, rne, rsw, rse)
 }

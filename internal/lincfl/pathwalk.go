@@ -9,11 +9,11 @@ package lincfl
 
 func (t *traceCtx) triReaches(lo, hi int, s, tv vertex) bool {
 	in, out := triIn(lo, hi), triOut(lo, hi)
-	si, ok := in.index[s.cell]
+	si, ok := in.lookup(s.cell)
 	if !ok {
 		return false
 	}
-	ti, ok := out.index[tv.cell]
+	ti, ok := out.lookup(tv.cell)
 	if !ok {
 		return false
 	}
@@ -22,11 +22,11 @@ func (t *traceCtx) triReaches(lo, hi int, s, tv vertex) bool {
 
 func (t *traceCtx) rectReaches(a, b, c, d int, s, tv vertex) bool {
 	in, out := rectIn(a, b, c, d), rectOut(a, b, c, d)
-	si, ok := in.index[s.cell]
+	si, ok := in.lookup(s.cell)
 	if !ok {
 		return false
 	}
-	ti, ok := out.index[tv.cell]
+	ti, ok := out.lookup(tv.cell)
 	if !ok {
 		return false
 	}

@@ -1,0 +1,10 @@
+//go:build !pooldebug
+
+package matrix
+
+// check is the use-after-release detector; in release builds it is an
+// empty inlined method, so At/Set/Row pay nothing for it. (A released
+// matrix still fails fast in release builds — Release drops the slab, so
+// any access panics on the nil slice — but without the targeted message.)
+func (d *Dense) check()  {}
+func (m *IntMat) check() {}

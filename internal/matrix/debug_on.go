@@ -1,0 +1,17 @@
+//go:build pooldebug
+
+package matrix
+
+// check panics with a targeted message when a released matrix is
+// accessed. Compiled in only under the pooldebug build tag.
+func (d *Dense) check() {
+	if d.released {
+		panic("matrix: use of Dense after Release")
+	}
+}
+
+func (m *IntMat) check() {
+	if m.released {
+		panic("matrix: use of IntMat after Release")
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"strings"
 	"sync/atomic"
 
+	"partree/internal/pool"
 	"partree/internal/pram"
 	"partree/internal/semiring"
 )
@@ -48,6 +49,10 @@ func (c *OpCount) Reset() {
 type Dense struct {
 	R, C int
 	v    []float64
+	// pooled marks a matrix whose slab came from the workspace arena;
+	// released flips on Release so double releases fail loudly.
+	pooled   bool
+	released bool
 }
 
 // New returns an R×C matrix of zeros.
@@ -56,6 +61,44 @@ func New(r, c int) *Dense {
 		panic("matrix: negative dimension")
 	}
 	return &Dense{R: r, C: c, v: make([]float64, r*c)}
+}
+
+// NewFromPool returns an R×C zero matrix whose slab is drawn from the
+// workspace arena. Call Release when the matrix is no longer needed;
+// forgetting to is safe (the slab is simply collected) but forfeits the
+// reuse.
+func NewFromPool(r, c int) *Dense {
+	if r < 0 || c < 0 {
+		panic("matrix: negative dimension")
+	}
+	return &Dense{R: r, C: c, v: pool.Float64s(r * c), pooled: true}
+}
+
+// NewInfFromPool returns a pool-backed R×C matrix filled with +∞.
+func NewInfFromPool(r, c int) *Dense {
+	d := NewFromPool(r, c)
+	for i := range d.v {
+		d.v[i] = semiring.Inf
+	}
+	return d
+}
+
+// Release returns the matrix's slab to the workspace arena. The matrix
+// must not be used afterwards: its storage is dropped, so any access
+// panics rather than silently reading recycled memory. Releasing twice
+// panics.
+func (d *Dense) Release() {
+	if d == nil {
+		return
+	}
+	if d.released {
+		panic("matrix: double release of Dense")
+	}
+	d.released = true
+	if d.pooled {
+		pool.PutFloat64s(d.v)
+	}
+	d.v = nil
 }
 
 // NewFull returns an R×C matrix with every entry set to fill.
@@ -88,13 +131,13 @@ func FromRows(rows [][]float64) *Dense {
 }
 
 // At returns the (i,j) entry.
-func (d *Dense) At(i, j int) float64 { return d.v[i*d.C+j] }
+func (d *Dense) At(i, j int) float64 { d.check(); return d.v[i*d.C+j] }
 
 // Set stores v at (i,j).
-func (d *Dense) Set(i, j int, v float64) { d.v[i*d.C+j] = v }
+func (d *Dense) Set(i, j int, v float64) { d.check(); d.v[i*d.C+j] = v }
 
 // Row returns a live view of row i (not a copy).
-func (d *Dense) Row(i int) []float64 { return d.v[i*d.C : (i+1)*d.C] }
+func (d *Dense) Row(i int) []float64 { d.check(); return d.v[i*d.C : (i+1)*d.C] }
 
 // Clone returns a deep copy.
 func (d *Dense) Clone() *Dense {
@@ -148,6 +191,9 @@ func (d *Dense) String() string {
 type IntMat struct {
 	R, C int
 	v    []int32
+	// pooled/released: see Dense.
+	pooled   bool
+	released bool
 }
 
 // NewInt returns an R×C integer matrix of zeros.
@@ -158,11 +204,36 @@ func NewInt(r, c int) *IntMat {
 	return &IntMat{R: r, C: c, v: make([]int32, r*c)}
 }
 
+// NewIntFromPool returns an R×C zero integer matrix backed by the
+// workspace arena; see NewFromPool for the ownership contract.
+func NewIntFromPool(r, c int) *IntMat {
+	if r < 0 || c < 0 {
+		panic("matrix: negative dimension")
+	}
+	return &IntMat{R: r, C: c, v: pool.Int32s(r * c), pooled: true}
+}
+
+// Release returns the cut table's slab to the arena; the table must not
+// be used afterwards. Releasing twice panics.
+func (m *IntMat) Release() {
+	if m == nil {
+		return
+	}
+	if m.released {
+		panic("matrix: double release of IntMat")
+	}
+	m.released = true
+	if m.pooled {
+		pool.PutInt32s(m.v)
+	}
+	m.v = nil
+}
+
 // At returns the (i,j) entry.
-func (m *IntMat) At(i, j int) int { return int(m.v[i*m.C+j]) }
+func (m *IntMat) At(i, j int) int { m.check(); return int(m.v[i*m.C+j]) }
 
 // Set stores v at (i,j).
-func (m *IntMat) Set(i, j, v int) { m.v[i*m.C+j] = int32(v) }
+func (m *IntMat) Set(i, j, v int) { m.check(); m.v[i*m.C+j] = int32(v) }
 
 // MulBrute computes the (min,+) product AB by examining every k for every
 // output entry: Θ(p·q·r) comparisons. It returns the product and the Cut

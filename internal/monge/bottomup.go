@@ -18,6 +18,7 @@ import (
 // cut table. Output convention matches CutRecursive (-1 for all-∞ entries).
 func CutBottomUp(a, b *matrix.Dense, cnt *matrix.OpCount) *matrix.IntMat {
 	c := newMulCtx(a, b, cnt)
+	defer c.close()
 	p, q, r := a.R, a.C, b.C
 
 	// Stride exponent schedule: e₁ = ⌈L/2⌉ (stride ≈ √n), then eₘ₊₁ = ⌊eₘ/2⌋.
@@ -27,7 +28,7 @@ func CutBottomUp(a, b *matrix.Dense, cnt *matrix.OpCount) *matrix.IntMat {
 
 	// First level: Cut(A_mod s, B_mod s) by brute force over the coarse grid.
 	pg, rg := stridedCount(p, s), stridedCount(r, s)
-	grid := matrix.NewInt(pg, rg)
+	grid := matrix.NewIntFromPool(pg, rg)
 	for ii := 0; ii < pg; ii++ {
 		for jj := 0; jj < rg; jj++ {
 			_, arg := c.scan(ii*s, jj*s, 0, q-1)
@@ -37,6 +38,7 @@ func CutBottomUp(a, b *matrix.Dense, cnt *matrix.OpCount) *matrix.IntMat {
 
 	// Step 2 of the paper's loop: widen to all columns (Cut(A_mod s, B)).
 	rows := widenColumns(c, grid, s, s)
+	grid.Release()
 
 	for s > 1 {
 		sNext := 1 << (uint(e) / 2)
@@ -47,8 +49,11 @@ func CutBottomUp(a, b *matrix.Dense, cnt *matrix.OpCount) *matrix.IntMat {
 		// rows, which covers every column.
 		gridNext := refineRows(c, rows, s, sNext)
 		// Step 2: widen the refined rows to all columns (column
-		// monotonicity).
+		// monotonicity). The superseded tables go back to the arena so the
+		// whole refinement ladder reuses two slabs.
+		rows.Release()
 		rows = widenColumns(c, gridNext, sNext, sNext)
+		gridNext.Release()
 		s = sNext
 	}
 	return rows
@@ -61,7 +66,7 @@ func widenColumns(c *mulCtx, grid *matrix.IntMat, rs, cs int) *matrix.IntMat {
 	p := stridedCount(c.a.R, rs)
 	r := c.b.C
 	q := c.a.C
-	out := matrix.NewInt(p, r)
+	out := matrix.NewIntFromPool(p, r)
 	for ii := 0; ii < p; ii++ {
 		for j := 0; j < r; j++ {
 			if j%cs == 0 {
@@ -91,7 +96,7 @@ func refineRows(c *mulCtx, rows *matrix.IntMat, s, sNext int) *matrix.IntMat {
 	p := stridedCount(c.a.R, sNext)
 	r := stridedCount(c.b.C, sNext)
 	q := c.a.C
-	out := matrix.NewInt(p, r)
+	out := matrix.NewIntFromPool(p, r)
 	for ii := 0; ii < p; ii++ {
 		i := ii * sNext
 		if i%s == 0 {

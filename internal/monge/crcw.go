@@ -22,6 +22,7 @@ import (
 func CutBottomUpCRCW(mach *pram.Machine, a, b *matrix.Dense, cnt *matrix.OpCount) *matrix.IntMat {
 	defer mach.Phase("monge.CutBottomUpCRCW")()
 	c := newMulCtx(a, b, cnt)
+	defer c.close()
 	p, q, r := a.R, a.C, b.C
 
 	L := xmath.CeilLog2(xmath.MaxInt(xmath.MaxInt(p, r), 2))
@@ -30,7 +31,7 @@ func CutBottomUpCRCW(mach *pram.Machine, a, b *matrix.Dense, cnt *matrix.OpCount
 
 	// First level: brute grid, all entries minimized simultaneously.
 	pg, rg := stridedCount(p, s), stridedCount(r, s)
-	grid := matrix.NewInt(pg, rg)
+	grid := matrix.NewIntFromPool(pg, rg)
 	var entries []minEntry
 	for ii := 0; ii < pg; ii++ {
 		for jj := 0; jj < rg; jj++ {
@@ -42,11 +43,14 @@ func CutBottomUpCRCW(mach *pram.Machine, a, b *matrix.Dense, cnt *matrix.OpCount
 	}
 
 	rows := widenColumnsCRCW(mach, c, grid, s, s)
+	grid.Release()
 	for s > 1 {
 		sNext := 1 << (uint(e) / 2)
 		e /= 2
 		gridNext := refineRowsCRCW(mach, c, rows, s, sNext)
+		rows.Release()
 		rows = widenColumnsCRCW(mach, c, gridNext, sNext, sNext)
+		gridNext.Release()
 		s = sNext
 	}
 	return rows
@@ -196,7 +200,7 @@ func widenColumnsCRCW(mach *pram.Machine, c *mulCtx, grid *matrix.IntMat, rs, cs
 	p := stridedCount(c.a.R, rs)
 	r := c.b.C
 	q := c.a.C
-	out := matrix.NewInt(p, r)
+	out := matrix.NewIntFromPool(p, r)
 	var entries []minEntry
 	var where [][2]int
 	for ii := 0; ii < p; ii++ {
@@ -229,7 +233,7 @@ func refineRowsCRCW(mach *pram.Machine, c *mulCtx, rows *matrix.IntMat, s, sNext
 	p := stridedCount(c.a.R, sNext)
 	r := stridedCount(c.b.C, sNext)
 	q := c.a.C
-	out := matrix.NewInt(p, r)
+	out := matrix.NewIntFromPool(p, r)
 	var entries []minEntry
 	var where [][2]int
 	for ii := 0; ii < p; ii++ {

@@ -2,6 +2,7 @@ package monge
 
 import (
 	"partree/internal/matrix"
+	"partree/internal/pool"
 	"partree/internal/semiring"
 )
 
@@ -33,8 +34,8 @@ func newMulCtx(a, b *matrix.Dense, cnt *matrix.OpCount) *mulCtx {
 	}
 	c := &mulCtx{
 		a: a, b: b, cnt: cnt,
-		loA: make([]int, a.R), hiA: make([]int, a.R),
-		loB: make([]int, b.C), hiB: make([]int, b.C),
+		loA: pool.Ints(a.R), hiA: pool.Ints(a.R),
+		loB: pool.Ints(b.C), hiB: pool.Ints(b.C),
 	}
 	for i := 0; i < a.R; i++ {
 		row := a.Row(i)
@@ -65,6 +66,16 @@ func newMulCtx(a, b *matrix.Dense, cnt *matrix.OpCount) *mulCtx {
 	// counters stay honest.
 	c.cnt.Add(int64(a.R)*int64(a.C) + int64(b.R)*int64(b.C))
 	return c
+}
+
+// close returns the envelope slabs to the workspace arena. Call once the
+// product is finished; the ctx must not be used afterwards.
+func (c *mulCtx) close() {
+	pool.PutInts(c.loA)
+	pool.PutInts(c.hiA)
+	pool.PutInts(c.loB)
+	pool.PutInts(c.hiB)
+	c.loA, c.hiA, c.loB, c.hiB = nil, nil, nil, nil
 }
 
 // scan returns the minimum of A[i][k]+B[k][j] over k ∈ [lo, hi] clamped to

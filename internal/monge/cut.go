@@ -23,7 +23,9 @@ func stridedCount(n, stride int) int { return xmath.CeilDiv(n, stride) }
 // A[i][k]+B[k][j], or -1 if every candidate is +∞. For concave inputs the
 // result is identical to matrix.MulBrute's cut.
 func CutRecursive(a, b *matrix.Dense, cnt *matrix.OpCount) *matrix.IntMat {
-	return cutRecStrided(newMulCtx(a, b, cnt), 1, 1)
+	c := newMulCtx(a, b, cnt)
+	defer c.close()
+	return cutRecStrided(c, 1, 1)
 }
 
 // cutRecStrided computes the cut table for the view (rows of A with stride
@@ -35,7 +37,7 @@ func cutRecStrided(c *mulCtx, rs, cs int) *matrix.IntMat {
 	q := c.a.C
 
 	if p == 1 || r == 1 {
-		out := matrix.NewInt(p, r)
+		out := matrix.NewIntFromPool(p, r)
 		for ii := 0; ii < p; ii++ {
 			for jj := 0; jj < r; jj++ {
 				_, arg := c.scan(ii*rs, jj*cs, 0, q-1)
@@ -50,7 +52,7 @@ func cutRecStrided(c *mulCtx, rs, cs int) *matrix.IntMat {
 
 	// Cut(A_even, B) by interpolation: even view-rows, all view-columns.
 	pe := stridedCount(c.a.R, 2*rs)
-	eb := matrix.NewInt(pe, r)
+	eb := matrix.NewIntFromPool(pe, r)
 	for ii := 0; ii < pe; ii++ {
 		for jj := 0; jj < r; jj++ {
 			if jj%2 == 0 {
@@ -70,9 +72,12 @@ func cutRecStrided(c *mulCtx, rs, cs int) *matrix.IntMat {
 			eb.Set(ii, jj, arg)
 		}
 	}
+	// The even-grid table is fully folded into eb; recycle it for the
+	// sibling recursion levels.
+	ee.Release()
 
 	// Cut(A, B) by interpolation: all view-rows from the even view-rows.
-	out := matrix.NewInt(p, r)
+	out := matrix.NewIntFromPool(p, r)
 	for ii := 0; ii < p; ii++ {
 		if ii%2 == 0 {
 			for jj := 0; jj < r; jj++ {
@@ -94,6 +99,7 @@ func cutRecStrided(c *mulCtx, rs, cs int) *matrix.IntMat {
 			out.Set(ii, jj, arg)
 		}
 	}
+	eb.Release()
 	return out
 }
 

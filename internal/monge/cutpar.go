@@ -14,7 +14,9 @@ import (
 // costing O(log q) … O(q) each, the CREW time bound of Theorem 4.1 follows.
 func CutRecursivePar(m *pram.Machine, a, b *matrix.Dense, cnt *matrix.OpCount) *matrix.IntMat {
 	defer m.Phase("monge.MulPar")()
-	return cutRecStridedPar(m, newMulCtx(a, b, cnt), 1, 1)
+	c := newMulCtx(a, b, cnt)
+	defer c.close()
+	return cutRecStridedPar(m, c, 1, 1)
 }
 
 func cutRecStridedPar(m *pram.Machine, c *mulCtx, rs, cs int) *matrix.IntMat {
@@ -23,7 +25,7 @@ func cutRecStridedPar(m *pram.Machine, c *mulCtx, rs, cs int) *matrix.IntMat {
 	q := c.a.C
 
 	if p == 1 || r == 1 {
-		out := matrix.NewInt(p, r)
+		out := matrix.NewIntFromPool(p, r)
 		m.For(p*r, func(e int) {
 			ii, jj := e/r, e%r
 			_, arg := c.scan(ii*rs, jj*cs, 0, q-1)
@@ -35,7 +37,7 @@ func cutRecStridedPar(m *pram.Machine, c *mulCtx, rs, cs int) *matrix.IntMat {
 	ee := cutRecStridedPar(m, c, 2*rs, 2*cs)
 
 	pe := stridedCount(c.a.R, 2*rs)
-	eb := matrix.NewInt(pe, r)
+	eb := matrix.NewIntFromPool(pe, r)
 	m.For(pe*r, func(e int) {
 		ii, jj := e/r, e%r
 		if jj%2 == 0 {
@@ -54,8 +56,10 @@ func cutRecStridedPar(m *pram.Machine, c *mulCtx, rs, cs int) *matrix.IntMat {
 		_, arg := c.scan(ii*2*rs, jj*cs, lo, hi)
 		eb.Set(ii, jj, arg)
 	})
+	// For barriers before returning, so every reader of ee is done.
+	ee.Release()
 
-	out := matrix.NewInt(p, r)
+	out := matrix.NewIntFromPool(p, r)
 	m.For(p*r, func(e int) {
 		ii, jj := e/r, e%r
 		if ii%2 == 0 {
@@ -74,6 +78,7 @@ func cutRecStridedPar(m *pram.Machine, c *mulCtx, rs, cs int) *matrix.IntMat {
 		_, arg := c.scan(ii*rs, jj*cs, lo, hi)
 		out.Set(ii, jj, arg)
 	})
+	eb.Release()
 	return out
 }
 
@@ -84,7 +89,7 @@ func cutRecStridedPar(m *pram.Machine, c *mulCtx, rs, cs int) *matrix.IntMat {
 func MulPar(m *pram.Machine, a, b *matrix.Dense, cnt *matrix.OpCount) (*matrix.Dense, *matrix.IntMat) {
 	defer m.Phase("monge.MulPar")()
 	cut := CutRecursivePar(m, a, b, cnt)
-	out := matrix.NewInf(cut.R, cut.C)
+	out := matrix.NewInfFromPool(cut.R, cut.C)
 	m.For(cut.R*cut.C, func(e int) {
 		i, j := e/cut.C, e%cut.C
 		if k := cut.At(i, j); k >= 0 {

@@ -1,0 +1,12 @@
+//go:build !pooldebug
+
+package pool
+
+// DebugEnabled reports whether the pooldebug misuse detectors are
+// compiled in.
+const DebugEnabled = false
+
+// debugPut/debugGet are no-ops in release builds; the compiler erases
+// them from the hot path.
+func debugPut[T any](s []T) {}
+func debugGet[T any](s []T) {}

@@ -1,0 +1,75 @@
+//go:build pooldebug
+
+package pool
+
+import (
+	"math"
+	"sync"
+	"unsafe"
+)
+
+// DebugEnabled reports whether the pooldebug misuse detectors are
+// compiled in.
+const DebugEnabled = true
+
+// The ledger tracks the backing array of every slab currently parked on a
+// free list. A Put of a slab already in the ledger is a double release —
+// the classic pool-misuse bug that otherwise surfaces as two matrices
+// silently sharing one backing array. Entries are removed on Get, so the
+// ledger only ever holds memory the arena itself keeps alive (no false
+// positives from address reuse after GC).
+var (
+	ledgerMu sync.Mutex
+	ledger   = make(map[unsafe.Pointer]struct{})
+)
+
+func debugPut[T any](s []T) {
+	if cap(s) == 0 {
+		return
+	}
+	p := unsafe.Pointer(unsafe.SliceData(s))
+	ledgerMu.Lock()
+	_, dup := ledger[p]
+	if !dup {
+		ledger[p] = struct{}{}
+	}
+	ledgerMu.Unlock()
+	if dup {
+		panic("pool: double release of slab")
+	}
+	poison(s)
+}
+
+func debugGet[T any](s []T) {
+	if cap(s) == 0 {
+		return
+	}
+	p := unsafe.Pointer(unsafe.SliceData(s))
+	ledgerMu.Lock()
+	delete(ledger, p)
+	ledgerMu.Unlock()
+}
+
+// poison fills a released slab with sentinels so any stale view that
+// survived Release reads deterministic garbage instead of plausibly
+// correct recycled data.
+func poison[T any](s []T) {
+	switch v := any(s).(type) {
+	case []float64:
+		for i := range v {
+			v[i] = math.NaN()
+		}
+	case []uint64:
+		for i := range v {
+			v[i] = 0xdeadbeefdeadbeef
+		}
+	case []int:
+		for i := range v {
+			v[i] = -0x6eadbeef
+		}
+	case []int32:
+		for i := range v {
+			v[i] = -0x6ead
+		}
+	}
+}

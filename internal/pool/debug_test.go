@@ -1,0 +1,36 @@
+//go:build pooldebug
+
+package pool
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDoubleReleasePanics(t *testing.T) {
+	withCleanArena(t)
+	s := Float64s(100)
+	PutFloat64s(s)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double release did not panic under pooldebug")
+		}
+	}()
+	PutFloat64s(s)
+}
+
+func TestReleasedSlabIsPoisoned(t *testing.T) {
+	withCleanArena(t)
+	s := Float64s(100)
+	stale := s // a view that survives the release
+	PutFloat64s(s)
+	if !math.IsNaN(stale[0]) || !math.IsNaN(stale[99]) {
+		t.Fatalf("released float slab not poisoned: %v %v", stale[0], stale[99])
+	}
+	u := Uint64s(70)
+	staleU := u
+	PutUint64s(u)
+	if staleU[0] != 0xdeadbeefdeadbeef {
+		t.Fatalf("released uint64 slab not poisoned: %#x", staleU[0])
+	}
+}

@@ -1,0 +1,233 @@
+// Package pool provides sized, free-list workspace arenas for the numeric
+// slabs backing the repository's hot matrices ([]float64, []uint64, []int,
+// []int32). Every hot kernel — the lincfl separator recursion, the monge
+// stride-refinement rounds, the boolmat products, the partreed request
+// path — allocates rectangular scratch whose shapes recur millions of
+// times under load; recycling those slabs removes the allocator and the
+// garbage collector from the steady state.
+//
+// Slabs are classed by capacity rounded up to a power of two, from 2^6 to
+// 2^22 elements; requests outside that range fall through to plain make
+// and Put discards them. Each class keeps a bounded LIFO free list (LIFO
+// so the most recently touched — cache-hottest — slab is reused first).
+// Get always returns a zeroed slab, so a pooled slab is indistinguishable
+// from a fresh make([]T, n).
+//
+// Pooling can be switched off globally with SetEnabled(false): every Get
+// degenerates to make and every Put to a drop, which gives differential
+// tests and the E11 before/after benches an unpooled baseline with the
+// identical code path.
+//
+// Misuse detection: the `pooldebug` build tag arms a slab ledger that
+// panics on double release and poisons released slabs with sentinel
+// values so stale aliased views read garbage deterministically instead of
+// silently observing recycled data. Release builds pay nothing for it.
+package pool
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+)
+
+const (
+	// minClassBits..maxClassBits bound the pooled slab capacities:
+	// 64 elements up to 4Mi elements (32 MiB of float64 at the top).
+	minClassBits = 6
+	maxClassBits = 22
+	numClasses   = maxClassBits - minClassBits + 1
+
+	// maxFreePerClass bounds retained slabs per class so a burst of large
+	// temporaries cannot pin unbounded memory.
+	maxFreePerClass = 64
+)
+
+// enabled gates pooling globally (default on). Atomic so benches and
+// differential tests can toggle it around concurrent workloads.
+var enabled atomic.Bool
+
+func init() { enabled.Store(true) }
+
+// Enabled reports whether slab recycling is active.
+func Enabled() bool { return enabled.Load() }
+
+// SetEnabled switches slab recycling on or off; off means Get = make and
+// Put = discard (the unpooled baseline). It returns the previous setting
+// so callers can restore it.
+func SetEnabled(on bool) bool { return enabled.Swap(on) }
+
+// Stats is a snapshot of arena traffic, summed over all element types.
+type Stats struct {
+	// Gets counts slab requests; Hits the subset served from a free list.
+	Gets, Hits int64
+	// Puts counts releases; Discards the subset dropped (off-class size,
+	// full free list, or pooling disabled).
+	Puts, Discards int64
+	// Free is the number of slabs currently parked on free lists.
+	Free int
+}
+
+type class[T any] struct {
+	mu   sync.Mutex
+	free [][]T
+}
+
+type slabPool[T any] struct {
+	classes        [numClasses]class[T]
+	gets, hits     atomic.Int64
+	puts, discards atomic.Int64
+}
+
+// classFor maps a requested length to its size class, or -1 when the
+// request is too large to pool.
+func classFor(n int) int {
+	if n <= 1<<minClassBits {
+		return 0
+	}
+	b := bits.Len(uint(n - 1)) // ceil(log2 n)
+	if b > maxClassBits {
+		return -1
+	}
+	return b - minClassBits
+}
+
+// classOfCap maps an exact capacity back to its class, or -1 when the
+// slab did not come from (and cannot rejoin) the arena.
+func classOfCap(c int) int {
+	if c < 1<<minClassBits || c > 1<<maxClassBits || c&(c-1) != 0 {
+		return -1
+	}
+	return bits.Len(uint(c)) - 1 - minClassBits
+}
+
+func (p *slabPool[T]) get(n int) []T {
+	if n < 0 {
+		panic("pool: negative slab size")
+	}
+	p.gets.Add(1)
+	ci := classFor(n)
+	if ci < 0 || !enabled.Load() {
+		return make([]T, n)
+	}
+	c := &p.classes[ci]
+	c.mu.Lock()
+	if k := len(c.free); k > 0 {
+		s := c.free[k-1]
+		c.free[k-1] = nil
+		c.free = c.free[:k-1]
+		c.mu.Unlock()
+		p.hits.Add(1)
+		debugGet(s)
+		s = s[:n]
+		clear(s)
+		return s
+	}
+	c.mu.Unlock()
+	return make([]T, n, 1<<(ci+minClassBits))
+}
+
+func (p *slabPool[T]) put(s []T) {
+	p.puts.Add(1)
+	ci := classOfCap(cap(s))
+	if ci < 0 || !enabled.Load() {
+		p.discards.Add(1)
+		return
+	}
+	s = s[:cap(s)]
+	c := &p.classes[ci]
+	c.mu.Lock()
+	// Deferred so a debugPut double-release panic cannot leave the class
+	// locked (the panicking test's cleanup still needs to drain the arena).
+	defer c.mu.Unlock()
+	if len(c.free) >= maxFreePerClass {
+		p.discards.Add(1)
+		return
+	}
+	debugPut(s)
+	c.free = append(c.free, s)
+}
+
+func (p *slabPool[T]) drain() {
+	for i := range p.classes {
+		c := &p.classes[i]
+		c.mu.Lock()
+		for _, s := range c.free {
+			debugGet(s)
+		}
+		c.free = nil
+		c.mu.Unlock()
+	}
+	p.gets.Store(0)
+	p.hits.Store(0)
+	p.puts.Store(0)
+	p.discards.Store(0)
+}
+
+func (p *slabPool[T]) stats() Stats {
+	st := Stats{
+		Gets:     p.gets.Load(),
+		Hits:     p.hits.Load(),
+		Puts:     p.puts.Load(),
+		Discards: p.discards.Load(),
+	}
+	for i := range p.classes {
+		c := &p.classes[i]
+		c.mu.Lock()
+		st.Free += len(c.free)
+		c.mu.Unlock()
+	}
+	return st
+}
+
+var (
+	f64Pool slabPool[float64]
+	u64Pool slabPool[uint64]
+	intPool slabPool[int]
+	i32Pool slabPool[int32]
+)
+
+// Float64s returns a zeroed slab of length n (capacity its size class).
+func Float64s(n int) []float64 { return f64Pool.get(n) }
+
+// PutFloat64s returns a slab obtained from Float64s to the arena. The
+// caller must not touch the slice afterwards.
+func PutFloat64s(s []float64) { f64Pool.put(s) }
+
+// Uint64s returns a zeroed slab of length n.
+func Uint64s(n int) []uint64 { return u64Pool.get(n) }
+
+// PutUint64s releases a slab obtained from Uint64s.
+func PutUint64s(s []uint64) { u64Pool.put(s) }
+
+// Ints returns a zeroed slab of length n.
+func Ints(n int) []int { return intPool.get(n) }
+
+// PutInts releases a slab obtained from Ints.
+func PutInts(s []int) { intPool.put(s) }
+
+// Int32s returns a zeroed slab of length n.
+func Int32s(n int) []int32 { return i32Pool.get(n) }
+
+// PutInt32s releases a slab obtained from Int32s.
+func PutInt32s(s []int32) { i32Pool.put(s) }
+
+// Snapshot sums the traffic counters across all element types.
+func Snapshot() Stats {
+	var out Stats
+	for _, st := range []Stats{f64Pool.stats(), u64Pool.stats(), intPool.stats(), i32Pool.stats()} {
+		out.Gets += st.Gets
+		out.Hits += st.Hits
+		out.Puts += st.Puts
+		out.Discards += st.Discards
+		out.Free += st.Free
+	}
+	return out
+}
+
+// Reset drops every parked slab and zeroes the counters (test isolation).
+func Reset() {
+	f64Pool.drain()
+	u64Pool.drain()
+	intPool.drain()
+	i32Pool.drain()
+}

@@ -89,11 +89,17 @@ type Machine struct {
 
 	running atomic.Bool // guards against nested/concurrent For
 
-	statsMu   sync.Mutex
-	phase     string
-	phases    map[string]*PhaseStats
-	total     PhaseStats
-	nsPerElem float64 // EWMA of measured per-element cost (adaptive grain)
+	statsMu    sync.Mutex
+	phase      string
+	phaseStack []string // shadowed outer labels; popped by restorePhase
+	phases     map[string]*PhaseStats
+	total      PhaseStats
+	nsPerElem  float64 // EWMA of measured per-element cost (adaptive grain)
+
+	// restorePhase is the one closure every Phase call returns; building
+	// it once keeps the hot kernels' per-call Phase bookkeeping
+	// allocation-free.
+	restorePhase func()
 }
 
 // Option configures a Machine.
@@ -147,6 +153,13 @@ func New(opts ...Option) *Machine {
 		procs:   1 << 62, // effectively unbounded: one step per statement
 		workers: defaultWorkers(),
 		phases:  make(map[string]*PhaseStats),
+	}
+	m.restorePhase = func() {
+		m.statsMu.Lock()
+		n := len(m.phaseStack)
+		m.phase = m.phaseStack[n-1]
+		m.phaseStack = m.phaseStack[:n-1]
+		m.statsMu.Unlock()
 	}
 	for _, o := range opts {
 		o(m)
@@ -205,7 +218,34 @@ func (m *Machine) Step(cost int) {
 // For executes body(i) for every i in [0, n) as one synchronous parallel
 // statement: ⌈n/p⌉ counted steps, n counted work. Iterations must be
 // mutually independent. For returns after all iterations complete.
+//
+// Statements small enough to run on one worker skip the range-adapter
+// closure the chunked scheduler needs, so a serial For costs no
+// allocations beyond the caller's own body closure.
 func (m *Machine) For(n int, body func(i int)) {
+	if n <= 0 {
+		return
+	}
+	g := m.Grain()
+	w := m.workers
+	if chunks := (n + g - 1) / g; w > chunks {
+		w = chunks
+	}
+	if w == 1 {
+		if !m.running.CompareAndSwap(false, true) {
+			panic("pram: nested or concurrent For on the same Machine")
+		}
+		defer m.running.Store(false)
+		steps := int64((n + m.procs - 1) / m.procs)
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			body(i)
+		}
+		el := time.Since(start)
+		m.record(steps, int64(n), 1, stmtStats{span: el, busy: el})
+		m.observeCost(n, el)
+		return
+	}
 	m.forChunked(n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			body(i)

@@ -94,17 +94,16 @@ func (m *Machine) Stats() Stats {
 //	defer m.Phase("monge.MulPar")()
 //
 // at the top of a parallel primitive. Nested Phase calls shadow the outer
-// label, so the innermost primitive attributes its own statements.
+// label, so the innermost primitive attributes its own statements. The
+// shadowed labels live on a stack inside the Machine and every call
+// returns the same restore closure, so restores must run in LIFO order —
+// which the defer idiom guarantees.
 func (m *Machine) Phase(name string) func() {
 	m.statsMu.Lock()
-	prev := m.phase
+	m.phaseStack = append(m.phaseStack, m.phase)
 	m.phase = name
 	m.statsMu.Unlock()
-	return func() {
-		m.statsMu.Lock()
-		m.phase = prev
-		m.statsMu.Unlock()
-	}
+	return m.restorePhase
 }
 
 // record books one statement's counted cost (steps/work/calls deltas) and

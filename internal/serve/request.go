@@ -13,6 +13,7 @@ import (
 
 	"partree"
 	"partree/internal/grammar"
+	"partree/internal/pool"
 )
 
 // Limits bounds request sizes so that arbitrary bodies cannot allocate
@@ -116,10 +117,13 @@ func normalizeWeights(ws []float64, lim Limits) ([]float64, *apiError) {
 	if math.IsInf(sum, 0) {
 		return nil, badRequest("bad_weight", "weights overflow float64 when summed")
 	}
-	out := make([]float64, len(ws))
+	// Pooled: the handler releases the slab once the response is written
+	// (the engines never retain a job's weights past Submit).
+	out := pool.Float64s(len(ws))
 	for i, w := range ws {
 		p := w / sum
 		if p == 0 {
+			pool.PutFloat64s(out)
 			return nil, badRequest("bad_weight", "weight at index %d underflows after normalization", i)
 		}
 		out[i] = p
@@ -202,8 +206,8 @@ func normalizeOBST(req *obstRequest, lim Limits) (keys, gaps []float64, e *apiEr
 	if sum <= 0 || math.IsInf(sum, 0) {
 		return nil, nil, badRequest("bad_weight", "total probability mass must be positive and finite")
 	}
-	keys = make([]float64, n)
-	gaps = make([]float64, n+1)
+	keys = pool.Float64s(n)
+	gaps = pool.Float64s(n + 1)
 	for i, v := range req.Keys {
 		keys[i] = v / sum
 	}
@@ -297,7 +301,7 @@ type keyWriter struct {
 }
 
 func newKey(engine string) keyWriter {
-	h := sha256.New()
+	h := getHasher()
 	h.Write([]byte(engine))
 	h.Write([]byte{0})
 	return keyWriter{h: h}
@@ -328,8 +332,14 @@ func (k keyWriter) bytes(b []byte) {
 	k.h.Write(b)
 }
 
+// sum finalizes the key and returns the hasher to the scratch pool; the
+// keyWriter must not be used afterwards.
 func (k keyWriter) sum(engine string) string {
-	return engine + ":" + hex.EncodeToString(k.h.Sum(nil))
+	var d [sha256.Size]byte
+	var hx [2 * sha256.Size]byte
+	hex.Encode(hx[:], k.h.Sum(d[:0]))
+	putHasher(k.h)
+	return engine + ":" + string(hx[:])
 }
 
 func keyForFloats(engine string, vs []float64) string {

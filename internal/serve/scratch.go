@@ -1,0 +1,68 @@
+package serve
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/json"
+	"hash"
+	"sync"
+
+	"partree/internal/pool"
+)
+
+// Scratch pooling for the per-request hot path: sha256 states for cache
+// keys and buffer+encoder pairs for responses. Both are gated on
+// pool.Enabled() so the unpooled baseline (differential tests, the E11
+// "before" column) exercises the plain allocation path.
+
+// hashers recycles sha256 states across cache-key computations.
+var hashers = sync.Pool{New: func() any { return sha256.New() }}
+
+func getHasher() hash.Hash {
+	if !pool.Enabled() {
+		return sha256.New()
+	}
+	h := hashers.Get().(hash.Hash)
+	h.Reset()
+	return h
+}
+
+func putHasher(h hash.Hash) {
+	if pool.Enabled() {
+		hashers.Put(h)
+	}
+}
+
+// jsonScratch is a reusable response-encoding buffer with an encoder
+// permanently bound to it, so neither is reallocated per response.
+type jsonScratch struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+func newJSONScratch() *jsonScratch {
+	s := &jsonScratch{}
+	s.enc = json.NewEncoder(&s.buf)
+	return s
+}
+
+var encoders = sync.Pool{New: func() any { return newJSONScratch() }}
+
+// maxRetainedEncodeBuf bounds the capacity a pooled encode buffer may
+// keep; a one-off giant response must not pin its buffer forever.
+const maxRetainedEncodeBuf = 1 << 20
+
+func getEncoder() *jsonScratch {
+	if !pool.Enabled() {
+		return newJSONScratch()
+	}
+	s := encoders.Get().(*jsonScratch)
+	s.buf.Reset()
+	return s
+}
+
+func putEncoder(s *jsonScratch) {
+	if pool.Enabled() && s.buf.Cap() <= maxRetainedEncodeBuf {
+		encoders.Put(s)
+	}
+}

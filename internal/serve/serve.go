@@ -18,16 +18,17 @@ package serve
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"log"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"partree"
+	"partree/internal/pool"
 	"partree/internal/tree"
 )
 
@@ -85,6 +86,7 @@ type Server struct {
 	start time.Time
 	mux   *http.ServeMux
 	cache *lruCache // nil when disabled
+	fast  *rawCache // raw-body fast path; nil when caching is disabled
 
 	inflight chan struct{}
 	shed     atomic.Int64
@@ -127,6 +129,7 @@ func New(cfg Config) *Server {
 	}
 	if cfg.CacheSize > 0 {
 		s.cache = newLRUCache(cfg.CacheSize)
+		s.fast = newRawCache(cfg.CacheSize)
 	}
 	for _, name := range engineNames {
 		s.served[name] = &endpointCounters{}
@@ -167,11 +170,11 @@ func New(cfg Config) *Server {
 
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/statsz", s.handleStatsz)
-	s.mux.Handle("/v1/huffman", s.v1(s.handleHuffman))
-	s.mux.Handle("/v1/shannonfano", s.v1(s.handleShannonFano))
-	s.mux.Handle("/v1/treefromdepths", s.v1(s.handleTreeFromDepths))
-	s.mux.Handle("/v1/obst", s.v1(s.handleOBST))
-	s.mux.Handle("/v1/lincfl/recognize", s.v1(s.handleLinCFL))
+	s.mux.Handle("/v1/huffman", s.v1("huffman", s.handleHuffman))
+	s.mux.Handle("/v1/shannonfano", s.v1("shannonfano", s.handleShannonFano))
+	s.mux.Handle("/v1/treefromdepths", s.v1("treefromdepths", s.handleTreeFromDepths))
+	s.mux.Handle("/v1/obst", s.v1("obst", s.handleOBST))
+	s.mux.Handle("/v1/lincfl/recognize", s.v1("lincfl", s.handleLinCFL))
 	return s
 }
 
@@ -238,8 +241,15 @@ func (s *Server) recoverer(next http.Handler) http.Handler {
 }
 
 // v1 wraps an engine handler with the POST check, the admission limiter,
-// and the per-request deadline.
-func (s *Server) v1(h func(w http.ResponseWriter, r *http.Request)) http.Handler {
+// the raw-body fast path, and the per-request deadline. The deadline is
+// installed inside the fast path's miss continuation so cache hits — which
+// do no blocking work — skip the context machinery entirely.
+func (s *Server) v1(engine string, h func(w http.ResponseWriter, r *http.Request)) http.Handler {
+	withDeadline := func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		h(w, r.WithContext(ctx))
+	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
 			w.Header().Set("Allow", http.MethodPost)
@@ -255,19 +265,24 @@ func (s *Server) v1(h func(w http.ResponseWriter, r *http.Request)) http.Handler
 			writeError(w, &apiError{Status: http.StatusTooManyRequests, Code: "overloaded", Message: "admission queue full; retry"})
 			return
 		}
-		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
-		defer cancel()
-		h(w, r.WithContext(ctx))
+		if s.fast != nil && pool.Enabled() {
+			s.serveFastPath(engine, w, r, withDeadline)
+			return
+		}
+		withDeadline(w, r)
 	})
 }
 
 // --- response plumbing ---
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
+	s := getEncoder()
+	_ = s.enc.Encode(v)
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(s.buf.Len()))
 	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	_ = enc.Encode(v)
+	_, _ = w.Write(s.buf.Bytes())
+	putEncoder(s)
 }
 
 func writeError(w http.ResponseWriter, e *apiError) {
@@ -330,6 +345,7 @@ func (s *Server) handleHuffman(w http.ResponseWriter, r *http.Request) {
 		writeError(w, e)
 		return
 	}
+	defer pool.PutFloat64s(probs) // batch runs complete inside Submit
 	key := keyForFloats("huffman", probs)
 	val, hit, err := s.cache.Do(r.Context(), key, func() (any, error) {
 		res, err := s.hufBatch.Submit(r.Context(), probs)
@@ -362,6 +378,7 @@ func (s *Server) handleShannonFano(w http.ResponseWriter, r *http.Request) {
 		writeError(w, e)
 		return
 	}
+	defer pool.PutFloat64s(probs)
 	key := keyForFloats("shannonfano", probs)
 	val, hit, err := s.cache.Do(r.Context(), key, func() (any, error) {
 		res, err := s.sfBatch.Submit(r.Context(), probs)
@@ -426,6 +443,8 @@ func (s *Server) handleOBST(w http.ResponseWriter, r *http.Request) {
 		writeError(w, e)
 		return
 	}
+	defer pool.PutFloat64s(keys)
+	defer pool.PutFloat64s(gaps)
 	in, ierr := partree.NewBSTInstance(keys, gaps)
 	if ierr != nil {
 		s.served["obst"].Errors.Add(1)
@@ -506,6 +525,7 @@ type StatsSnapshot struct {
 	Panics   int64                      `json:"panics"`
 	Requests map[string]map[string]any  `json:"requests"`
 	Cache    CacheCounters              `json:"cache"`
+	FastPath CacheCounters              `json:"fastpath"`
 	Batchers map[string]BatcherCounters `json:"batchers"`
 	PRAM     map[string]engineStatsJSON `json:"pram"`
 }
@@ -520,6 +540,7 @@ func (s *Server) Snapshot() StatsSnapshot {
 		Panics:   s.panics.Load(),
 		Requests: make(map[string]map[string]any, len(engineNames)),
 		Cache:    s.cache.counters(),
+		FastPath: s.fast.counters(),
 		Batchers: map[string]BatcherCounters{
 			"huffman":        s.hufBatch.counters(),
 			"shannonfano":    s.sfBatch.counters(),
