@@ -2,11 +2,11 @@
 
 GO ?= go
 
-.PHONY: all build test test-race test-e2e test-pooldebug check vet bench bench-gate bench-baseline tables examples cover fuzz clean
+.PHONY: all build test test-race test-e2e test-pooldebug check vet bench bench-par bench-gate bench-gate-quick bench-baseline tables examples cover fuzz clean
 
 all: build vet test
 
-check: build vet test test-race test-e2e test-pooldebug bench-gate
+check: build vet test test-race test-e2e test-pooldebug bench-gate-quick
 
 build:
 	$(GO) build ./...
@@ -41,16 +41,28 @@ tables:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Allocation-regression gate: measure E11 (pooled vs unpooled allocs/op
-# on the lincfl and partreed hot paths) and enforce the ≥70% reduction
-# plus the committed BENCH_BASELINE.json band. Skips the baseline check
-# gracefully when the file is absent.
-bench-gate:
-	$(GO) run ./cmd/benchtables -exp E11 | $(GO) run ./cmd/benchgate -baseline BENCH_BASELINE.json
+# Multicore scaling sweep: every parallel kernel at P ∈ {1,2,4,8} with
+# per-op steal/barrier/steal-wait probes (experiment E12, full sizes).
+bench-par:
+	$(GO) run ./cmd/benchtables -exp E12
 
-# Refresh the committed allocation baseline from the current tree.
+# Perf-regression gate: measure E11 (pooled vs unpooled allocs/op) and
+# E12 (parallel speedup sweep), then enforce the ≥70% allocation
+# reduction, the committed BENCH_BASELINE.json band, and the ≥2x P=4
+# speedup on the monge/boolmat kernels (auto-skipped with a notice on
+# hosts with fewer than 4 cores, where the ratio is physically capped).
+bench-gate:
+	$(GO) run ./cmd/benchtables -exp E11,E12 | $(GO) run ./cmd/benchgate -baseline BENCH_BASELINE.json
+
+# Short-iteration gate used by `make check`: smaller E12 inputs and a
+# speedup-slack knob so CI timing noise cannot flake the build.
+bench-gate-quick:
+	$(GO) run ./cmd/benchtables -exp E11,E12 -short | $(GO) run ./cmd/benchgate -baseline BENCH_BASELINE.json -speedup-slack 0.35
+
+# Refresh the committed benchmark baseline (schema 2: E11 + E12) from
+# the current tree.
 bench-baseline:
-	$(GO) run ./cmd/benchtables -exp E11 | $(GO) run ./cmd/benchgate -baseline BENCH_BASELINE.json -write
+	$(GO) run ./cmd/benchtables -exp E11,E12 | $(GO) run ./cmd/benchgate -baseline BENCH_BASELINE.json -write
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -1,17 +1,28 @@
-// Command benchgate is the allocation-regression gate for the workspace
-// arena (ISSUE: pooled-workspace kernels). It reads the E11 BENCH-JSON
-// line from stdin — pipe `benchtables -exp E11` into it — and enforces:
+// Command benchgate is the perf-regression gate for the workspace arena
+// and the multicore scaling pass. It reads the E11 and E12 BENCH-JSON
+// lines from stdin — pipe `benchtables -exp E11,E12` into it — and
+// enforces:
 //
-//  1. The pooling invariant: on every kernel, the pooled run must remove
-//     at least -min-reduction (default 70%) of the unpooled allocs/op,
-//     and must not be slower than the unpooled run beyond -ns-band.
-//     This check is ratio-based, so it holds on any machine.
-//  2. The regression band: pooled allocs/op must stay within -alloc-band
-//     (plus a small absolute slack) of the committed baseline file.
-//     Allocation counts are deterministic, so the band is tight.
+//  1. The pooling invariant (E11): on every kernel, the pooled run must
+//     remove at least -min-reduction (default 70%) of the unpooled
+//     allocs/op, and must not be slower than the unpooled run beyond
+//     -ns-band. Ratio-based, so it holds on any machine.
+//  2. The regression band (E11 vs baseline): pooled allocs/op must stay
+//     within -alloc-band (plus a small absolute slack) of the committed
+//     baseline file. Allocation counts are deterministic, so the band is
+//     tight.
+//  3. The speedup gate (E12): each kernel named in -speedup-kernels must
+//     reach at least -min-speedup (minus -speedup-slack) at P =
+//     -speedup-p workers. Wall-clock speedup beyond the host's core
+//     count is physically impossible, so this check only arms when the
+//     measuring host reports at least -speedup-p CPUs; on smaller hosts
+//     it prints a loud SKIP notice and passes.
 //
-// When the baseline file does not exist the gate checks only the pooling
-// invariant and exits 0 with a notice, so fresh clones and CI bootstrap
+// The baseline file is schema 2: {"schema":2,"e11":{...},"e12":{...}}.
+// A pre-multi-P baseline (the old bare E11 report) fails with a clear
+// error telling you to regenerate via `make bench-baseline`. When the
+// baseline file does not exist the gate checks only the in-run
+// invariants and exits 0 with a notice, so fresh clones and CI bootstrap
 // runs pass; commit a baseline with -write to arm the regression check.
 package main
 
@@ -32,10 +43,39 @@ type row struct {
 	BytesOp  int64   `json:"bytes_op"`
 }
 
-type report struct {
+type e11Report struct {
 	Experiment string `json:"experiment"`
 	GoMaxProcs int    `json:"gomaxprocs"`
 	Runs       []row  `json:"runs"`
+}
+
+type e12Row struct {
+	P           int     `json:"p"`
+	NsOp        float64 `json:"ns_op"`
+	Speedup     float64 `json:"speedup"`
+	Steals      int64   `json:"steals"`
+	BarrierMS   float64 `json:"barrier_ms"`
+	StealWaitMS float64 `json:"steal_wait_ms"`
+}
+
+type e12Kernel struct {
+	Kernel string   `json:"kernel"`
+	Rows   []e12Row `json:"rows"`
+}
+
+type e12Report struct {
+	Experiment string      `json:"experiment"`
+	CPUs       int         `json:"cpus"`
+	GoMaxProcs int         `json:"gomaxprocs"`
+	Short      bool        `json:"short"`
+	Kernels    []e12Kernel `json:"kernels"`
+}
+
+// baseline is the committed BENCH_BASELINE.json, schema 2.
+type baseline struct {
+	Schema int        `json:"schema"`
+	E11    *e11Report `json:"e11"`
+	E12    *e12Report `json:"e12"`
 }
 
 func main() {
@@ -45,16 +85,21 @@ func main() {
 	nsBand := flag.Float64("ns-band", 0.25, "pooled ns/op may exceed unpooled by at most this fraction")
 	allocBand := flag.Float64("alloc-band", 0.15, "pooled allocs/op may exceed baseline by at most this fraction")
 	allocSlack := flag.Int64("alloc-slack", 16, "absolute allocs/op slack on top of -alloc-band")
+	minSpeedup := flag.Float64("min-speedup", 2.0, "required wall-clock speedup at -speedup-p workers")
+	speedupP := flag.Int("speedup-p", 4, "worker count the speedup gate inspects")
+	speedupSlack := flag.Float64("speedup-slack", 0.0, "subtracted from -min-speedup (CI stability knob)")
+	speedupKernels := flag.String("speedup-kernels", "monge-cutsmawk,boolmat-mulpar",
+		"comma-separated E12 kernels the speedup gate enforces")
 	flag.Parse()
 
-	cur, err := readReport(os.Stdin)
+	cur11, cur12, err := readReports(os.Stdin)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
 		os.Exit(1)
 	}
 
 	if *write {
-		blob, err := json.MarshalIndent(cur, "", "  ")
+		blob, err := json.MarshalIndent(baseline{Schema: 2, E11: cur11, E12: cur12}, "", "  ")
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
 			os.Exit(1)
@@ -63,7 +108,8 @@ func main() {
 			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Printf("benchgate: wrote %s (%d rows)\n", *baselinePath, len(cur.Runs))
+		fmt.Printf("benchgate: wrote %s (schema 2: %d E11 rows, %d E12 kernels)\n",
+			*baselinePath, len(cur11.Runs), len(cur12.Kernels))
 		return
 	}
 
@@ -75,7 +121,7 @@ func main() {
 
 	// Invariant 1: the pooled run earns its keep against the unpooled run
 	// measured in the same process on the same machine.
-	for kernel, pair := range pairByKernel(cur.Runs) {
+	for kernel, pair := range pairByKernel(cur11.Runs) {
 		un, po := pair[0], pair[1]
 		if un == nil || po == nil {
 			fail("%s: missing pooled or unpooled row", kernel)
@@ -95,7 +141,7 @@ func main() {
 		}
 	}
 
-	// Invariant 2: no creep against the committed baseline.
+	// Invariant 2: no allocation creep against the committed baseline.
 	base, err := readBaseline(*baselinePath)
 	switch {
 	case os.IsNotExist(err):
@@ -104,8 +150,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
 		os.Exit(1)
 	default:
-		basePairs := pairByKernel(base.Runs)
-		for kernel, pair := range pairByKernel(cur.Runs) {
+		basePairs := pairByKernel(base.E11.Runs)
+		for kernel, pair := range pairByKernel(cur11.Runs) {
 			po := pair[1]
 			bp, ok := basePairs[kernel]
 			if !ok || bp[1] == nil || po == nil {
@@ -123,10 +169,52 @@ func main() {
 		}
 	}
 
+	// Invariant 3: the parallel kernels actually scale — enforceable only
+	// on a host that has the cores the gate asks about.
+	need := *minSpeedup - *speedupSlack
+	if cur12.CPUs < *speedupP {
+		fmt.Printf("benchgate: SKIP speedup gate: host reports %d CPU(s) < gate P=%d; "+
+			"a %.1fx wall-clock speedup cannot be measured here (run on a >=%d-core host to enforce)\n",
+			cur12.CPUs, *speedupP, need, *speedupP)
+	} else {
+		for _, name := range strings.Split(*speedupKernels, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			r := findE12Row(cur12, name, *speedupP)
+			switch {
+			case r == nil:
+				fail("speedup: kernel %q has no P=%d row in the E12 report", name, *speedupP)
+			case r.Speedup < need:
+				fail("speedup: %s at P=%d reached %.2fx < required %.2fx (min %.2f - slack %.2f)",
+					name, *speedupP, r.Speedup, need, *minSpeedup, *speedupSlack)
+			default:
+				fmt.Printf("benchgate: speedup: %s at P=%d %.2fx >= %.2fx ok\n",
+					name, *speedupP, r.Speedup, need)
+			}
+		}
+	}
+
 	if failures > 0 {
 		os.Exit(1)
 	}
 	fmt.Println("benchgate: pass")
+}
+
+// findE12Row returns the named kernel's row at worker count p, or nil.
+func findE12Row(rep *e12Report, kernel string, p int) *e12Row {
+	for i := range rep.Kernels {
+		if rep.Kernels[i].Kernel != kernel {
+			continue
+		}
+		for j := range rep.Kernels[i].Rows {
+			if rep.Kernels[i].Rows[j].P == p {
+				return &rep.Kernels[i].Rows[j]
+			}
+		}
+	}
+	return nil
 }
 
 // pairByKernel indexes rows as [unpooled, pooled] per kernel.
@@ -148,43 +236,66 @@ func pairByKernel(rows []row) map[string]*[2]*row {
 	return out
 }
 
-// readReport scans stdin for the E11 BENCH-JSON line (other experiment
-// output may precede it).
-func readReport(f *os.File) (*report, error) {
+// readReports scans stdin for the E11 and E12 BENCH-JSON lines (other
+// experiment output may precede or separate them).
+func readReports(f *os.File) (*e11Report, *e12Report, error) {
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
-	var rep *report
+	var r11 *e11Report
+	var r12 *e12Report
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
 		blob, ok := strings.CutPrefix(line, "BENCH-JSON ")
 		if !ok {
 			continue
 		}
-		var r report
-		if err := json.Unmarshal([]byte(blob), &r); err != nil {
-			return nil, fmt.Errorf("parsing BENCH-JSON line: %w", err)
+		var probe struct {
+			Experiment string `json:"experiment"`
 		}
-		if r.Experiment == "E11" {
-			rep = &r
+		if err := json.Unmarshal([]byte(blob), &probe); err != nil {
+			return nil, nil, fmt.Errorf("parsing BENCH-JSON line: %w", err)
+		}
+		switch probe.Experiment {
+		case "E11":
+			var r e11Report
+			if err := json.Unmarshal([]byte(blob), &r); err != nil {
+				return nil, nil, fmt.Errorf("parsing E11 BENCH-JSON: %w", err)
+			}
+			r11 = &r
+		case "E12":
+			var r e12Report
+			if err := json.Unmarshal([]byte(blob), &r); err != nil {
+				return nil, nil, fmt.Errorf("parsing E12 BENCH-JSON: %w", err)
+			}
+			r12 = &r
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	if rep == nil {
-		return nil, fmt.Errorf("no E11 BENCH-JSON line on stdin (pipe `benchtables -exp E11` in)")
+	if r11 == nil || r12 == nil {
+		return nil, nil, fmt.Errorf("need both E11 and E12 BENCH-JSON lines on stdin (pipe `benchtables -exp E11,E12` in)")
 	}
-	return rep, nil
+	return r11, r12, nil
 }
 
-func readBaseline(path string) (*report, error) {
+// readBaseline parses the committed baseline, rejecting pre-schema-2
+// files with an actionable error instead of misreading them.
+func readBaseline(path string) (*baseline, error) {
 	blob, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	var r report
-	if err := json.Unmarshal(blob, &r); err != nil {
+	var b baseline
+	if err := json.Unmarshal(blob, &b); err != nil {
 		return nil, fmt.Errorf("parsing %s: %w", path, err)
 	}
-	return &r, nil
+	if b.Schema != 2 {
+		return nil, fmt.Errorf("%s uses the old single-experiment baseline schema "+
+			"(no \"schema\":2 field); the gate now stores multi-P results — regenerate it with `make bench-baseline` and commit the result", path)
+	}
+	if b.E11 == nil || b.E12 == nil {
+		return nil, fmt.Errorf("%s is schema 2 but missing the e11 or e12 section; regenerate it with `make bench-baseline`", path)
+	}
+	return &b, nil
 }

@@ -22,6 +22,8 @@ import (
 	"testing"
 	"time"
 
+	"partree"
+	"partree/internal/boolmat"
 	"partree/internal/grammar"
 	"partree/internal/huffman"
 	"partree/internal/hufpar"
@@ -55,28 +57,42 @@ var experiments = []struct {
 	{"E9", "Runtime — work-stealing scheduler: speedup, steals, overhead", e9},
 	{"E10", "Service — request batching and result caching under load", e10},
 	{"E11", "Workspace pooling — allocation profile before/after", e11},
+	{"E12", "Multicore scaling — kernel speedup across worker counts", e12},
 }
 
+// shortMode shrinks problem sizes and timing loops (-short): the tables
+// lose precision but the full suite fits in a CI budget.
+var shortMode bool
+
 func main() {
-	sel := flag.String("exp", "", "run a single experiment (E1…E8)")
+	sel := flag.String("exp", "", "comma-separated experiment ids to run (e.g. E11,E12); empty runs all")
+	flag.BoolVar(&shortMode, "short", false, "smaller inputs and shorter timing loops (CI-friendly, noisier)")
 	flag.Parse()
+
+	wanted := map[string]bool{}
+	for _, id := range strings.Split(*sel, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			wanted[strings.ToUpper(id)] = true
+		}
+	}
+	known := map[string]bool{}
 	for _, e := range experiments {
-		if *sel != "" && !strings.EqualFold(*sel, e.id) {
+		known[strings.ToUpper(e.id)] = true
+	}
+	for id := range wanted {
+		if !known[id] {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", id)
+			os.Exit(1)
+		}
+	}
+	for _, e := range experiments {
+		if len(wanted) > 0 && !wanted[strings.ToUpper(e.id)] {
 			continue
 		}
 		fmt.Printf("== %s: %s ==\n", e.id, e.title)
 		start := time.Now()
 		e.run()
 		fmt.Printf("(%.2fs)\n\n", time.Since(start).Seconds())
-	}
-	if *sel != "" {
-		for _, e := range experiments {
-			if strings.EqualFold(*sel, e.id) {
-				return
-			}
-		}
-		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *sel)
-		os.Exit(1)
 	}
 }
 
@@ -628,6 +644,188 @@ func e11() {
 	fmt.Printf("\nBENCH-JSON %s\n", blob)
 	fmt.Println("claim: the workspace arena removes ≥70% of allocations per operation on")
 	fmt.Println("       both kernels without slowing them down; make bench-gate holds the line")
+}
+
+// e12Row is one (kernel, P) measurement; cmd/benchgate reads the same
+// shape back out of BENCH_BASELINE.json to enforce the speedup gate.
+type e12Row struct {
+	P           int     `json:"p"`
+	NsOp        float64 `json:"ns_op"`
+	Speedup     float64 `json:"speedup"`
+	Steals      int64   `json:"steals"`
+	BarrierMS   float64 `json:"barrier_ms"`
+	StealWaitMS float64 `json:"steal_wait_ms"`
+}
+
+// e12Kernel is one kernel's sweep over worker counts.
+type e12Kernel struct {
+	Kernel string   `json:"kernel"`
+	Rows   []e12Row `json:"rows"`
+}
+
+// e12Loop runs once() until minDur has elapsed (after one warm-up call)
+// and returns the iteration count and measured wall time.
+func e12Loop(minDur time.Duration, once func()) (int, time.Duration) {
+	once() // warm caches, pools and the adaptive grain
+	start := time.Now()
+	iters := 0
+	for time.Since(start) < minDur {
+		once()
+		iters++
+	}
+	return iters, time.Since(start)
+}
+
+// E12 — multicore scaling of the parallel kernels: wall-clock speedup of
+// each kernel at P ∈ {1,2,4,8} workers relative to its own P=1 run, with
+// the scheduler's contention probes (steals, barrier wait, steal wait)
+// alongside. The workspace arena is sharded to match each P, mirroring
+// how partreed -workers deploys. The BENCH-JSON records the host's core
+// count: speedup on a host with fewer cores than P is capped near 1.0 by
+// physics, and cmd/benchgate only enforces its minimum-speedup gate when
+// the measuring host actually has the cores.
+func e12() {
+	minDur := 300 * time.Millisecond
+	cflN, mongeN, boolN := 255, 512, 1024
+	const batchJobs, batchLen = 64, 64
+	if shortMode {
+		minDur = 60 * time.Millisecond
+		cflN, mongeN, boolN = 127, 256, 512
+	}
+	rng := rand.New(rand.NewSource(12))
+
+	g := grammar.Palindrome()
+	word := make([]byte, cflN)
+	for i := 0; i < cflN/2; i++ {
+		word[i] = "ab"[i%2]
+		word[cflN-1-i] = word[i]
+	}
+	word[cflN/2] = 'c'
+
+	ma := monge.Random(rng, mongeN, mongeN, 100, 5)
+	mb := monge.Random(rng, mongeN, mongeN, 100, 5)
+
+	ba := boolmat.New(boolN, boolN)
+	bb := boolmat.New(boolN, boolN)
+	for i := 0; i < boolN; i++ {
+		for j := 0; j < boolN; j += 1 + rng.Intn(16) {
+			ba.Set(i, j, true)
+			bb.Set(j, i, true)
+		}
+	}
+
+	jobs := make([][]float64, batchJobs)
+	for i := range jobs {
+		w := make([]float64, batchLen)
+		for j := range w {
+			w[j] = 1 + rng.Float64()*99
+		}
+		jobs[i] = w
+	}
+
+	// Each kernel: run one operation with P workers, fold the scheduler
+	// counters for that operation into the returned deltas.
+	kernels := []struct {
+		name string
+		// newOp returns the per-iteration operation and a stats func to
+		// call after the timing loop (total across all iterations).
+		newOp func(p int) (op func(), stats func() (steals int64, barrier, stealWait time.Duration))
+	}{
+		{"lincfl-recognize", func(p int) (func(), func() (int64, time.Duration, time.Duration)) {
+			m := pram.New(pram.WithWorkers(p))
+			return func() {
+					res := lincfl.RecognizeDC(m, g, word)
+					benchSink = res.Accepted
+				}, func() (int64, time.Duration, time.Duration) {
+					st := m.Stats()
+					return st.Steals, st.BarrierWait, st.StealWait
+				}
+		}},
+		{"monge-cutsmawk", func(p int) (func(), func() (int64, time.Duration, time.Duration)) {
+			m := pram.New(pram.WithWorkers(p))
+			var cnt matrix.OpCount
+			return func() {
+					monge.CutSMAWKPar(m, ma, mb, &cnt).Release()
+				}, func() (int64, time.Duration, time.Duration) {
+					st := m.Stats()
+					return st.Steals, st.BarrierWait, st.StealWait
+				}
+		}},
+		{"boolmat-mulpar", func(p int) (func(), func() (int64, time.Duration, time.Duration)) {
+			m := pram.New(pram.WithWorkers(p))
+			return func() {
+					boolmat.MulPar(m, ba, bb).Release()
+				}, func() (int64, time.Duration, time.Duration) {
+					st := m.Stats()
+					return st.Steals, st.BarrierWait, st.StealWait
+				}
+		}},
+		{"partreed-batch", func(p int) (func(), func() (int64, time.Duration, time.Duration)) {
+			// The partreed hot path below the HTTP layer: one engine
+			// batch per call, machine owned by the batch entry point.
+			var steals int64
+			var barrier, stealWait time.Duration
+			opts := partree.Options{Workers: p}
+			return func() {
+					res, st := partree.HuffmanBatch(jobs, opts)
+					benchSink = res[0].Err == nil
+					steals += st.Steals
+					barrier += st.BarrierWait
+					stealWait += st.StealWait
+				}, func() (int64, time.Duration, time.Duration) {
+					return steals, barrier, stealWait
+				}
+		}},
+	}
+
+	cpus := runtime.NumCPU()
+	var out []e12Kernel
+	for _, k := range kernels {
+		fmt.Printf("%-18s %3s %14s %9s %9s %14s %16s\n",
+			k.name, "p", "ns/op", "speedup", "steals", "barrier-ms/op", "steal-wait-ms/op")
+		var rows []e12Row
+		var base float64
+		for _, p := range []int{1, 2, 4, 8} {
+			prevShards := wspool.SetShards(p)
+			op, stats := k.newOp(p)
+			iters, elapsed := e12Loop(minDur, op)
+			steals, barrier, stealWait := stats()
+			wspool.SetShards(prevShards)
+			nsOp := float64(elapsed.Nanoseconds()) / float64(iters)
+			if p == 1 {
+				base = nsOp
+			}
+			ops := iters + 1 // the counters also saw the warm-up call
+			row := e12Row{
+				P:           p,
+				NsOp:        nsOp,
+				Speedup:     base / nsOp,
+				Steals:      steals / int64(ops),
+				BarrierMS:   barrier.Seconds() * 1e3 / float64(ops),
+				StealWaitMS: stealWait.Seconds() * 1e3 / float64(ops),
+			}
+			rows = append(rows, row)
+			fmt.Printf("%-18s %3d %14.0f %8.2fx %9d %14.4f %16.4f\n",
+				"", row.P, row.NsOp, row.Speedup, row.Steals, row.BarrierMS, row.StealWaitMS)
+		}
+		out = append(out, e12Kernel{Kernel: k.name, Rows: rows})
+		fmt.Println()
+	}
+
+	blob, err := json.Marshal(map[string]any{
+		"experiment": "E12",
+		"cpus":       cpus,
+		"gomaxprocs": runtime.GOMAXPROCS(0),
+		"short":      shortMode,
+		"kernels":    out,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("BENCH-JSON %s\n", blob)
+	fmt.Printf("claim: on a host with ≥4 cores the monge and boolmat kernels reach ≥2x\n")
+	fmt.Printf("       speedup at P=4 (enforced by make bench-gate); this host has %d\n", cpus)
+	fmt.Println("       core(s), so ratios are capped near 1.0 when cpus < P and the gate skips")
 }
 
 // nullResponseWriter is an http.ResponseWriter that discards the body; a

@@ -32,6 +32,7 @@ import (
 	"syscall"
 	"time"
 
+	"partree/internal/pool"
 	"partree/internal/serve"
 )
 
@@ -43,7 +44,7 @@ func run(args []string) int {
 	fs := flag.NewFlagSet("partreed", flag.ContinueOnError)
 	var (
 		addr       = fs.String("addr", ":8080", "listen address")
-		workers    = fs.Int("workers", 0, "PRAM worker goroutines per batch run (0 = GOMAXPROCS)")
+		workers    = fs.Int("workers", 0, "PRAM worker goroutines per batch run and workspace-arena shard count; 0 = GOMAXPROCS, 1 runs single-shard (no sharding overhead)")
 		maxBatch   = fs.Int("max-batch", 64, "max jobs coalesced into one engine batch")
 		linger     = fs.Duration("linger", 200*time.Microsecond, "how long an open batch waits for more jobs")
 		cacheSize  = fs.Int("cache-size", 4096, "LRU result cache entries (negative disables caching)")
@@ -59,6 +60,13 @@ func run(args []string) int {
 	}
 
 	logger := log.New(os.Stderr, "partreed: ", log.LstdFlags)
+	// Size the workspace arena to the worker count: a -workers 1
+	// deployment collapses the arena to one shard so its slab traffic
+	// pays no sharding overhead, while multi-worker deployments get one
+	// shard per worker (rounded up to a power of two by SetShards).
+	if *workers > 0 {
+		pool.SetShards(*workers)
+	}
 	s := serve.New(serve.Config{
 		Workers:        *workers,
 		MaxBatch:       *maxBatch,

@@ -16,17 +16,34 @@ import (
 
 	"partree/internal/pool"
 	"partree/internal/pram"
+	"partree/internal/procid"
 	"partree/internal/semiring"
 )
 
+// opStripes is the stripe count of an OpCount: enough that on common
+// core counts each P lands on its own stripe. Power of two for the mask.
+const opStripes = 16
+
 // OpCount counts comparison operations across (possibly parallel) matrix
 // products. The zero value is ready to use.
-type OpCount struct{ n atomic.Int64 }
+//
+// The counter is striped by the caller's P onto cache-line-padded cells:
+// every parallel scan body charges comparisons as it runs, so a single
+// shared atomic would be the most contended word in the whole monge
+// layer — all workers bouncing one cache line on every scan. Load and
+// Reset sum/zero the stripes; they are coherent only between parallel
+// statements (the usual read point), not mid-statement.
+type OpCount struct {
+	stripes [opStripes]struct {
+		n atomic.Int64
+		_ [56]byte // one stripe per cache line
+	}
+}
 
 // Add records k comparisons.
 func (c *OpCount) Add(k int64) {
 	if c != nil {
-		c.n.Add(k)
+		c.stripes[procid.Cur()&(opStripes-1)].n.Add(k)
 	}
 }
 
@@ -35,13 +52,19 @@ func (c *OpCount) Load() int64 {
 	if c == nil {
 		return 0
 	}
-	return c.n.Load()
+	var n int64
+	for i := range c.stripes {
+		n += c.stripes[i].n.Load()
+	}
+	return n
 }
 
 // Reset zeroes the counter.
 func (c *OpCount) Reset() {
 	if c != nil {
-		c.n.Store(0)
+		for i := range c.stripes {
+			c.stripes[i].n.Store(0)
+		}
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"partree/internal/matrix"
 	"partree/internal/pool"
+	"partree/internal/pram"
 )
 
 // FuzzConcaveMultiply differentially checks the concave (min,+) engines on
@@ -36,6 +37,8 @@ func FuzzConcaveMultiply(f *testing.F) {
 		pooledVal, pooledCut := Mul(a, b, &cnt)
 		bottomCut := CutBottomUp(a, b, &cnt)
 		bruteVal, _ := matrix.MulBrute(a, b, &cnt)
+		smawkCut := CutSMAWK(a, b, &cnt)
+		smawkParCut := CutSMAWKPar(pram.New(pram.WithWorkers(4), pram.WithGrain(1)), a, b, &cnt)
 
 		prev := pool.SetEnabled(false)
 		plainVal, plainCut := Mul(a, b, &cnt)
@@ -57,6 +60,10 @@ func FuzzConcaveMultiply(f *testing.F) {
 					t.Fatalf("(%d,%d,%d): recursive cut (%d,%d)=%d, bottom-up %d",
 						p, q, r, i, j, pooledCut.At(i, j), bottomCut.At(i, j))
 				}
+				if smawkParCut.At(i, j) != smawkCut.At(i, j) {
+					t.Fatalf("(%d,%d,%d): parallel SMAWK cut (%d,%d)=%d, sequential %d",
+						p, q, r, i, j, smawkParCut.At(i, j), smawkCut.At(i, j))
+				}
 				// A cut must witness the product value exactly.
 				if k := pooledCut.At(i, j); k >= 0 {
 					if w := a.At(i, k) + b.At(k, j); w != pooledVal.At(i, j) {
@@ -69,5 +76,6 @@ func FuzzConcaveMultiply(f *testing.F) {
 		pooledVal.Release()
 		pooledCut.Release()
 		bottomCut.Release()
+		smawkParCut.Release()
 	})
 }

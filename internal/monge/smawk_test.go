@@ -89,6 +89,31 @@ func TestCutSMAWKValuesMatchBrute(t *testing.T) {
 	}
 }
 
+func TestCutSMAWKParMatchesCutSMAWK(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	m := pram.New(pram.WithWorkers(4), pram.WithGrain(1))
+	for trial := 0; trial < 25; trial++ {
+		p, q, r := 1+rng.Intn(40), 1+rng.Intn(40), 1+rng.Intn(40)
+		if trial < 4 {
+			// Force multi-block tasks: p beyond one smawkRowBlock.
+			p = smawkRowBlock + 1 + rng.Intn(2*smawkRowBlock)
+		}
+		a, b := randomPair(rng, p, q, r)
+		var c1, c2 matrix.OpCount
+		seqCut := CutSMAWK(a, b, &c1)
+		parCut := CutSMAWKPar(m, a, b, &c2)
+		for i := 0; i < p; i++ {
+			for j := 0; j < r; j++ {
+				if seqCut.At(i, j) != parCut.At(i, j) {
+					t.Fatalf("trial %d dims (%d,%d,%d): par SMAWK cut (%d,%d)=%d, sequential %d",
+						trial, p, q, r, i, j, parCut.At(i, j), seqCut.At(i, j))
+				}
+			}
+		}
+		parCut.Release()
+	}
+}
+
 func TestCutRecursiveParMatchesSequential(t *testing.T) {
 	rng := rand.New(rand.NewSource(59))
 	m := pram.New(pram.WithWorkers(4), pram.WithGrain(4))

@@ -19,6 +19,23 @@ func TestDoubleReleasePanics(t *testing.T) {
 	PutFloat64s(s)
 }
 
+// TestDoubleReleaseAcrossShards releases the same slab on two different
+// shards: the ledger tracks membership in the arena as a whole, so the
+// second Put must panic even though the two shards' free lists never see
+// each other's slabs.
+func TestDoubleReleaseAcrossShards(t *testing.T) {
+	withCleanArena(t)
+	withShards(t, 2)
+	s := intPool.getAt(0, 100)
+	intPool.putAt(0, s)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("cross-shard double release did not panic under pooldebug")
+		}
+	}()
+	intPool.putAt(1, s)
+}
+
 func TestReleasedSlabIsPoisoned(t *testing.T) {
 	withCleanArena(t)
 	s := Float64s(100)

@@ -18,6 +18,15 @@ func withCleanArena(t *testing.T) {
 	})
 }
 
+// withShards pins the shard count for the duration of a test; tests that
+// depend on a put being found by the next get from the same goroutine
+// pin to 1 shard so a P migration between the calls cannot split them.
+func withShards(t *testing.T, n int) {
+	t.Helper()
+	prev := SetShards(n)
+	t.Cleanup(func() { SetShards(prev) })
+}
+
 func TestSizeClassing(t *testing.T) {
 	withCleanArena(t)
 	cases := []struct{ n, wantCap int }{
@@ -45,6 +54,7 @@ func TestSizeClassing(t *testing.T) {
 
 func TestReuseAndZeroing(t *testing.T) {
 	withCleanArena(t)
+	withShards(t, 1)
 	s := Uint64s(100)
 	for i := range s {
 		s[i] = 0xffffffffffffffff
@@ -84,17 +94,139 @@ func TestDisabledBypassesArena(t *testing.T) {
 	}
 }
 
+func TestSetShardsClamps(t *testing.T) {
+	withCleanArena(t)
+	prev := Shards()
+	t.Cleanup(func() { SetShards(prev) })
+	for _, c := range []struct{ in, want int }{
+		{0, 1}, {1, 1}, {2, 2}, {3, 4}, {5, 8}, {8, 8}, {64, 64}, {1000, 64},
+	} {
+		SetShards(c.in)
+		if got := Shards(); got != c.want {
+			t.Errorf("SetShards(%d): shards = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+// TestFreeListBounded checks the arena's retention bound with one shard:
+// a class holds maxFreePerShard slabs locally plus maxFreeGlobal on the
+// global backing list; everything beyond that is discarded.
 func TestFreeListBounded(t *testing.T) {
 	withCleanArena(t)
-	slabs := make([][]int32, 0, maxFreePerClass+10)
-	for i := 0; i < maxFreePerClass+10; i++ {
+	withShards(t, 1)
+	const capacity = maxFreePerShard + maxFreeGlobal
+	slabs := make([][]int32, 0, capacity+10)
+	for i := 0; i < capacity+10; i++ {
 		slabs = append(slabs, make([]int32, 128, 128))
 	}
 	for _, s := range slabs {
 		PutInt32s(s)
 	}
-	if st := Snapshot(); st.Free != maxFreePerClass || st.Discards != 10 {
-		t.Errorf("free=%d discards=%d, want free=%d discards=10", st.Free, st.Discards, maxFreePerClass)
+	if st := Snapshot(); st.Free != capacity || st.Discards != 10 {
+		t.Errorf("free=%d discards=%d, want free=%d discards=10", st.Free, st.Discards, capacity)
+	}
+}
+
+// TestSpillAndRefillBatches overflows one shard so slabs spill to the
+// global backing list, then gets everything back: the refill path must
+// recover the spilled slabs (every get is a hit) in refillBatch-sized
+// pulls rather than losing them to the allocator.
+func TestSpillAndRefillBatches(t *testing.T) {
+	withCleanArena(t)
+	withShards(t, 1)
+	const total = maxFreePerShard + 2*refillBatch
+	slabs := make([][]int, 0, total)
+	for i := 0; i < total; i++ {
+		slabs = append(slabs, make([]int, 256, 256))
+	}
+	for _, s := range slabs {
+		PutInts(s)
+	}
+	if gf := GlobalFree(); gf == 0 {
+		t.Fatal("overflowing a shard must spill slabs to the global backing list")
+	}
+	if st := Snapshot(); st.Free != total || st.Discards != 0 {
+		t.Fatalf("free=%d discards=%d, want free=%d discards=0", st.Free, st.Discards, total)
+	}
+	for i := 0; i < total; i++ {
+		s := Ints(256)
+		if cap(s) != 256 {
+			t.Fatalf("get %d: cap=%d, want pooled 256", i, cap(s))
+		}
+	}
+	st := Snapshot()
+	if st.Hits != total {
+		t.Errorf("hits=%d, want %d (refill must recover spilled slabs)", st.Hits, total)
+	}
+	if st.Free != 0 || GlobalFree() != 0 {
+		t.Errorf("free=%d globalFree=%d after draining, want 0/0", st.Free, GlobalFree())
+	}
+}
+
+// TestCrossShardFlow releases on one shard and acquires on another: the
+// direct path misses (the slabs are parked on the producer's shard or the
+// global list), but slabs spilled globally must be recoverable from any
+// shard — the mechanism that keeps producer/consumer pipelines on
+// different cores from defeating the arena.
+func TestCrossShardFlow(t *testing.T) {
+	withCleanArena(t)
+	withShards(t, 2)
+	const total = maxFreePerShard + refillBatch
+	for i := 0; i < total; i++ {
+		intPool.putAt(0, make([]int, 512, 512))
+	}
+	if gf := GlobalFree(); gf < refillBatch {
+		t.Fatalf("globalFree=%d, want ≥ %d spilled", gf, refillBatch)
+	}
+	// Shard 1 starts empty; its gets must be served by global refills.
+	hits := 0
+	for i := 0; i < 2*refillBatch; i++ {
+		s := intPool.getAt(1, 512)
+		if cap(s) == 512 && len(s) == 512 {
+			hits++
+		}
+	}
+	st := Snapshot()
+	if st.Hits < refillBatch {
+		t.Errorf("hits=%d, want ≥ %d served cross-shard via the global list", st.Hits, refillBatch)
+	}
+	_ = hits
+}
+
+// TestPerShardTraffic checks that the per-shard counters decompose the
+// global snapshot.
+func TestPerShardTraffic(t *testing.T) {
+	withCleanArena(t)
+	withShards(t, 4)
+	for si := 0; si < 4; si++ {
+		for i := 0; i < 3; i++ {
+			intPool.putAt(si, make([]int, 128, 128))
+		}
+		intPool.getAt(si, 128)
+	}
+	per := PerShard()
+	if len(per) != 4 {
+		t.Fatalf("PerShard len = %d, want 4", len(per))
+	}
+	var sum ShardTraffic
+	for _, sh := range per {
+		sum.Gets += sh.Gets
+		sum.Hits += sh.Hits
+		sum.Puts += sh.Puts
+		sum.Discards += sh.Discards
+		sum.Free += sh.Free
+	}
+	st := Snapshot()
+	if sum.Gets != st.Gets || sum.Hits != st.Hits || sum.Puts != st.Puts || sum.Discards != st.Discards {
+		t.Errorf("per-shard sums %+v disagree with snapshot %+v", sum, st)
+	}
+	if sum.Free+GlobalFree() != st.Free {
+		t.Errorf("shard free %d + global %d != snapshot free %d", sum.Free, GlobalFree(), st.Free)
+	}
+	for si, sh := range per {
+		if sh.Gets != 1 || sh.Puts != 3 {
+			t.Errorf("shard %d: gets=%d puts=%d, want 1/3", si, sh.Gets, sh.Puts)
+		}
 	}
 }
 
@@ -126,6 +258,44 @@ func TestConcurrentAcquireRelease(t *testing.T) {
 	// Everything released: parked slabs plus discards account for all puts.
 	if st.Free == 0 {
 		t.Error("expected some slabs parked after the storm")
+	}
+}
+
+// TestShardedConcurrentSpill drives concurrent get/put/spill traffic
+// across explicit shards from many goroutines — the cross-shard race
+// surface (shard mutexes, global backing lists, counters) that
+// shardIndex alone cannot reach on a small host. Run under -race.
+func TestShardedConcurrentSpill(t *testing.T) {
+	withCleanArena(t)
+	withShards(t, 4)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			si := g % 4
+			for i := 0; i < 400; i++ {
+				// Acquire on the goroutine's own shard, release on the
+				// next: a rotating producer/consumer pattern that forces
+				// continuous spill and refill through the global lists.
+				s := intPool.getAt(si, 300)
+				for j := range s {
+					s[j] = g
+				}
+				for j := range s {
+					if s[j] != g {
+						t.Errorf("slab shared across goroutines: tag %d want %d", s[j], g)
+						return
+					}
+				}
+				intPool.putAt((si+1)%4, s)
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := Snapshot()
+	if st.Gets != 8*400 || st.Puts != 8*400 {
+		t.Errorf("gets=%d puts=%d, want %d each", st.Gets, st.Puts, 8*400)
 	}
 }
 

@@ -94,7 +94,10 @@ type Machine struct {
 	phaseStack []string // shadowed outer labels; popped by restorePhase
 	phases     map[string]*PhaseStats
 	total      PhaseStats
-	nsPerElem  float64 // EWMA of measured per-element cost (adaptive grain)
+	// nsPerElem is the EWMA of measured per-element cost (adaptive
+	// grain), stored as float64 bits so the For fast path reads the
+	// grain without taking statsMu.
+	nsPerElem atomic.Uint64
 
 	// restorePhase is the one closure every Phase call returns; building
 	// it once keeps the hot kernels' per-call Phase bookkeeping
@@ -178,11 +181,7 @@ func (m *Machine) Workers() int { return m.workers }
 
 // Grain returns the chunk size the next large statement would use: the
 // pinned WithGrain value or the adaptive controller's current choice.
-func (m *Machine) Grain() int {
-	m.statsMu.Lock()
-	defer m.statsMu.Unlock()
-	return m.grainLocked()
-}
+func (m *Machine) Grain() int { return m.grain() }
 
 // Counters returns a snapshot of the accumulated counted cost.
 func (m *Machine) Counters() Counters {

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+	"unsafe"
 )
 
 // spin burns roughly ns nanoseconds of CPU per call without touching the
@@ -260,6 +261,46 @@ func TestStealsObserved(t *testing.T) {
 	}
 	if st.Busy < 5*time.Millisecond {
 		t.Errorf("busy %v should include the sleeping chunk", st.Busy)
+	}
+	if st.StealWait < 0 {
+		t.Errorf("negative steal wait %v", st.StealWait)
+	}
+}
+
+// TestStealWaitObserved forces workers to hunt for work — one worker's
+// range carries all the cost, so the others spend the statement stealing
+// — and checks the contention probe registers the hunt.
+func TestStealWaitObserved(t *testing.T) {
+	m := New(WithWorkers(4), WithGrain(1))
+	const n = 256
+	m.For(n, func(i int) {
+		if i < n/4 { // worker 0's initial range: all the real work
+			time.Sleep(100 * time.Microsecond)
+		}
+	})
+	st := m.Stats()
+	if st.Steals == 0 {
+		t.Fatal("expected steals on a skewed statement")
+	}
+	if st.StealWait <= 0 {
+		t.Errorf("steal wait %v; a statement with %d steals must accumulate hunt time", st.StealWait, st.Steals)
+	}
+	if st.StealWait > 10*time.Second {
+		t.Errorf("implausible steal wait %v", st.StealWait)
+	}
+}
+
+// TestSchedStructsPadded pins the cache-line padding of the per-worker
+// scheduler structures: they live in contiguous slices, so their sizes
+// must be multiples of 128 (two lines — adjacent-line prefetch pulls
+// pairs) or every chunk pop and stat update false-shares with the
+// neighbouring worker.
+func TestSchedStructsPadded(t *testing.T) {
+	if s := unsafe.Sizeof(wdeque{}); s%128 != 0 {
+		t.Errorf("wdeque size %d is not a multiple of 128", s)
+	}
+	if s := unsafe.Sizeof(workerStats{}); s%128 != 0 {
+		t.Errorf("workerStats size %d is not a multiple of 128", s)
 	}
 }
 

@@ -35,10 +35,14 @@ import (
 
 // wdeque is one worker's deque: a contiguous sub-range [lo, hi) of the
 // statement's index space. Bottom (lo side) is popped by the owner; the
-// top half is removed by thieves.
+// top half is removed by thieves. Deques live in one contiguous slice,
+// so each is padded out to two cache lines: without the padding every
+// owner pop dirties its neighbours' lines and the per-chunk mutex
+// traffic ping-pongs between cores even when no stealing happens.
 type wdeque struct {
 	mu     sync.Mutex
 	lo, hi int
+	_      [128 - 24]byte
 }
 
 // pop removes up to g indices from the bottom of the range.
@@ -82,13 +86,19 @@ func (d *wdeque) install(lo, hi int) {
 }
 
 // workerStats is one worker's contribution to a statement's observability
-// counters, written only by that worker during the statement and read by
-// the caller after the barrier.
+// counters, written only by that worker during the statement and
+// aggregated by the caller at the barrier — the workers themselves never
+// touch a shared counter mid-statement. Entries are adjacent in one
+// slice, so each is padded out to two cache lines; workers update busy
+// and elems on every chunk, and unpadded entries would false-share those
+// writes across all cores.
 type workerStats struct {
-	busy   time.Duration // time spent executing body chunks
-	finish time.Duration // time from statement start until the worker exited
-	steals int64
-	elems  int
+	busy      time.Duration // time spent executing body chunks
+	finish    time.Duration // time from statement start until the worker exited
+	stealWait time.Duration // time spent hunting for work (failed pops to acquired steal, plus the final empty scan)
+	steals    int64
+	elems     int
+	_         [128 - 40]byte
 }
 
 // run executes body over [0, n) on w workers (the caller is worker 0)
@@ -126,6 +136,7 @@ func run(n, w, g int, body func(lo, hi int)) stmtStats {
 	for i := range ws {
 		st.busy += ws[i].busy
 		st.steals += ws[i].steals
+		st.stealWait += ws[i].stealWait
 		if ws[i].finish > maxFinish {
 			maxFinish = ws[i].finish
 		}
@@ -146,7 +157,12 @@ func worker(id int, dq []wdeque, g int, body func(lo, hi int), ws *workerStats, 
 	for {
 		lo, hi, ok := dq[id].pop(g)
 		if !ok {
+			// Everything from here until work is in hand again is the
+			// contention probe: time this worker spends scanning victims
+			// instead of executing bodies.
+			t0 := time.Now()
 			lo, hi, ok = steal(id, dq, &seed)
+			ws.stealWait += time.Since(t0)
 			if !ok {
 				break
 			}

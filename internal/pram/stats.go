@@ -1,6 +1,7 @@
 package pram
 
 import (
+	"math"
 	"sort"
 	"time"
 )
@@ -31,6 +32,12 @@ type PhaseStats struct {
 	// barriers waiting for the slowest worker — residual imbalance the
 	// stealing could not hide.
 	BarrierWait time.Duration
+	// StealWait is the total time workers spent hunting for work —
+	// scanning victim deques after their own ran dry, successful or not.
+	// It is the runtime's contention probe: Busy-relative growth of
+	// StealWait as workers are added means the statement is too fine-
+	// grained (or too skewed) for the added cores to help.
+	StealWait time.Duration
 }
 
 func (p *PhaseStats) add(o stmtStats) {
@@ -38,6 +45,7 @@ func (p *PhaseStats) add(o stmtStats) {
 	p.Span += o.span
 	p.Busy += o.busy
 	p.BarrierWait += o.barrierWait
+	p.StealWait += o.stealWait
 }
 
 // stmtStats is the measurement of a single executed statement.
@@ -46,6 +54,7 @@ type stmtStats struct {
 	span        time.Duration
 	busy        time.Duration
 	barrierWait time.Duration
+	stealWait   time.Duration
 }
 
 // Stats is a snapshot of a Machine's accumulated accounting: the totals,
@@ -79,7 +88,7 @@ func (m *Machine) Stats() Stats {
 	defer m.statsMu.Unlock()
 	out := Stats{
 		PhaseStats: m.total,
-		Grain:      m.grainLocked(),
+		Grain:      m.grain(),
 		Phases:     make(map[string]PhaseStats, len(m.phases)),
 	}
 	for name, ps := range m.phases {
@@ -133,6 +142,11 @@ func (m *Machine) record(steps, work, calls int64, st stmtStats) {
 // deque mutex and the two clock reads per chunk, small enough that
 // stealing can still rebalance a skewed statement. WithGrain pins the
 // grain and disables the controller.
+//
+// The EWMA lives in an atomic (float64 bits) so the orchestrator's For
+// fast path reads the grain without touching statsMu — statements issued
+// while another goroutine polls Stats() (the /statsz scrape path) never
+// queue on the stats lock.
 const (
 	grainDefault  = 1024    // used until the first measurement lands
 	grainMin      = 32      // never hand out slivers
@@ -142,16 +156,17 @@ const (
 	minSampleNs   = 0.1     // clock-resolution floor per element
 )
 
-// grainLocked returns the chunk size for the next statement; statsMu must
-// be held.
-func (m *Machine) grainLocked() int {
+// grain returns the chunk size for the next statement. Lock-free: reads
+// only the immutable fixedGrain and the atomic EWMA.
+func (m *Machine) grain() int {
 	if m.fixedGrain > 0 {
 		return m.fixedGrain
 	}
-	if m.nsPerElem == 0 {
+	per := math.Float64frombits(m.nsPerElem.Load())
+	if per == 0 {
 		return grainDefault
 	}
-	g := int(grainTargetNs / m.nsPerElem)
+	g := int(grainTargetNs / per)
 	if g < grainMin {
 		return grainMin
 	}
@@ -162,7 +177,9 @@ func (m *Machine) grainLocked() int {
 }
 
 // observeCost feeds one statement's measured per-element cost into the
-// EWMA (no-op under a fixed grain).
+// EWMA (no-op under a fixed grain). Plain load/store suffices: the only
+// writer is the orchestrating goroutine (For is non-concurrent per
+// Machine); the atomic makes the concurrent readers (Grain, Stats) safe.
 func (m *Machine) observeCost(n int, busy time.Duration) {
 	if m.fixedGrain > 0 || n <= 0 {
 		return
@@ -171,11 +188,8 @@ func (m *Machine) observeCost(n int, busy time.Duration) {
 	if per < minSampleNs {
 		per = minSampleNs // zero-cost samples would drive the grain to +∞
 	}
-	m.statsMu.Lock()
-	if m.nsPerElem == 0 {
-		m.nsPerElem = per
-	} else {
-		m.nsPerElem = (1-grainEWMA)*m.nsPerElem + grainEWMA*per
+	if prev := math.Float64frombits(m.nsPerElem.Load()); prev != 0 {
+		per = (1-grainEWMA)*prev + grainEWMA*per
 	}
-	m.statsMu.Unlock()
+	m.nsPerElem.Store(math.Float64bits(per))
 }

@@ -1,0 +1,40 @@
+// Package procid exposes a cheap identity for the P (logical processor)
+// the calling goroutine is currently scheduled on. It is the shard key
+// for every contention-sharded structure in the repository: the
+// workspace arena's per-worker free lists (internal/pool) and the
+// striped operation counters (internal/matrix.OpCount).
+//
+// Why the P and not the pram worker id: goroutines have no addressable
+// local storage in pure Go, so a worker id set by the scheduler cannot
+// be recovered inside a leaf allocation call without threading it
+// through every kernel signature. The P id is the true concurrency
+// domain anyway — two goroutines on the same P never run simultaneously,
+// so structures sharded by P see at most GOMAXPROCS concurrent writers
+// and, in the common case, exactly one per shard.
+//
+// The id comes from runtime.procPin/procUnpin via go:linkname (the same
+// mechanism sync.Pool uses for its per-P caches). The pin is released
+// immediately: callers use the id as a shard *hint*, so a goroutine
+// migrating between the read and the shard access merely lands on a
+// neighbouring shard's mutex — correctness never depends on the hint.
+package procid
+
+import (
+	_ "unsafe" // for go:linkname
+)
+
+//go:linkname procPin runtime.procPin
+func procPin() int
+
+//go:linkname procUnpin runtime.procUnpin
+func procUnpin()
+
+// Cur returns the id of the P the caller is running on: a small integer
+// in [0, GOMAXPROCS). The value is a scheduling-domain hint, not a
+// stable goroutine identity — the goroutine may migrate immediately
+// after the call returns.
+func Cur() int {
+	p := procPin()
+	procUnpin()
+	return p
+}

@@ -41,6 +41,14 @@ type batcher[Req, Resp any] struct {
 	quit   chan struct{}
 	done   chan struct{}
 
+	// reqScratch is the request buffer handed to exec, reused across
+	// batches. Only the collector goroutine touches it, and exec runs
+	// synchronously on that goroutine and must not retain its argument
+	// (the partree *Batch entry points copy what they keep), so one
+	// buffer per collector suffices — batching stops allocating a fresh
+	// request slice per batch on the hot path.
+	reqScratch []Req
+
 	// Counters, guarded by cmu.
 	cmu        sync.Mutex
 	batches    int64
@@ -194,11 +202,18 @@ func (b *batcher[Req, Resp]) drain() {
 }
 
 func (b *batcher[Req, Resp]) runBatch(batch []*pending[Req, Resp], cut string) {
-	reqs := make([]Req, len(batch))
-	for i, p := range batch {
-		reqs[i] = p.req
+	reqs := b.reqScratch[:0]
+	for _, p := range batch {
+		reqs = append(reqs, p.req)
 	}
 	resps, panicked := b.safeExec(reqs)
+	// Drop the payload references before parking the buffer: a retained
+	// request (often a large caller slice) must not outlive its batch.
+	var zero Req
+	for i := range reqs {
+		reqs[i] = zero
+	}
+	b.reqScratch = reqs[:0]
 	for i, p := range batch {
 		if panicked || i >= len(resps) {
 			p.err = errBatchPanic

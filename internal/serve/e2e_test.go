@@ -386,6 +386,20 @@ func TestE2ECacheHitAndStats(t *testing.T) {
 	if _, ok := es.Phases["batch.huffman"]; !ok {
 		t.Errorf("missing batch.huffman phase: %+v", es.Phases)
 	}
+	if snap.Pool.Shards < 1 || len(snap.Pool.PerShard) != snap.Pool.Shards {
+		t.Errorf("pool section malformed: %+v", snap.Pool)
+	}
+	var gets, hits int64
+	for _, sh := range snap.Pool.PerShard {
+		gets += sh.Gets
+		hits += sh.Hits
+		if sh.Gets > 0 && (sh.HitRate < 0 || sh.HitRate > 1 || sh.HitRate != float64(sh.Hits)/float64(sh.Gets)) {
+			t.Errorf("shard hit rate inconsistent: %+v", sh)
+		}
+	}
+	if snap.Pool.Enabled && gets == 0 {
+		t.Errorf("arena enabled but /statsz saw no shard traffic: %+v", snap.Pool)
+	}
 }
 
 // TestE2EValidationErrors locks the structured-400 contract.

@@ -111,9 +111,9 @@ type endpointCounters struct {
 
 // accumulatedStats folds the partree.Stats of successive batch runs.
 type accumulatedStats struct {
-	steps, work, steals int64
-	span, barrier       time.Duration
-	phases              map[string]partree.PhaseStats
+	steps, work, steals      int64
+	span, barrier, stealWait time.Duration
+	phases                   map[string]partree.PhaseStats
 }
 
 // New builds a Server and starts its per-engine batch collectors.
@@ -205,6 +205,7 @@ func (s *Server) addStats(engine string, st partree.Stats) {
 	acc.steals += st.Steals
 	acc.span += st.Span
 	acc.barrier += st.BarrierWait
+	acc.stealWait += st.StealWait
 	for name, ps := range st.Phases {
 		merged := acc.phases[name]
 		merged.Steps += ps.Steps
@@ -214,6 +215,7 @@ func (s *Server) addStats(engine string, st partree.Stats) {
 		merged.Span += ps.Span
 		merged.Busy += ps.Busy
 		merged.BarrierWait += ps.BarrierWait
+		merged.StealWait += ps.StealWait
 		acc.phases[name] = merged
 	}
 }
@@ -498,22 +500,67 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 // phaseJSON mirrors partree.PhaseStats with JSON-friendly durations.
 type phaseJSON struct {
-	Steps     int64   `json:"steps"`
-	Work      int64   `json:"work"`
-	Calls     int64   `json:"calls"`
-	Steals    int64   `json:"steals"`
-	SpanMS    float64 `json:"span_ms"`
-	BusyMS    float64 `json:"busy_ms"`
-	BarrierMS float64 `json:"barrier_ms"`
+	Steps       int64   `json:"steps"`
+	Work        int64   `json:"work"`
+	Calls       int64   `json:"calls"`
+	Steals      int64   `json:"steals"`
+	SpanMS      float64 `json:"span_ms"`
+	BusyMS      float64 `json:"busy_ms"`
+	BarrierMS   float64 `json:"barrier_ms"`
+	StealWaitMS float64 `json:"steal_wait_ms"`
 }
 
 type engineStatsJSON struct {
-	Steps     int64                `json:"steps"`
-	Work      int64                `json:"work"`
-	Steals    int64                `json:"steals"`
-	SpanMS    float64              `json:"span_ms"`
-	BarrierMS float64              `json:"barrier_ms"`
-	Phases    map[string]phaseJSON `json:"phases,omitempty"`
+	Steps       int64                `json:"steps"`
+	Work        int64                `json:"work"`
+	Steals      int64                `json:"steals"`
+	SpanMS      float64              `json:"span_ms"`
+	BarrierMS   float64              `json:"barrier_ms"`
+	StealWaitMS float64              `json:"steal_wait_ms"`
+	Phases      map[string]phaseJSON `json:"phases,omitempty"`
+}
+
+// PoolShardCounters is one arena shard's traffic in the /statsz payload.
+type PoolShardCounters struct {
+	Gets     int64   `json:"gets"`
+	Hits     int64   `json:"hits"`
+	HitRate  float64 `json:"hit_rate"`
+	Puts     int64   `json:"puts"`
+	Discards int64   `json:"discards"`
+	Free     int     `json:"free"`
+}
+
+// PoolCounters reports the sharded workspace arena: configuration plus
+// per-shard traffic, so an operator can see whether the shard count
+// matches the deployment (all traffic on one shard at -workers 1, spread
+// otherwise) and how well each shard's free lists are hitting.
+type PoolCounters struct {
+	Enabled    bool                `json:"enabled"`
+	Shards     int                 `json:"shards"`
+	GlobalFree int                 `json:"global_free"`
+	PerShard   []PoolShardCounters `json:"per_shard"`
+}
+
+func poolCounters() PoolCounters {
+	pc := PoolCounters{
+		Enabled:    pool.Enabled(),
+		Shards:     pool.Shards(),
+		GlobalFree: pool.GlobalFree(),
+	}
+	for _, sh := range pool.PerShard() {
+		c := PoolShardCounters{
+			Gets:     sh.Gets,
+			Hits:     sh.Hits,
+			Puts:     sh.Puts,
+			Discards: sh.Discards,
+			Free:     sh.Free,
+		}
+		if sh.Gets > 0 {
+			c.HitRate = float64(sh.Hits) / float64(sh.Gets)
+		}
+		pc.PerShard = append(pc.PerShard, c)
+	}
+	return pc
 }
 
 // StatsSnapshot is the /statsz payload.
@@ -528,6 +575,7 @@ type StatsSnapshot struct {
 	FastPath CacheCounters              `json:"fastpath"`
 	Batchers map[string]BatcherCounters `json:"batchers"`
 	PRAM     map[string]engineStatsJSON `json:"pram"`
+	Pool     PoolCounters               `json:"pool"`
 }
 
 // Snapshot assembles the current statistics (also served at /statsz).
@@ -549,6 +597,7 @@ func (s *Server) Snapshot() StatsSnapshot {
 			"lincfl":         s.cflBatch.counters(),
 		},
 		PRAM: make(map[string]engineStatsJSON, len(engineNames)),
+		Pool: poolCounters(),
 	}
 	for _, name := range engineNames {
 		c := s.served[name]
@@ -558,23 +607,25 @@ func (s *Server) Snapshot() StatsSnapshot {
 	for _, name := range engineNames {
 		acc := s.engineStats[name]
 		es := engineStatsJSON{
-			Steps:     acc.steps,
-			Work:      acc.work,
-			Steals:    acc.steals,
-			SpanMS:    acc.span.Seconds() * 1e3,
-			BarrierMS: acc.barrier.Seconds() * 1e3,
+			Steps:       acc.steps,
+			Work:        acc.work,
+			Steals:      acc.steals,
+			SpanMS:      acc.span.Seconds() * 1e3,
+			BarrierMS:   acc.barrier.Seconds() * 1e3,
+			StealWaitMS: acc.stealWait.Seconds() * 1e3,
 		}
 		if len(acc.phases) > 0 {
 			es.Phases = make(map[string]phaseJSON, len(acc.phases))
 			for pn, ps := range acc.phases {
 				es.Phases[pn] = phaseJSON{
-					Steps:     ps.Steps,
-					Work:      ps.Work,
-					Calls:     ps.Calls,
-					Steals:    ps.Steals,
-					SpanMS:    ps.Span.Seconds() * 1e3,
-					BusyMS:    ps.Busy.Seconds() * 1e3,
-					BarrierMS: ps.BarrierWait.Seconds() * 1e3,
+					Steps:       ps.Steps,
+					Work:        ps.Work,
+					Calls:       ps.Calls,
+					Steals:      ps.Steals,
+					SpanMS:      ps.Span.Seconds() * 1e3,
+					BusyMS:      ps.Busy.Seconds() * 1e3,
+					BarrierMS:   ps.BarrierWait.Seconds() * 1e3,
+					StealWaitMS: ps.StealWait.Seconds() * 1e3,
 				}
 			}
 		}

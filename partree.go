@@ -66,6 +66,9 @@ type Stats struct {
 	// BarrierWait is the total time workers idled at statement barriers
 	// waiting for the slowest worker.
 	BarrierWait time.Duration
+	// StealWait is the total time workers spent hunting for work across
+	// victim deques — the runtime's contention probe (see pram.PhaseStats).
+	StealWait time.Duration
 	// Phases breaks the cost down by algorithm phase (e.g. "monge.MulPar",
 	// "hufpar.spine"). Nil when the call issued no parallel statements.
 	Phases map[string]PhaseStats
@@ -90,6 +93,7 @@ func statsOf(m *pram.Machine) Stats {
 		Steals:      s.Steals,
 		Span:        s.Span,
 		BarrierWait: s.BarrierWait,
+		StealWait:   s.StealWait,
 	}
 	if len(s.Phases) > 0 {
 		out.Phases = s.Phases
