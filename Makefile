@@ -2,11 +2,11 @@
 
 GO ?= go
 
-.PHONY: all build test test-race test-e2e test-pooldebug check vet bench bench-par bench-gate bench-gate-quick bench-baseline tables examples cover fuzz clean
+.PHONY: all build test test-race test-e2e test-chaos test-pooldebug check vet bench bench-par bench-gate bench-gate-quick bench-baseline tables examples cover fuzz clean
 
 all: build vet test
 
-check: build vet test test-race test-e2e test-pooldebug bench-gate-quick
+check: build vet test test-race test-e2e test-chaos test-pooldebug bench-gate-quick
 
 build:
 	$(GO) build ./...
@@ -28,11 +28,19 @@ test-race:
 test-e2e:
 	$(GO) test -race -run 'TestE2E' ./internal/serve
 
+# Cancellation & fault-injection layer: per-kernel abort/unwind tests,
+# the batcher's deadline/expiry/abort semantics, and the partreed chaos
+# scenarios (mixed good/slow/oversized traffic), all under -race.
+test-chaos:
+	$(GO) test -race -run 'TestCancel|TestFaultInjection|TestChaos' . ./internal/pram ./internal/serve
+
 # The pooldebug build tag arms the workspace arena's misuse detectors
 # (double-release ledger, released-slab poisoning); run every pooled
-# kernel's tests under it so ownership bugs fail loudly.
+# kernel's tests under it so ownership bugs fail loudly. The root package
+# rides along for the cancellation-unwind suite: an abort must release
+# every slab exactly once.
 test-pooldebug:
-	$(GO) test -tags pooldebug ./internal/pool ./internal/boolmat ./internal/matrix ./internal/monge ./internal/lincfl ./internal/serve
+	$(GO) test -tags pooldebug . ./internal/pool ./internal/boolmat ./internal/matrix ./internal/monge ./internal/lincfl ./internal/serve
 
 # Regenerate the experiment measurements (EXPERIMENTS.md tables).
 tables:
@@ -81,6 +89,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzLinCFL -fuzztime=30s ./internal/lincfl
 	$(GO) test -fuzz=FuzzDecodeRequest -fuzztime=30s ./internal/serve
 	$(GO) test -fuzz=FuzzConcaveMultiply -fuzztime=30s ./internal/monge
+	$(GO) test -fuzz=FuzzCancelUnwind -fuzztime=30s .
 
 clean:
 	rm -f cover.out test_output.txt bench_output.txt

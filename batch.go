@@ -1,14 +1,17 @@
 package partree
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 
+	"partree/internal/faultpoint"
 	"partree/internal/huffman"
 	"partree/internal/leafpattern"
 	"partree/internal/lincfl"
 	"partree/internal/obst"
+	"partree/internal/pram"
 	"partree/internal/shannonfano"
 )
 
@@ -45,9 +48,35 @@ type HuffmanBatchResult struct {
 // oracle. Results are positionally aligned with jobs.
 func HuffmanBatch(jobs [][]float64, opts ...Options) ([]HuffmanBatchResult, Stats) {
 	m := firstOption(opts).machine()
+	out := huffmanBatchOn(m, jobs)
+	return out, statsOf(m)
+}
+
+// HuffmanBatchContext is HuffmanBatch under a context: cancelling ctx
+// aborts the batch at the next checkpoint (job boundaries included) and
+// returns (nil, Stats, ctx.Err()). Jobs that already ran are discarded —
+// a batch is one statement, not a resumable stream.
+func HuffmanBatchContext(ctx context.Context, jobs [][]float64, opts ...Options) ([]HuffmanBatchResult, Stats, error) {
+	m := firstOption(opts).machine()
+	m.SetContext(ctx)
+	var out []HuffmanBatchResult
+	err := m.Run(func() { out = huffmanBatchOn(m, jobs) })
+	if err != nil {
+		return nil, statsOf(m), err
+	}
+	return out, statsOf(m), nil
+}
+
+func huffmanBatchOn(m *pram.Machine, jobs [][]float64) []HuffmanBatchResult {
 	out := make([]HuffmanBatchResult, len(jobs))
 	restore := m.Phase("batch.huffman")
 	m.For(len(jobs), func(i int) {
+		if m.Canceled() {
+			return
+		}
+		if faultpoint.Armed() {
+			faultpoint.Hit("batch.huffman.job", i)
+		}
 		w := jobs[i]
 		if len(w) == 0 {
 			out[i].Err = ErrEmptyJob
@@ -67,7 +96,7 @@ func HuffmanBatch(jobs [][]float64, opts ...Options) ([]HuffmanBatchResult, Stat
 		out[i] = HuffmanBatchResult{Lengths: lengths, Codes: codes, Cost: cost}
 	})
 	restore()
-	return out, statsOf(m)
+	return out
 }
 
 // ShannonFanoBatchResult is one job's output from ShannonFanoBatch.
@@ -85,9 +114,33 @@ type ShannonFanoBatchResult struct {
 // rather than poisoning the batch.
 func ShannonFanoBatch(jobs [][]float64, opts ...Options) ([]ShannonFanoBatchResult, Stats) {
 	m := firstOption(opts).machine()
+	out := shannonFanoBatchOn(m, jobs)
+	return out, statsOf(m)
+}
+
+// ShannonFanoBatchContext is ShannonFanoBatch under a context; see
+// HuffmanBatchContext for the cancellation contract.
+func ShannonFanoBatchContext(ctx context.Context, jobs [][]float64, opts ...Options) ([]ShannonFanoBatchResult, Stats, error) {
+	m := firstOption(opts).machine()
+	m.SetContext(ctx)
+	var out []ShannonFanoBatchResult
+	err := m.Run(func() { out = shannonFanoBatchOn(m, jobs) })
+	if err != nil {
+		return nil, statsOf(m), err
+	}
+	return out, statsOf(m), nil
+}
+
+func shannonFanoBatchOn(m *pram.Machine, jobs [][]float64) []ShannonFanoBatchResult {
 	out := make([]ShannonFanoBatchResult, len(jobs))
 	restore := m.Phase("batch.shannonfano")
 	m.For(len(jobs), func(i int) {
+		if m.Canceled() {
+			return
+		}
+		if faultpoint.Armed() {
+			faultpoint.Hit("batch.shannonfano.job", i)
+		}
 		p := jobs[i]
 		if len(p) == 0 {
 			out[i].Err = ErrEmptyJob
@@ -112,7 +165,7 @@ func ShannonFanoBatch(jobs [][]float64, opts ...Options) ([]ShannonFanoBatchResu
 		out[i] = ShannonFanoBatchResult{Lengths: lengths, Codes: codes, AverageLength: avg}
 	})
 	restore()
-	return out, statsOf(m)
+	return out
 }
 
 // PatternBatchResult is one job's output from TreeFromDepthsBatch.
@@ -129,14 +182,38 @@ type PatternBatchResult struct {
 // oracle.
 func TreeFromDepthsBatch(jobs [][]int, opts ...Options) ([]PatternBatchResult, Stats) {
 	m := firstOption(opts).machine()
+	out := treeFromDepthsBatchOn(m, jobs)
+	return out, statsOf(m)
+}
+
+// TreeFromDepthsBatchContext is TreeFromDepthsBatch under a context; see
+// HuffmanBatchContext for the cancellation contract.
+func TreeFromDepthsBatchContext(ctx context.Context, jobs [][]int, opts ...Options) ([]PatternBatchResult, Stats, error) {
+	m := firstOption(opts).machine()
+	m.SetContext(ctx)
+	var out []PatternBatchResult
+	err := m.Run(func() { out = treeFromDepthsBatchOn(m, jobs) })
+	if err != nil {
+		return nil, statsOf(m), err
+	}
+	return out, statsOf(m), nil
+}
+
+func treeFromDepthsBatchOn(m *pram.Machine, jobs [][]int) []PatternBatchResult {
 	out := make([]PatternBatchResult, len(jobs))
 	restore := m.Phase("batch.leafpattern")
 	m.For(len(jobs), func(i int) {
+		if m.Canceled() {
+			return
+		}
+		if faultpoint.Armed() {
+			faultpoint.Hit("batch.leafpattern.job", i)
+		}
 		t, err := leafpattern.Greedy(jobs[i])
 		out[i] = PatternBatchResult{Tree: t, Err: err}
 	})
 	restore()
-	return out, statsOf(m)
+	return out
 }
 
 // BSTBatchResult is one job's output from OptimalBSTBatch.
@@ -152,14 +229,38 @@ type BSTBatchResult struct {
 // Instances must come from NewBSTInstance.
 func OptimalBSTBatch(jobs []*BSTInstance, opts ...Options) ([]BSTBatchResult, Stats) {
 	m := firstOption(opts).machine()
+	out := optimalBSTBatchOn(m, jobs)
+	return out, statsOf(m)
+}
+
+// OptimalBSTBatchContext is OptimalBSTBatch under a context; see
+// HuffmanBatchContext for the cancellation contract.
+func OptimalBSTBatchContext(ctx context.Context, jobs []*BSTInstance, opts ...Options) ([]BSTBatchResult, Stats, error) {
+	m := firstOption(opts).machine()
+	m.SetContext(ctx)
+	var out []BSTBatchResult
+	err := m.Run(func() { out = optimalBSTBatchOn(m, jobs) })
+	if err != nil {
+		return nil, statsOf(m), err
+	}
+	return out, statsOf(m), nil
+}
+
+func optimalBSTBatchOn(m *pram.Machine, jobs []*BSTInstance) []BSTBatchResult {
 	out := make([]BSTBatchResult, len(jobs))
 	restore := m.Phase("batch.obst")
 	m.For(len(jobs), func(i int) {
+		if m.Canceled() {
+			return
+		}
+		if faultpoint.Armed() {
+			faultpoint.Hit("batch.obst.job", i)
+		}
 		cost, t := obst.Knuth(jobs[i])
 		out[i] = BSTBatchResult{Cost: cost, Tree: t}
 	})
 	restore()
-	return out, statsOf(m)
+	return out
 }
 
 // LinCFLBatchJob is one recognition query: is Word in L(Grammar)?
@@ -173,11 +274,35 @@ type LinCFLBatchJob struct {
 // mix grammars freely.
 func RecognizeLinearBatch(jobs []LinCFLBatchJob, opts ...Options) ([]bool, Stats) {
 	m := firstOption(opts).machine()
+	out := recognizeLinearBatchOn(m, jobs)
+	return out, statsOf(m)
+}
+
+// RecognizeLinearBatchContext is RecognizeLinearBatch under a context;
+// see HuffmanBatchContext for the cancellation contract.
+func RecognizeLinearBatchContext(ctx context.Context, jobs []LinCFLBatchJob, opts ...Options) ([]bool, Stats, error) {
+	m := firstOption(opts).machine()
+	m.SetContext(ctx)
+	var out []bool
+	err := m.Run(func() { out = recognizeLinearBatchOn(m, jobs) })
+	if err != nil {
+		return nil, statsOf(m), err
+	}
+	return out, statsOf(m), nil
+}
+
+func recognizeLinearBatchOn(m *pram.Machine, jobs []LinCFLBatchJob) []bool {
 	out := make([]bool, len(jobs))
 	restore := m.Phase("batch.lincfl")
 	m.For(len(jobs), func(i int) {
+		if m.Canceled() {
+			return
+		}
+		if faultpoint.Armed() {
+			faultpoint.Hit("batch.lincfl.job", i)
+		}
 		out[i] = lincfl.Sequential(jobs[i].Grammar, jobs[i].Word)
 	})
 	restore()
-	return out, statsOf(m)
+	return out
 }

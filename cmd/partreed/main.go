@@ -89,8 +89,8 @@ func run(args []string) int {
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 
-	logger.Printf("listening on %s (max-batch=%d linger=%v cache=%d inflight=%d)",
-		*addr, *maxBatch, *linger, *cacheSize, *inflight)
+	logger.Printf("listening on %s (max-batch=%d linger=%v cache=%d inflight=%d request-timeout=%v)",
+		*addr, *maxBatch, *linger, *cacheSize, *inflight, *reqTimeout)
 
 	select {
 	case err := <-errc:

@@ -4,6 +4,7 @@ import (
 	"partree/internal/huffman"
 	"partree/internal/hufpar"
 	"partree/internal/par"
+	"partree/internal/pram"
 	"partree/internal/shannonfano"
 	"partree/internal/tree"
 )
@@ -63,7 +64,10 @@ type HuffmanParallelResult struct {
 // ⌈log(n+1)⌉ squarings of the concave path matrix, and the tree is
 // reconstructed exactly from the stored cut tables.
 func HuffmanParallel(freqs []float64, opts ...Options) *HuffmanParallelResult {
-	m := firstOption(opts).machine()
+	return huffmanParallelOn(firstOption(opts).machine(), freqs)
+}
+
+func huffmanParallelOn(m *pram.Machine, freqs []float64) *HuffmanParallelResult {
 	// "The general Huffman Coding Problem is reducible to this special
 	// case after applying one sort" (Section 3) — performed here with the
 	// PRAM merge sort so the whole pipeline runs on the machine.

@@ -3,6 +3,7 @@ package partree
 import (
 	"partree/internal/matrix"
 	"partree/internal/monge"
+	"partree/internal/pram"
 	"partree/internal/semiring"
 )
 
@@ -37,7 +38,10 @@ type ConcaveMultiplyResult struct {
 // quadrangle condition for the result to be correct (use IsConcave to
 // check; the function does not verify).
 func ConcaveMultiply(a, b [][]float64, opts ...Options) *ConcaveMultiplyResult {
-	m := firstOption(opts).machine()
+	return concaveMultiplyOn(firstOption(opts).machine(), a, b)
+}
+
+func concaveMultiplyOn(m *pram.Machine, a, b [][]float64) *ConcaveMultiplyResult {
 	ma, mb := matrix.FromRows(a), matrix.FromRows(b)
 	var cnt matrix.OpCount
 	prod, cut := monge.MulPar(m, ma, mb, &cnt)
@@ -50,6 +54,8 @@ func ConcaveMultiply(a, b [][]float64, opts ...Options) *ConcaveMultiplyResult {
 			cuts[i][j] = cut.At(i, j)
 		}
 	}
+	prod.Release()
+	cut.Release()
 	return &ConcaveMultiplyResult{
 		Product:     out,
 		Cut:         cuts,

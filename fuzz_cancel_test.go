@@ -1,0 +1,173 @@
+package partree
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"partree/internal/pool"
+)
+
+// countdownCtx is a context.Context that cancels itself after a fixed
+// number of Err polls. Each checkpoint the runtime reaches burns one
+// poll, so a fuzzed countdown lands the cancellation at an arbitrary
+// checkpoint inside the kernel — including ones no hand-written fault
+// point marks. Err is monotone: once it has reported Canceled it reports
+// Canceled forever (the counter keeps falling), matching the context
+// contract the runtime's abort path relies on.
+type countdownCtx struct {
+	context.Context // Background: Deadline/Value delegation
+	remaining       atomic.Int64
+	once            sync.Once
+	done            chan struct{}
+}
+
+func newCountdownCtx(polls int64) *countdownCtx {
+	c := &countdownCtx{Context: context.Background(), done: make(chan struct{})}
+	c.remaining.Store(polls)
+	return c
+}
+
+func (c *countdownCtx) Done() <-chan struct{} { return c.done }
+
+func (c *countdownCtx) Err() error {
+	if c.remaining.Add(-1) <= 0 {
+		c.once.Do(func() { close(c.done) })
+		return context.Canceled
+	}
+	return nil
+}
+
+// FuzzCancelUnwind drives a random kernel with a context that dies after
+// a random number of checkpoints. Whatever the timing: no panic, no
+// double-release (pooldebug poisons freed slabs), a balanced arena
+// ledger on abort, and — when the countdown outlives the run — results
+// identical to the serial oracle.
+func FuzzCancelUnwind(f *testing.F) {
+	f.Add(uint8(0), uint16(3), []byte{5, 2, 9, 1, 7, 7, 3})
+	f.Add(uint8(1), uint16(1), []byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add(uint8(2), uint16(5), []byte("abacabaabacaba"))
+	f.Add(uint8(3), uint16(2), []byte{4, 4, 4, 4, 1, 0, 1})
+	f.Add(uint8(0), uint16(60000), []byte{8, 8, 1, 2}) // countdown outlives the run
+	f.Add(uint8(2), uint16(60000), []byte("acbca"))
+	f.Fuzz(func(t *testing.T, kernel uint8, cancelAfter uint16, data []byte) {
+		if len(data) < 2 {
+			return
+		}
+		ctx := newCountdownCtx(int64(cancelAfter%1024) + 1)
+		before := pool.Snapshot()
+
+		var err error
+		var oracle func()
+		switch kernel % 4 {
+		case 0: // Huffman via concave matrix products
+			d := data
+			if len(d) > 48 {
+				d = d[:48]
+			}
+			w := make([]float64, len(d))
+			for i, b := range d {
+				w[i] = float64(b) + 1
+			}
+			var res *HuffmanParallelResult
+			res, err = HuffmanParallelContext(ctx, w)
+			oracle = func() {
+				want := HuffmanCost(w)
+				if diff := math.Abs(res.Cost - want); diff > 1e-9*(1+math.Abs(want)) {
+					t.Errorf("huffman cost %v, serial oracle %v", res.Cost, want)
+				}
+			}
+		case 1: // concave min-plus product
+			n := len(data)
+			if n > 12 {
+				n = 12
+			}
+			// -α·i·j plus row/column offsets keeps the quadrangle
+			// condition (offsets cancel in it, α > 0 preserves it).
+			alpha := float64(data[0]%7) + 1
+			a := make([][]float64, n)
+			for i := range a {
+				a[i] = make([]float64, n)
+				for j := range a[i] {
+					a[i][j] = -alpha*float64(i*j) + float64(data[i%len(data)]) + float64(data[j%len(data)])/3
+				}
+			}
+			var res *ConcaveMultiplyResult
+			res, err = ConcaveMultiplyContext(ctx, a, a)
+			oracle = func() {
+				want, _ := MinPlusMultiply(a, a)
+				for i := range want {
+					for j := range want[i] {
+						if res.Product[i][j] != want[i][j] {
+							t.Fatalf("product[%d][%d] = %v, oracle %v", i, j, res.Product[i][j], want[i][j])
+						}
+					}
+				}
+			}
+		case 2: // linear CFL recognition
+			d := data
+			if len(d) > 40 {
+				d = d[:40]
+			}
+			word := make([]byte, len(d))
+			for i, b := range d {
+				word[i] = "abc"[b%3]
+			}
+			g := PalindromeGrammar()
+			var res *LinearRecognitionResult
+			res, err = RecognizeLinearParallelContext(ctx, g, word)
+			oracle = func() {
+				if want := RecognizeLinear(g, word); res.Accepted != want {
+					t.Errorf("accepted = %v, serial oracle %v (word %q)", res.Accepted, want, word)
+				}
+			}
+		case 3: // monotone leaf-depth pattern
+			d := data
+			if len(d) > 32 {
+				d = d[:32]
+			}
+			depths := make([]int, len(d))
+			cur := 1
+			for i, b := range d {
+				cur += int(b % 2) // non-decreasing
+				if cur > 20 {
+					cur = 20
+				}
+				depths[i] = cur
+			}
+			var tr *Tree
+			tr, _, err = TreeFromMonotoneDepthsContext(ctx, depths)
+			if err != nil && !errors.Is(err, context.Canceled) {
+				// Constructive failure, not an abort: the oracle must
+				// agree the pattern is unrealizable.
+				if DepthsRealizable(depths) {
+					t.Fatalf("build failed (%v) on realizable depths %v", err, depths)
+				}
+				return
+			}
+			oracle = func() {
+				if !DepthsRealizable(depths) {
+					t.Fatalf("build succeeded on unrealizable depths %v", depths)
+				}
+				if tr == nil {
+					t.Fatal("nil tree with nil error")
+				}
+			}
+		}
+
+		if err != nil {
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("err = %v, want context.Canceled or nil", err)
+			}
+			after := pool.Snapshot()
+			if dg, dp := after.Gets-before.Gets, after.Puts-before.Puts; dg != dp {
+				t.Fatalf("pool ledger unbalanced after abort: %d gets vs %d puts", dg, dp)
+			}
+			return
+		}
+		oracle()
+	})
+}

@@ -13,6 +13,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"partree/internal/faultpoint"
 	"partree/internal/pool"
 	"partree/internal/pram"
 )
@@ -224,6 +225,15 @@ func MulPar(m *pram.Machine, a, b *Matrix) *Matrix {
 	if a.C == 0 || b.C == 0 {
 		return out
 	}
+	// A cancellation abort inside the For must hand the output slab back
+	// to the arena on its way up the stack.
+	defer func() {
+		if rec := recover(); rec != nil {
+			out.Release()
+			panic(rec)
+		}
+	}()
+	faultpoint.Hit("boolmat.mulpar")
 	aw := (a.C + 63) >> 6
 	m.For(a.R, func(i int) {
 		mulRowInto(out.row(i), a.row(i), b, 0, aw)
@@ -258,6 +268,15 @@ func ClosurePar(mach *pram.Machine, m *Matrix) *Matrix {
 	id := Identity(m.R)
 	cur := m.Clone().Or(id)
 	id.Release()
+	// cur is a GC'd Clone before the first squaring and a pooled MulPar
+	// product afterwards; Release handles both, and MulPar releases its
+	// own output when the abort happens inside it.
+	defer func() {
+		if rec := recover(); rec != nil {
+			cur.Release()
+			panic(rec)
+		}
+	}()
 	for span := 1; span < m.R; span <<= 1 {
 		next := MulPar(mach, cur, cur)
 		cur.Release()

@@ -1,0 +1,80 @@
+package faultpoint
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestHitWithoutHooksIsNoop(t *testing.T) {
+	Reset()
+	if Armed() {
+		t.Fatal("Armed() = true with no hooks installed")
+	}
+	Hit("nonexistent")         // must not panic
+	Hit("nonexistent", 1, "x") // args ignored
+}
+
+func TestSetHitClear(t *testing.T) {
+	t.Cleanup(Reset)
+	var got []any
+	Set("p", func(args ...any) { got = append(got, args...) })
+	if !Armed() {
+		t.Fatal("Armed() = false after Set")
+	}
+	Hit("p", 7, "a")
+	Hit("other") // different name: no hook
+	if len(got) != 2 || got[0] != 7 || got[1] != "a" {
+		t.Fatalf("hook saw args %v, want [7 a]", got)
+	}
+	Clear("p")
+	if Armed() {
+		t.Fatal("Armed() = true after Clear")
+	}
+	Hit("p", 99)
+	if len(got) != 2 {
+		t.Fatal("hook ran after Clear")
+	}
+}
+
+func TestSetReplaceKeepsArmedCount(t *testing.T) {
+	t.Cleanup(Reset)
+	Set("p", func(...any) {})
+	Set("p", func(...any) {}) // replace, not double-count
+	Clear("p")
+	if Armed() {
+		t.Fatal("Armed() = true after clearing a twice-set hook")
+	}
+}
+
+func TestSetNilClears(t *testing.T) {
+	t.Cleanup(Reset)
+	Set("p", func(...any) {})
+	Set("p", nil)
+	if Armed() {
+		t.Fatal("Set(name, nil) did not clear the hook")
+	}
+}
+
+func TestConcurrentHitAndSet(t *testing.T) {
+	t.Cleanup(Reset)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				Hit("race")
+			}
+		}
+	}()
+	for i := 0; i < 100; i++ {
+		Set("race", func(...any) {})
+		Clear("race")
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -3,6 +3,7 @@ package hufpar
 import (
 	"fmt"
 
+	"partree/internal/faultpoint"
 	"partree/internal/matrix"
 	"partree/internal/monge"
 	"partree/internal/pram"
@@ -42,8 +43,20 @@ func HeightLimited(m *pram.Machine, weights []float64, h int) (*tree.Node, float
 	}
 	var cnt matrix.OpCount
 	cuts := make([]*matrix.IntMat, h)
+	var prod *matrix.Dense
+	defer func() {
+		if rec := recover(); rec != nil {
+			for _, c := range cuts {
+				c.Release()
+			}
+			prod.Release()
+			panic(rec)
+		}
+	}()
 	for t := 0; t < h; t++ {
-		prod, cut := monge.MulPar(m, a, a, &cnt)
+		faultpoint.Hit("hufpar.height.level")
+		var cut *matrix.IntMat
+		prod, cut = monge.MulPar(m, a, a, &cnt)
 		cuts[t] = cut
 		next := matrix.NewInf(n+1, n+1)
 		m.For((n+1)*(n+1), func(e int) {
@@ -56,11 +69,21 @@ func HeightLimited(m *pram.Machine, weights []float64, h int) (*tree.Node, float
 			}
 		})
 		a = next
+		prod.Release()
+		prod = nil
+	}
+	releaseCuts := func() {
+		for _, c := range cuts {
+			c.Release()
+		}
+		cuts = nil
 	}
 	cost := a.At(0, n)
 	if semiring.IsInf(cost) {
+		releaseCuts()
 		return nil, 0, fmt.Errorf("hufpar: height %d infeasible for %d symbols", h, n)
 	}
 	t := heightSubtree(weights, cuts, 0, n, h)
+	releaseCuts()
 	return t, cost, nil
 }

@@ -3,6 +3,7 @@ package leafpattern
 import (
 	"math/big"
 
+	"partree/internal/faultpoint"
 	"partree/internal/kraft"
 	"partree/internal/par"
 	"partree/internal/pram"
@@ -38,6 +39,7 @@ func MonotonePar(m *pram.Machine, pattern []int) (*tree.Node, error) {
 		return nil, errNotMonotone
 	}
 	defer m.Phase("leafpattern.MonotonePar")()
+	faultpoint.Hit("leafpattern.monotone")
 	n := len(pattern)
 
 	// Normalize to non-increasing; remember to mirror the result back.

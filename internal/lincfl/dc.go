@@ -2,6 +2,7 @@ package lincfl
 
 import (
 	"partree/internal/boolmat"
+	"partree/internal/faultpoint"
 	"partree/internal/grammar"
 	"partree/internal/pram"
 )
@@ -308,13 +309,24 @@ func (ctx *dcCtx) emptyBlock() *boolmat.Matrix {
 // tri computes the triangle reachability IN×OUT.
 func (ctx *dcCtx) tri(lo, hi, depth int) *boolmat.Matrix {
 	ctx.noteDepth(depth)
+	faultpoint.Hit("lincfl.tri")
 	if lo == hi {
 		return boolmat.Identity(ctx.k)
 	}
 	mid := (lo + hi) / 2
-	rl := ctx.tri(lo, mid, depth+1)
-	rr := ctx.tri(mid+1, hi, depth+1)
-	rq := ctx.rect(lo, mid, mid+1, hi, depth+1)
+	// A cancellation abort below (inside any product's For) unwinds this
+	// frame; the already-built children must be released on the way up —
+	// the combine helpers release their own intermediates.
+	var rl, rr, rq *boolmat.Matrix
+	defer func() {
+		if rec := recover(); rec != nil {
+			release(rl, rr, rq)
+			panic(rec)
+		}
+	}()
+	rl = ctx.tri(lo, mid, depth+1)
+	rr = ctx.tri(mid+1, hi, depth+1)
+	rq = ctx.rect(lo, mid, mid+1, hi, depth+1)
 	res := ctx.combineTri(lo, hi, rl, rr, rq)
 	// The children are fully folded into res; recycle their slabs for the
 	// sibling recursions. (The caching extractor keeps its children alive
@@ -325,7 +337,7 @@ func (ctx *dcCtx) tri(lo, hi, depth int) *boolmat.Matrix {
 
 // combineTri assembles a triangle's boundary reachability from its three
 // pieces' matrices — shared with the caching recursion in derive_dc.go.
-func (ctx *dcCtx) combineTri(lo, hi int, rl, rr, rq *boolmat.Matrix) *boolmat.Matrix {
+func (ctx *dcCtx) combineTri(lo, hi int, rl, rr, rq *boolmat.Matrix) (res *boolmat.Matrix) {
 	mid := (lo + hi) / 2
 	inT := triIn(lo, hi)
 	outT := triOut(lo, hi)
@@ -333,25 +345,38 @@ func (ctx *dcCtx) combineTri(lo, hi int, rl, rr, rq *boolmat.Matrix) *boolmat.Ma
 	inR, outR := triIn(mid+1, hi), triOut(mid+1, hi)
 	inQ, outQ := rectIn(lo, mid, mid+1, hi), rectOut(lo, mid, mid+1, hi)
 
+	// Every intermediate is declared up front and nil'd as it is released
+	// on the normal path, so a cancellation abort inside any product can
+	// return exactly the still-live ones to the arena (Release is
+	// nil-safe) before the unwind continues.
+	var loutT, routT, lFull, rFull, xl, xr, ql, qr, qFull, sl, sr, sq, tr, tq *boolmat.Matrix
+	defer func() {
+		if rec := recover(); rec != nil {
+			release(loutT, routT, lFull, rFull, xl, xr, ql, qr, qFull, sl, sr, sq, tr, tq, res)
+			panic(rec)
+		}
+	}()
+
 	// Region → OUT(T) pipelines.
-	loutT := ctx.inject(outL, outT, same, nil) // L's diagonal is part of T's
-	routT := ctx.inject(outR, outT, same, nil) // R's diagonal too
-	lFull := ctx.mul(rl, loutT)                // IN(L) → OUT(T)
-	rFull := ctx.mul(rr, routT)                // IN(R) → OUT(T)
-	xl := ctx.inject(outQ, inL, crossLeft(mid+1), ctx.blockRight(ctx.w[mid+1]))
-	xr := ctx.inject(outQ, inR, crossDown(mid), ctx.blockLeft(ctx.w[mid]))
-	ql := ctx.mul(xl, lFull)
-	qr := ctx.mul(xr, rFull)
-	qFull := ctx.mul(rq, ql.Or(qr)) // IN(Q) → OUT(T)
+	loutT = ctx.inject(outL, outT, same, nil) // L's diagonal is part of T's
+	routT = ctx.inject(outR, outT, same, nil) // R's diagonal too
+	lFull = ctx.mul(rl, loutT)                // IN(L) → OUT(T)
+	rFull = ctx.mul(rr, routT)                // IN(R) → OUT(T)
+	xl = ctx.inject(outQ, inL, crossLeft(mid+1), ctx.blockRight(ctx.w[mid+1]))
+	xr = ctx.inject(outQ, inR, crossDown(mid), ctx.blockLeft(ctx.w[mid]))
+	ql = ctx.mul(xl, lFull)
+	qr = ctx.mul(xr, rFull)
+	qFull = ctx.mul(rq, ql.Or(qr)) // IN(Q) → OUT(T)
 	release(loutT, routT, xl, xr, ql, qr)
+	loutT, routT, xl, xr, ql, qr = nil, nil, nil, nil, nil, nil
 
 	// IN(T) routing.
-	sl := ctx.inject(inT, inL, same, nil)
-	sr := ctx.inject(inT, inR, same, nil)
-	sq := ctx.inject(inT, inQ, same, nil)
-	res := ctx.mul(sl, lFull)
-	tr := ctx.mul(sr, rFull)
-	tq := ctx.mul(sq, qFull)
+	sl = ctx.inject(inT, inL, same, nil)
+	sr = ctx.inject(inT, inR, same, nil)
+	sq = ctx.inject(inT, inQ, same, nil)
+	res = ctx.mul(sl, lFull)
+	tr = ctx.mul(sr, rFull)
+	tq = ctx.mul(sq, qFull)
 	res.Or(tr).Or(tq)
 	release(sl, sr, sq, tr, tq, lFull, rFull, qFull)
 	return res
@@ -363,55 +388,69 @@ func (ctx *dcCtx) rect(a, b, c, d, depth int) *boolmat.Matrix {
 	if a == b && c == d {
 		return boolmat.Identity(ctx.k)
 	}
+	var r1, r2, r3, r4 *boolmat.Matrix
+	defer func() {
+		if rec := recover(); rec != nil {
+			release(r1, r2, r3, r4)
+			panic(rec)
+		}
+	}()
 	if a == b {
 		// Single row: split columns.
 		m2 := (c + d) / 2
-		rw := ctx.rect(a, b, c, m2, depth+1)
-		re := ctx.rect(a, b, m2+1, d, depth+1)
-		res := ctx.combineRectRow(a, b, c, d, rw, re)
-		release(rw, re)
+		r1 = ctx.rect(a, b, c, m2, depth+1)
+		r2 = ctx.rect(a, b, m2+1, d, depth+1)
+		res := ctx.combineRectRow(a, b, c, d, r1, r2)
+		release(r1, r2)
 		return res
 	}
 	if c == d {
 		// Single column: split rows.
 		m1 := (a + b) / 2
-		rn := ctx.rect(a, m1, c, d, depth+1)
-		rs := ctx.rect(m1+1, b, c, d, depth+1)
-		res := ctx.combineRectCol(a, b, c, d, rn, rs)
-		release(rn, rs)
+		r1 = ctx.rect(a, m1, c, d, depth+1)
+		r2 = ctx.rect(m1+1, b, c, d, depth+1)
+		res := ctx.combineRectCol(a, b, c, d, r1, r2)
+		release(r1, r2)
 		return res
 	}
 	// Full quadrant split.
 	m1 := (a + b) / 2
 	m2 := (c + d) / 2
-	rnw := ctx.rect(a, m1, c, m2, depth+1)
-	rne := ctx.rect(a, m1, m2+1, d, depth+1)
-	rsw := ctx.rect(m1+1, b, c, m2, depth+1)
-	rse := ctx.rect(m1+1, b, m2+1, d, depth+1)
-	res := ctx.combineRectQuad(a, b, c, d, rnw, rne, rsw, rse)
-	release(rnw, rne, rsw, rse)
+	r1 = ctx.rect(a, m1, c, m2, depth+1)
+	r2 = ctx.rect(a, m1, m2+1, d, depth+1)
+	r3 = ctx.rect(m1+1, b, c, m2, depth+1)
+	r4 = ctx.rect(m1+1, b, m2+1, d, depth+1)
+	res := ctx.combineRectQuad(a, b, c, d, r1, r2, r3, r4)
+	release(r1, r2, r3, r4)
 	return res
 }
 
 // combineRectRow assembles a single-row rectangle from its west/east
 // halves. Like combineTri, it releases every intermediate it creates but
 // leaves the child matrices to the caller (the extractor caches them).
-func (ctx *dcCtx) combineRectRow(a, b, c, d int, rw, re *boolmat.Matrix) *boolmat.Matrix {
+func (ctx *dcCtx) combineRectRow(a, b, c, d int, rw, re *boolmat.Matrix) (res *boolmat.Matrix) {
 	inQ := rectIn(a, b, c, d)
 	outQ := rectOut(a, b, c, d)
 	m2 := (c + d) / 2
 	inW, outW := rectIn(a, b, c, m2), rectOut(a, b, c, m2)
 	inE, outE := rectIn(a, b, m2+1, d), rectOut(a, b, m2+1, d)
-	woutQ := ctx.inject(outW, outQ, same, nil)
-	eoutQ := ctx.inject(outE, outQ, same, nil)
-	wFull := ctx.mul(rw, woutQ)
-	xw := ctx.inject(outE, inW, crossLeft(m2+1), ctx.blockRight(ctx.w[m2+1]))
-	xwF := ctx.mul(xw, wFull)
-	eFull := ctx.mul(re, eoutQ.Or(xwF))
-	sw := ctx.inject(inQ, inW, same, nil)
-	se := ctx.inject(inQ, inE, same, nil)
-	res := ctx.mul(sw, wFull)
-	te := ctx.mul(se, eFull)
+	var woutQ, eoutQ, wFull, xw, xwF, eFull, sw, se, te *boolmat.Matrix
+	defer func() {
+		if rec := recover(); rec != nil {
+			release(woutQ, eoutQ, wFull, xw, xwF, eFull, sw, se, te, res)
+			panic(rec)
+		}
+	}()
+	woutQ = ctx.inject(outW, outQ, same, nil)
+	eoutQ = ctx.inject(outE, outQ, same, nil)
+	wFull = ctx.mul(rw, woutQ)
+	xw = ctx.inject(outE, inW, crossLeft(m2+1), ctx.blockRight(ctx.w[m2+1]))
+	xwF = ctx.mul(xw, wFull)
+	eFull = ctx.mul(re, eoutQ.Or(xwF))
+	sw = ctx.inject(inQ, inW, same, nil)
+	se = ctx.inject(inQ, inE, same, nil)
+	res = ctx.mul(sw, wFull)
+	te = ctx.mul(se, eFull)
 	res.Or(te)
 	release(woutQ, eoutQ, xw, xwF, sw, se, te, wFull, eFull)
 	return res
@@ -419,30 +458,37 @@ func (ctx *dcCtx) combineRectRow(a, b, c, d int, rw, re *boolmat.Matrix) *boolma
 
 // combineRectCol assembles a single-column rectangle from its north/south
 // halves.
-func (ctx *dcCtx) combineRectCol(a, b, c, d int, rn, rs *boolmat.Matrix) *boolmat.Matrix {
+func (ctx *dcCtx) combineRectCol(a, b, c, d int, rn, rs *boolmat.Matrix) (res *boolmat.Matrix) {
 	inQ := rectIn(a, b, c, d)
 	outQ := rectOut(a, b, c, d)
 	m1 := (a + b) / 2
 	inN, outN := rectIn(a, m1, c, d), rectOut(a, m1, c, d)
 	inS, outS := rectIn(m1+1, b, c, d), rectOut(m1+1, b, c, d)
-	noutQ := ctx.inject(outN, outQ, same, nil)
-	soutQ := ctx.inject(outS, outQ, same, nil)
-	sFull := ctx.mul(rs, soutQ)
-	xn := ctx.inject(outN, inS, crossDown(m1), ctx.blockLeft(ctx.w[m1]))
-	xnF := ctx.mul(xn, sFull)
+	var noutQ, soutQ, sFull, xn, xnF, nFull, sn, ss, ts *boolmat.Matrix
+	defer func() {
+		if rec := recover(); rec != nil {
+			release(noutQ, soutQ, sFull, xn, xnF, nFull, sn, ss, ts, res)
+			panic(rec)
+		}
+	}()
+	noutQ = ctx.inject(outN, outQ, same, nil)
+	soutQ = ctx.inject(outS, outQ, same, nil)
+	sFull = ctx.mul(rs, soutQ)
+	xn = ctx.inject(outN, inS, crossDown(m1), ctx.blockLeft(ctx.w[m1]))
+	xnF = ctx.mul(xn, sFull)
 	// IN(N) → OUT(Q): direct exits plus crossing down into S.
-	nFull := ctx.mul(rn, noutQ.Or(xnF))
-	sn := ctx.inject(inQ, inN, same, nil)
-	ss := ctx.inject(inQ, inS, same, nil)
-	res := ctx.mul(sn, nFull)
-	ts := ctx.mul(ss, sFull)
+	nFull = ctx.mul(rn, noutQ.Or(xnF))
+	sn = ctx.inject(inQ, inN, same, nil)
+	ss = ctx.inject(inQ, inS, same, nil)
+	res = ctx.mul(sn, nFull)
+	ts = ctx.mul(ss, sFull)
 	res.Or(ts)
 	release(noutQ, soutQ, xn, xnF, sn, ss, ts, nFull, sFull)
 	return res
 }
 
 // combineRectQuad assembles a rectangle from its four quadrants.
-func (ctx *dcCtx) combineRectQuad(a, b, c, d int, rnw, rne, rsw, rse *boolmat.Matrix) *boolmat.Matrix {
+func (ctx *dcCtx) combineRectQuad(a, b, c, d int, rnw, rne, rsw, rse *boolmat.Matrix) (res *boolmat.Matrix) {
 	inQ := rectIn(a, b, c, d)
 	outQ := rectOut(a, b, c, d)
 	m1 := (a + b) / 2
@@ -453,29 +499,41 @@ func (ctx *dcCtx) combineRectQuad(a, b, c, d int, rnw, rne, rsw, rse *boolmat.Ma
 	inSW, outSW := rectIn(m1+1, b, c, m2), rectOut(m1+1, b, c, m2)
 	inSE, outSE := rectIn(m1+1, b, m2+1, d), rectOut(m1+1, b, m2+1, d)
 
-	swOut := ctx.inject(outSW, outQ, same, nil)
-	swFull := ctx.mul(rsw, swOut)
-	xwDown := ctx.inject(outNW, inSW, crossDown(m1), ctx.blockLeft(ctx.w[m1]))
-	xwF := ctx.mul(xwDown, swFull)
-	nwOut := ctx.inject(outNW, outQ, same, nil)
-	nwFull := ctx.mul(rnw, nwOut.Or(xwF))
-	xsLeft := ctx.inject(outSE, inSW, crossLeft(m2+1), ctx.blockRight(ctx.w[m2+1]))
-	xsF := ctx.mul(xsLeft, swFull)
-	seOut := ctx.inject(outSE, outQ, same, nil)
-	seFull := ctx.mul(rse, seOut.Or(xsF))
-	xnLeft := ctx.inject(outNE, inNW, crossLeft(m2+1), ctx.blockRight(ctx.w[m2+1]))
-	xeDown := ctx.inject(outNE, inSE, crossDown(m1), ctx.blockLeft(ctx.w[m1]))
-	xnF := ctx.mul(xnLeft, nwFull)
-	xeF := ctx.mul(xeDown, seFull)
-	neFull := ctx.mul(rne, xnF.Or(xeF))
-	release(swOut, xwDown, xwF, nwOut, xsLeft, xsF, seOut, xnLeft, xeDown, xnF, xeF)
+	var swOut, swFull, xwDown, xwF, nwOut, nwFull, xsLeft, xsF, seOut, seFull,
+		xnLeft, xeDown, xnF, xeF, neFull, snw, sne, sse, tne, tse *boolmat.Matrix
+	defer func() {
+		if rec := recover(); rec != nil {
+			release(swOut, swFull, xwDown, xwF, nwOut, nwFull, xsLeft, xsF, seOut, seFull,
+				xnLeft, xeDown, xnF, xeF, neFull, snw, sne, sse, tne, tse, res)
+			panic(rec)
+		}
+	}()
 
-	snw := ctx.inject(inQ, inNW, same, nil)
-	sne := ctx.inject(inQ, inNE, same, nil)
-	sse := ctx.inject(inQ, inSE, same, nil)
-	res := ctx.mul(snw, nwFull)
-	tne := ctx.mul(sne, neFull)
-	tse := ctx.mul(sse, seFull)
+	swOut = ctx.inject(outSW, outQ, same, nil)
+	swFull = ctx.mul(rsw, swOut)
+	xwDown = ctx.inject(outNW, inSW, crossDown(m1), ctx.blockLeft(ctx.w[m1]))
+	xwF = ctx.mul(xwDown, swFull)
+	nwOut = ctx.inject(outNW, outQ, same, nil)
+	nwFull = ctx.mul(rnw, nwOut.Or(xwF))
+	xsLeft = ctx.inject(outSE, inSW, crossLeft(m2+1), ctx.blockRight(ctx.w[m2+1]))
+	xsF = ctx.mul(xsLeft, swFull)
+	seOut = ctx.inject(outSE, outQ, same, nil)
+	seFull = ctx.mul(rse, seOut.Or(xsF))
+	xnLeft = ctx.inject(outNE, inNW, crossLeft(m2+1), ctx.blockRight(ctx.w[m2+1]))
+	xeDown = ctx.inject(outNE, inSE, crossDown(m1), ctx.blockLeft(ctx.w[m1]))
+	xnF = ctx.mul(xnLeft, nwFull)
+	xeF = ctx.mul(xeDown, seFull)
+	neFull = ctx.mul(rne, xnF.Or(xeF))
+	release(swOut, xwDown, xwF, nwOut, xsLeft, xsF, seOut, xnLeft, xeDown, xnF, xeF)
+	swOut, xwDown, xwF, nwOut, xsLeft, xsF = nil, nil, nil, nil, nil, nil
+	seOut, xnLeft, xeDown, xnF, xeF = nil, nil, nil, nil, nil
+
+	snw = ctx.inject(inQ, inNW, same, nil)
+	sne = ctx.inject(inQ, inNE, same, nil)
+	sse = ctx.inject(inQ, inSE, same, nil)
+	res = ctx.mul(snw, nwFull)
+	tne = ctx.mul(sne, neFull)
+	tse = ctx.mul(sse, seFull)
 	res.Or(tne).Or(tse)
 	release(snw, sne, sse, tne, tse, nwFull, neFull, swFull, seFull)
 	return res

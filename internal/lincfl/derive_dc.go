@@ -2,6 +2,7 @@ package lincfl
 
 import (
 	"partree/internal/boolmat"
+	"partree/internal/faultpoint"
 	"partree/internal/grammar"
 	"partree/internal/pram"
 )
@@ -18,6 +19,21 @@ func DeriveDC(m *pram.Machine, g *grammar.Linear, w []byte) ([]Step, bool) {
 		return nil, false
 	}
 	ctx := newTraceCtx(m, g, w)
+	// The caches deliberately outlive the recursion for the extraction
+	// walk; on a cancellation abort nothing will walk them, so hand their
+	// slabs back to the arena before the unwind continues. (The matrix the
+	// combine helpers were building is released by their own defers.)
+	defer func() {
+		if rec := recover(); rec != nil {
+			for _, r := range ctx.triCache {
+				r.Release()
+			}
+			for _, r := range ctx.rectCache {
+				r.Release()
+			}
+			panic(rec)
+		}
+	}()
 	reach := ctx.tri(0, n-1, 1)
 
 	in := triIn(0, n-1)
@@ -106,8 +122,11 @@ func newTraceCtx(m *pram.Machine, g *grammar.Linear, w []byte) *traceCtx {
 	}
 }
 
-// tri/rect with caching: identical recursion, memoized results.
+// tri/rect with caching: identical recursion, memoized results. The
+// trace recursion re-announces the "lincfl.tri" fault point so abort
+// tests can cancel mid-extraction, where the caches hold live slabs.
 func (t *traceCtx) tri(lo, hi, depth int) *boolmat.Matrix {
+	faultpoint.Hit("lincfl.tri")
 	key := [2]int{lo, hi}
 	if r, ok := t.triCache[key]; ok {
 		return r

@@ -32,6 +32,17 @@ func CutBottomUpCRCW(mach *pram.Machine, a, b *matrix.Dense, cnt *matrix.OpCount
 	// First level: brute grid, all entries minimized simultaneously.
 	pg, rg := stridedCount(p, s), stridedCount(r, s)
 	grid := matrix.NewIntFromPool(pg, rg)
+	// Cancellation unwinds through the multiMin statements below; release
+	// whichever level tables are live (normally-released ones are nil'd).
+	var rows, gridNext *matrix.IntMat
+	defer func() {
+		if rec := recover(); rec != nil {
+			grid.Release()
+			rows.Release()
+			gridNext.Release()
+			panic(rec)
+		}
+	}()
 	var entries []minEntry
 	for ii := 0; ii < pg; ii++ {
 		for jj := 0; jj < rg; jj++ {
@@ -42,15 +53,18 @@ func CutBottomUpCRCW(mach *pram.Machine, a, b *matrix.Dense, cnt *matrix.OpCount
 		grid.Set(k/rg, k%rg, arg)
 	}
 
-	rows := widenColumnsCRCW(mach, c, grid, s, s)
+	rows = widenColumnsCRCW(mach, c, grid, s, s)
 	grid.Release()
+	grid = nil
 	for s > 1 {
 		sNext := 1 << (uint(e) / 2)
 		e /= 2
-		gridNext := refineRowsCRCW(mach, c, rows, s, sNext)
+		gridNext = refineRowsCRCW(mach, c, rows, s, sNext)
 		rows.Release()
+		rows = nil
 		rows = widenColumnsCRCW(mach, c, gridNext, sNext, sNext)
 		gridNext.Release()
+		gridNext = nil
 		s = sNext
 	}
 	return rows
@@ -201,6 +215,12 @@ func widenColumnsCRCW(mach *pram.Machine, c *mulCtx, grid *matrix.IntMat, rs, cs
 	r := c.b.C
 	q := c.a.C
 	out := matrix.NewIntFromPool(p, r)
+	defer func() {
+		if rec := recover(); rec != nil {
+			out.Release()
+			panic(rec)
+		}
+	}()
 	var entries []minEntry
 	var where [][2]int
 	for ii := 0; ii < p; ii++ {
@@ -234,6 +254,12 @@ func refineRowsCRCW(mach *pram.Machine, c *mulCtx, rows *matrix.IntMat, s, sNext
 	r := stridedCount(c.b.C, sNext)
 	q := c.a.C
 	out := matrix.NewIntFromPool(p, r)
+	defer func() {
+		if rec := recover(); rec != nil {
+			out.Release()
+			panic(rec)
+		}
+	}()
 	var entries []minEntry
 	var where [][2]int
 	for ii := 0; ii < p; ii++ {

@@ -1,6 +1,7 @@
 package monge
 
 import (
+	"partree/internal/faultpoint"
 	"partree/internal/matrix"
 	"partree/internal/pram"
 )
@@ -19,13 +20,28 @@ func CutRecursivePar(m *pram.Machine, a, b *matrix.Dense, cnt *matrix.OpCount) *
 	return cutRecStridedPar(m, c, 1, 1)
 }
 
-func cutRecStridedPar(m *pram.Machine, c *mulCtx, rs, cs int) *matrix.IntMat {
+func cutRecStridedPar(m *pram.Machine, c *mulCtx, rs, cs int) (out *matrix.IntMat) {
+	// A cancellation checkpoint inside any of the For calls below unwinds
+	// through this frame; the live pooled intermediates must go back to
+	// the arena on the way up (Release is nil-safe, and normally-released
+	// locals are nil'd so the abort path never double-releases).
+	var ee, eb *matrix.IntMat
+	defer func() {
+		if rec := recover(); rec != nil {
+			ee.Release()
+			eb.Release()
+			out.Release()
+			panic(rec)
+		}
+	}()
+	faultpoint.Hit("monge.cutpar.level")
+
 	p := stridedCount(c.a.R, rs)
 	r := stridedCount(c.b.C, cs)
 	q := c.a.C
 
 	if p == 1 || r == 1 {
-		out := matrix.NewIntFromPool(p, r)
+		out = matrix.NewIntFromPool(p, r)
 		m.For(p*r, func(e int) {
 			ii, jj := e/r, e%r
 			_, arg := c.scan(ii*rs, jj*cs, 0, q-1)
@@ -34,10 +50,10 @@ func cutRecStridedPar(m *pram.Machine, c *mulCtx, rs, cs int) *matrix.IntMat {
 		return out
 	}
 
-	ee := cutRecStridedPar(m, c, 2*rs, 2*cs)
+	ee = cutRecStridedPar(m, c, 2*rs, 2*cs)
 
 	pe := stridedCount(c.a.R, 2*rs)
-	eb := matrix.NewIntFromPool(pe, r)
+	eb = matrix.NewIntFromPool(pe, r)
 	m.For(pe*r, func(e int) {
 		ii, jj := e/r, e%r
 		if jj%2 == 0 {
@@ -58,8 +74,9 @@ func cutRecStridedPar(m *pram.Machine, c *mulCtx, rs, cs int) *matrix.IntMat {
 	})
 	// For barriers before returning, so every reader of ee is done.
 	ee.Release()
+	ee = nil
 
-	out := matrix.NewIntFromPool(p, r)
+	out = matrix.NewIntFromPool(p, r)
 	m.For(p*r, func(e int) {
 		ii, jj := e/r, e%r
 		if ii%2 == 0 {
@@ -79,6 +96,7 @@ func cutRecStridedPar(m *pram.Machine, c *mulCtx, rs, cs int) *matrix.IntMat {
 		out.Set(ii, jj, arg)
 	})
 	eb.Release()
+	eb = nil
 	return out
 }
 
@@ -90,6 +108,13 @@ func MulPar(m *pram.Machine, a, b *matrix.Dense, cnt *matrix.OpCount) (*matrix.D
 	defer m.Phase("monge.MulPar")()
 	cut := CutRecursivePar(m, a, b, cnt)
 	out := matrix.NewInfFromPool(cut.R, cut.C)
+	defer func() {
+		if rec := recover(); rec != nil {
+			out.Release()
+			cut.Release()
+			panic(rec)
+		}
+	}()
 	m.For(cut.R*cut.C, func(e int) {
 		i, j := e/cut.C, e%cut.C
 		if k := cut.At(i, j); k >= 0 {

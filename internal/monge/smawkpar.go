@@ -30,6 +30,12 @@ func CutSMAWKPar(m *pram.Machine, a, b *matrix.Dense, cnt *matrix.OpCount) *matr
 		return out
 	}
 	defer m.Phase("monge.CutSMAWKPar")()
+	defer func() {
+		if rec := recover(); rec != nil {
+			out.Release()
+			panic(rec)
+		}
+	}()
 	nb := (p + smawkRowBlock - 1) / smawkRowBlock
 	m.For(r*nb, func(e int) {
 		j := e / nb

@@ -3,6 +3,7 @@ package obst
 import (
 	"math"
 
+	"partree/internal/faultpoint"
 	"partree/internal/matrix"
 	"partree/internal/monge"
 	"partree/internal/pram"
@@ -127,7 +128,18 @@ func Approx(m *pram.Machine, in *Instance, eps float64) *ApproxResult {
 	}
 	var cnt matrix.OpCount
 	cuts := make([]*matrix.IntMat, h)
+	var prod *matrix.Dense
+	defer func() {
+		if rec := recover(); rec != nil {
+			for _, c := range cuts {
+				c.Release()
+			}
+			prod.Release()
+			panic(rec)
+		}
+	}()
 	for t := 0; t < h; t++ {
+		faultpoint.Hit("obst.approx.level")
 		shifted := matrix.NewInf(nc+1, nc+1)
 		m.For((nc+1)*(nc+1), func(idx int) {
 			a, k := idx/(nc+1), idx%(nc+1)
@@ -135,7 +147,8 @@ func Approx(m *pram.Machine, in *Instance, eps float64) *ApproxResult {
 				shifted.Set(a, k, e.At(a, k-1))
 			}
 		})
-		prod, cut := monge.MulPar(m, shifted, e, &cnt)
+		var cut *matrix.IntMat
+		prod, cut = monge.MulPar(m, shifted, e, &cnt)
 		cuts[t] = cut
 		next := matrix.NewInf(nc+1, nc+1)
 		m.For((nc+1)*(nc+1), func(idx int) {
@@ -148,6 +161,8 @@ func Approx(m *pram.Machine, in *Instance, eps float64) *ApproxResult {
 			}
 		})
 		e = next
+		prod.Release()
+		prod = nil
 	}
 
 	// Reconstruct the collapsed tree from the cut tables, then expand the
@@ -176,6 +191,10 @@ func Approx(m *pram.Machine, in *Instance, eps float64) *ApproxResult {
 		}
 	}
 	t := build(h, 0, nc)
+	for _, c := range cuts {
+		c.Release()
+	}
+	cuts = nil
 
 	return &ApproxResult{
 		Tree:        t,

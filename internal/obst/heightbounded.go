@@ -3,6 +3,7 @@ package obst
 import (
 	"fmt"
 
+	"partree/internal/faultpoint"
 	"partree/internal/matrix"
 	"partree/internal/monge"
 	"partree/internal/pram"
@@ -36,7 +37,18 @@ func HeightBounded(m *pram.Machine, in *Instance, h int) (float64, *tree.Node, e
 	}
 	var cnt matrix.OpCount
 	cuts := make([]*matrix.IntMat, h)
+	var prod *matrix.Dense
+	defer func() {
+		if rec := recover(); rec != nil {
+			for _, c := range cuts {
+				c.Release()
+			}
+			prod.Release()
+			panic(rec)
+		}
+	}()
 	for t := 0; t < h; t++ {
+		faultpoint.Hit("obst.height.level")
 		shifted := matrix.NewInf(n+1, n+1)
 		m.For((n+1)*(n+1), func(idx int) {
 			a, k := idx/(n+1), idx%(n+1)
@@ -44,7 +56,8 @@ func HeightBounded(m *pram.Machine, in *Instance, h int) (float64, *tree.Node, e
 				shifted.Set(a, k, e.At(a, k-1))
 			}
 		})
-		prod, cut := monge.MulPar(m, shifted, e, &cnt)
+		var cut *matrix.IntMat
+		prod, cut = monge.MulPar(m, shifted, e, &cnt)
 		cuts[t] = cut
 		next := matrix.NewInf(n+1, n+1)
 		m.For((n+1)*(n+1), func(idx int) {
@@ -59,9 +72,18 @@ func HeightBounded(m *pram.Machine, in *Instance, h int) (float64, *tree.Node, e
 			}
 		})
 		e = next
+		prod.Release()
+		prod = nil
+	}
+	releaseCuts := func() {
+		for _, c := range cuts {
+			c.Release()
+		}
+		cuts = nil
 	}
 	cost := e.At(0, n)
 	if semiring.IsInf(cost) {
+		releaseCuts()
 		return 0, nil, fmt.Errorf("obst: height %d infeasible for %d keys", h, n)
 	}
 
@@ -84,5 +106,7 @@ func HeightBounded(m *pram.Machine, in *Instance, h int) (float64, *tree.Node, e
 			Right:  build(level-1, r, b),
 		}
 	}
-	return cost, build(h, 0, n), nil
+	t := build(h, 0, n)
+	releaseCuts()
+	return cost, t, nil
 }

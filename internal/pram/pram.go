@@ -25,6 +25,7 @@
 package pram
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -86,6 +87,11 @@ type Machine struct {
 	procs      int // declared processor count p for step accounting
 	workers    int // real goroutines used to execute bodies
 	fixedGrain int // 0 = adaptive; >0 pins the chunk size (WithGrain)
+
+	// ctx, when non-nil, is polled at statement barriers for cooperative
+	// cancellation (see cancel.go). Nil — the default — costs one pointer
+	// compare per statement.
+	ctx context.Context
 
 	running atomic.Bool // guards against nested/concurrent For
 
@@ -225,6 +231,7 @@ func (m *Machine) For(n int, body func(i int)) {
 	if n <= 0 {
 		return
 	}
+	m.checkpoint()
 	g := m.Grain()
 	w := m.workers
 	if chunks := (n + g - 1) / g; w > chunks {
@@ -237,8 +244,27 @@ func (m *Machine) For(n int, body func(i int)) {
 		defer m.running.Store(false)
 		steps := int64((n + m.procs - 1) / m.procs)
 		start := time.Now()
-		for i := 0; i < n; i++ {
-			body(i)
+		if m.ctx == nil {
+			for i := 0; i < n; i++ {
+				body(i)
+			}
+		} else {
+			// Poll between grain-sized chunks so a serial statement still
+			// honors cancellation within one chunk's worth of work. The
+			// final poll mirrors the parallel path's post-barrier
+			// checkpoint: a statement that finished under a dead context
+			// still aborts, so single-statement calls can't complete
+			// "successfully" with a cancelled context.
+			for lo := 0; lo < n; lo += g {
+				hi := lo + g
+				if hi > n {
+					hi = n
+				}
+				for i := lo; i < hi; i++ {
+					body(i)
+				}
+				m.checkpoint()
+			}
 		}
 		el := time.Since(start)
 		m.record(steps, int64(n), 1, stmtStats{span: el, busy: el})
@@ -266,6 +292,7 @@ func (m *Machine) forChunked(n int, body func(lo, hi int)) {
 	if n <= 0 {
 		return
 	}
+	m.checkpoint()
 	if !m.running.CompareAndSwap(false, true) {
 		panic("pram: nested or concurrent For on the same Machine")
 	}
@@ -280,14 +307,36 @@ func (m *Machine) forChunked(n int, body func(lo, hi int)) {
 	}
 	if w == 1 {
 		start := time.Now()
-		body(0, n)
+		if m.ctx == nil {
+			body(0, n)
+		} else {
+			// Bodies must tolerate per-chunk calls (ForRange contract), so
+			// the serial path can poll between grain-sized chunks here too
+			// (final poll included; see For).
+			for lo := 0; lo < n; lo += g {
+				hi := lo + g
+				if hi > n {
+					hi = n
+				}
+				body(lo, hi)
+				m.checkpoint()
+			}
+		}
 		el := time.Since(start)
 		m.record(steps, int64(n), 1, stmtStats{span: el, busy: el})
 		m.observeCost(n, el)
 		return
 	}
 
-	st := run(n, w, g, body)
+	var done <-chan struct{}
+	if m.ctx != nil {
+		done = m.ctx.Done()
+	}
+	st := run(n, w, g, body, done)
+	// Workers bail at pop/steal boundaries once the context is done,
+	// abandoning unexecuted chunks; the statement is then incomplete, so
+	// the abort must happen before anyone reads its outputs.
+	m.checkpoint()
 	m.record(steps, int64(n), 1, st)
 	m.observeCost(n, st.busy)
 }

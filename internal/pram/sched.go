@@ -103,7 +103,10 @@ type workerStats struct {
 
 // run executes body over [0, n) on w workers (the caller is worker 0)
 // with chunk size g, and returns the aggregated statement measurements.
-func run(n, w, g int, body func(lo, hi int)) stmtStats {
+// done, when non-nil, is a cancellation signal: workers stop taking new
+// chunks once it is closed (the orchestrator detects the resulting
+// incomplete statement at the barrier and unwinds — see Machine.checkpoint).
+func run(n, w, g int, body func(lo, hi int), done <-chan struct{}) stmtStats {
 	dq := make([]wdeque, w)
 	chunk := (n + w - 1) / w
 	for i := 0; i < w; i++ {
@@ -125,10 +128,10 @@ func run(n, w, g int, body func(lo, hi int)) stmtStats {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
-			worker(id, dq, g, body, &ws[id], start)
+			worker(id, dq, g, body, &ws[id], start, done)
 		}(i)
 	}
-	worker(0, dq, g, body, &ws[0], start)
+	worker(0, dq, g, body, &ws[0], start, done)
 	wg.Wait()
 
 	var st stmtStats
@@ -152,9 +155,21 @@ func run(n, w, g int, body func(lo, hi int)) stmtStats {
 // steal, until a full victim scan comes up empty. A stolen range's first
 // grain is executed before anything else can steal it back (see the
 // package comment on livelock freedom).
-func worker(id int, dq []wdeque, g int, body func(lo, hi int), ws *workerStats, start time.Time) {
+func worker(id int, dq []wdeque, g int, body func(lo, hi int), ws *workerStats, start time.Time, done <-chan struct{}) {
 	seed := uint32(id)*2654435761 + 1
 	for {
+		if done != nil {
+			select {
+			case <-done:
+				// Cooperative bail before the next pop or steal. No panic
+				// here — a panic on a worker goroutine would kill the
+				// process; leftover chunks are abandoned and the
+				// orchestrator aborts at the barrier.
+				ws.finish = time.Since(start)
+				return
+			default:
+			}
+		}
 		lo, hi, ok := dq[id].pop(g)
 		if !ok {
 			// Everything from here until work is in hand again is the

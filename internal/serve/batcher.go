@@ -5,6 +5,8 @@ import (
 	"errors"
 	"sync"
 	"time"
+
+	"partree/internal/faultpoint"
 )
 
 // ErrShuttingDown is returned by Submit once the batcher has been closed.
@@ -21,15 +23,24 @@ var errBatchPanic = errors.New("serve: engine panic while executing batch")
 // shutdown (drain cut).
 //
 // The exec callback receives the batched requests in arrival order and
-// must return one response per request, positionally aligned. It runs on
-// the batcher's single collector goroutine, so implementations need no
-// internal locking; they typically call one of the partree *Batch entry
-// points and fold the returned Stats into the server's accumulators.
+// must return one response per request, positionally aligned, or an
+// error that fails the whole batch (typically ctx.Err() from an aborted
+// PRAM run). It runs on the batcher's single collector goroutine, so
+// implementations need no internal locking; they typically call one of
+// the partree *BatchContext entry points and fold the returned Stats
+// into the server's accumulators.
+//
+// Deadlines cut at the job level, not the batch level: jobs whose
+// context is already done when the batch executes are expired up front
+// (they get their own ctx.Err() and never reach exec), and the context
+// handed to exec is canceled only when EVERY remaining submitter's
+// context is done — one slow or impatient client cannot kill its
+// co-batched neighbours.
 type batcher[Req, Resp any] struct {
 	name     string
 	maxBatch int
 	linger   time.Duration
-	exec     func([]Req) []Resp
+	exec     func(context.Context, []Req) ([]Resp, error)
 
 	// mu is held for reading around every queue send and for writing in
 	// Close; after Close sets closed under the write lock, no new send can
@@ -56,18 +67,24 @@ type batcher[Req, Resp any] struct {
 	fullCuts   int64
 	lingerCuts int64
 	drainCuts  int64
+	expired    int64
+	aborted    int64
 	maxSeen    int
 }
 
-// pending is one submitted job waiting for its batch to execute.
+// pending is one submitted job waiting for its batch to execute. ctx is
+// the submitter's context: checked once before exec (expiry cut) and
+// watched during exec so the batch can abort when every submitter is
+// gone.
 type pending[Req, Resp any] struct {
 	req  Req
+	ctx  context.Context
 	resp Resp
 	err  error
 	done chan struct{}
 }
 
-func newBatcher[Req, Resp any](name string, maxBatch int, linger time.Duration, queueDepth int, exec func([]Req) []Resp) *batcher[Req, Resp] {
+func newBatcher[Req, Resp any](name string, maxBatch int, linger time.Duration, queueDepth int, exec func(context.Context, []Req) ([]Resp, error)) *batcher[Req, Resp] {
 	if maxBatch < 1 {
 		maxBatch = 1
 	}
@@ -92,7 +109,7 @@ func newBatcher[Req, Resp any](name string, maxBatch int, linger time.Duration, 
 // returned nil error was executed; its response is valid.
 func (b *batcher[Req, Resp]) Submit(ctx context.Context, req Req) (Resp, error) {
 	var zero Resp
-	p := &pending[Req, Resp]{req: req, done: make(chan struct{})}
+	p := &pending[Req, Resp]{req: req, ctx: ctx, done: make(chan struct{})}
 
 	b.mu.RLock()
 	if b.closed {
@@ -202,30 +219,29 @@ func (b *batcher[Req, Resp]) drain() {
 }
 
 func (b *batcher[Req, Resp]) runBatch(batch []*pending[Req, Resp], cut string) {
-	reqs := b.reqScratch[:0]
+	faultpoint.Hit("batcher.collect", b.name, cut, len(batch))
+	// Expiry cut: a job whose deadline already passed while it waited in
+	// the queue or lingered in the batch gets its own ctx.Err() and never
+	// reaches the engine — its submitter has stopped listening.
+	live := batch[:0]
+	var nExpired int64
 	for _, p := range batch {
-		reqs = append(reqs, p.req)
-	}
-	resps, panicked := b.safeExec(reqs)
-	// Drop the payload references before parking the buffer: a retained
-	// request (often a large caller slice) must not outlive its batch.
-	var zero Req
-	for i := range reqs {
-		reqs[i] = zero
-	}
-	b.reqScratch = reqs[:0]
-	for i, p := range batch {
-		if panicked || i >= len(resps) {
-			p.err = errBatchPanic
-		} else {
-			p.resp = resps[i]
+		if err := p.ctx.Err(); err != nil {
+			p.err = err
+			close(p.done)
+			nExpired++
+			continue
 		}
-		close(p.done)
+		live = append(live, p)
+	}
+	if len(live) > 0 {
+		b.execBatch(live)
 	}
 
 	b.cmu.Lock()
 	b.batches++
 	b.jobs += int64(len(batch))
+	b.expired += nExpired
 	if len(batch) > b.maxSeen {
 		b.maxSeen = len(batch)
 	}
@@ -240,15 +256,100 @@ func (b *batcher[Req, Resp]) runBatch(batch []*pending[Req, Resp], cut string) {
 	b.cmu.Unlock()
 }
 
+// execBatch runs exec over the live jobs under a context that expires
+// only when every submitter's context has: one timed-out client exits
+// the batch (its Submit returned on its own ctx) without aborting the
+// machine run its neighbours are still waiting on. Only when the last
+// listener is gone does the run itself get cancelled.
+func (b *batcher[Req, Resp]) execBatch(live []*pending[Req, Resp]) {
+	batchCtx := context.Background()
+	var cancel context.CancelFunc
+	stop := make(chan struct{})
+	watcherDone := make(chan struct{})
+	allCancelable := true
+	for _, p := range live {
+		if p.ctx.Done() == nil {
+			allCancelable = false
+			break
+		}
+	}
+	if allCancelable {
+		batchCtx, cancel = context.WithCancel(context.Background())
+		watched := append([]*pending[Req, Resp](nil), live...)
+		go func() {
+			defer close(watcherDone)
+			for _, p := range watched {
+				select {
+				case <-p.ctx.Done():
+				case <-stop:
+					return
+				}
+			}
+			cancel()
+		}()
+	} else {
+		// A submitter that can never go away (Background context) pins
+		// the batch: it always runs to completion.
+		close(watcherDone)
+	}
+
+	reqs := b.reqScratch[:0]
+	for _, p := range live {
+		reqs = append(reqs, p.req)
+	}
+	resps, err, panicked := b.safeExec(batchCtx, reqs)
+	close(stop)
+	<-watcherDone
+	if cancel != nil {
+		cancel()
+	}
+	// Drop the payload references before parking the buffer: a retained
+	// request (often a large caller slice) must not outlive its batch.
+	var zero Req
+	for i := range reqs {
+		reqs[i] = zero
+	}
+	b.reqScratch = reqs[:0]
+
+	var nAborted int64
+	for i, p := range live {
+		switch {
+		case panicked:
+			p.err = errBatchPanic
+		case err != nil:
+			// The run aborted; report each job's own expiry when it has
+			// one (more precise than the batch-level cause).
+			if cerr := p.ctx.Err(); cerr != nil {
+				p.err = cerr
+			} else {
+				p.err = err
+			}
+			nAborted++
+		case i >= len(resps):
+			p.err = errBatchPanic
+		default:
+			p.resp = resps[i]
+		}
+		close(p.done)
+	}
+	if nAborted > 0 {
+		b.cmu.Lock()
+		b.aborted += nAborted
+		b.cmu.Unlock()
+	}
+}
+
 // safeExec shields the collector goroutine from a panicking executor: the
 // batch fails as a unit instead of killing the process.
-func (b *batcher[Req, Resp]) safeExec(reqs []Req) (resps []Resp, panicked bool) {
+func (b *batcher[Req, Resp]) safeExec(ctx context.Context, reqs []Req) (resps []Resp, err error, panicked bool) {
 	defer func() {
 		if recover() != nil {
 			panicked = true
 		}
 	}()
-	return b.exec(reqs), false
+	faultpoint.Hit("batcher.exec", b.name, len(reqs))
+	resps, err = b.exec(ctx, reqs)
+	return resps, err, false
 }
 
 // BatcherCounters is a snapshot of one engine batcher's counters.
@@ -260,6 +361,8 @@ type BatcherCounters struct {
 	FullCuts     int64   `json:"full_cuts"`
 	LingerCuts   int64   `json:"linger_cuts"`
 	DrainCuts    int64   `json:"drain_cuts"`
+	Expired      int64   `json:"expired"`
+	Aborted      int64   `json:"aborted"`
 	MaxBatchConf int     `json:"max_batch"`
 	LingerUS     int64   `json:"linger_us"`
 }
@@ -274,6 +377,8 @@ func (b *batcher[Req, Resp]) counters() BatcherCounters {
 		FullCuts:     b.fullCuts,
 		LingerCuts:   b.lingerCuts,
 		DrainCuts:    b.drainCuts,
+		Expired:      b.expired,
+		Aborted:      b.aborted,
 		MaxBatchConf: b.maxBatch,
 		LingerUS:     b.linger.Microseconds(),
 	}

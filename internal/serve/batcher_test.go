@@ -18,8 +18,13 @@ func echoExec(reqs []int) []string {
 	return out
 }
 
+// echoExecCtx adapts echoExec to the batcher's context-aware signature.
+func echoExecCtx(_ context.Context, reqs []int) ([]string, error) {
+	return echoExec(reqs), nil
+}
+
 func TestBatcherLingerCut(t *testing.T) {
-	b := newBatcher("t", 64, 5*time.Millisecond, 128, echoExec)
+	b := newBatcher("t", 64, 5*time.Millisecond, 128, echoExecCtx)
 	defer b.Close()
 
 	const n = 4
@@ -54,10 +59,10 @@ func TestBatcherFullCut(t *testing.T) {
 	const maxBatch = 4
 	gate := make(chan struct{})
 	entered := make(chan int, 8) // exec reports batch sizes before blocking
-	exec := func(reqs []int) []string {
+	exec := func(_ context.Context, reqs []int) ([]string, error) {
 		entered <- len(reqs)
 		<-gate
-		return echoExec(reqs)
+		return echoExec(reqs), nil
 	}
 	// Linger far beyond the test's life: a cut before gate release can
 	// only be a full cut.
@@ -119,13 +124,13 @@ func TestBatcherDrainOnShutdown(t *testing.T) {
 	entered := make(chan int, 8)
 	var execMu sync.Mutex
 	var executed int
-	exec := func(reqs []int) []string {
+	exec := func(_ context.Context, reqs []int) ([]string, error) {
 		entered <- len(reqs)
 		<-gate
 		execMu.Lock()
 		executed += len(reqs)
 		execMu.Unlock()
-		return echoExec(reqs)
+		return echoExec(reqs), nil
 	}
 	const maxBatch = 4
 	b := newBatcher("t", maxBatch, time.Minute, 64, exec)
@@ -191,7 +196,7 @@ func TestBatcherDrainOnShutdown(t *testing.T) {
 // batch still open on its linger timer when Close fires is cut and
 // executed, so no admitted job is ever lost.
 func TestBatcherLingeringBatchFlushedAtClose(t *testing.T) {
-	b := newBatcher("t", 4, time.Minute, 16, echoExec)
+	b := newBatcher("t", 4, time.Minute, 16, echoExecCtx)
 
 	// Enqueue pendings directly (white-box) so admission is synchronous:
 	// after the sends, len(queue)==0 proves the collector pulled all
@@ -200,7 +205,7 @@ func TestBatcherLingeringBatchFlushedAtClose(t *testing.T) {
 	const n = 3
 	ps := make([]*pending[int, string], n)
 	for i := range ps {
-		ps[i] = &pending[int, string]{req: i, done: make(chan struct{})}
+		ps[i] = &pending[int, string]{req: i, ctx: context.Background(), done: make(chan struct{})}
 		b.queue <- ps[i]
 	}
 	waitFor(t, func() bool { return len(b.queue) == 0 })
@@ -228,12 +233,12 @@ func TestBatcherLingeringBatchFlushedAtClose(t *testing.T) {
 
 func TestBatcherExecPanicFailsBatchOnly(t *testing.T) {
 	var calls int
-	exec := func(reqs []int) []string {
+	exec := func(_ context.Context, reqs []int) ([]string, error) {
 		calls++
 		if reqs[0] < 0 {
 			panic("engine exploded")
 		}
-		return echoExec(reqs)
+		return echoExec(reqs), nil
 	}
 	b := newBatcher("t", 1, 0, 16, exec)
 	defer b.Close()
@@ -256,7 +261,7 @@ func TestBatcherShortExecResponseFailsUnmatchedJobs(t *testing.T) {
 		return echoExec(reqs)[:len(reqs)-1] // drop the last response
 	}
 	gate := make(chan struct{})
-	gated := func(reqs []int) []string { <-gate; return exec(reqs) }
+	gated := func(_ context.Context, reqs []int) ([]string, error) { <-gate; return exec(reqs), nil }
 	b := newBatcher("t", 2, time.Minute, 16, gated)
 	defer b.Close()
 
@@ -296,9 +301,9 @@ func TestBatcherShortExecResponseFailsUnmatchedJobs(t *testing.T) {
 
 func TestBatcherSubmitHonorsContext(t *testing.T) {
 	gate := make(chan struct{})
-	b := newBatcher("t", 1, 0, 1, func(reqs []int) []string {
+	b := newBatcher("t", 1, 0, 1, func(_ context.Context, reqs []int) ([]string, error) {
 		<-gate
-		return echoExec(reqs)
+		return echoExec(reqs), nil
 	})
 	defer func() { close(gate); b.Close() }()
 
@@ -318,6 +323,106 @@ func TestBatcherSubmitHonorsContext(t *testing.T) {
 	_, err := b.Submit(ctx, 2)
 	if !errors.Is(err, context.DeadlineExceeded) {
 		t.Errorf("blocked Submit: err = %v, want DeadlineExceeded", err)
+	}
+}
+
+// TestBatcherCloseDrainsExpiredJobs is the drain-audit regression test:
+// every job admitted before Close observes a closed done channel, even
+// when its context is already dead at drain time. Close's handshake
+// (Lock barrier after closed=true) guarantees all in-flight sends land
+// before the collector's final sweep, and the sweep must expire — not
+// strand — dead-context jobs.
+func TestBatcherCloseDrainsExpiredJobs(t *testing.T) {
+	var execJobs int
+	exec := func(_ context.Context, reqs []int) ([]string, error) {
+		execJobs += len(reqs)
+		return echoExec(reqs), nil
+	}
+	b := newBatcher("t", 8, time.Minute, 16, exec)
+
+	dead, cancel := context.WithCancel(context.Background())
+	cancel()
+	// White-box enqueue (as in TestBatcherLingeringBatchFlushedAtClose) so
+	// admission is synchronous: two live jobs and two already-expired ones
+	// sit in the same lingering batch when Close cuts it.
+	ps := []*pending[int, string]{
+		{req: 0, ctx: context.Background(), done: make(chan struct{})},
+		{req: 1, ctx: dead, done: make(chan struct{})},
+		{req: 2, ctx: context.Background(), done: make(chan struct{})},
+		{req: 3, ctx: dead, done: make(chan struct{})},
+	}
+	for _, p := range ps {
+		b.queue <- p
+	}
+	waitFor(t, func() bool { return len(b.queue) == 0 })
+	b.Close()
+
+	for i, p := range ps {
+		select {
+		case <-p.done:
+		default:
+			t.Fatalf("job %d stranded at Close: done never closed", i)
+		}
+	}
+	for _, i := range []int{0, 2} {
+		if ps[i].err != nil || ps[i].resp != fmt.Sprintf("r%d", i) {
+			t.Errorf("live job %d: resp=%q err=%v", i, ps[i].resp, ps[i].err)
+		}
+	}
+	for _, i := range []int{1, 3} {
+		if !errors.Is(ps[i].err, context.Canceled) {
+			t.Errorf("expired job %d: err = %v, want context.Canceled", i, ps[i].err)
+		}
+	}
+	if execJobs != 2 {
+		t.Errorf("engine saw %d jobs, want only the 2 live ones", execJobs)
+	}
+	if c := b.counters(); c.Expired != 2 {
+		t.Errorf("expired = %d, want 2 (%+v)", c.Expired, c)
+	}
+}
+
+// TestBatcherBackgroundSubmitterPinsBatch: a batch is aborted only when
+// EVERY submitter is gone; one uncancelable submitter keeps the whole
+// batch alive, and the departed job's neighbours still complete.
+func TestBatcherBackgroundSubmitterPinsBatch(t *testing.T) {
+	gate := make(chan struct{})
+	entered := make(chan struct{})
+	b := newBatcher("t", 2, time.Minute, 16, func(ctx context.Context, reqs []int) ([]string, error) {
+		close(entered)
+		<-gate
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return echoExec(reqs), nil
+	})
+	defer b.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var impatientErr error
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); _, impatientErr = b.Submit(ctx, 0) }()
+	var patientResp string
+	var patientErr error
+	go func() { defer wg.Done(); patientResp, patientErr = b.Submit(context.Background(), 1) }()
+
+	// Batch of 2 fills and blocks in exec; the cancelable submitter
+	// leaves. The Background submitter pins the batch: exec's ctx stays
+	// live and the batch completes.
+	<-entered
+	cancel()
+	close(gate)
+	wg.Wait()
+
+	if !errors.Is(impatientErr, context.Canceled) {
+		t.Errorf("impatient submitter: err = %v, want context.Canceled", impatientErr)
+	}
+	if patientErr != nil || patientResp != "r1" {
+		t.Errorf("patient submitter: resp=%q err=%v, want r1/nil", patientResp, patientErr)
+	}
+	if c := b.counters(); c.Aborted != 0 {
+		t.Errorf("aborted = %d, want 0 — pinned batch must not abort", c.Aborted)
 	}
 }
 

@@ -79,6 +79,10 @@ func (c *Config) setDefaults() {
 // engineNames indexes every per-engine accumulator in a fixed order.
 var engineNames = []string{"huffman", "shannonfano", "treefromdepths", "obst", "lincfl"}
 
+// deadlineHeader lets a client tighten its own request deadline below
+// the server-wide RequestTimeout (milliseconds; larger values clamp).
+const deadlineHeader = "X-Partree-Deadline-Ms"
+
 // Server is the partreed HTTP service. Construct with New; always Close
 // to drain in-flight batches.
 type Server struct {
@@ -107,6 +111,11 @@ type Server struct {
 type endpointCounters struct {
 	OK     atomic.Int64
 	Errors atomic.Int64
+	// Timeouts and Canceled split out the deadline/cancellation slice of
+	// Errors: requests that died of their deadline (504) versus clients
+	// that hung up mid-request.
+	Timeouts atomic.Int64
+	Canceled atomic.Int64
 }
 
 // accumulatedStats folds the partree.Stats of successive batch runs.
@@ -135,37 +144,40 @@ func New(cfg Config) *Server {
 		s.served[name] = &endpointCounters{}
 		s.engineStats[name] = &accumulatedStats{phases: make(map[string]partree.PhaseStats)}
 	}
-	opts := partree.Options{Workers: cfg.Workers}
+	// Grain 1 spreads the (typically few, serial-oracle) co-batched jobs
+	// across workers and checkpoints the run at every job boundary, so an
+	// all-submitters-gone abort lands within one job's work.
+	opts := partree.Options{Workers: cfg.Workers, Grain: 1}
 	queueDepth := cfg.MaxInflight
 	s.hufBatch = newBatcher("huffman", cfg.MaxBatch, cfg.Linger, queueDepth,
-		func(reqs [][]float64) []partree.HuffmanBatchResult {
-			res, st := partree.HuffmanBatch(reqs, opts)
+		func(ctx context.Context, reqs [][]float64) ([]partree.HuffmanBatchResult, error) {
+			res, st, err := partree.HuffmanBatchContext(ctx, reqs, opts)
 			s.addStats("huffman", st)
-			return res
+			return res, err
 		})
 	s.sfBatch = newBatcher("shannonfano", cfg.MaxBatch, cfg.Linger, queueDepth,
-		func(reqs [][]float64) []partree.ShannonFanoBatchResult {
-			res, st := partree.ShannonFanoBatch(reqs, opts)
+		func(ctx context.Context, reqs [][]float64) ([]partree.ShannonFanoBatchResult, error) {
+			res, st, err := partree.ShannonFanoBatchContext(ctx, reqs, opts)
 			s.addStats("shannonfano", st)
-			return res
+			return res, err
 		})
 	s.patBatch = newBatcher("treefromdepths", cfg.MaxBatch, cfg.Linger, queueDepth,
-		func(reqs [][]int) []partree.PatternBatchResult {
-			res, st := partree.TreeFromDepthsBatch(reqs, opts)
+		func(ctx context.Context, reqs [][]int) ([]partree.PatternBatchResult, error) {
+			res, st, err := partree.TreeFromDepthsBatchContext(ctx, reqs, opts)
 			s.addStats("treefromdepths", st)
-			return res
+			return res, err
 		})
 	s.bstBatch = newBatcher("obst", cfg.MaxBatch, cfg.Linger, queueDepth,
-		func(reqs []*partree.BSTInstance) []partree.BSTBatchResult {
-			res, st := partree.OptimalBSTBatch(reqs, opts)
+		func(ctx context.Context, reqs []*partree.BSTInstance) ([]partree.BSTBatchResult, error) {
+			res, st, err := partree.OptimalBSTBatchContext(ctx, reqs, opts)
 			s.addStats("obst", st)
-			return res
+			return res, err
 		})
 	s.cflBatch = newBatcher("lincfl", cfg.MaxBatch, cfg.Linger, queueDepth,
-		func(reqs []partree.LinCFLBatchJob) []bool {
-			res, st := partree.RecognizeLinearBatch(reqs, opts)
+		func(ctx context.Context, reqs []partree.LinCFLBatchJob) ([]bool, error) {
+			res, st, err := partree.RecognizeLinearBatchContext(ctx, reqs, opts)
 			s.addStats("lincfl", st)
-			return res
+			return res, err
 		})
 
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
@@ -246,9 +258,21 @@ func (s *Server) recoverer(next http.Handler) http.Handler {
 // the raw-body fast path, and the per-request deadline. The deadline is
 // installed inside the fast path's miss continuation so cache hits — which
 // do no blocking work — skip the context machinery entirely.
+//
+// A client may tighten (never extend) its own deadline with an
+// X-Partree-Deadline-Ms header; values above the configured
+// RequestTimeout are clamped to it.
 func (s *Server) v1(engine string, h func(w http.ResponseWriter, r *http.Request)) http.Handler {
 	withDeadline := func(w http.ResponseWriter, r *http.Request) {
-		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		timeout := s.cfg.RequestTimeout
+		if hdr := r.Header.Get(deadlineHeader); hdr != "" {
+			if ms, err := strconv.ParseInt(hdr, 10, 64); err == nil && ms > 0 {
+				if d := time.Duration(ms) * time.Millisecond; d < timeout {
+					timeout = d
+				}
+			}
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), timeout)
 		defer cancel()
 		h(w, r.WithContext(ctx))
 	}
@@ -303,12 +327,14 @@ func (s *Server) finish(w http.ResponseWriter, engine string, val any, hit bool,
 		case errors.As(err, &ae):
 			writeError(w, ae)
 		case errors.Is(err, context.DeadlineExceeded):
-			writeError(w, &apiError{Status: http.StatusServiceUnavailable, Code: "timeout", Message: "request deadline exceeded"})
+			counters.Timeouts.Add(1)
+			writeError(w, &apiError{Status: http.StatusGatewayTimeout, Code: "timeout", Message: "request deadline exceeded"})
 		case errors.Is(err, ErrShuttingDown):
 			writeError(w, &apiError{Status: http.StatusServiceUnavailable, Code: "shutdown", Message: "server shutting down"})
 		case errors.Is(err, context.Canceled):
 			// Client went away; nothing useful to write, but keep the
 			// status line coherent for intermediaries.
+			counters.Canceled.Add(1)
 			writeError(w, &apiError{Status: http.StatusServiceUnavailable, Code: "canceled", Message: "request canceled"})
 		default:
 			writeError(w, &apiError{Status: http.StatusInternalServerError, Code: "internal", Message: err.Error()})
@@ -347,7 +373,15 @@ func (s *Server) handleHuffman(w http.ResponseWriter, r *http.Request) {
 		writeError(w, e)
 		return
 	}
-	defer pool.PutFloat64s(probs) // batch runs complete inside Submit
+	// The buffer goes back to the arena only when the request ran to
+	// completion: after a context-error return the batch may still be
+	// executing with a reference to it (Submit's "slot outlives us"
+	// path), so reuse would race — let the GC take it instead.
+	defer func() {
+		if r.Context().Err() == nil {
+			pool.PutFloat64s(probs)
+		}
+	}()
 	key := keyForFloats("huffman", probs)
 	val, hit, err := s.cache.Do(r.Context(), key, func() (any, error) {
 		res, err := s.hufBatch.Submit(r.Context(), probs)
@@ -380,7 +414,13 @@ func (s *Server) handleShannonFano(w http.ResponseWriter, r *http.Request) {
 		writeError(w, e)
 		return
 	}
-	defer pool.PutFloat64s(probs)
+	defer func() {
+		// See handleHuffman: pooled reuse is only safe after a
+		// non-context completion.
+		if r.Context().Err() == nil {
+			pool.PutFloat64s(probs)
+		}
+	}()
 	key := keyForFloats("shannonfano", probs)
 	val, hit, err := s.cache.Do(r.Context(), key, func() (any, error) {
 		res, err := s.sfBatch.Submit(r.Context(), probs)
@@ -445,8 +485,14 @@ func (s *Server) handleOBST(w http.ResponseWriter, r *http.Request) {
 		writeError(w, e)
 		return
 	}
-	defer pool.PutFloat64s(keys)
-	defer pool.PutFloat64s(gaps)
+	defer func() {
+		// See handleHuffman: the BSTInstance aliases both buffers, and
+		// the batch may still hold it after a context-error return.
+		if r.Context().Err() == nil {
+			pool.PutFloat64s(keys)
+			pool.PutFloat64s(gaps)
+		}
+	}()
 	in, ierr := partree.NewBSTInstance(keys, gaps)
 	if ierr != nil {
 		s.served["obst"].Errors.Add(1)
@@ -601,7 +647,12 @@ func (s *Server) Snapshot() StatsSnapshot {
 	}
 	for _, name := range engineNames {
 		c := s.served[name]
-		snap.Requests[name] = map[string]any{"ok": c.OK.Load(), "errors": c.Errors.Load()}
+		snap.Requests[name] = map[string]any{
+			"ok":       c.OK.Load(),
+			"errors":   c.Errors.Load(),
+			"timeouts": c.Timeouts.Load(),
+			"canceled": c.Canceled.Load(),
+		}
 	}
 	s.statsMu.Lock()
 	for _, name := range engineNames {

@@ -10,6 +10,7 @@ import (
 	"math"
 	"sort"
 
+	"partree/internal/faultpoint"
 	"partree/internal/huffman"
 	"partree/internal/leafpattern"
 	"partree/internal/pram"
@@ -63,6 +64,7 @@ func Build(m *pram.Machine, p []float64) (*Result, error) {
 		return nil, fmt.Errorf("shannonfano: empty probability vector")
 	}
 	defer m.Phase("shannonfano.Build")()
+	faultpoint.Hit("shannonfano.build")
 	lengths := Lengths(p)
 
 	// Sort symbols by length (non-decreasing pattern for the constructor).

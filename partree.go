@@ -44,6 +44,12 @@ type Options struct {
 	// accounting (each parallel statement over n items costs ⌈n/p⌉ steps).
 	// 0 means unbounded (every statement costs one step).
 	Processors int
+	// Grain pins the number of iterations a worker takes per deque pop
+	// and disables the adaptive chunk controller. 0 means adaptive. Small
+	// grains make cancellation (the Context entry points) more responsive
+	// and spread small batches across workers at the cost of more
+	// scheduling overhead.
+	Grain int
 }
 
 // PhaseStats is the per-phase cost and scheduler breakdown of a parallel
@@ -81,6 +87,9 @@ func (o Options) machine() *pram.Machine {
 	}
 	if o.Processors > 0 {
 		opts = append(opts, pram.WithProcessors(o.Processors))
+	}
+	if o.Grain > 0 {
+		opts = append(opts, pram.WithGrain(o.Grain))
 	}
 	return pram.New(opts...)
 }
