@@ -2,11 +2,11 @@
 
 GO ?= go
 
-.PHONY: all build test test-race test-e2e test-chaos test-pooldebug check vet bench bench-par bench-gate bench-gate-quick bench-baseline tables examples cover fuzz clean
+.PHONY: all build test test-race test-e2e test-chaos test-pooldebug test-trace check vet bench bench-par bench-gate bench-gate-quick bench-baseline tables examples cover fuzz clean
 
 all: build vet test
 
-check: build vet test test-race test-e2e test-chaos test-pooldebug bench-gate-quick
+check: build vet test test-race test-e2e test-chaos test-pooldebug test-trace bench-gate-quick
 
 build:
 	$(GO) build ./...
@@ -42,6 +42,17 @@ test-chaos:
 test-pooldebug:
 	$(GO) test -tags pooldebug . ./internal/pool ./internal/boolmat ./internal/matrix ./internal/monge ./internal/lincfl ./internal/serve
 
+# Observability suite: the span ring and Chrome-trace export, the PRAM
+# phase/worker span accounting (including the disarmed zero-alloc bar),
+# the façade trace plumbing, and the /metricsz golden + traced-request
+# e2e layer — everything the tracing PR added, under -race where the
+# concurrency matters.
+test-trace:
+	$(GO) test -race ./internal/trace
+	$(GO) test -race -run 'TestTracer|TestPhaseSpans|TestReentrant|TestWorkerSlices|TestSerialStatement|TestSetTracer' ./internal/pram
+	$(GO) test -race -run 'TestMetricsz|TestTraced|TestStatsz' ./internal/serve
+	$(GO) test -race -run 'TestOptionsTrace|TestTraceContext|TestTraceDifferential' .
+
 # Regenerate the experiment measurements (EXPERIMENTS.md tables).
 tables:
 	$(GO) run ./cmd/benchtables
@@ -54,23 +65,26 @@ bench:
 bench-par:
 	$(GO) run ./cmd/benchtables -exp E12
 
-# Perf-regression gate: measure E11 (pooled vs unpooled allocs/op) and
-# E12 (parallel speedup sweep), then enforce the ≥70% allocation
-# reduction, the committed BENCH_BASELINE.json band, and the ≥2x P=4
-# speedup on the monge/boolmat kernels (auto-skipped with a notice on
-# hosts with fewer than 4 cores, where the ratio is physically capped).
+# Perf-regression gate: measure E11 (pooled vs unpooled allocs/op), E12
+# (parallel speedup sweep) and E13 (tracing disarmed vs armed), then
+# enforce the ≥70% allocation reduction, the committed
+# BENCH_BASELINE.json bands, the ≥2x P=4 speedup on the monge/boolmat
+# kernels (auto-skipped with a notice on hosts with fewer than 4 cores,
+# where the ratio is physically capped), and the ≤2% disarmed-tracing
+# band on the hot paths.
 bench-gate:
-	$(GO) run ./cmd/benchtables -exp E11,E12 | $(GO) run ./cmd/benchgate -baseline BENCH_BASELINE.json
+	$(GO) run ./cmd/benchtables -exp E11,E12,E13 | $(GO) run ./cmd/benchgate -baseline BENCH_BASELINE.json
 
-# Short-iteration gate used by `make check`: smaller E12 inputs and a
-# speedup-slack knob so CI timing noise cannot flake the build.
+# Short-iteration gate used by `make check`: smaller E12 inputs,
+# single-rep E13 timing, and slack knobs so CI timing noise cannot
+# flake the build.
 bench-gate-quick:
-	$(GO) run ./cmd/benchtables -exp E11,E12 -short | $(GO) run ./cmd/benchgate -baseline BENCH_BASELINE.json -speedup-slack 0.35
+	$(GO) run ./cmd/benchtables -exp E11,E12,E13 -short | $(GO) run ./cmd/benchgate -baseline BENCH_BASELINE.json -speedup-slack 0.35 -trace-slack 0.15
 
-# Refresh the committed benchmark baseline (schema 2: E11 + E12) from
-# the current tree.
+# Refresh the committed benchmark baseline (schema 2: E11 + E12 + E13)
+# from the current tree.
 bench-baseline:
-	$(GO) run ./cmd/benchtables -exp E11,E12 | $(GO) run ./cmd/benchgate -baseline BENCH_BASELINE.json -write
+	$(GO) run ./cmd/benchtables -exp E11,E12,E13 | $(GO) run ./cmd/benchgate -baseline BENCH_BASELINE.json -write
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -57,8 +57,7 @@ func HuffmanBatch(jobs [][]float64, opts ...Options) ([]HuffmanBatchResult, Stat
 // returns (nil, Stats, ctx.Err()). Jobs that already ran are discarded —
 // a batch is one statement, not a resumable stream.
 func HuffmanBatchContext(ctx context.Context, jobs [][]float64, opts ...Options) ([]HuffmanBatchResult, Stats, error) {
-	m := firstOption(opts).machine()
-	m.SetContext(ctx)
+	m := firstOption(opts).machineContext(ctx)
 	var out []HuffmanBatchResult
 	err := m.Run(func() { out = huffmanBatchOn(m, jobs) })
 	if err != nil {
@@ -121,8 +120,7 @@ func ShannonFanoBatch(jobs [][]float64, opts ...Options) ([]ShannonFanoBatchResu
 // ShannonFanoBatchContext is ShannonFanoBatch under a context; see
 // HuffmanBatchContext for the cancellation contract.
 func ShannonFanoBatchContext(ctx context.Context, jobs [][]float64, opts ...Options) ([]ShannonFanoBatchResult, Stats, error) {
-	m := firstOption(opts).machine()
-	m.SetContext(ctx)
+	m := firstOption(opts).machineContext(ctx)
 	var out []ShannonFanoBatchResult
 	err := m.Run(func() { out = shannonFanoBatchOn(m, jobs) })
 	if err != nil {
@@ -189,8 +187,7 @@ func TreeFromDepthsBatch(jobs [][]int, opts ...Options) ([]PatternBatchResult, S
 // TreeFromDepthsBatchContext is TreeFromDepthsBatch under a context; see
 // HuffmanBatchContext for the cancellation contract.
 func TreeFromDepthsBatchContext(ctx context.Context, jobs [][]int, opts ...Options) ([]PatternBatchResult, Stats, error) {
-	m := firstOption(opts).machine()
-	m.SetContext(ctx)
+	m := firstOption(opts).machineContext(ctx)
 	var out []PatternBatchResult
 	err := m.Run(func() { out = treeFromDepthsBatchOn(m, jobs) })
 	if err != nil {
@@ -236,8 +233,7 @@ func OptimalBSTBatch(jobs []*BSTInstance, opts ...Options) ([]BSTBatchResult, St
 // OptimalBSTBatchContext is OptimalBSTBatch under a context; see
 // HuffmanBatchContext for the cancellation contract.
 func OptimalBSTBatchContext(ctx context.Context, jobs []*BSTInstance, opts ...Options) ([]BSTBatchResult, Stats, error) {
-	m := firstOption(opts).machine()
-	m.SetContext(ctx)
+	m := firstOption(opts).machineContext(ctx)
 	var out []BSTBatchResult
 	err := m.Run(func() { out = optimalBSTBatchOn(m, jobs) })
 	if err != nil {
@@ -281,8 +277,7 @@ func RecognizeLinearBatch(jobs []LinCFLBatchJob, opts ...Options) ([]bool, Stats
 // RecognizeLinearBatchContext is RecognizeLinearBatch under a context;
 // see HuffmanBatchContext for the cancellation contract.
 func RecognizeLinearBatchContext(ctx context.Context, jobs []LinCFLBatchJob, opts ...Options) ([]bool, Stats, error) {
-	m := firstOption(opts).machine()
-	m.SetContext(ctx)
+	m := firstOption(opts).machineContext(ctx)
 	var out []bool
 	err := m.Run(func() { out = recognizeLinearBatchOn(m, jobs) })
 	if err != nil {

@@ -1,7 +1,7 @@
-// Command benchgate is the perf-regression gate for the workspace arena
-// and the multicore scaling pass. It reads the E11 and E12 BENCH-JSON
-// lines from stdin — pipe `benchtables -exp E11,E12` into it — and
-// enforces:
+// Command benchgate is the perf-regression gate for the workspace arena,
+// the multicore scaling pass, and the tracing layer's disarmed cost. It
+// reads the E11, E12 and E13 BENCH-JSON lines from stdin — pipe
+// `benchtables -exp E11,E12,E13` into it — and enforces:
 //
 //  1. The pooling invariant (E11): on every kernel, the pooled run must
 //     remove at least -min-reduction (default 70%) of the unpooled
@@ -17,13 +17,23 @@
 //     count is physically impossible, so this check only arms when the
 //     measuring host reports at least -speedup-p CPUs; on smaller hosts
 //     it prints a loud SKIP notice and passes.
+//  4. The disarmed-tracing gate (E13 vs baseline): with no recorder
+//     attached, each hot-path kernel's ns/op must stay within
+//     -trace-band (default 2%, widened by -trace-slack for short noisy
+//     runs) of the baseline, and its allocs/op must not creep — a
+//     disarmed tracer is a nil pointer compare, and this gate keeps it
+//     that way. Armed rows are reported but never gated: arming is an
+//     explicit opt-in with a documented price.
 //
-// The baseline file is schema 2: {"schema":2,"e11":{...},"e12":{...}}.
-// A pre-multi-P baseline (the old bare E11 report) fails with a clear
-// error telling you to regenerate via `make bench-baseline`. When the
-// baseline file does not exist the gate checks only the in-run
-// invariants and exits 0 with a notice, so fresh clones and CI bootstrap
-// runs pass; commit a baseline with -write to arm the regression check.
+// The baseline file is schema 2:
+// {"schema":2,"e11":{...},"e12":{...},"e13":{...}}. A pre-multi-P
+// baseline (the old bare E11 report) fails with a clear error telling
+// you to regenerate via `make bench-baseline`. A schema-2 baseline
+// without the e13 section (committed before the tracing layer) passes
+// the trace gate with a notice. When the baseline file does not exist
+// the gate checks only the in-run invariants and exits 0 with a notice,
+// so fresh clones and CI bootstrap runs pass; commit a baseline with
+// -write to arm the regression checks.
 package main
 
 import (
@@ -71,11 +81,33 @@ type e12Report struct {
 	Kernels    []e12Kernel `json:"kernels"`
 }
 
-// baseline is the committed BENCH_BASELINE.json, schema 2.
+type e13Row struct {
+	Kernel    string  `json:"kernel"`
+	Armed     bool    `json:"armed"`
+	NsOp      float64 `json:"ns_op"`
+	AllocsOp  int64   `json:"allocs_op"`
+	BytesOp   int64   `json:"bytes_op"`
+	NoiseFrac float64 `json:"noise_frac"`
+}
+
+type e13Report struct {
+	Experiment string   `json:"experiment"`
+	GoMaxProcs int      `json:"gomaxprocs"`
+	Reps       int      `json:"reps"`
+	CalNsOp    float64  `json:"cal_ns_op"`
+	CalNoise   float64  `json:"cal_noise_frac"`
+	Runs       []e13Row `json:"runs"`
+}
+
+// baseline is the committed BENCH_BASELINE.json, schema 2. The e13
+// section is optional so baselines committed before the tracing layer
+// keep working; the trace gate prints a notice and passes until the
+// baseline is regenerated.
 type baseline struct {
 	Schema int        `json:"schema"`
 	E11    *e11Report `json:"e11"`
 	E12    *e12Report `json:"e12"`
+	E13    *e13Report `json:"e13,omitempty"`
 }
 
 func main() {
@@ -90,16 +122,18 @@ func main() {
 	speedupSlack := flag.Float64("speedup-slack", 0.0, "subtracted from -min-speedup (CI stability knob)")
 	speedupKernels := flag.String("speedup-kernels", "monge-cutsmawk,boolmat-mulpar",
 		"comma-separated E12 kernels the speedup gate enforces")
+	traceBand := flag.Float64("trace-band", 0.02, "disarmed-tracing ns/op may exceed baseline by at most this fraction")
+	traceSlack := flag.Float64("trace-slack", 0.0, "added to -trace-band (CI stability knob for short runs)")
 	flag.Parse()
 
-	cur11, cur12, err := readReports(os.Stdin)
+	cur11, cur12, cur13, err := readReports(os.Stdin)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
 		os.Exit(1)
 	}
 
 	if *write {
-		blob, err := json.MarshalIndent(baseline{Schema: 2, E11: cur11, E12: cur12}, "", "  ")
+		blob, err := json.MarshalIndent(baseline{Schema: 2, E11: cur11, E12: cur12, E13: cur13}, "", "  ")
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
 			os.Exit(1)
@@ -108,8 +142,8 @@ func main() {
 			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Printf("benchgate: wrote %s (schema 2: %d E11 rows, %d E12 kernels)\n",
-			*baselinePath, len(cur11.Runs), len(cur12.Kernels))
+		fmt.Printf("benchgate: wrote %s (schema 2: %d E11 rows, %d E12 kernels, %d E13 rows)\n",
+			*baselinePath, len(cur11.Runs), len(cur12.Kernels), len(cur13.Runs))
 		return
 	}
 
@@ -196,10 +230,70 @@ func main() {
 		}
 	}
 
+	// Invariant 4: the tracing hooks stay invisible while disarmed. The
+	// armed rows are informational — print the measured opt-in price so
+	// it shows up in CI logs, but never fail on it.
+	band := *traceBand + *traceSlack
+	for kernel, off := range e13ByKernel(cur13.Runs, false) {
+		if on, ok := e13ByKernel(cur13.Runs, true)[kernel]; ok {
+			fmt.Printf("benchgate: trace: %s armed/disarmed %.2fx ns/op, +%d allocs/op (informational)\n",
+				kernel, on.NsOp/off.NsOp, on.AllocsOp-off.AllocsOp)
+		}
+		switch {
+		case base == nil:
+			// no baseline at all: notice already printed above
+		case base.E13 == nil:
+			fmt.Printf("benchgate: trace: %s: baseline has no e13 section; skipping (regenerate with `make bench-baseline`)\n", kernel)
+		default:
+			bo, ok := e13ByKernel(base.E13.Runs, false)[kernel]
+			if !ok {
+				fmt.Printf("benchgate: trace: %s: not in baseline; skipping\n", kernel)
+				continue
+			}
+			// Wall clock on a shared host drifts between runs; two defenses
+			// keep the 2% band honest instead of flaky. Each side's ns/op
+			// is normalized by its own in-process calibration spin, so
+			// host-speed drift (CPU steal, frequency scaling) divides out;
+			// and the band widens by the rep-to-rep noise both sides
+			// actually measured, so a quiet host gates tight.
+			cur, bas := off.NsOp, bo.NsOp
+			if cur13.CalNsOp > 0 && base.E13.CalNsOp > 0 {
+				cur /= cur13.CalNsOp
+				bas /= base.E13.CalNsOp
+			}
+			eff := band + off.NoiseFrac + bo.NoiseFrac + cur13.CalNoise + base.E13.CalNoise
+			limit := bas * (1 + eff)
+			if cur > limit {
+				fail("trace: %s: disarmed normalized ns/op %.4f exceeds baseline %.4f by more than %.1f%% (band %.1f%% + measured noise)",
+					kernel, cur, bas, 100*eff, 100*band)
+			} else {
+				fmt.Printf("benchgate: trace: %s: disarmed normalized ns/op %.4f vs baseline %.4f (effective band %.1f%%) ok\n",
+					kernel, cur, bas, 100*eff)
+			}
+			// Allocation counts are deterministic: a disarmed tracer that
+			// allocates anything new has lost its nil-compare discipline.
+			if off.AllocsOp > bo.AllocsOp {
+				fail("trace: %s: disarmed allocs/op %d exceeds baseline %d — the disarmed path must not allocate",
+					kernel, off.AllocsOp, bo.AllocsOp)
+			}
+		}
+	}
+
 	if failures > 0 {
 		os.Exit(1)
 	}
 	fmt.Println("benchgate: pass")
+}
+
+// e13ByKernel indexes one arm (armed or disarmed) of an E13 run set.
+func e13ByKernel(rows []e13Row, armed bool) map[string]e13Row {
+	out := make(map[string]e13Row)
+	for _, r := range rows {
+		if r.Armed == armed {
+			out[r.Kernel] = r
+		}
+	}
+	return out
 }
 
 // findE12Row returns the named kernel's row at worker count p, or nil.
@@ -236,13 +330,14 @@ func pairByKernel(rows []row) map[string]*[2]*row {
 	return out
 }
 
-// readReports scans stdin for the E11 and E12 BENCH-JSON lines (other
-// experiment output may precede or separate them).
-func readReports(f *os.File) (*e11Report, *e12Report, error) {
+// readReports scans stdin for the E11, E12 and E13 BENCH-JSON lines
+// (other experiment output may precede or separate them).
+func readReports(f *os.File) (*e11Report, *e12Report, *e13Report, error) {
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
 	var r11 *e11Report
 	var r12 *e12Report
+	var r13 *e13Report
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
 		blob, ok := strings.CutPrefix(line, "BENCH-JSON ")
@@ -253,30 +348,36 @@ func readReports(f *os.File) (*e11Report, *e12Report, error) {
 			Experiment string `json:"experiment"`
 		}
 		if err := json.Unmarshal([]byte(blob), &probe); err != nil {
-			return nil, nil, fmt.Errorf("parsing BENCH-JSON line: %w", err)
+			return nil, nil, nil, fmt.Errorf("parsing BENCH-JSON line: %w", err)
 		}
 		switch probe.Experiment {
 		case "E11":
 			var r e11Report
 			if err := json.Unmarshal([]byte(blob), &r); err != nil {
-				return nil, nil, fmt.Errorf("parsing E11 BENCH-JSON: %w", err)
+				return nil, nil, nil, fmt.Errorf("parsing E11 BENCH-JSON: %w", err)
 			}
 			r11 = &r
 		case "E12":
 			var r e12Report
 			if err := json.Unmarshal([]byte(blob), &r); err != nil {
-				return nil, nil, fmt.Errorf("parsing E12 BENCH-JSON: %w", err)
+				return nil, nil, nil, fmt.Errorf("parsing E12 BENCH-JSON: %w", err)
 			}
 			r12 = &r
+		case "E13":
+			var r e13Report
+			if err := json.Unmarshal([]byte(blob), &r); err != nil {
+				return nil, nil, nil, fmt.Errorf("parsing E13 BENCH-JSON: %w", err)
+			}
+			r13 = &r
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
-	if r11 == nil || r12 == nil {
-		return nil, nil, fmt.Errorf("need both E11 and E12 BENCH-JSON lines on stdin (pipe `benchtables -exp E11,E12` in)")
+	if r11 == nil || r12 == nil || r13 == nil {
+		return nil, nil, nil, fmt.Errorf("need the E11, E12 and E13 BENCH-JSON lines on stdin (pipe `benchtables -exp E11,E12,E13` in)")
 	}
-	return r11, r12, nil
+	return r11, r12, r13, nil
 }
 
 // readBaseline parses the committed baseline, rejecting pre-schema-2

@@ -13,11 +13,19 @@
 //	POST /v1/lincfl/recognize    {"grammar":"palindrome","word":"..."}
 //	GET  /healthz                liveness + uptime
 //	GET  /statsz                 cache/batcher counters and PRAM phase stats
+//	GET  /metricsz               the same counters in Prometheus text format,
+//	                             plus trace-derived phase/batch histograms
+//	GET  /debug/pprof/...        Go profiling endpoints (only with -pprof)
+//
+// Any /v1 request sent with an "X-Partree-Trace: 1" header is traced:
+// the response nests the result beside the span timings (request, batch,
+// and PRAM phase spans) and echoes a trace ID in X-Partree-Trace-Id.
 //
 // Example:
 //
 //	partreed -addr :8080 -max-batch 64 -linger 200us &
 //	curl -s localhost:8080/v1/huffman -d '{"weights":[5,2,1,1]}'
+//	curl -s -H 'X-Partree-Trace: 1' localhost:8080/v1/huffman -d '{"weights":[5,2,1,1]}'
 package main
 
 import (
@@ -27,6 +35,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -50,6 +59,8 @@ func run(args []string) int {
 		cacheSize  = fs.Int("cache-size", 4096, "LRU result cache entries (negative disables caching)")
 		inflight   = fs.Int("max-inflight", 256, "concurrent requests admitted before shedding with 429")
 		reqTimeout = fs.Duration("request-timeout", 10*time.Second, "per-request deadline")
+		traceCap   = fs.Int("trace-capacity", 512, "spans kept per X-Partree-Trace request trace")
+		pprofOn    = fs.Bool("pprof", false, "mount Go profiling handlers under /debug/pprof/")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -74,12 +85,28 @@ func run(args []string) int {
 		CacheSize:      *cacheSize,
 		MaxInflight:    *inflight,
 		RequestTimeout: *reqTimeout,
+		TraceCapacity:  *traceCap,
 		Logf:           logger.Printf,
 	})
 
+	// The pprof handlers hang off an outer mux so the service mux (and its
+	// panic recovery / admission path) stays unaware of them; without
+	// -pprof no profiling surface exists at all.
+	handler := s.Handler()
+	if *pprofOn {
+		outer := http.NewServeMux()
+		outer.HandleFunc("/debug/pprof/", pprof.Index)
+		outer.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		outer.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		outer.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		outer.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		outer.Handle("/", handler)
+		handler = outer
+	}
+
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           s.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 
@@ -89,8 +116,8 @@ func run(args []string) int {
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 
-	logger.Printf("listening on %s (max-batch=%d linger=%v cache=%d inflight=%d request-timeout=%v)",
-		*addr, *maxBatch, *linger, *cacheSize, *inflight, *reqTimeout)
+	logger.Printf("listening on %s (max-batch=%d linger=%v cache=%d inflight=%d request-timeout=%v pprof=%v)",
+		*addr, *maxBatch, *linger, *cacheSize, *inflight, *reqTimeout, *pprofOn)
 
 	select {
 	case err := <-errc:

@@ -31,6 +31,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"partree/internal/trace"
 )
 
 func defaultWorkers() int { return runtime.GOMAXPROCS(0) }
@@ -92,6 +94,12 @@ type Machine struct {
 	// cancellation (see cancel.go). Nil — the default — costs one pointer
 	// compare per statement.
 	ctx context.Context
+
+	// tracer, when non-nil, receives one span per Phase window and one
+	// slice per worker per statement (see trace.go). Nil — the default —
+	// costs one pointer compare per statement and per Phase call.
+	tracer    *trace.Trace
+	openSpans []openSpan
 
 	running atomic.Bool // guards against nested/concurrent For
 
@@ -165,9 +173,13 @@ func New(opts ...Option) *Machine {
 	}
 	m.restorePhase = func() {
 		m.statsMu.Lock()
+		ended := m.phase
 		n := len(m.phaseStack)
 		m.phase = m.phaseStack[n-1]
 		m.phaseStack = m.phaseStack[:n-1]
+		if m.tracer != nil {
+			m.closePhaseSpan(ended, n)
+		}
 		m.statsMu.Unlock()
 	}
 	for _, o := range opts {
@@ -269,6 +281,9 @@ func (m *Machine) For(n int, body func(i int)) {
 		el := time.Since(start)
 		m.record(steps, int64(n), 1, stmtStats{span: el, busy: el})
 		m.observeCost(n, el)
+		if m.tracer != nil {
+			m.emitSerialSpan(start, el, n)
+		}
 		return
 	}
 	m.forChunked(n, func(lo, hi int) {
@@ -325,6 +340,9 @@ func (m *Machine) forChunked(n int, body func(lo, hi int)) {
 		el := time.Since(start)
 		m.record(steps, int64(n), 1, stmtStats{span: el, busy: el})
 		m.observeCost(n, el)
+		if m.tracer != nil {
+			m.emitSerialSpan(start, el, n)
+		}
 		return
 	}
 
@@ -332,11 +350,15 @@ func (m *Machine) forChunked(n int, body func(lo, hi int)) {
 	if m.ctx != nil {
 		done = m.ctx.Done()
 	}
-	st := run(n, w, g, body, done)
+	start := time.Now()
+	st, ws := run(n, w, g, body, done, start)
 	// Workers bail at pop/steal boundaries once the context is done,
 	// abandoning unexecuted chunks; the statement is then incomplete, so
 	// the abort must happen before anyone reads its outputs.
 	m.checkpoint()
 	m.record(steps, int64(n), 1, st)
 	m.observeCost(n, st.busy)
+	if m.tracer != nil {
+		m.emitWorkerSpans(start, ws)
+	}
 }

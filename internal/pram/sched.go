@@ -102,11 +102,15 @@ type workerStats struct {
 }
 
 // run executes body over [0, n) on w workers (the caller is worker 0)
-// with chunk size g, and returns the aggregated statement measurements.
-// done, when non-nil, is a cancellation signal: workers stop taking new
-// chunks once it is closed (the orchestrator detects the resulting
-// incomplete statement at the barrier and unwinds — see Machine.checkpoint).
-func run(n, w, g int, body func(lo, hi int), done <-chan struct{}) stmtStats {
+// with chunk size g, and returns the aggregated statement measurements
+// plus the per-worker breakdown (the caller's tracing hook turns the
+// latter into per-worker slices; it is the slice run allocates anyway).
+// start is the statement's start instant, taken by the caller so traced
+// spans and worker finish times share one zero point. done, when
+// non-nil, is a cancellation signal: workers stop taking new chunks once
+// it is closed (the orchestrator detects the resulting incomplete
+// statement at the barrier and unwinds — see Machine.checkpoint).
+func run(n, w, g int, body func(lo, hi int), done <-chan struct{}, start time.Time) (stmtStats, []workerStats) {
 	dq := make([]wdeque, w)
 	chunk := (n + w - 1) / w
 	for i := 0; i < w; i++ {
@@ -122,7 +126,6 @@ func run(n, w, g int, body func(lo, hi int), done <-chan struct{}) stmtStats {
 	}
 
 	ws := make([]workerStats, w)
-	start := time.Now()
 	var wg sync.WaitGroup
 	for i := 1; i < w; i++ {
 		wg.Add(1)
@@ -148,7 +151,7 @@ func run(n, w, g int, body func(lo, hi int), done <-chan struct{}) stmtStats {
 		st.barrierWait += maxFinish - ws[i].finish
 	}
 	st.span = maxFinish
-	return st
+	return st, ws
 }
 
 // worker is the per-goroutine scheduling loop: drain own deque, then

@@ -111,6 +111,9 @@ func (m *Machine) Phase(name string) func() {
 	m.statsMu.Lock()
 	m.phaseStack = append(m.phaseStack, m.phase)
 	m.phase = name
+	if m.tracer != nil {
+		m.openPhaseSpan(name)
+	}
 	m.statsMu.Unlock()
 	return m.restorePhase
 }

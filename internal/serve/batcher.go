@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"partree/internal/faultpoint"
+	"partree/internal/trace"
 )
 
 // ErrShuttingDown is returned by Submit once the batcher has been closed.
@@ -41,6 +42,13 @@ type batcher[Req, Resp any] struct {
 	maxBatch int
 	linger   time.Duration
 	exec     func(context.Context, []Req) ([]Resp, error)
+
+	// observe, when non-nil, receives each batch run's trace after the
+	// run completes (the server feeds the /metricsz histograms with it).
+	// A non-nil observe arms a per-batch recorder on every run; with
+	// observe nil a batch is traced only when a submitter's context
+	// carries a request trace. Set before the first Submit.
+	observe func(*trace.Trace)
 
 	// mu is held for reading around every queue send and for writing in
 	// Close; after Close sets closed under the write lock, no new send can
@@ -82,6 +90,11 @@ type pending[Req, Resp any] struct {
 	resp Resp
 	err  error
 	done chan struct{}
+	// tr is the submitter's request trace (nil for untraced requests);
+	// the batch run's spans are grafted into it before done closes, so a
+	// traced request sees the spans of the run that computed its result
+	// even when it shared the run with untraced neighbours.
+	tr *trace.Trace
 }
 
 func newBatcher[Req, Resp any](name string, maxBatch int, linger time.Duration, queueDepth int, exec func(context.Context, []Req) ([]Resp, error)) *batcher[Req, Resp] {
@@ -109,7 +122,7 @@ func newBatcher[Req, Resp any](name string, maxBatch int, linger time.Duration, 
 // returned nil error was executed; its response is valid.
 func (b *batcher[Req, Resp]) Submit(ctx context.Context, req Req) (Resp, error) {
 	var zero Resp
-	p := &pending[Req, Resp]{req: req, ctx: ctx, done: make(chan struct{})}
+	p := &pending[Req, Resp]{req: req, ctx: ctx, done: make(chan struct{}), tr: trace.FromContext(ctx)}
 
 	b.mu.RLock()
 	if b.closed {
@@ -235,7 +248,7 @@ func (b *batcher[Req, Resp]) runBatch(batch []*pending[Req, Resp], cut string) {
 		live = append(live, p)
 	}
 	if len(live) > 0 {
-		b.execBatch(live)
+		b.execBatch(live, cut)
 	}
 
 	b.cmu.Lock()
@@ -261,7 +274,13 @@ func (b *batcher[Req, Resp]) runBatch(batch []*pending[Req, Resp], cut string) {
 // the batch (its Submit returned on its own ctx) without aborting the
 // machine run its neighbours are still waiting on. Only when the last
 // listener is gone does the run itself get cancelled.
-func (b *batcher[Req, Resp]) execBatch(live []*pending[Req, Resp]) {
+//
+// When the run is traced (observe hook set, or any submitter traced) a
+// fresh recorder rides the batch context into the PRAM run; afterwards
+// the run's spans — phases, worker slices, and the batch span stamped
+// here with the job count and cut reason — go to observe and are grafted
+// into every traced submitter's request trace.
+func (b *batcher[Req, Resp]) execBatch(live []*pending[Req, Resp], cut string) {
 	batchCtx := context.Background()
 	var cancel context.CancelFunc
 	stop := make(chan struct{})
@@ -293,11 +312,32 @@ func (b *batcher[Req, Resp]) execBatch(live []*pending[Req, Resp]) {
 		close(watcherDone)
 	}
 
+	var btr *trace.Trace
+	if b.observe != nil {
+		btr = trace.New(0)
+	} else {
+		for _, p := range live {
+			if p.tr != nil {
+				btr = trace.New(0)
+				break
+			}
+		}
+	}
+	if btr != nil {
+		batchCtx = trace.NewContext(batchCtx, btr)
+	}
+
 	reqs := b.reqScratch[:0]
 	for _, p := range live {
 		reqs = append(reqs, p.req)
 	}
 	resps, err, panicked := b.safeExec(batchCtx, reqs)
+	if btr != nil {
+		btr.Add(trace.Span{Name: b.name, Cat: trace.CatBatch, Dur: btr.Now(), Jobs: len(live), Cut: cut})
+		if b.observe != nil {
+			b.observe(btr)
+		}
+	}
 	close(stop)
 	<-watcherDone
 	if cancel != nil {
@@ -329,6 +369,11 @@ func (b *batcher[Req, Resp]) execBatch(live []*pending[Req, Resp]) {
 			p.err = errBatchPanic
 		default:
 			p.resp = resps[i]
+		}
+		if p.tr != nil && btr != nil {
+			// Graft before done closes so the submitter's view of its
+			// trace is complete the moment Submit returns.
+			p.tr.Graft(btr)
 		}
 		close(p.done)
 	}

@@ -106,8 +106,18 @@ func checkHuffman(t *testing.T, raw []byte, weights []float64) {
 }
 
 func reqCounter(snap StatsSnapshot, engine, key string) int64 {
-	v, _ := snap.Requests[engine][key].(int64)
-	return v
+	c := snap.Requests[engine]
+	switch key {
+	case "ok":
+		return c.OK
+	case "errors":
+		return c.Errors
+	case "timeouts":
+		return c.Timeouts
+	case "canceled":
+		return c.Canceled
+	}
+	return 0
 }
 
 // TestChaosTimeoutDoesNotKillCoBatchedJobs: patient and impatient clients

@@ -376,7 +376,7 @@ func TestE2ECacheHitAndStats(t *testing.T) {
 	if snap.Cache.Hits < 2 || snap.Cache.Misses < 1 {
 		t.Errorf("cache counters: %+v", snap.Cache)
 	}
-	if snap.Requests["huffman"] == nil {
+	if _, ok := snap.Requests["huffman"]; !ok {
 		t.Fatalf("missing request counters: %s", raw)
 	}
 	es, ok := snap.PRAM["huffman"]

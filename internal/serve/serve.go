@@ -29,6 +29,7 @@ import (
 
 	"partree"
 	"partree/internal/pool"
+	"partree/internal/trace"
 	"partree/internal/tree"
 )
 
@@ -53,6 +54,10 @@ type Config struct {
 	RequestTimeout time.Duration
 	// Limits bounds request payloads (see Limits).
 	Limits Limits
+	// TraceCapacity bounds each per-request trace ring (spans kept per
+	// traced request; 0 means 512). Batch-run traces always use the
+	// trace package default.
+	TraceCapacity int
 	// Logf receives server diagnostics (panics, shutdown). nil = log.Printf.
 	Logf func(format string, args ...any)
 }
@@ -70,6 +75,9 @@ func (c *Config) setDefaults() {
 	if c.RequestTimeout == 0 {
 		c.RequestTimeout = 10 * time.Second
 	}
+	if c.TraceCapacity == 0 {
+		c.TraceCapacity = 512
+	}
 	if c.Logf == nil {
 		c.Logf = log.Printf
 	}
@@ -82,6 +90,16 @@ var engineNames = []string{"huffman", "shannonfano", "treefromdepths", "obst", "
 // deadlineHeader lets a client tighten its own request deadline below
 // the server-wide RequestTimeout (milliseconds; larger values clamp).
 const deadlineHeader = "X-Partree-Deadline-Ms"
+
+// traceHeader ("X-Partree-Trace: 1") opts a request into tracing: the
+// server attaches a fresh recorder to the request context, echoes its ID
+// in traceIDHeader, and returns the span timings — the request span, the
+// batch run's span, and the PRAM phase spans of the run that computed
+// the result — in the response envelope (see finishTraced).
+const (
+	traceHeader   = "X-Partree-Trace"
+	traceIDHeader = "X-Partree-Trace-Id"
+)
 
 // Server is the partreed HTTP service. Construct with New; always Close
 // to drain in-flight batches.
@@ -101,6 +119,11 @@ type Server struct {
 	statsMu     sync.Mutex
 	engineStats map[string]*accumulatedStats
 
+	// Trace-derived histograms behind /metricsz, fed by every batch run's
+	// recorder via observeTrace (see metrics.go).
+	phaseHist *histSet
+	batchHist *histSet
+
 	hufBatch *batcher[[]float64, partree.HuffmanBatchResult]
 	sfBatch  *batcher[[]float64, partree.ShannonFanoBatchResult]
 	patBatch *batcher[[]int, partree.PatternBatchResult]
@@ -116,6 +139,32 @@ type endpointCounters struct {
 	// that hung up mid-request.
 	Timeouts atomic.Int64
 	Canceled atomic.Int64
+}
+
+// RequestCounters is one engine's request-outcome tally in the /statsz
+// and /metricsz payloads. Invariant: Timeouts+Canceled ≤ Errors.
+type RequestCounters struct {
+	OK       int64 `json:"ok"`
+	Errors   int64 `json:"errors"`
+	Timeouts int64 `json:"timeouts"`
+	Canceled int64 `json:"canceled"`
+}
+
+// snapshot reads the counters in an order that keeps the snapshot's
+// invariant under concurrent traffic: finish increments Errors before
+// the Timeouts/Canceled breakdown, so the subsets must be read BEFORE
+// the total — any breakdown increment we observe then has its Errors
+// increment visible too. Reading in field order (the old code) could
+// report timeouts+canceled > errors mid-request.
+func (c *endpointCounters) snapshot() RequestCounters {
+	timeouts := c.Timeouts.Load()
+	canceled := c.Canceled.Load()
+	return RequestCounters{
+		Timeouts: timeouts,
+		Canceled: canceled,
+		Errors:   c.Errors.Load(),
+		OK:       c.OK.Load(),
+	}
 }
 
 // accumulatedStats folds the partree.Stats of successive batch runs.
@@ -140,6 +189,8 @@ func New(cfg Config) *Server {
 		s.cache = newLRUCache(cfg.CacheSize)
 		s.fast = newRawCache(cfg.CacheSize)
 	}
+	s.phaseHist = newHistSet()
+	s.batchHist = newHistSet()
 	for _, name := range engineNames {
 		s.served[name] = &endpointCounters{}
 		s.engineStats[name] = &accumulatedStats{phases: make(map[string]partree.PhaseStats)}
@@ -180,8 +231,18 @@ func New(cfg Config) *Server {
 			return res, err
 		})
 
+	// Every batch run records into its own bounded trace (independent of
+	// client-requested request traces); the observe hook folds those spans
+	// into the /metricsz histograms.
+	s.hufBatch.observe = s.observeTrace
+	s.sfBatch.observe = s.observeTrace
+	s.patBatch.observe = s.observeTrace
+	s.bstBatch.observe = s.observeTrace
+	s.cflBatch.observe = s.observeTrace
+
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/statsz", s.handleStatsz)
+	s.mux.HandleFunc("/metricsz", s.handleMetricsz)
 	s.mux.Handle("/v1/huffman", s.v1("huffman", s.handleHuffman))
 	s.mux.Handle("/v1/shannonfano", s.v1("shannonfano", s.handleShannonFano))
 	s.mux.Handle("/v1/treefromdepths", s.v1("treefromdepths", s.handleTreeFromDepths))
@@ -262,6 +323,11 @@ func (s *Server) recoverer(next http.Handler) http.Handler {
 // A client may tighten (never extend) its own deadline with an
 // X-Partree-Deadline-Ms header; values above the configured
 // RequestTimeout are clamped to it.
+//
+// A request carrying "X-Partree-Trace: 1" gets a fresh trace recorder on
+// its context (armed through the batcher into the PRAM run) and bypasses
+// the raw-body fast path: traced responses carry per-request span
+// timings, so a byte-identical replay would be a lie.
 func (s *Server) v1(engine string, h func(w http.ResponseWriter, r *http.Request)) http.Handler {
 	withDeadline := func(w http.ResponseWriter, r *http.Request) {
 		timeout := s.cfg.RequestTimeout
@@ -274,6 +340,12 @@ func (s *Server) v1(engine string, h func(w http.ResponseWriter, r *http.Request
 		}
 		ctx, cancel := context.WithTimeout(r.Context(), timeout)
 		defer cancel()
+		if r.Header.Get(traceHeader) == "1" {
+			tr := trace.New(s.cfg.TraceCapacity)
+			tr.SetID(trace.NewID())
+			w.Header().Set(traceIDHeader, tr.ID())
+			ctx = trace.NewContext(ctx, tr)
+		}
 		h(w, r.WithContext(ctx))
 	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
@@ -291,7 +363,7 @@ func (s *Server) v1(engine string, h func(w http.ResponseWriter, r *http.Request
 			writeError(w, &apiError{Status: http.StatusTooManyRequests, Code: "overloaded", Message: "admission queue full; retry"})
 			return
 		}
-		if s.fast != nil && pool.Enabled() {
+		if s.fast != nil && pool.Enabled() && r.Header.Get(traceHeader) != "1" {
 			s.serveFastPath(engine, w, r, withDeadline)
 			return
 		}
@@ -317,8 +389,9 @@ func writeError(w http.ResponseWriter, e *apiError) {
 
 // finish maps the outcome of a cached batch computation onto the wire:
 // engine/context errors to their statuses, values to 200 with a cache
-// disposition header.
-func (s *Server) finish(w http.ResponseWriter, engine string, val any, hit bool, err error) {
+// disposition header. A traced request (trace recorder on the context)
+// gets its result wrapped in an envelope carrying the span timings.
+func (s *Server) finish(w http.ResponseWriter, r *http.Request, engine string, val any, hit bool, err error) {
 	counters := s.served[engine]
 	if err != nil {
 		counters.Errors.Add(1)
@@ -342,10 +415,18 @@ func (s *Server) finish(w http.ResponseWriter, engine string, val any, hit bool,
 		return
 	}
 	counters.OK.Add(1)
+	disposition := "miss"
 	if hit {
-		w.Header().Set("X-Partree-Cache", "hit")
-	} else {
-		w.Header().Set("X-Partree-Cache", "miss")
+		disposition = "hit"
+	}
+	w.Header().Set("X-Partree-Cache", disposition)
+	if tr := trace.FromContext(r.Context()); tr != nil {
+		// Close the request span (whole handler wall time, cache
+		// disposition) and return the trace in the envelope. The grafted
+		// batch/phase spans are already in tr by the time Submit returned.
+		tr.Add(trace.Span{Name: engine, Cat: trace.CatRequest, Dur: tr.Now(), Cut: disposition})
+		writeJSON(w, http.StatusOK, &tracedResponse{Result: val, Trace: traceEnvelopeOf(tr)})
+		return
 	}
 	writeJSON(w, http.StatusOK, val)
 }
@@ -398,7 +479,7 @@ func (s *Server) handleHuffman(w http.ResponseWriter, r *http.Request) {
 			AvgBits: res.Cost,
 		}, nil
 	})
-	s.finish(w, "huffman", val, hit, err)
+	s.finish(w, r, "huffman", val, hit, err)
 }
 
 func (s *Server) handleShannonFano(w http.ResponseWriter, r *http.Request) {
@@ -437,7 +518,7 @@ func (s *Server) handleShannonFano(w http.ResponseWriter, r *http.Request) {
 			AvgBits: res.AverageLength,
 		}, nil
 	})
-	s.finish(w, "shannonfano", val, hit, err)
+	s.finish(w, r, "shannonfano", val, hit, err)
 }
 
 func (s *Server) handleTreeFromDepths(w http.ResponseWriter, r *http.Request) {
@@ -469,7 +550,7 @@ func (s *Server) handleTreeFromDepths(w http.ResponseWriter, r *http.Request) {
 		shape, symbols := tree.Marshal(res.Tree)
 		return &depthsResponse{Realizable: true, Shape: shape, Symbols: symbols}, nil
 	})
-	s.finish(w, "treefromdepths", val, hit, err)
+	s.finish(w, r, "treefromdepths", val, hit, err)
 }
 
 func (s *Server) handleOBST(w http.ResponseWriter, r *http.Request) {
@@ -508,7 +589,7 @@ func (s *Server) handleOBST(w http.ResponseWriter, r *http.Request) {
 		shape, symbols := tree.Marshal(res.Tree)
 		return &obstResponse{N: len(keys), Cost: res.Cost, Shape: shape, Symbols: symbols}, nil
 	})
-	s.finish(w, "obst", val, hit, err)
+	s.finish(w, r, "obst", val, hit, err)
 }
 
 func (s *Server) handleLinCFL(w http.ResponseWriter, r *http.Request) {
@@ -532,7 +613,7 @@ func (s *Server) handleLinCFL(w http.ResponseWriter, r *http.Request) {
 		}
 		return &lincflResponse{Accepted: accepted}, nil
 	})
-	s.finish(w, "lincfl", val, hit, err)
+	s.finish(w, r, "lincfl", val, hit, err)
 }
 
 // --- observability endpoints ---
@@ -616,7 +697,7 @@ type StatsSnapshot struct {
 	Capacity int                        `json:"inflight_capacity"`
 	Shed     int64                      `json:"shed"`
 	Panics   int64                      `json:"panics"`
-	Requests map[string]map[string]any  `json:"requests"`
+	Requests map[string]RequestCounters `json:"requests"`
 	Cache    CacheCounters              `json:"cache"`
 	FastPath CacheCounters              `json:"fastpath"`
 	Batchers map[string]BatcherCounters `json:"batchers"`
@@ -632,7 +713,7 @@ func (s *Server) Snapshot() StatsSnapshot {
 		Capacity: cap(s.inflight),
 		Shed:     s.shed.Load(),
 		Panics:   s.panics.Load(),
-		Requests: make(map[string]map[string]any, len(engineNames)),
+		Requests: make(map[string]RequestCounters, len(engineNames)),
 		Cache:    s.cache.counters(),
 		FastPath: s.fast.counters(),
 		Batchers: map[string]BatcherCounters{
@@ -646,13 +727,7 @@ func (s *Server) Snapshot() StatsSnapshot {
 		Pool: poolCounters(),
 	}
 	for _, name := range engineNames {
-		c := s.served[name]
-		snap.Requests[name] = map[string]any{
-			"ok":       c.OK.Load(),
-			"errors":   c.Errors.Load(),
-			"timeouts": c.Timeouts.Load(),
-			"canceled": c.Canceled.Load(),
-		}
+		snap.Requests[name] = s.served[name].snapshot()
 	}
 	s.statsMu.Lock()
 	for _, name := range engineNames {

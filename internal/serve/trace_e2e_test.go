@@ -1,0 +1,261 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+)
+
+// postTraced is post with the X-Partree-Trace header armed.
+func postTraced(t *testing.T, client *http.Client, url string, body any) (int, []byte, http.Header) {
+	t.Helper()
+	blob, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(traceHeader, "1")
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, raw, resp.Header
+}
+
+// tracedCodingResponse mirrors the traced envelope on the wire.
+type tracedCodingResponse struct {
+	Trace  traceEnvelope  `json:"trace"`
+	Result codingResponse `json:"result"`
+}
+
+// TestTracedRequestEnvelope: a request with "X-Partree-Trace: 1" gets a
+// trace ID header and an envelope whose spans cover the whole pipeline —
+// the request span, the batch span of the run that computed the result,
+// and that run's PRAM phase spans with real counted work.
+func TestTracedRequestEnvelope(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxBatch: 8, Linger: time.Millisecond})
+	weights := []float64{5, 2, 9, 1, 7, 4}
+
+	status, raw, hdr := postTraced(t, ts.Client(), ts.URL+"/v1/huffman", codingRequest{Weights: weights})
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, raw)
+	}
+	if hdr.Get(traceIDHeader) == "" {
+		t.Errorf("missing %s header", traceIDHeader)
+	}
+	got := mustDecode[tracedCodingResponse](t, raw)
+	if got.Trace.ID == "" || got.Trace.ID != hdr.Get(traceIDHeader) {
+		t.Errorf("envelope trace id %q, header %q", got.Trace.ID, hdr.Get(traceIDHeader))
+	}
+	if got.Result.N != len(weights) || len(got.Result.Codes) != len(weights) {
+		t.Errorf("traced result payload wrong: %+v", got.Result)
+	}
+
+	var reqSpans, batchSpans, phaseSpans int
+	var phaseWork int64
+	for _, s := range got.Trace.Spans {
+		switch s.Cat {
+		case "request":
+			reqSpans++
+			if s.Name != "huffman" || s.Cut != "miss" {
+				t.Errorf("request span %+v, want huffman/miss", s)
+			}
+			if s.DurUS <= 0 {
+				t.Errorf("request span has no duration: %+v", s)
+			}
+		case "batch":
+			batchSpans++
+			if s.Name != "huffman" || s.Jobs < 1 || s.Cut == "" {
+				t.Errorf("batch span %+v", s)
+			}
+		case "phase":
+			phaseSpans++
+			phaseWork += s.Steps // phases always book steps; work can legitimately equal steps
+		}
+	}
+	if reqSpans != 1 {
+		t.Errorf("%d request spans, want 1", reqSpans)
+	}
+	if batchSpans != 1 {
+		t.Errorf("%d batch spans, want 1 (batch trace not grafted?)", batchSpans)
+	}
+	if phaseSpans == 0 || phaseWork == 0 {
+		t.Errorf("no phase spans with counted cost (spans=%d steps=%d)", phaseSpans, phaseWork)
+	}
+
+	// A second identical traced request is a cache hit: fresh trace, no
+	// batch ran for it, request span says "hit".
+	status, raw, hdr2 := postTraced(t, ts.Client(), ts.URL+"/v1/huffman", codingRequest{Weights: weights})
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, raw)
+	}
+	hit := mustDecode[tracedCodingResponse](t, raw)
+	if hit.Trace.ID == got.Trace.ID {
+		t.Error("second request reused the first request's trace ID")
+	}
+	if hdr2.Get("X-Partree-Cache") != "hit" {
+		t.Errorf("second request not a cache hit: %v", hdr2.Get("X-Partree-Cache"))
+	}
+	for _, s := range hit.Trace.Spans {
+		if s.Cat == "batch" {
+			t.Errorf("cache-hit trace contains a batch span: %+v", s)
+		}
+		if s.Cat == "request" && s.Cut != "hit" {
+			t.Errorf("cache-hit request span cut = %q", s.Cut)
+		}
+	}
+
+	// An untraced request gets the plain result — no envelope.
+	status, raw, hdr3 := post(t, ts.Client(), ts.URL+"/v1/huffman", codingRequest{Weights: weights})
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, raw)
+	}
+	if hdr3.Get(traceIDHeader) != "" {
+		t.Error("untraced request got a trace ID header")
+	}
+	plain := mustDecode[codingResponse](t, raw)
+	if plain.N != len(weights) {
+		t.Errorf("untraced response not the plain payload: %s", raw)
+	}
+}
+
+// TestTracedRequestsShareBatchSpans: co-batched traced requests each get
+// the shared batch run's spans, rebased onto their own timeline.
+func TestTracedRequestsShareBatchSpans(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxBatch: 8, Linger: 50 * time.Millisecond, CacheSize: -1})
+	jobs := [][]float64{
+		{5, 2, 9, 1},
+		{3, 3, 1, 7, 6},
+		{10, 1, 1, 1, 1, 4},
+	}
+	type out struct {
+		batches int
+		jobsMax int
+	}
+	results := make([]out, len(jobs))
+	var wg sync.WaitGroup
+	for i, w := range jobs {
+		wg.Add(1)
+		go func(i int, w []float64) {
+			defer wg.Done()
+			status, raw, _ := postTraced(t, ts.Client(), ts.URL+"/v1/huffman", codingRequest{Weights: w})
+			if status != http.StatusOK {
+				t.Errorf("job %d: status %d: %s", i, status, raw)
+				return
+			}
+			env := mustDecode[tracedCodingResponse](t, raw)
+			for _, s := range env.Trace.Spans {
+				if s.Cat == "batch" {
+					results[i].batches++
+					if s.Jobs > results[i].jobsMax {
+						results[i].jobsMax = s.Jobs
+					}
+				}
+			}
+		}(i, w)
+	}
+	wg.Wait()
+	coalesced := false
+	for i, r := range results {
+		if r.batches != 1 {
+			t.Errorf("job %d saw %d batch spans, want exactly its own run's", i, r.batches)
+		}
+		if r.jobsMax > 1 {
+			coalesced = true
+		}
+	}
+	// With a 50ms linger the three should usually share a run; don't fail
+	// the suite on scheduling luck, but log it — the per-job invariants
+	// above are the real assertions.
+	if !coalesced {
+		t.Logf("note: no two jobs were co-batched this run (timing)")
+	}
+}
+
+// TestStatszConsistentUnderTraffic is the satellite regression for the
+// snapshot-ordering fix: hammer /statsz and /metricsz while live traffic
+// (successes and deadline-driven timeouts) mutates the counters, and
+// assert every observed snapshot satisfies the subset invariant
+// timeouts+canceled ≤ errors. Run under -race this also proves the
+// handler path is data-race-free against the batch pipeline.
+func TestStatszConsistentUnderTraffic(t *testing.T) {
+	_, ts := newTestServer(t, Config{
+		Workers: 2, MaxBatch: 4, Linger: 2 * time.Millisecond,
+		CacheSize: -1, RequestTimeout: 5 * time.Second,
+	})
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Traffic: successes plus requests with a 1ms deadline racing a
+	// lingering batch — a steady source of concurrent Errors/Timeouts
+	// increments.
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				blob, _ := json.Marshal(codingRequest{Weights: []float64{float64(1 + g), 2, 9, float64(1 + i%7)}})
+				req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/huffman", bytes.NewReader(blob))
+				if i%2 == 1 {
+					req.Header.Set(deadlineHeader, "1")
+				}
+				resp, err := ts.Client().Do(req)
+				if err == nil {
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+			}
+		}(g)
+	}
+
+	deadline := time.After(400 * time.Millisecond)
+	for {
+		select {
+		case <-deadline:
+			close(stop)
+			wg.Wait()
+			return
+		default:
+		}
+		resp, err := ts.Client().Get(ts.URL + "/statsz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		snap := mustDecode[StatsSnapshot](t, raw)
+		for engine, c := range snap.Requests {
+			if c.Timeouts+c.Canceled > c.Errors {
+				t.Fatalf("%s: inconsistent snapshot: timeouts %d + canceled %d > errors %d",
+					engine, c.Timeouts, c.Canceled, c.Errors)
+			}
+		}
+		// Scrape the Prometheus view too: same counters, same invariant
+		// window, plus the histogram locks against the batch observer.
+		mresp, err := ts.Client().Get(ts.URL + "/metricsz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, mresp.Body)
+		mresp.Body.Close()
+	}
+}

@@ -1,0 +1,272 @@
+package trace
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func span(i int) Span {
+	return Span{
+		Name:  fmt.Sprintf("s%d", i),
+		Cat:   CatPhase,
+		Start: time.Duration(i) * time.Millisecond,
+		Dur:   time.Millisecond,
+		Work:  int64(i),
+	}
+}
+
+// TestRingBounding: a trace never holds more than its capacity; once full
+// each Add evicts exactly the oldest span and counts it as dropped.
+func TestRingBounding(t *testing.T) {
+	tr := New(4)
+	for i := 0; i < 10; i++ {
+		tr.Add(span(i))
+	}
+	if got := tr.Len(); got != 4 {
+		t.Fatalf("Len = %d, want 4", got)
+	}
+	if got := tr.Dropped(); got != 6 {
+		t.Fatalf("Dropped = %d, want 6", got)
+	}
+	spans := tr.Spans()
+	for i, s := range spans {
+		if want := fmt.Sprintf("s%d", i+6); s.Name != want {
+			t.Errorf("span %d = %s, want %s (oldest must be evicted first)", i, s.Name, want)
+		}
+	}
+}
+
+// TestRingInsertionOrder: before wrapping, Spans returns insertion order;
+// after wrapping it still does (rotation, not raw buffer order).
+func TestRingInsertionOrder(t *testing.T) {
+	tr := New(8)
+	for i := 0; i < 5; i++ {
+		tr.Add(span(i))
+	}
+	for i, s := range tr.Spans() {
+		if want := fmt.Sprintf("s%d", i); s.Name != want {
+			t.Errorf("unwrapped: span %d = %s, want %s", i, s.Name, want)
+		}
+	}
+	for i := 5; i < 13; i++ { // wrap past the boundary
+		tr.Add(span(i))
+	}
+	spans := tr.Spans()
+	if len(spans) != 8 {
+		t.Fatalf("Len = %d, want 8", len(spans))
+	}
+	for i, s := range spans {
+		if want := fmt.Sprintf("s%d", i+5); s.Name != want {
+			t.Errorf("wrapped: span %d = %s, want %s", i, s.Name, want)
+		}
+	}
+}
+
+// TestReset: reuse after Reset starts from an empty ring.
+func TestReset(t *testing.T) {
+	tr := New(2)
+	for i := 0; i < 5; i++ {
+		tr.Add(span(i))
+	}
+	tr.Reset()
+	if tr.Len() != 0 || tr.Dropped() != 0 {
+		t.Fatalf("after Reset: Len=%d Dropped=%d", tr.Len(), tr.Dropped())
+	}
+	tr.Add(span(42))
+	if got := tr.Spans(); len(got) != 1 || got[0].Name != "s42" {
+		t.Fatalf("after Reset+Add: %+v", got)
+	}
+}
+
+// TestConcurrentAdd hammers one recorder from many goroutines (the batch
+// pipeline shape: workers + orchestrator + HTTP layer share a ring).
+// Run under -race; correctness check is conservation of spans.
+func TestConcurrentAdd(t *testing.T) {
+	const (
+		goroutines = 8
+		perG       = 500
+		capacity   = 256
+	)
+	tr := New(capacity)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				tr.Add(Span{Name: "w", Cat: CatWorker, TID: g + 1})
+				if i%16 == 0 {
+					_ = tr.Len()
+					_ = tr.Spans()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := tr.Len(); got != capacity {
+		t.Errorf("Len = %d, want %d", got, capacity)
+	}
+	if got := tr.Dropped(); got != goroutines*perG-capacity {
+		t.Errorf("Dropped = %d, want %d", got, goroutines*perG-capacity)
+	}
+}
+
+// chromeDoc mirrors the WriteJSON output shape for the schema check.
+type chromeDoc struct {
+	TraceEvents []struct {
+		Name string         `json:"name"`
+		Cat  string         `json:"cat"`
+		Ph   string         `json:"ph"`
+		PID  int            `json:"pid"`
+		TID  int            `json:"tid"`
+		TS   float64        `json:"ts"`
+		Dur  float64        `json:"dur"`
+		Args map[string]any `json:"args"`
+	} `json:"traceEvents"`
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+	Dropped         int64  `json:"partreeDroppedSpans"`
+	ID              string `json:"partreeTraceId"`
+}
+
+// TestWriteJSONSchema: the export is valid JSON in the Chrome trace-event
+// envelope, ts is monotonically non-decreasing per tid, every tid that
+// appears has a thread_name metadata event, and the payload args survive.
+func TestWriteJSONSchema(t *testing.T) {
+	tr := New(0)
+	tr.SetID("t-test")
+	// Deliberately added out of start order: WriteJSON must sort.
+	tr.Add(Span{Name: "b", Cat: CatPhase, TID: 0, Start: 5 * time.Millisecond, Dur: time.Millisecond, Work: 7})
+	tr.Add(Span{Name: "a", Cat: CatPhase, TID: 0, Start: 1 * time.Millisecond, Dur: 2 * time.Millisecond, Steps: 3})
+	tr.Add(Span{Name: "w0", Cat: CatWorker, TID: 2, Start: 2 * time.Millisecond, Dur: time.Millisecond, Busy: time.Millisecond})
+	tr.Add(Span{Name: "w0", Cat: CatWorker, TID: 2, Start: 6 * time.Millisecond, Dur: time.Millisecond})
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc chromeDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if doc.ID != "t-test" || doc.DisplayTimeUnit != "ms" {
+		t.Errorf("envelope: id=%q unit=%q", doc.ID, doc.DisplayTimeUnit)
+	}
+
+	lastTS := map[int]float64{}
+	sawMeta := map[int]bool{}
+	var events int
+	for _, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "M":
+			if e.Name != "thread_name" {
+				t.Errorf("unexpected metadata event %q", e.Name)
+			}
+			sawMeta[e.TID] = true
+		case "X":
+			events++
+			if last, ok := lastTS[e.TID]; ok && e.TS < last {
+				t.Errorf("tid %d: ts %v < previous %v (not monotone)", e.TID, e.TS, last)
+			}
+			lastTS[e.TID] = e.TS
+			if !sawMeta[e.TID] {
+				t.Errorf("tid %d has events but no thread_name metadata", e.TID)
+			}
+		default:
+			t.Errorf("unexpected ph %q", e.Ph)
+		}
+	}
+	if events != 4 {
+		t.Errorf("%d X events, want 4", events)
+	}
+	// Spot-check payload survival.
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "X" && e.Name == "b" {
+			if v, ok := e.Args["work"].(float64); !ok || v != 7 {
+				t.Errorf("span b args = %v, want work=7", e.Args)
+			}
+		}
+	}
+}
+
+// TestGraftRebasesEpochs: spans grafted from a younger trace land on the
+// destination's timeline, offset by the epoch difference.
+func TestGraftRebasesEpochs(t *testing.T) {
+	dst := New(0)
+	src := New(0)
+	src.Add(Span{Name: "phase", Cat: CatPhase, Start: time.Millisecond, Dur: time.Millisecond})
+	off := src.Epoch().Sub(dst.Epoch())
+
+	dst.Graft(src)
+	got := dst.Spans()
+	if len(got) != 1 {
+		t.Fatalf("%d spans after graft, want 1", len(got))
+	}
+	if want := time.Millisecond + off; got[0].Start != want {
+		t.Errorf("grafted Start = %v, want %v (offset %v)", got[0].Start, want, off)
+	}
+	// Self- and nil-grafts are no-ops.
+	dst.Graft(dst)
+	dst.Graft(nil)
+	if dst.Len() != 1 {
+		t.Errorf("self/nil graft changed the trace: %d spans", dst.Len())
+	}
+}
+
+// TestSummary: the text table aggregates per label and skips worker rows.
+func TestSummary(t *testing.T) {
+	tr := New(0)
+	tr.Add(Span{Name: "mul", Cat: CatPhase, Dur: time.Millisecond, Work: 10})
+	tr.Add(Span{Name: "mul", Cat: CatPhase, Dur: time.Millisecond, Work: 5})
+	tr.Add(Span{Name: "w", Cat: CatWorker, TID: 1, Dur: time.Millisecond})
+	var buf bytes.Buffer
+	tr.Summary(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "mul") || !strings.Contains(out, "15") {
+		t.Errorf("summary missing aggregated row:\n%s", out)
+	}
+	if strings.Contains(out, "worker") {
+		t.Errorf("summary should fold worker slices out:\n%s", out)
+	}
+}
+
+// TestContextRoundTrip: NewContext/FromContext carry the recorder;
+// a bare context yields nil.
+func TestContextRoundTrip(t *testing.T) {
+	if got := FromContext(context.Background()); got != nil {
+		t.Fatalf("FromContext(Background) = %v, want nil", got)
+	}
+	tr := New(0)
+	ctx := NewContext(context.Background(), tr)
+	if got := FromContext(ctx); got != tr {
+		t.Fatalf("FromContext = %p, want %p", got, tr)
+	}
+}
+
+// TestNewIDUnique: IDs are distinct and non-empty under concurrency.
+func TestNewIDUnique(t *testing.T) {
+	const n = 100
+	ids := make(chan string, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ids <- NewID()
+		}()
+	}
+	wg.Wait()
+	close(ids)
+	seen := make(map[string]bool, n)
+	for id := range ids {
+		if id == "" || seen[id] {
+			t.Fatalf("duplicate or empty ID %q", id)
+		}
+		seen[id] = true
+	}
+}

@@ -50,6 +50,10 @@ type Options struct {
 	// and spread small batches across workers at the cost of more
 	// scheduling overhead.
 	Grain int
+	// Trace, when non-nil, captures the call's per-phase spans and
+	// per-worker statement slices (see NewTrace). Nil — the default —
+	// keeps tracing disarmed at one pointer compare per statement.
+	Trace *Trace
 }
 
 // PhaseStats is the per-phase cost and scheduler breakdown of a parallel
@@ -80,6 +84,10 @@ type Stats struct {
 	Phases map[string]PhaseStats
 }
 
+// pramMachine keeps the façade's helper signatures readable without
+// importing the internal package at every use site.
+type pramMachine = pram.Machine
+
 func (o Options) machine() *pram.Machine {
 	var opts []pram.Option
 	if o.Workers > 0 {
@@ -91,7 +99,11 @@ func (o Options) machine() *pram.Machine {
 	if o.Grain > 0 {
 		opts = append(opts, pram.WithGrain(o.Grain))
 	}
-	return pram.New(opts...)
+	m := pram.New(opts...)
+	if o.Trace != nil {
+		m.SetTracer(o.Trace)
+	}
+	return m
 }
 
 func statsOf(m *pram.Machine) Stats {

@@ -1,0 +1,121 @@
+package partree
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math/rand"
+	"testing"
+)
+
+func tracePhaseWork(tr *Trace) (perPhase map[string]int64, total int64) {
+	perPhase = make(map[string]int64)
+	for _, s := range tr.Spans() {
+		if s.Cat != "phase" {
+			continue
+		}
+		perPhase[s.Name] += s.Work
+		total += s.Work
+	}
+	return perPhase, total
+}
+
+// TestOptionsTraceCaptures: Options.Trace records phase spans for a
+// parallel entry point and the export is loadable Chrome-trace JSON.
+func TestOptionsTraceCaptures(t *testing.T) {
+	tr := NewTrace(0)
+	weights := []float64{5, 2, 9, 1, 7, 3, 3, 8, 2, 6, 1, 4}
+	res, err := HuffmanParallelContext(context.Background(), weights, Options{Trace: tr, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res == nil || tr.Len() == 0 {
+		t.Fatalf("no spans recorded (len=%d)", tr.Len())
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("WriteJSON output invalid: %v", err)
+	}
+	if _, ok := doc["traceEvents"].([]any); !ok {
+		t.Fatalf("no traceEvents array in %v", doc)
+	}
+}
+
+// TestTraceContextArms: a recorder attached via TraceContext is picked up
+// by the *Context entry points; Options.Trace wins when both are set.
+func TestTraceContextArms(t *testing.T) {
+	ctxTr := NewTrace(0)
+	ctx := TraceContext(context.Background(), ctxTr)
+	if got := TraceFromContext(ctx); got != ctxTr {
+		t.Fatal("TraceFromContext does not round-trip")
+	}
+	weights := []float64{3, 1, 4, 1, 5, 9, 2, 6}
+	if _, err := HuffmanParallelContext(ctx, weights); err != nil {
+		t.Fatal(err)
+	}
+	if ctxTr.Len() == 0 {
+		t.Fatal("TraceContext recorder captured nothing")
+	}
+
+	optTr := NewTrace(0)
+	before := ctxTr.Len()
+	if _, err := HuffmanParallelContext(ctx, weights, Options{Trace: optTr}); err != nil {
+		t.Fatal(err)
+	}
+	if optTr.Len() == 0 {
+		t.Fatal("Options.Trace recorder captured nothing")
+	}
+	if ctxTr.Len() != before {
+		t.Errorf("context recorder grew (%d → %d) although Options.Trace was set", before, ctxTr.Len())
+	}
+}
+
+// TestTraceDifferentialAgainstStats is the trace/stats contract on a
+// fixed-seed batch workload: for every phase label, the spans' summed
+// counted work (and steps) must equal the Stats() entry exactly — the
+// trace is a timeline view of the same accounting, never an estimate.
+func TestTraceDifferentialAgainstStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	jobs := make([][]float64, 24)
+	for j := range jobs {
+		w := make([]float64, 2+rng.Intn(40))
+		for i := range w {
+			w[i] = 1 + rng.Float64()*999
+		}
+		jobs[j] = w
+	}
+
+	tr := NewTrace(1 << 16)
+	res, st, err := HuffmanBatchContext(TraceContext(context.Background(), tr), jobs, Options{Workers: 2, Grain: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != len(jobs) {
+		t.Fatalf("%d results for %d jobs", len(res), len(jobs))
+	}
+	if d := tr.Dropped(); d != 0 {
+		t.Fatalf("trace dropped %d spans; enlarge the ring, the differential needs all of them", d)
+	}
+
+	perPhase, total := tracePhaseWork(tr)
+	var statsTotal int64
+	for label, ps := range st.Phases {
+		if perPhase[label] != ps.Work {
+			t.Errorf("phase %q: spans sum to work=%d, Stats has %d", label, perPhase[label], ps.Work)
+		}
+		statsTotal += ps.Work
+	}
+	for label := range perPhase {
+		if _, ok := st.Phases[label]; !ok {
+			t.Errorf("span phase %q missing from Stats", label)
+		}
+	}
+	if total != statsTotal || total != st.Work {
+		t.Errorf("summed span work %d, Stats phase total %d, Stats.Work %d — all must agree",
+			total, statsTotal, st.Work)
+	}
+}
