@@ -2,11 +2,11 @@
 
 GO ?= go
 
-.PHONY: all build test test-race test-e2e test-chaos test-pooldebug test-trace check vet bench bench-par bench-gate bench-gate-quick bench-baseline tables examples cover fuzz clean
+.PHONY: all build test test-race test-e2e test-chaos test-pooldebug test-trace check vet bench bench-par bench-gate bench-gate-quick bench-baseline tables examples cover fuzz fuzz-smoke clean
 
 all: build vet test
 
-check: build vet test test-race test-e2e test-chaos test-pooldebug test-trace bench-gate-quick
+check: build vet test test-race test-e2e test-chaos test-pooldebug test-trace fuzz-smoke bench-gate-quick
 
 build:
 	$(GO) build ./...
@@ -66,25 +66,27 @@ bench-par:
 	$(GO) run ./cmd/benchtables -exp E12
 
 # Perf-regression gate: measure E11 (pooled vs unpooled allocs/op), E12
-# (parallel speedup sweep) and E13 (tracing disarmed vs armed), then
-# enforce the ≥70% allocation reduction, the committed
-# BENCH_BASELINE.json bands, the ≥2x P=4 speedup on the monge/boolmat
-# kernels (auto-skipped with a notice on hosts with fewer than 4 cores,
-# where the ratio is physically capped), and the ≤2% disarmed-tracing
-# band on the hot paths.
+# (parallel speedup sweep), E13 (tracing disarmed vs armed) and E14
+# (resident-pool dispatch), then enforce the ≥70% allocation reduction,
+# the committed BENCH_BASELINE.json bands, the ≥2x P=4 speedup on the
+# monge/boolmat kernels (auto-skipped with a notice on hosts with fewer
+# than 4 cores, where the ratio is physically capped), the ≤2%
+# disarmed-tracing band on the hot paths, and the ≥40% dispatch-cost
+# reduction with zero steady-state goroutine spawns / machine
+# constructions.
 bench-gate:
-	$(GO) run ./cmd/benchtables -exp E11,E12,E13 | $(GO) run ./cmd/benchgate -baseline BENCH_BASELINE.json
+	$(GO) run ./cmd/benchtables -exp E11,E12,E13,E14 | $(GO) run ./cmd/benchgate -baseline BENCH_BASELINE.json
 
 # Short-iteration gate used by `make check`: smaller E12 inputs,
-# single-rep E13 timing, and slack knobs so CI timing noise cannot
+# single-rep E13/E14 timing, and slack knobs so CI timing noise cannot
 # flake the build.
 bench-gate-quick:
-	$(GO) run ./cmd/benchtables -exp E11,E12,E13 -short | $(GO) run ./cmd/benchgate -baseline BENCH_BASELINE.json -speedup-slack 0.35 -trace-slack 0.15
+	$(GO) run ./cmd/benchtables -exp E11,E12,E13,E14 -short | $(GO) run ./cmd/benchgate -baseline BENCH_BASELINE.json -speedup-slack 0.35 -trace-slack 0.15 -dispatch-slack 0.10
 
-# Refresh the committed benchmark baseline (schema 2: E11 + E12 + E13)
-# from the current tree.
+# Refresh the committed benchmark baseline (schema 2: E11 + E12 + E13 +
+# E14) from the current tree.
 bench-baseline:
-	$(GO) run ./cmd/benchtables -exp E11,E12,E13 | $(GO) run ./cmd/benchgate -baseline BENCH_BASELINE.json -write
+	$(GO) run ./cmd/benchtables -exp E11,E12,E13,E14 | $(GO) run ./cmd/benchgate -baseline BENCH_BASELINE.json -write
 
 examples:
 	$(GO) run ./examples/quickstart
@@ -104,6 +106,18 @@ fuzz:
 	$(GO) test -fuzz=FuzzDecodeRequest -fuzztime=30s ./internal/serve
 	$(GO) test -fuzz=FuzzConcaveMultiply -fuzztime=30s ./internal/monge
 	$(GO) test -fuzz=FuzzCancelUnwind -fuzztime=30s .
+
+# Quick fuzz pass folded into `make check`: ~5s per target. Long enough
+# to catch shallow regressions in the decoders and the cancellation
+# unwind path on every checkin, short enough not to dominate CI; use
+# `make fuzz` for real exploration.
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzDecodeStream -fuzztime=5s ./internal/huffman
+	$(GO) test -fuzz=FuzzLeafPattern -fuzztime=5s ./internal/leafpattern
+	$(GO) test -fuzz=FuzzLinCFL -fuzztime=5s ./internal/lincfl
+	$(GO) test -fuzz=FuzzDecodeRequest -fuzztime=5s ./internal/serve
+	$(GO) test -fuzz=FuzzConcaveMultiply -fuzztime=5s ./internal/monge
+	$(GO) test -fuzz=FuzzCancelUnwind -fuzztime=5s .
 
 clean:
 	rm -f cover.out test_output.txt bench_output.txt

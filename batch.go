@@ -47,7 +47,8 @@ type HuffmanBatchResult struct {
 // parallel statement on one machine, each with the sequential O(n log n)
 // oracle. Results are positionally aligned with jobs.
 func HuffmanBatch(jobs [][]float64, opts ...Options) ([]HuffmanBatchResult, Stats) {
-	m := firstOption(opts).machine()
+	m, release := firstOption(opts).acquire()
+	defer release()
 	out := huffmanBatchOn(m, jobs)
 	return out, statsOf(m)
 }
@@ -57,7 +58,8 @@ func HuffmanBatch(jobs [][]float64, opts ...Options) ([]HuffmanBatchResult, Stat
 // returns (nil, Stats, ctx.Err()). Jobs that already ran are discarded —
 // a batch is one statement, not a resumable stream.
 func HuffmanBatchContext(ctx context.Context, jobs [][]float64, opts ...Options) ([]HuffmanBatchResult, Stats, error) {
-	m := firstOption(opts).machineContext(ctx)
+	m, release := firstOption(opts).acquireContext(ctx)
+	defer release()
 	var out []HuffmanBatchResult
 	err := m.Run(func() { out = huffmanBatchOn(m, jobs) })
 	if err != nil {
@@ -112,7 +114,8 @@ type ShannonFanoBatchResult struct {
 // entry of every job must lie in (0,1]; violating jobs get a per-job Err
 // rather than poisoning the batch.
 func ShannonFanoBatch(jobs [][]float64, opts ...Options) ([]ShannonFanoBatchResult, Stats) {
-	m := firstOption(opts).machine()
+	m, release := firstOption(opts).acquire()
+	defer release()
 	out := shannonFanoBatchOn(m, jobs)
 	return out, statsOf(m)
 }
@@ -120,7 +123,8 @@ func ShannonFanoBatch(jobs [][]float64, opts ...Options) ([]ShannonFanoBatchResu
 // ShannonFanoBatchContext is ShannonFanoBatch under a context; see
 // HuffmanBatchContext for the cancellation contract.
 func ShannonFanoBatchContext(ctx context.Context, jobs [][]float64, opts ...Options) ([]ShannonFanoBatchResult, Stats, error) {
-	m := firstOption(opts).machineContext(ctx)
+	m, release := firstOption(opts).acquireContext(ctx)
+	defer release()
 	var out []ShannonFanoBatchResult
 	err := m.Run(func() { out = shannonFanoBatchOn(m, jobs) })
 	if err != nil {
@@ -179,7 +183,8 @@ type PatternBatchResult struct {
 // in one parallel statement, each with the sequential greedy packing
 // oracle.
 func TreeFromDepthsBatch(jobs [][]int, opts ...Options) ([]PatternBatchResult, Stats) {
-	m := firstOption(opts).machine()
+	m, release := firstOption(opts).acquire()
+	defer release()
 	out := treeFromDepthsBatchOn(m, jobs)
 	return out, statsOf(m)
 }
@@ -187,7 +192,8 @@ func TreeFromDepthsBatch(jobs [][]int, opts ...Options) ([]PatternBatchResult, S
 // TreeFromDepthsBatchContext is TreeFromDepthsBatch under a context; see
 // HuffmanBatchContext for the cancellation contract.
 func TreeFromDepthsBatchContext(ctx context.Context, jobs [][]int, opts ...Options) ([]PatternBatchResult, Stats, error) {
-	m := firstOption(opts).machineContext(ctx)
+	m, release := firstOption(opts).acquireContext(ctx)
+	defer release()
 	var out []PatternBatchResult
 	err := m.Run(func() { out = treeFromDepthsBatchOn(m, jobs) })
 	if err != nil {
@@ -225,7 +231,8 @@ type BSTBatchResult struct {
 // parallel statement, each with Knuth's exact O(n²) dynamic program.
 // Instances must come from NewBSTInstance.
 func OptimalBSTBatch(jobs []*BSTInstance, opts ...Options) ([]BSTBatchResult, Stats) {
-	m := firstOption(opts).machine()
+	m, release := firstOption(opts).acquire()
+	defer release()
 	out := optimalBSTBatchOn(m, jobs)
 	return out, statsOf(m)
 }
@@ -233,7 +240,8 @@ func OptimalBSTBatch(jobs []*BSTInstance, opts ...Options) ([]BSTBatchResult, St
 // OptimalBSTBatchContext is OptimalBSTBatch under a context; see
 // HuffmanBatchContext for the cancellation contract.
 func OptimalBSTBatchContext(ctx context.Context, jobs []*BSTInstance, opts ...Options) ([]BSTBatchResult, Stats, error) {
-	m := firstOption(opts).machineContext(ctx)
+	m, release := firstOption(opts).acquireContext(ctx)
+	defer release()
 	var out []BSTBatchResult
 	err := m.Run(func() { out = optimalBSTBatchOn(m, jobs) })
 	if err != nil {
@@ -269,7 +277,8 @@ type LinCFLBatchJob struct {
 // statement, each with the quadratic sequential dynamic program. Jobs may
 // mix grammars freely.
 func RecognizeLinearBatch(jobs []LinCFLBatchJob, opts ...Options) ([]bool, Stats) {
-	m := firstOption(opts).machine()
+	m, release := firstOption(opts).acquire()
+	defer release()
 	out := recognizeLinearBatchOn(m, jobs)
 	return out, statsOf(m)
 }
@@ -277,7 +286,8 @@ func RecognizeLinearBatch(jobs []LinCFLBatchJob, opts ...Options) ([]bool, Stats
 // RecognizeLinearBatchContext is RecognizeLinearBatch under a context;
 // see HuffmanBatchContext for the cancellation contract.
 func RecognizeLinearBatchContext(ctx context.Context, jobs []LinCFLBatchJob, opts ...Options) ([]bool, Stats, error) {
-	m := firstOption(opts).machineContext(ctx)
+	m, release := firstOption(opts).acquireContext(ctx)
+	defer release()
 	var out []bool
 	err := m.Run(func() { out = recognizeLinearBatchOn(m, jobs) })
 	if err != nil {

@@ -43,7 +43,8 @@ type ApproxBSTResult struct {
 // concave matrix products, and the collapsed runs are re-expanded as
 // balanced subtrees.
 func ApproxBST(in *BSTInstance, eps float64, opts ...Options) *ApproxBSTResult {
-	m := firstOption(opts).machine()
+	m, release := firstOption(opts).acquire()
+	defer release()
 	res := obst.Approx(m, in, eps)
 	return &ApproxBSTResult{
 		Tree:          res.Tree,

@@ -24,13 +24,21 @@
 //     disarmed tracer is a nil pointer compare, and this gate keeps it
 //     that way. Armed rows are reported but never gated: arming is an
 //     explicit opt-in with a documented price.
+//  5. The dispatch gate (E14): the resident worker pool must cut
+//     small-statement dispatch ns/op by at least -min-dispatch-reduction
+//     (default 40%, minus -dispatch-slack for short runs) against the
+//     legacy spawn-per-statement dispatcher measured in the same
+//     process — a ratio, so it holds on any machine — and steady-state
+//     traffic must spawn zero worker goroutines per 10k statements and
+//     construct zero facade machines per 10k batches.
 //
 // The baseline file is schema 2:
-// {"schema":2,"e11":{...},"e12":{...},"e13":{...}}. A pre-multi-P
-// baseline (the old bare E11 report) fails with a clear error telling
-// you to regenerate via `make bench-baseline`. A schema-2 baseline
-// without the e13 section (committed before the tracing layer) passes
-// the trace gate with a notice. When the baseline file does not exist
+// {"schema":2,"e11":{...},"e12":{...},"e13":{...},"e14":{...}}. A
+// pre-multi-P baseline (the old bare E11 report) fails with a clear
+// error telling you to regenerate via `make bench-baseline`. A schema-2
+// baseline without the e13/e14 sections (committed before those layers)
+// passes their baseline comparisons with a notice; the E14 in-run
+// invariants are enforced regardless. When the baseline file does not exist
 // the gate checks only the in-run invariants and exits 0 with a notice,
 // so fresh clones and CI bootstrap runs pass; commit a baseline with
 // -write to arm the regression checks.
@@ -99,15 +107,35 @@ type e13Report struct {
 	Runs       []e13Row `json:"runs"`
 }
 
-// baseline is the committed BENCH_BASELINE.json, schema 2. The e13
-// section is optional so baselines committed before the tracing layer
-// keep working; the trace gate prints a notice and passes until the
-// baseline is regenerated.
+// e14Report mirrors benchtables' E14 payload (the "report" object of
+// its BENCH-JSON envelope).
+type e14Report struct {
+	GoMaxProcs int `json:"gomaxprocs"`
+	Reps       int `json:"reps"`
+	Workers    int `json:"workers"`
+	N          int `json:"n"`
+	Grain      int `json:"grain"`
+
+	DispatchSpawnNs    float64 `json:"dispatch_spawn_ns"`
+	DispatchResidentNs float64 `json:"dispatch_resident_ns"`
+	NoiseFrac          float64 `json:"noise_frac"`
+
+	SpawnedPer10k     int64   `json:"spawned_per_10k"`
+	ConstructedPer10k int64   `json:"constructed_per_10k"`
+	ReusedPer10k      int64   `json:"reused_per_10k"`
+	BatchNsOp         float64 `json:"batch_ns_op"`
+}
+
+// baseline is the committed BENCH_BASELINE.json, schema 2. The e13 and
+// e14 sections are optional so baselines committed before those layers
+// keep working; their baseline comparisons print a notice and pass until
+// the baseline is regenerated.
 type baseline struct {
 	Schema int        `json:"schema"`
 	E11    *e11Report `json:"e11"`
 	E12    *e12Report `json:"e12"`
 	E13    *e13Report `json:"e13,omitempty"`
+	E14    *e14Report `json:"e14,omitempty"`
 }
 
 func main() {
@@ -124,16 +152,19 @@ func main() {
 		"comma-separated E12 kernels the speedup gate enforces")
 	traceBand := flag.Float64("trace-band", 0.02, "disarmed-tracing ns/op may exceed baseline by at most this fraction")
 	traceSlack := flag.Float64("trace-slack", 0.0, "added to -trace-band (CI stability knob for short runs)")
+	minDispatchReduction := flag.Float64("min-dispatch-reduction", 0.40,
+		"required fractional dispatch ns/op reduction, resident vs spawn (E14)")
+	dispatchSlack := flag.Float64("dispatch-slack", 0.0, "subtracted from -min-dispatch-reduction (CI stability knob)")
 	flag.Parse()
 
-	cur11, cur12, cur13, err := readReports(os.Stdin)
+	cur11, cur12, cur13, cur14, err := readReports(os.Stdin)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
 		os.Exit(1)
 	}
 
 	if *write {
-		blob, err := json.MarshalIndent(baseline{Schema: 2, E11: cur11, E12: cur12, E13: cur13}, "", "  ")
+		blob, err := json.MarshalIndent(baseline{Schema: 2, E11: cur11, E12: cur12, E13: cur13, E14: cur14}, "", "  ")
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
 			os.Exit(1)
@@ -142,7 +173,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Printf("benchgate: wrote %s (schema 2: %d E11 rows, %d E12 kernels, %d E13 rows)\n",
+		fmt.Printf("benchgate: wrote %s (schema 2: %d E11 rows, %d E12 kernels, %d E13 rows, E14 dispatch)\n",
 			*baselinePath, len(cur11.Runs), len(cur12.Kernels), len(cur13.Runs))
 		return
 	}
@@ -279,6 +310,47 @@ func main() {
 		}
 	}
 
+	// Invariant 5: resident dispatch earns its keep. The reduction is a
+	// same-process ratio (like invariant 1), so it gates on any host; the
+	// spawn and construction counts are deterministic and gate at zero.
+	needReduction := *minDispatchReduction - *dispatchSlack
+	if cur14.DispatchSpawnNs <= 0 {
+		fail("dispatch: E14 spawn ns/op is %.0f; report is unusable", cur14.DispatchSpawnNs)
+	} else {
+		reduction := 1 - cur14.DispatchResidentNs/cur14.DispatchSpawnNs
+		if reduction < needReduction {
+			fail("dispatch: resident ns/op %.0f vs spawn %.0f is a %.1f%% reduction < required %.1f%% (min %.0f%% - slack %.0f%%)",
+				cur14.DispatchResidentNs, cur14.DispatchSpawnNs, 100*reduction,
+				100*needReduction, 100**minDispatchReduction, 100**dispatchSlack)
+		} else {
+			fmt.Printf("benchgate: dispatch: ns/For %.0f -> %.0f (%.1f%% reduction >= %.1f%%) ok\n",
+				cur14.DispatchSpawnNs, cur14.DispatchResidentNs, 100*reduction, 100*needReduction)
+		}
+	}
+	if cur14.SpawnedPer10k != 0 {
+		fail("dispatch: %d worker goroutines spawned per 10k statements at steady state, want 0",
+			cur14.SpawnedPer10k)
+	} else {
+		fmt.Println("benchgate: dispatch: 0 goroutines spawned per 10k statements ok")
+	}
+	if cur14.ConstructedPer10k != 0 {
+		fail("dispatch: %d machines constructed per 10k batches at steady state, want 0",
+			cur14.ConstructedPer10k)
+	} else {
+		fmt.Println("benchgate: dispatch: 0 machines constructed per 10k batches ok")
+	}
+	switch {
+	case base == nil:
+		// no baseline at all: notice already printed above
+	case base.E14 == nil:
+		fmt.Println("benchgate: dispatch: baseline has no e14 section; skipping comparison (regenerate with `make bench-baseline`)")
+	default:
+		baseRed := 1 - base.E14.DispatchResidentNs/base.E14.DispatchSpawnNs
+		curRed := 1 - cur14.DispatchResidentNs/cur14.DispatchSpawnNs
+		fmt.Printf("benchgate: dispatch: reduction %.1f%% vs baseline %.1f%%, small-batch ns/op %.0f vs %.0f (informational)\n",
+			100*curRed, 100*baseRed, cur14.BatchNsOp, base.E14.BatchNsOp)
+	}
+
 	if failures > 0 {
 		os.Exit(1)
 	}
@@ -332,12 +404,13 @@ func pairByKernel(rows []row) map[string]*[2]*row {
 
 // readReports scans stdin for the E11, E12 and E13 BENCH-JSON lines
 // (other experiment output may precede or separate them).
-func readReports(f *os.File) (*e11Report, *e12Report, *e13Report, error) {
+func readReports(f *os.File) (*e11Report, *e12Report, *e13Report, *e14Report, error) {
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
 	var r11 *e11Report
 	var r12 *e12Report
 	var r13 *e13Report
+	var r14 *e14Report
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
 		blob, ok := strings.CutPrefix(line, "BENCH-JSON ")
@@ -348,36 +421,44 @@ func readReports(f *os.File) (*e11Report, *e12Report, *e13Report, error) {
 			Experiment string `json:"experiment"`
 		}
 		if err := json.Unmarshal([]byte(blob), &probe); err != nil {
-			return nil, nil, nil, fmt.Errorf("parsing BENCH-JSON line: %w", err)
+			return nil, nil, nil, nil, fmt.Errorf("parsing BENCH-JSON line: %w", err)
 		}
 		switch probe.Experiment {
 		case "E11":
 			var r e11Report
 			if err := json.Unmarshal([]byte(blob), &r); err != nil {
-				return nil, nil, nil, fmt.Errorf("parsing E11 BENCH-JSON: %w", err)
+				return nil, nil, nil, nil, fmt.Errorf("parsing E11 BENCH-JSON: %w", err)
 			}
 			r11 = &r
 		case "E12":
 			var r e12Report
 			if err := json.Unmarshal([]byte(blob), &r); err != nil {
-				return nil, nil, nil, fmt.Errorf("parsing E12 BENCH-JSON: %w", err)
+				return nil, nil, nil, nil, fmt.Errorf("parsing E12 BENCH-JSON: %w", err)
 			}
 			r12 = &r
 		case "E13":
 			var r e13Report
 			if err := json.Unmarshal([]byte(blob), &r); err != nil {
-				return nil, nil, nil, fmt.Errorf("parsing E13 BENCH-JSON: %w", err)
+				return nil, nil, nil, nil, fmt.Errorf("parsing E13 BENCH-JSON: %w", err)
 			}
 			r13 = &r
+		case "E14":
+			var env struct {
+				Report e14Report `json:"report"`
+			}
+			if err := json.Unmarshal([]byte(blob), &env); err != nil {
+				return nil, nil, nil, nil, fmt.Errorf("parsing E14 BENCH-JSON: %w", err)
+			}
+			r14 = &env.Report
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, nil, nil, err
+		return nil, nil, nil, nil, err
 	}
-	if r11 == nil || r12 == nil || r13 == nil {
-		return nil, nil, nil, fmt.Errorf("need the E11, E12 and E13 BENCH-JSON lines on stdin (pipe `benchtables -exp E11,E12,E13` in)")
+	if r11 == nil || r12 == nil || r13 == nil || r14 == nil {
+		return nil, nil, nil, nil, fmt.Errorf("need the E11, E12, E13 and E14 BENCH-JSON lines on stdin (pipe `benchtables -exp E11,E12,E13,E14` in)")
 	}
-	return r11, r12, r13, nil
+	return r11, r12, r13, r14, nil
 }
 
 // readBaseline parses the committed baseline, rejecting pre-schema-2

@@ -24,6 +24,7 @@ import (
 
 	"partree"
 	"partree/internal/boolmat"
+	"partree/internal/engine"
 	"partree/internal/grammar"
 	"partree/internal/huffman"
 	"partree/internal/hufpar"
@@ -60,6 +61,7 @@ var experiments = []struct {
 	{"E11", "Workspace pooling — allocation profile before/after", e11},
 	{"E12", "Multicore scaling — kernel speedup across worker counts", e12},
 	{"E13", "Tracing — disarmed vs armed overhead on the gated hot paths", e13},
+	{"E14", "Dispatch — resident worker pool vs per-statement spawn", e14},
 }
 
 // shortMode shrinks problem sizes and timing loops (-short): the tables
@@ -119,7 +121,7 @@ func e2() {
 		matrix.MulBrute(a, b, &cb)
 		monge.CutRecursive(a, b, &cr)
 		monge.CutBottomUp(a, b, &cu)
-		m := pram.New(pram.WithGrain(2048))
+		m := pram.New(pram.WithGrain(engine.GrainMonge))
 		monge.CutBottomUpCRCW(m, a, b, &cw)
 		fmt.Printf("%6d %16d %16d %16d %9.1fx %14d\n",
 			n, cb.Load(), cr.Load(), cu.Load(), float64(cb.Load())/float64(cr.Load()),
@@ -131,7 +133,7 @@ func e2() {
 
 func e3() {
 	fmt.Printf("%6s %10s %14s %16s\n", "n", "rounds", "2⌈log n⌉+1", "cost = optimal?")
-	m := pram.New(pram.WithGrain(512))
+	m := pram.New(pram.WithGrain(engine.GrainHufpar))
 	for _, n := range []int{16, 64, 256} {
 		w := workload.SortedAscending(workload.Zipf(n, 1.1))
 		acc := pram.New()
@@ -188,7 +190,7 @@ func e5() {
 		in, _ := obst.NewInstance(beta, alpha)
 		eps := 1 / float64(n*n)
 		opt, _ := obst.Knuth(in)
-		res := obst.Approx(pram.New(pram.WithGrain(1024)), in, eps)
+		res := obst.Approx(pram.New(pram.WithGrain(engine.GrainDP)), in, eps)
 		mcost, _ := obst.Mehlhorn(in)
 		fmt.Printf("%6d %12.3g %14.6f %14.6f %12v %14.6f\n",
 			n, eps, opt, res.Cost, res.Cost <= opt+eps+1e-12, mcost)
@@ -252,7 +254,7 @@ func e7() {
 		{"random", workload.Random(rng, 500)},
 	}
 	for _, r := range rows {
-		res, err := shannonfano.Build(pram.New(pram.WithGrain(1024)), r.probs)
+		res, err := shannonfano.Build(pram.New(pram.WithGrain(engine.GrainDP)), r.probs)
 		if err != nil {
 			panic(err)
 		}
@@ -266,7 +268,7 @@ func e7() {
 func e8() {
 	fmt.Printf("%6s %8s %10s %12s %14s %10s\n", "n", "member?", "depth", "products", "word-ops", "agrees?")
 	g := grammar.Palindrome()
-	m := pram.New(pram.WithGrain(64))
+	m := pram.New(pram.WithGrain(engine.GrainLinCFL))
 	rng := rand.New(rand.NewSource(8))
 	for _, n := range []int{31, 63, 127, 255} {
 		w := make([]byte, n)
@@ -566,7 +568,7 @@ func e11() {
 		word[cflN-1-i] = word[i]
 	}
 	word[cflN/2] = 'c'
-	m := pram.New(pram.WithGrain(64))
+	m := pram.New(pram.WithGrain(engine.GrainLinCFL))
 	lincflBench := func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			res := lincfl.RecognizeDC(m, g, word)
@@ -917,7 +919,7 @@ func e13() {
 	word[cflN/2] = 'c'
 	newLincfl := func(armed bool) func(b *testing.B) {
 		return func(b *testing.B) {
-			m := pram.New(pram.WithGrain(64))
+			m := pram.New(pram.WithGrain(engine.GrainLinCFL))
 			if armed {
 				m.SetTracer(trace.New(0))
 			}
@@ -1027,3 +1029,164 @@ type replayBody struct{ bytes.Reader }
 
 func (r *replayBody) Close() error   { return nil }
 func (r *replayBody) Reset(p []byte) { r.Reader.Reset(p) }
+
+// e14Report is the E14 BENCH-JSON payload; cmd/benchgate reads the same
+// shape back out of BENCH_BASELINE.json. The dispatch pair is measured
+// in-process (like E11's pooled/unpooled pair), so the reduction gate is
+// a ratio on one host, not a cross-host wall-clock comparison.
+type e14Report struct {
+	GOMAXPROCS int `json:"gomaxprocs"`
+	Reps       int `json:"reps"`
+	Workers    int `json:"workers"`
+	N          int `json:"n"`
+	Grain      int `json:"grain"`
+
+	// DispatchSpawnNs / DispatchResidentNs: ns per small-n For statement
+	// under the legacy spawn-per-statement dispatcher vs the resident
+	// pool (best of reps; NoiseFrac is the worst observed spread).
+	DispatchSpawnNs    float64 `json:"dispatch_spawn_ns"`
+	DispatchResidentNs float64 `json:"dispatch_resident_ns"`
+	NoiseFrac          float64 `json:"noise_frac"`
+
+	// SpawnedPer10k counts worker goroutines spawned across 10k For
+	// statements on a warm resident machine (steady state: must be 0).
+	SpawnedPer10k int64 `json:"spawned_per_10k"`
+
+	// ConstructedPer10k and ReusedPer10k count facade machine-pool
+	// traffic across 10k small Batch calls after warm-up (steady state:
+	// 0 constructions, every call a reuse). BatchNsOp is the throughput
+	// of those calls — the small-batch service dispatch metric.
+	ConstructedPer10k int64   `json:"constructed_per_10k"`
+	ReusedPer10k      int64   `json:"reused_per_10k"`
+	BatchNsOp         float64 `json:"batch_ns_op"`
+}
+
+// E14 — statement-dispatch overhead. The tables the paper's bounds care
+// about count steps; this experiment pins the constant factor in front
+// of them: what one small parallel statement costs to launch. The
+// resident pool must beat per-statement goroutine spawning by the gated
+// margin, spawn nothing at steady state, and the facade machine pool
+// must construct nothing under steady small-batch traffic.
+func e14() {
+	const (
+		dispatchWorkers = 2  // forced, so the measurement shape is host-independent
+		dispatchN       = 64 // small-n: the service-traffic regime where dispatch dominates
+		dispatchGrain   = 1  // one index per chunk — the serve batchers' posture
+	)
+	reps := 3
+	if shortMode {
+		reps = 1 // quick mode gates with -dispatch-slack instead
+	}
+
+	// Dispatch pair: identical statement, identical machine shape, only
+	// the dispatcher differs. The buffer write keeps bodies non-empty
+	// without cross-worker contention.
+	buf := make([]int64, dispatchN)
+	newDispatch := func(spawn bool) func(b *testing.B) {
+		return func(b *testing.B) {
+			opts := []pram.Option{
+				pram.WithWorkers(dispatchWorkers),
+				pram.WithGrain(dispatchGrain),
+				pram.WithIdleTimeout(time.Minute), // no mid-measurement retires
+			}
+			if spawn {
+				opts = append(opts, pram.WithSpawnDispatch())
+			}
+			m := pram.New(opts...)
+			defer m.Close()
+			body := func(i int) { buf[i]++ }
+			m.For(dispatchN, body) // warm: builds the resident pool
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.For(dispatchN, body)
+			}
+		}
+	}
+	measure := func(fn func(b *testing.B)) (float64, float64) {
+		var best, worst float64
+		for r := 0; r < reps; r++ {
+			ns := float64(testing.Benchmark(fn).NsPerOp())
+			if r == 0 || ns < best {
+				best = ns
+			}
+			if ns > worst {
+				worst = ns
+			}
+		}
+		noise := 0.0
+		if best > 0 {
+			noise = (worst - best) / best
+		}
+		return best, noise
+	}
+	spawnNs, spawnNoise := measure(newDispatch(true))
+	residentNs, residentNoise := measure(newDispatch(false))
+	noise := spawnNoise
+	if residentNoise > noise {
+		noise = residentNoise
+	}
+
+	// Goroutines spawned per 10k statements on a warm resident machine.
+	m := pram.New(pram.WithWorkers(dispatchWorkers), pram.WithGrain(dispatchGrain),
+		pram.WithIdleTimeout(time.Minute))
+	body := func(i int) { buf[i]++ }
+	m.For(dispatchN, body) // warm
+	spawnBase := pram.SpawnedWorkers()
+	for i := 0; i < 10_000; i++ {
+		m.For(dispatchN, body)
+	}
+	spawned := pram.SpawnedWorkers() - spawnBase
+	m.Close()
+
+	// Small-batch facade throughput + machine-pool traffic: the service
+	// regime, one small batch per call through the Options-keyed pool.
+	jobs := [][]float64{{3, 1, 4, 1, 5}, {9, 2, 6, 5, 3}, {5, 8, 9, 7, 9}}
+	batchOpts := partree.Options{Workers: dispatchWorkers, Grain: engine.GrainBatch}
+	for i := 0; i < 10; i++ { // warm the pool
+		partree.HuffmanBatch(jobs, batchOpts)
+	}
+	mpBase := partree.MachinePoolStats()
+	start := time.Now()
+	for i := 0; i < 10_000; i++ {
+		partree.HuffmanBatch(jobs, batchOpts)
+	}
+	batchNs := float64(time.Since(start).Nanoseconds()) / 10_000
+	mp := partree.MachinePoolStats()
+
+	rep := e14Report{
+		GOMAXPROCS:         runtime.GOMAXPROCS(0),
+		Reps:               reps,
+		Workers:            dispatchWorkers,
+		N:                  dispatchN,
+		Grain:              dispatchGrain,
+		DispatchSpawnNs:    spawnNs,
+		DispatchResidentNs: residentNs,
+		NoiseFrac:          noise,
+		SpawnedPer10k:      spawned,
+		ConstructedPer10k:  mp.Constructed - mpBase.Constructed,
+		ReusedPer10k:       mp.Reused - mpBase.Reused,
+		BatchNsOp:          batchNs,
+	}
+
+	fmt.Printf("%-34s %14s\n", "metric", "value")
+	fmt.Printf("%-34s %14.0f\n", "dispatch ns/For (spawn)", rep.DispatchSpawnNs)
+	fmt.Printf("%-34s %14.0f\n", "dispatch ns/For (resident)", rep.DispatchResidentNs)
+	fmt.Printf("%-34s %13.1f%%\n", "dispatch reduction", 100*(1-rep.DispatchResidentNs/rep.DispatchSpawnNs))
+	fmt.Printf("%-34s %13.1f%%\n", "noise", 100*rep.NoiseFrac)
+	fmt.Printf("%-34s %14d\n", "goroutines spawned / 10k For", rep.SpawnedPer10k)
+	fmt.Printf("%-34s %14d\n", "machines constructed / 10k batches", rep.ConstructedPer10k)
+	fmt.Printf("%-34s %14d\n", "machines reused / 10k batches", rep.ReusedPer10k)
+	fmt.Printf("%-34s %14.0f\n", "small-batch ns/op", rep.BatchNsOp)
+
+	blob, err := json.Marshal(map[string]any{
+		"experiment": "E14",
+		"report":     rep,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\nBENCH-JSON %s\n", blob)
+	fmt.Println("claim: resident workers cut small-statement dispatch by ≥40% over")
+	fmt.Println("       per-statement spawning, and steady-state traffic spawns zero")
+	fmt.Println("       goroutines and constructs zero machines; make bench-gate holds it")
+}

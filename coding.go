@@ -64,7 +64,9 @@ type HuffmanParallelResult struct {
 // ⌈log(n+1)⌉ squarings of the concave path matrix, and the tree is
 // reconstructed exactly from the stored cut tables.
 func HuffmanParallel(freqs []float64, opts ...Options) *HuffmanParallelResult {
-	return huffmanParallelOn(firstOption(opts).machine(), freqs)
+	m, release := firstOption(opts).acquire()
+	defer release()
+	return huffmanParallelOn(m, freqs)
 }
 
 func huffmanParallelOn(m *pram.Machine, freqs []float64) *HuffmanParallelResult {
@@ -104,7 +106,8 @@ func huffmanParallelOn(m *pram.Machine, freqs []float64) *HuffmanParallelResult 
 // non-decreasing. Primarily useful for studying the round/work trade-off
 // against HuffmanParallel; the returned Stats counts the rounds.
 func HuffmanRakeCompressCost(freqs []float64, opts ...Options) (float64, Stats) {
-	m := firstOption(opts).machine()
+	m, release := firstOption(opts).acquire()
+	defer release()
 	c := hufpar.CostRakeCompress(m, freqs)
 	return c, statsOf(m)
 }
@@ -116,7 +119,8 @@ func HuffmanRakeCompressCost(freqs []float64, opts ...Options) (float64, Stats) 
 // sorted non-decreasing. The result is cross-validated in tests against
 // an independent package-merge implementation.
 func HuffmanHeightLimited(freqs []float64, maxHeight int, opts ...Options) (*Tree, float64, error) {
-	m := firstOption(opts).machine()
+	m, release := firstOption(opts).acquire()
+	defer release()
 	return hufpar.HeightLimited(m, freqs, maxHeight)
 }
 
@@ -137,7 +141,8 @@ type ShannonFanoResult struct {
 // ShannonFano builds a Shannon–Fano prefix code (Section 7.3 / Theorem
 // 7.4) for a probability vector with entries in (0,1].
 func ShannonFano(probs []float64, opts ...Options) (*ShannonFanoResult, error) {
-	m := firstOption(opts).machine()
+	m, release := firstOption(opts).acquire()
+	defer release()
 	res, err := shannonfano.Build(m, probs)
 	if err != nil {
 		return nil, err

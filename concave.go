@@ -38,7 +38,9 @@ type ConcaveMultiplyResult struct {
 // quadrangle condition for the result to be correct (use IsConcave to
 // check; the function does not verify).
 func ConcaveMultiply(a, b [][]float64, opts ...Options) *ConcaveMultiplyResult {
-	return concaveMultiplyOn(firstOption(opts).machine(), a, b)
+	m, release := firstOption(opts).acquire()
+	defer release()
+	return concaveMultiplyOn(m, a, b)
 }
 
 func concaveMultiplyOn(m *pram.Machine, a, b [][]float64) *ConcaveMultiplyResult {

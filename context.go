@@ -32,7 +32,8 @@ import (
 // HuffmanParallelContext is HuffmanParallel under a context. On
 // cancellation it returns (nil, ctx.Err()).
 func HuffmanParallelContext(ctx context.Context, freqs []float64, opts ...Options) (*HuffmanParallelResult, error) {
-	m := firstOption(opts).machineContext(ctx)
+	m, release := firstOption(opts).acquireContext(ctx)
+	defer release()
 	var res *HuffmanParallelResult
 	err := m.Run(func() { res = huffmanParallelOn(m, freqs) })
 	if err != nil {
@@ -44,7 +45,8 @@ func HuffmanParallelContext(ctx context.Context, freqs []float64, opts ...Option
 // HuffmanRakeCompressCostContext is HuffmanRakeCompressCost under a
 // context.
 func HuffmanRakeCompressCostContext(ctx context.Context, freqs []float64, opts ...Options) (float64, Stats, error) {
-	m := firstOption(opts).machineContext(ctx)
+	m, release := firstOption(opts).acquireContext(ctx)
+	defer release()
 	var c float64
 	err := m.Run(func() { c = hufpar.CostRakeCompress(m, freqs) })
 	if err != nil {
@@ -57,7 +59,8 @@ func HuffmanRakeCompressCostContext(ctx context.Context, freqs []float64, opts .
 // The returned error is either the kernel's infeasibility error or
 // ctx.Err() on cancellation.
 func HuffmanHeightLimitedContext(ctx context.Context, freqs []float64, maxHeight int, opts ...Options) (*Tree, float64, error) {
-	m := firstOption(opts).machineContext(ctx)
+	m, release := firstOption(opts).acquireContext(ctx)
+	defer release()
 	var (
 		t    *Tree
 		cost float64
@@ -72,7 +75,8 @@ func HuffmanHeightLimitedContext(ctx context.Context, freqs []float64, maxHeight
 
 // ShannonFanoContext is ShannonFano under a context.
 func ShannonFanoContext(ctx context.Context, probs []float64, opts ...Options) (*ShannonFanoResult, error) {
-	m := firstOption(opts).machineContext(ctx)
+	m, release := firstOption(opts).acquireContext(ctx)
+	defer release()
 	var (
 		res  *shannonfano.Result
 		kerr error
@@ -95,7 +99,8 @@ func ShannonFanoContext(ctx context.Context, probs []float64, opts ...Options) (
 
 // ApproxBSTContext is ApproxBST under a context.
 func ApproxBSTContext(ctx context.Context, in *BSTInstance, eps float64, opts ...Options) (*ApproxBSTResult, error) {
-	m := firstOption(opts).machineContext(ctx)
+	m, release := firstOption(opts).acquireContext(ctx)
+	defer release()
 	var res *obst.ApproxResult
 	err := m.Run(func() { res = obst.Approx(m, in, eps) })
 	if err != nil {
@@ -114,7 +119,8 @@ func ApproxBSTContext(ctx context.Context, in *BSTInstance, eps float64, opts ..
 // RecognizeLinearParallelContext is RecognizeLinearParallel under a
 // context.
 func RecognizeLinearParallelContext(ctx context.Context, g *LinearGrammar, w []byte, opts ...Options) (*LinearRecognitionResult, error) {
-	m := firstOption(opts).machineContext(ctx)
+	m, release := firstOption(opts).acquireContext(ctx)
+	defer release()
 	var res *lincfl.DCResult
 	err := m.Run(func() { res = lincfl.RecognizeDC(m, g, w) })
 	if err != nil {
@@ -133,7 +139,8 @@ func RecognizeLinearParallelContext(ctx context.Context, g *LinearGrammar, w []b
 // ok is false both for w ∉ L(G) and on cancellation; check err to tell
 // them apart.
 func DeriveLinearParallelContext(ctx context.Context, g *LinearGrammar, w []byte, opts ...Options) ([]DerivationStep, bool, error) {
-	m := firstOption(opts).machineContext(ctx)
+	m, release := firstOption(opts).acquireContext(ctx)
+	defer release()
 	var (
 		steps []DerivationStep
 		ok    bool
@@ -148,7 +155,8 @@ func DeriveLinearParallelContext(ctx context.Context, g *LinearGrammar, w []byte
 // TreeFromMonotoneDepthsContext is TreeFromMonotoneDepths under a
 // context.
 func TreeFromMonotoneDepthsContext(ctx context.Context, depths []int, opts ...Options) (*Tree, Stats, error) {
-	m := firstOption(opts).machineContext(ctx)
+	m, release := firstOption(opts).acquireContext(ctx)
+	defer release()
 	var (
 		t    *Tree
 		kerr error
@@ -162,7 +170,8 @@ func TreeFromMonotoneDepthsContext(ctx context.Context, depths []int, opts ...Op
 
 // ConcaveMultiplyContext is ConcaveMultiply under a context.
 func ConcaveMultiplyContext(ctx context.Context, a, b [][]float64, opts ...Options) (*ConcaveMultiplyResult, error) {
-	m := firstOption(opts).machineContext(ctx)
+	m, release := firstOption(opts).acquireContext(ctx)
+	defer release()
 	var res *ConcaveMultiplyResult
 	err := m.Run(func() { res = concaveMultiplyOn(m, a, b) })
 	if err != nil {

@@ -1,0 +1,40 @@
+// Package engine centralizes per-kernel-family execution defaults that
+// used to be scattered as magic numbers through cmd/benchtables and the
+// serving layer. There is exactly one table to update when a kernel's
+// cost profile changes, and the bench harness measures with the same
+// grains the service runs with.
+package engine
+
+// Grain defaults per kernel family. The grain is the number of indices a
+// PRAM worker takes per deque pop: large grains amortize scheduling for
+// cheap per-element bodies, small grains help stealing rebalance skewed
+// or expensive bodies and make cancellation checkpoints more frequent
+// (workers poll between chunks). These values were tuned by the E9–E13
+// experiments; pass them via pram.WithGrain / partree.Options.Grain.
+const (
+	// GrainMonge suits the concave-matrix engines (monge.MulPar,
+	// CutBottomUpCRCW): tiny comparison-only bodies over quadratic index
+	// spaces, so scheduling overhead dominates unless chunks are huge.
+	GrainMonge = 2048
+
+	// GrainDP suits the dense dynamic programs (obst.Approx,
+	// shannonfano.Build): cheap bodies over moderately sized rows.
+	GrainDP = 1024
+
+	// GrainHufpar suits hufpar's cost recurrences (CostRakeCompress,
+	// BuildConcave): per-element work is a few arithmetic ops heavier
+	// than the DP kernels'.
+	GrainHufpar = 512
+
+	// GrainLinCFL suits the linear-CFL separator recursion: each index
+	// multiplies Boolean matrix blocks, expensive enough that small
+	// chunks keep workers balanced.
+	GrainLinCFL = 64
+
+	// GrainBatch is for internal/serve's request batchers: one job per
+	// chunk, so concurrent small jobs spread across workers and every
+	// job boundary is a cancellation checkpoint (deadline accuracy
+	// matters more than scheduling overhead there — jobs, not indices,
+	// are the unit of work).
+	GrainBatch = 1
+)

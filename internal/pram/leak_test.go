@@ -1,0 +1,85 @@
+package pram
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// Goroutine-lifecycle regression tests for the resident pool: dispatch
+// must not spawn per statement, pools must not leak, and both Close and
+// the idle timeout must return the pool to zero goroutines.
+
+var leakSink atomic.Int64
+
+// TestNoSpawnOrGoroutineGrowthAcrossStatements drives 10k parallel
+// statements through one reused machine and requires the goroutine count
+// to stay flat and the spawn counter to stay still: resident workers are
+// created once on the first statement and only woken afterwards.
+func TestNoSpawnOrGoroutineGrowthAcrossStatements(t *testing.T) {
+	before := runtime.NumGoroutine()
+	// The long idle timeout makes the test deterministic: no worker may
+	// retire (and force a respawn) mid-loop however slowly the host runs.
+	m := New(WithWorkers(4), WithGrain(8), WithIdleTimeout(time.Minute))
+	defer m.Close()
+
+	const n = 64
+	body := func(i int) { leakSink.Add(1) }
+	m.For(n, body) // first statement builds the pool
+	base := runtime.NumGoroutine()
+	spawnBase := SpawnedWorkers()
+
+	for s := 0; s < 10_000; s++ {
+		m.For(n, body)
+		if s%1000 == 999 {
+			if g := runtime.NumGoroutine(); g > base+2 {
+				t.Fatalf("goroutine count grew mid-loop: %d after %d statements vs %d baseline", g, s+1, base)
+			}
+		}
+	}
+	if d := SpawnedWorkers() - spawnBase; d != 0 {
+		t.Errorf("steady state spawned %d goroutines across 10k statements, want 0", d)
+	}
+	m.Close()
+	waitForGoroutines(t, before)
+}
+
+// TestCloseReturnsPoolToZeroAndMachineStaysUsable: Close drains the
+// resident goroutines synchronously, and the machine transparently
+// rebuilds the pool on the next statement.
+func TestCloseReturnsPoolToZeroAndMachineStaysUsable(t *testing.T) {
+	before := runtime.NumGoroutine()
+	m := New(WithWorkers(4), WithGrain(8), WithIdleTimeout(time.Minute))
+	var count atomic.Int64
+	m.For(64, func(i int) { count.Add(1) })
+	m.Close()
+	waitForGoroutines(t, before)
+
+	count.Store(0)
+	m.For(64, func(i int) { count.Add(1) }) // respawns the pool
+	if count.Load() != 64 {
+		t.Errorf("post-Close statement executed %d iterations, want 64", count.Load())
+	}
+	m.Close()
+	waitForGoroutines(t, before)
+}
+
+// TestIdleTimeoutRetiresWorkers: with no Close call at all, parked
+// workers must exit on their own once no statement has run for a full
+// idle window.
+func TestIdleTimeoutRetiresWorkers(t *testing.T) {
+	before := runtime.NumGoroutine()
+	m := New(WithWorkers(4), WithGrain(8), WithIdleTimeout(25*time.Millisecond))
+	var count atomic.Int64
+	m.For(64, func(i int) { count.Add(1) })
+	waitForGoroutines(t, before) // no Close: the timers must do it
+
+	// A retired pool must still serve later statements correctly.
+	count.Store(0)
+	m.For(64, func(i int) { count.Add(1) })
+	if count.Load() != 64 {
+		t.Errorf("post-retire statement executed %d iterations, want 64", count.Load())
+	}
+	m.Close()
+}

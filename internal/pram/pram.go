@@ -103,6 +103,13 @@ type Machine struct {
 
 	running atomic.Bool // guards against nested/concurrent For
 
+	// pool hosts the resident worker goroutines and the reused deque/stat
+	// slices (see wpool.go). Built lazily by the first parallel statement;
+	// nil until then and on machines that never go parallel.
+	pool          *wpool
+	idleTimeout   time.Duration // park time before a resident worker retires
+	spawnDispatch bool          // WithSpawnDispatch: use the legacy spawn-per-statement path
+
 	statsMu    sync.Mutex
 	phase      string
 	phaseStack []string // shadowed outer labels; popped by restorePhase
@@ -161,15 +168,38 @@ func WithGrain(g int) Option {
 	}
 }
 
+// WithIdleTimeout sets how long a resident worker goroutine stays parked
+// with no statements before it exits (the pool respawns workers lazily on
+// the next statement, so this only trades idle goroutines for wake-up
+// spawns). d must be > 0. The default is 200ms.
+func WithIdleTimeout(d time.Duration) Option {
+	return func(m *Machine) {
+		if d <= 0 {
+			panic("pram: idle timeout must be > 0")
+		}
+		m.idleTimeout = d
+	}
+}
+
+// WithSpawnDispatch selects the legacy dispatcher that spawns fresh
+// worker goroutines and allocates scheduler state for every parallel
+// statement instead of using the resident pool. It exists so the
+// dispatch-overhead experiment (E14) can measure both paths in one
+// process; production callers should never need it.
+func WithSpawnDispatch() Option {
+	return func(m *Machine) { m.spawnDispatch = true }
+}
+
 // New constructs a Machine. With no options it models an unbounded-processor
 // CREW PRAM (p = very large, so every parallel statement costs one step)
 // executed on GOMAXPROCS goroutines with adaptive grain.
 func New(opts ...Option) *Machine {
 	m := &Machine{
-		model:   CREW,
-		procs:   1 << 62, // effectively unbounded: one step per statement
-		workers: defaultWorkers(),
-		phases:  make(map[string]*PhaseStats),
+		model:       CREW,
+		procs:       1 << 62, // effectively unbounded: one step per statement
+		workers:     defaultWorkers(),
+		idleTimeout: idleTimeoutDefault,
+		phases:      make(map[string]*PhaseStats),
 	}
 	m.restorePhase = func() {
 		m.statsMu.Lock()
@@ -186,6 +216,19 @@ func New(opts ...Option) *Machine {
 		o(m)
 	}
 	return m
+}
+
+// Close retires the Machine's resident worker goroutines immediately and
+// waits for them to exit. The Machine stays usable — the next parallel
+// statement lazily respawns the pool — so Close is an idle/lifecycle
+// operation, not a terminal one. It must not be called concurrently with
+// a running For/Run on the same Machine. Parked workers also retire on
+// their own after the idle timeout, so Close is optional for callers that
+// can tolerate the pool lingering that long.
+func (m *Machine) Close() {
+	if m.pool != nil {
+		m.pool.close()
+	}
 }
 
 // Model returns the declared memory-access model.
@@ -351,7 +394,20 @@ func (m *Machine) forChunked(n int, body func(lo, hi int)) {
 		done = m.ctx.Done()
 	}
 	start := time.Now()
-	st, ws := run(n, w, g, body, done, start)
+	// Exact per-chunk timing only when a tracer needs faithful worker
+	// slices; disarmed statements use the amortized clock protocol (see
+	// worker in sched.go).
+	exact := m.tracer != nil
+	var st stmtStats
+	var ws []workerStats
+	if m.spawnDispatch {
+		st, ws = runSpawn(n, w, g, body, done, start)
+	} else {
+		if m.pool == nil {
+			m.pool = newWPool(m.workers, m.idleTimeout)
+		}
+		st, ws = m.pool.run(n, w, g, body, done, start, exact)
+	}
 	// Workers bail at pop/steal boundaries once the context is done,
 	// abandoning unexecuted chunks; the statement is then incomplete, so
 	// the abort must happen before anyone reads its outputs.

@@ -1,0 +1,5 @@
+//go:build !race
+
+package pram
+
+const raceEnabled = false

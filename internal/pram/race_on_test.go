@@ -1,0 +1,9 @@
+//go:build race
+
+package pram
+
+// raceEnabled reports whether the race detector is compiled in; timing
+// assertions that compare measured per-element cost against absolute
+// thresholds are skipped under -race, where instrumentation multiplies
+// the cost of the very bodies being calibrated.
+const raceEnabled = true

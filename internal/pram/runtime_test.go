@@ -29,6 +29,13 @@ func TestAdaptiveGrainConverges(t *testing.T) {
 	if testing.Short() {
 		t.Skip("timing-dependent")
 	}
+	if raceEnabled {
+		// The controller compares measured ns/element against an absolute
+		// target; race instrumentation inflates the "cheap" body past the
+		// threshold that makes the grain grow, so the direction assertions
+		// are meaningless under -race (flaky at seed on slow hosts).
+		t.Skip("timing-dependent: race instrumentation skews per-element cost")
+	}
 	expensive := New() // adaptive
 	for r := 0; r < 8; r++ {
 		expensive.For(1<<12, func(i int) {

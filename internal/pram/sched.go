@@ -2,6 +2,7 @@ package pram
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -30,8 +31,24 @@ import (
 // scan, so a worker can exit while work remains in flight — that only
 // reduces parallelism at the statement's tail, never correctness,
 // because the holder always executes what it stole. The statement
-// barrier is the WaitGroup in run(): For returns only after every range
-// has been executed exactly once.
+// barrier is the WaitGroup around the worker calls: For returns only
+// after every range has been executed exactly once.
+//
+// Worker goroutines are normally resident (see wpool.go): parked between
+// statements and woken per statement, so steady-state dispatch spawns
+// nothing. runSpawn below is the legacy spawn-per-statement dispatcher,
+// kept selectable (WithSpawnDispatch) as the measurable pre-resident
+// baseline for the E14 dispatch-overhead experiment.
+
+// spawnedWorkers counts every worker goroutine launched by either
+// dispatcher, process-wide. Monotone; read it twice and subtract to
+// measure goroutines spawned by a window of statements (the resident
+// pool's steady state must show a delta of zero).
+var spawnedWorkers atomic.Int64
+
+// SpawnedWorkers returns the total number of PRAM worker goroutines
+// launched in this process so far.
+func SpawnedWorkers() int64 { return spawnedWorkers.Load() }
 
 // wdeque is one worker's deque: a contiguous sub-range [lo, hi) of the
 // statement's index space. Bottom (lo side) is popped by the owner; the
@@ -101,42 +118,10 @@ type workerStats struct {
 	_         [128 - 40]byte
 }
 
-// run executes body over [0, n) on w workers (the caller is worker 0)
-// with chunk size g, and returns the aggregated statement measurements
-// plus the per-worker breakdown (the caller's tracing hook turns the
-// latter into per-worker slices; it is the slice run allocates anyway).
-// start is the statement's start instant, taken by the caller so traced
-// spans and worker finish times share one zero point. done, when
-// non-nil, is a cancellation signal: workers stop taking new chunks once
-// it is closed (the orchestrator detects the resulting incomplete
-// statement at the barrier and unwinds — see Machine.checkpoint).
-func run(n, w, g int, body func(lo, hi int), done <-chan struct{}, start time.Time) (stmtStats, []workerStats) {
-	dq := make([]wdeque, w)
-	chunk := (n + w - 1) / w
-	for i := 0; i < w; i++ {
-		lo := i * chunk
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		if lo > hi {
-			lo = hi
-		}
-		dq[i].lo, dq[i].hi = lo, hi
-	}
-
-	ws := make([]workerStats, w)
-	var wg sync.WaitGroup
-	for i := 1; i < w; i++ {
-		wg.Add(1)
-		go func(id int) {
-			defer wg.Done()
-			worker(id, dq, g, body, &ws[id], start, done)
-		}(i)
-	}
-	worker(0, dq, g, body, &ws[0], start, done)
-	wg.Wait()
-
+// aggregate folds the per-worker breakdown into one statement
+// measurement at the barrier: sums, the critical path (slowest worker's
+// finish) and the residual imbalance (everyone's wait for that worker).
+func aggregate(ws []workerStats) stmtStats {
 	var st stmtStats
 	var maxFinish time.Duration
 	for i := range ws {
@@ -151,15 +136,78 @@ func run(n, w, g int, body func(lo, hi int), done <-chan struct{}, start time.Ti
 		st.barrierWait += maxFinish - ws[i].finish
 	}
 	st.span = maxFinish
-	return st, ws
+	return st
+}
+
+// runSpawn executes body over [0, n) on w workers (the caller is worker
+// 0) with chunk size g: the legacy dispatcher that allocates fresh
+// deque/stat slices and spawns w-1 goroutines for every statement, with
+// exact per-chunk timing. Machines use the resident pool (wpool.go)
+// unless WithSpawnDispatch pins them here; E14 measures the difference.
+// start is the statement's start instant, taken by the caller so traced
+// spans and worker finish times share one zero point. done, when
+// non-nil, is a cancellation signal: workers stop taking new chunks once
+// it is closed (the orchestrator detects the resulting incomplete
+// statement at the barrier and unwinds — see Machine.checkpoint).
+func runSpawn(n, w, g int, body func(lo, hi int), done <-chan struct{}, start time.Time) (stmtStats, []workerStats) {
+	dq := make([]wdeque, w)
+	partition(dq, n, w)
+
+	ws := make([]workerStats, w)
+	var wg sync.WaitGroup
+	spawnedWorkers.Add(int64(w - 1))
+	for i := 1; i < w; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			worker(id, dq, g, body, &ws[id], start, done, true)
+		}(i)
+	}
+	worker(0, dq, g, body, &ws[0], start, done, true)
+	wg.Wait()
+
+	return aggregate(ws), ws
+}
+
+// partition installs the statement's even initial split: one contiguous
+// range of ⌈n/w⌉ indices per worker.
+func partition(dq []wdeque, n, w int) {
+	chunk := (n + w - 1) / w
+	for i := 0; i < w; i++ {
+		lo := i * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo > hi {
+			lo = hi
+		}
+		dq[i].lo, dq[i].hi = lo, hi
+	}
 }
 
 // worker is the per-goroutine scheduling loop: drain own deque, then
 // steal, until a full victim scan comes up empty. A stolen range's first
 // grain is executed before anything else can steal it back (see the
 // package comment on livelock freedom).
-func worker(id int, dq []wdeque, g int, body func(lo, hi int), ws *workerStats, start time.Time, done <-chan struct{}) {
+//
+// exact selects the timing discipline. Exact — required when a tracer is
+// armed, and the legacy dispatcher's only mode — brackets every body
+// chunk and every steal hunt with clock reads, so per-worker busy time
+// is precise at two time.Now() calls per chunk. Amortized (exact=false,
+// the disarmed default) reads the clock twice per worker plus once per
+// steal hunt: busy is the worker's wall time minus its measured steal
+// waits (the final empty-handed scan is absorbed into busy), so the
+// measured Stats fields become approximate-but-monotone while counted
+// steps/work/steals/elems stay exact. For the small statements that
+// dominate service traffic the clock reads are the dispatch hot path —
+// see EXPERIMENTS.md E14.
+func worker(id int, dq []wdeque, g int, body func(lo, hi int), ws *workerStats, start time.Time, done <-chan struct{}, exact bool) {
 	seed := uint32(id)*2654435761 + 1
+	t0 := start
+	if !exact {
+		t0 = time.Now()
+	}
 	for {
 		if done != nil {
 			select {
@@ -168,7 +216,7 @@ func worker(id int, dq []wdeque, g int, body func(lo, hi int), ws *workerStats, 
 				// here — a panic on a worker goroutine would kill the
 				// process; leftover chunks are abandoned and the
 				// orchestrator aborts at the barrier.
-				ws.finish = time.Since(start)
+				finish(ws, start, t0, exact)
 				return
 			default:
 			}
@@ -177,12 +225,18 @@ func worker(id int, dq []wdeque, g int, body func(lo, hi int), ws *workerStats, 
 		if !ok {
 			// Everything from here until work is in hand again is the
 			// contention probe: time this worker spends scanning victims
-			// instead of executing bodies.
-			t0 := time.Now()
+			// instead of executing bodies. Amortized mode skips the
+			// closing clock read on the final empty-handed scan.
+			h := time.Now()
 			lo, hi, ok = steal(id, dq, &seed)
-			ws.stealWait += time.Since(t0)
+			if exact {
+				ws.stealWait += time.Since(h)
+			}
 			if !ok {
 				break
+			}
+			if !exact {
+				ws.stealWait += time.Since(h)
 			}
 			ws.steals++
 			if hi-lo > g {
@@ -193,12 +247,34 @@ func worker(id int, dq []wdeque, g int, body func(lo, hi int), ws *workerStats, 
 				hi = lo + g
 			}
 		}
-		t0 := time.Now()
-		body(lo, hi)
-		ws.busy += time.Since(t0)
+		if exact {
+			tc := time.Now()
+			body(lo, hi)
+			ws.busy += time.Since(tc)
+		} else {
+			body(lo, hi)
+		}
 		ws.elems += hi - lo
 	}
-	ws.finish = time.Since(start)
+	finish(ws, start, t0, exact)
+}
+
+// finish closes out a worker's timing. Amortized mode derives busy from
+// the worker's own wall time so the loop above never touched the clock
+// per chunk; finish stays relative to the statement's start instant in
+// both modes so barrier-wait aggregation is uniform.
+func finish(ws *workerStats, start, t0 time.Time, exact bool) {
+	if exact {
+		ws.finish = time.Since(start)
+		return
+	}
+	total := time.Since(t0)
+	busy := total - ws.stealWait
+	if busy < 0 {
+		busy = 0
+	}
+	ws.busy = busy
+	ws.finish = t0.Sub(start) + total
 }
 
 // steal scans the other deques from a pseudo-random start and returns the

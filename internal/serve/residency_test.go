@@ -1,0 +1,55 @@
+package serve
+
+import (
+	"math/rand"
+	"net/http"
+	"testing"
+	"time"
+
+	"partree"
+	"partree/internal/pram"
+)
+
+// TestSteadyStateConstructsNoMachinesAndSpawnsNoGoroutines pins the
+// resident-machine property end to end: after a short warm-up, continued
+// request traffic must run entirely on recycled facade machines (zero
+// constructions) and — because those machines park resident workers —
+// must not spawn worker goroutines per batch either.
+func TestSteadyStateConstructsNoMachinesAndSpawnsNoGoroutines(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxBatch: 8, Linger: time.Millisecond})
+	rng := rand.New(rand.NewSource(14))
+
+	send := func(i int) {
+		// Distinct weights per request so the result caches never absorb
+		// the traffic — every request must reach a real batch run.
+		weights := randomWeights(rng, 5+i%7)
+		status, raw, _ := post(t, ts.Client(), ts.URL+"/v1/huffman", codingRequest{Weights: weights})
+		if status != http.StatusOK {
+			t.Fatalf("status %d: %s", status, raw)
+		}
+	}
+
+	for i := 0; i < 10; i++ { // warm-up: allowed to construct
+		send(i)
+	}
+	mpBefore := partree.MachinePoolStats()
+	spawnBefore := pram.SpawnedWorkers()
+	const steady = 200
+	for i := 0; i < steady; i++ {
+		send(10 + i)
+	}
+	mpAfter := partree.MachinePoolStats()
+	if d := mpAfter.Constructed - mpBefore.Constructed; d != 0 {
+		t.Errorf("steady-state traffic constructed %d machines over %d requests, want 0", d, steady)
+	}
+	if d := mpAfter.Reused - mpBefore.Reused; d <= 0 {
+		t.Errorf("steady-state traffic reused %d machines, want > 0", d)
+	}
+	// Strictly zero on an unloaded host; a stalled CI runner can insert
+	// >idle-timeout gaps between requests, legitimately retiring and
+	// respawning resident workers, so allow a few such cycles — what must
+	// never happen is a spawn per batch.
+	if d := pram.SpawnedWorkers() - spawnBefore; d > steady/10 {
+		t.Errorf("steady-state traffic spawned %d worker goroutines over %d requests, want ~0 (resident pool not engaged)", d, steady)
+	}
+}

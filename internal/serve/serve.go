@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"partree"
+	"partree/internal/engine"
 	"partree/internal/pool"
 	"partree/internal/trace"
 	"partree/internal/tree"
@@ -195,10 +196,13 @@ func New(cfg Config) *Server {
 		s.served[name] = &endpointCounters{}
 		s.engineStats[name] = &accumulatedStats{phases: make(map[string]partree.PhaseStats)}
 	}
-	// Grain 1 spreads the (typically few, serial-oracle) co-batched jobs
-	// across workers and checkpoints the run at every job boundary, so an
-	// all-submitters-gone abort lands within one job's work.
-	opts := partree.Options{Workers: cfg.Workers, Grain: 1}
+	// engine.GrainBatch (one job per chunk) spreads the (typically few,
+	// serial-oracle) co-batched jobs across workers and checkpoints the
+	// run at every job boundary, so an all-submitters-gone abort lands
+	// within one job's work. All five batchers share one Options shape,
+	// so they draw from one facade machine-pool key: steady-state traffic
+	// reuses resident machines and constructs nothing per batch.
+	opts := partree.Options{Workers: cfg.Workers, Grain: engine.GrainBatch}
 	queueDepth := cfg.MaxInflight
 	s.hufBatch = newBatcher("huffman", cfg.MaxBatch, cfg.Linger, queueDepth,
 		func(ctx context.Context, reqs [][]float64) ([]partree.HuffmanBatchResult, error) {
@@ -256,7 +260,9 @@ func (s *Server) Handler() http.Handler { return s.recoverer(s.mux) }
 
 // Close drains every batcher: queued jobs execute, then collectors exit.
 // In-flight HTTP requests should be drained first (http.Server.Shutdown);
-// requests arriving afterwards get 503.
+// requests arriving afterwards get 503. The facade machine pool is
+// drained last so the resident PRAM worker goroutines exit with the
+// server instead of waiting out their idle timeout.
 func (s *Server) Close() {
 	var wg sync.WaitGroup
 	for _, c := range []interface{ Close() }{s.hufBatch, s.sfBatch, s.patBatch, s.bstBatch, s.cflBatch} {
@@ -267,6 +273,7 @@ func (s *Server) Close() {
 		}(c)
 	}
 	wg.Wait()
+	partree.DrainMachinePool()
 }
 
 func (s *Server) addStats(engine string, st partree.Stats) {
@@ -690,19 +697,29 @@ func poolCounters() PoolCounters {
 	return pc
 }
 
+// MachinePoolCounters reports the facade's machine reuse (see
+// partree.MachinePoolStats): at steady state constructed stays flat
+// while reused grows — every batch runs on a recycled resident machine.
+type MachinePoolCounters struct {
+	Constructed int64 `json:"constructed"`
+	Reused      int64 `json:"reused"`
+	Discarded   int64 `json:"discarded"`
+}
+
 // StatsSnapshot is the /statsz payload.
 type StatsSnapshot struct {
-	UptimeS  float64                    `json:"uptime_s"`
-	Inflight int                        `json:"inflight"`
-	Capacity int                        `json:"inflight_capacity"`
-	Shed     int64                      `json:"shed"`
-	Panics   int64                      `json:"panics"`
-	Requests map[string]RequestCounters `json:"requests"`
-	Cache    CacheCounters              `json:"cache"`
-	FastPath CacheCounters              `json:"fastpath"`
-	Batchers map[string]BatcherCounters `json:"batchers"`
-	PRAM     map[string]engineStatsJSON `json:"pram"`
-	Pool     PoolCounters               `json:"pool"`
+	UptimeS     float64                    `json:"uptime_s"`
+	Inflight    int                        `json:"inflight"`
+	Capacity    int                        `json:"inflight_capacity"`
+	Shed        int64                      `json:"shed"`
+	Panics      int64                      `json:"panics"`
+	Requests    map[string]RequestCounters `json:"requests"`
+	Cache       CacheCounters              `json:"cache"`
+	FastPath    CacheCounters              `json:"fastpath"`
+	Batchers    map[string]BatcherCounters `json:"batchers"`
+	PRAM        map[string]engineStatsJSON `json:"pram"`
+	Pool        PoolCounters               `json:"pool"`
+	MachinePool MachinePoolCounters        `json:"machine_pool"`
 }
 
 // Snapshot assembles the current statistics (also served at /statsz).
@@ -725,6 +742,12 @@ func (s *Server) Snapshot() StatsSnapshot {
 		},
 		PRAM: make(map[string]engineStatsJSON, len(engineNames)),
 		Pool: poolCounters(),
+	}
+	mp := partree.MachinePoolStats()
+	snap.MachinePool = MachinePoolCounters{
+		Constructed: mp.Constructed,
+		Reused:      mp.Reused,
+		Discarded:   mp.Discarded,
 	}
 	for _, name := range engineNames {
 		snap.Requests[name] = s.served[name].snapshot()

@@ -50,7 +50,8 @@ type LinearRecognitionResult struct {
 // boundary-reachability matrices by Boolean matrix multiplication
 // (Theorem 8.1).
 func RecognizeLinearParallel(g *LinearGrammar, w []byte, opts ...Options) *LinearRecognitionResult {
-	m := firstOption(opts).machine()
+	m, release := firstOption(opts).acquire()
+	defer release()
 	res := lincfl.RecognizeDC(m, g, w)
 	return &LinearRecognitionResult{
 		Accepted: res.Accepted,
@@ -75,7 +76,8 @@ func DeriveLinear(g *LinearGrammar, w []byte) ([]DerivationStep, bool) {
 // the recognition pass caches each region's boundary reachability and the
 // extraction walks the accepting path across the separators.
 func DeriveLinearParallel(g *LinearGrammar, w []byte, opts ...Options) ([]DerivationStep, bool) {
-	m := firstOption(opts).machine()
+	m, release := firstOption(opts).acquire()
+	defer release()
 	return lincfl.DeriveDC(m, g, w)
 }
 

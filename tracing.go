@@ -47,16 +47,17 @@ func TraceFromContext(ctx context.Context) *Trace {
 	return trace.FromContext(ctx)
 }
 
-// machineContext builds the machine for a *Context entry point: the
-// Options machine with ctx attached for cooperative cancellation, and
-// tracing armed from Options.Trace or, failing that, the context.
-func (o Options) machineContext(ctx context.Context) *pramMachine {
-	m := o.machine()
+// acquireContext builds the machine for a *Context entry point: a pooled
+// Options machine (see machinepool.go) with ctx attached for cooperative
+// cancellation, and tracing armed from Options.Trace or, failing that,
+// the context. The returned release follows acquire's contract.
+func (o Options) acquireContext(ctx context.Context) (*pramMachine, func()) {
+	m, release := o.acquire()
 	m.SetContext(ctx)
 	if o.Trace == nil {
 		if tr := trace.FromContext(ctx); tr != nil {
 			m.SetTracer(tr)
 		}
 	}
-	return m
+	return m, release
 }
