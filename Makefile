@@ -66,27 +66,29 @@ bench-par:
 	$(GO) run ./cmd/benchtables -exp E12
 
 # Perf-regression gate: measure E11 (pooled vs unpooled allocs/op), E12
-# (parallel speedup sweep), E13 (tracing disarmed vs armed) and E14
-# (resident-pool dispatch), then enforce the ≥70% allocation reduction,
-# the committed BENCH_BASELINE.json bands, the ≥2x P=4 speedup on the
-# monge/boolmat kernels (auto-skipped with a notice on hosts with fewer
-# than 4 cores, where the ratio is physically capped), the ≤2%
-# disarmed-tracing band on the hot paths, and the ≥40% dispatch-cost
-# reduction with zero steady-state goroutine spawns / machine
-# constructions.
+# (parallel speedup sweep), E13 (tracing disarmed vs armed), E14
+# (resident-pool dispatch) and E15 (calibrated tuning profile vs static
+# defaults), then enforce the ≥70% allocation reduction, the committed
+# BENCH_BASELINE.json bands, the ≥2x P=4 speedup on the monge/boolmat
+# kernels (auto-skipped with a notice on hosts with fewer than 4 cores,
+# where the ratio is physically capped), the ≤2% disarmed-tracing band
+# on the hot paths, the ≥40% dispatch-cost reduction with zero
+# steady-state goroutine spawns / machine constructions, and the tuning
+# invariant (calibration never slower beyond band+noise on any tracked
+# kernel, ≥10% faster on at least two).
 bench-gate:
-	$(GO) run ./cmd/benchtables -exp E11,E12,E13,E14 | $(GO) run ./cmd/benchgate -baseline BENCH_BASELINE.json
+	$(GO) run ./cmd/benchtables -exp E11,E12,E13,E14,E15 | $(GO) run ./cmd/benchgate -baseline BENCH_BASELINE.json
 
-# Short-iteration gate used by `make check`: smaller E12 inputs,
-# single-rep E13/E14 timing, and slack knobs so CI timing noise cannot
-# flake the build.
+# Short-iteration gate used by `make check`: smaller E12/E15 inputs,
+# single-rep E13/E14 timing, quick calibration sweeps, and slack knobs
+# so CI timing noise cannot flake the build.
 bench-gate-quick:
-	$(GO) run ./cmd/benchtables -exp E11,E12,E13,E14 -short | $(GO) run ./cmd/benchgate -baseline BENCH_BASELINE.json -speedup-slack 0.35 -trace-slack 0.15 -dispatch-slack 0.10
+	$(GO) run ./cmd/benchtables -exp E11,E12,E13,E14,E15 -short | $(GO) run ./cmd/benchgate -baseline BENCH_BASELINE.json -speedup-slack 0.35 -trace-slack 0.15 -dispatch-slack 0.10 -tune-slack 0.20
 
 # Refresh the committed benchmark baseline (schema 2: E11 + E12 + E13 +
-# E14) from the current tree.
+# E14 + E15) from the current tree.
 bench-baseline:
-	$(GO) run ./cmd/benchtables -exp E11,E12,E13,E14 | $(GO) run ./cmd/benchgate -baseline BENCH_BASELINE.json -write
+	$(GO) run ./cmd/benchtables -exp E11,E12,E13,E14,E15 | $(GO) run ./cmd/benchgate -baseline BENCH_BASELINE.json -write
 
 examples:
 	$(GO) run ./examples/quickstart

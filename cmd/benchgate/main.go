@@ -31,9 +31,15 @@
 //     process — a ratio, so it holds on any machine — and steady-state
 //     traffic must spawn zero worker goroutines per 10k statements and
 //     construct zero facade machines per 10k batches.
+//  6. The tuning gate (E15): the host-calibrated profile must never be
+//     slower than the static defaults beyond -tune-band (default 5%,
+//     widened by -tune-slack and by the measured rep noise) on any
+//     tracked kernel, and must be at least 10% faster on at least
+//     -min-tune-wins (default 2) of them. Both arms run in one process
+//     on one host, so this is a ratio gate like invariants 1 and 5.
 //
 // The baseline file is schema 2:
-// {"schema":2,"e11":{...},"e12":{...},"e13":{...},"e14":{...}}. A
+// {"schema":2,"e11":{...},"e12":{...},"e13":{...},"e14":{...},"e15":{...}}. A
 // pre-multi-P baseline (the old bare E11 report) fails with a clear
 // error telling you to regenerate via `make bench-baseline`. A schema-2
 // baseline without the e13/e14 sections (committed before those layers)
@@ -126,16 +132,34 @@ type e14Report struct {
 	BatchNsOp         float64 `json:"batch_ns_op"`
 }
 
-// baseline is the committed BENCH_BASELINE.json, schema 2. The e13 and
-// e14 sections are optional so baselines committed before those layers
-// keep working; their baseline comparisons print a notice and pass until
-// the baseline is regenerated.
+// e15Kernel / e15Report mirror benchtables' E15 payload (the "report"
+// object of its BENCH-JSON envelope).
+type e15Kernel struct {
+	Kernel    string  `json:"kernel"`
+	DefaultNs float64 `json:"default_ns"`
+	TunedNs   float64 `json:"tuned_ns"`
+	NoiseFrac float64 `json:"noise_frac"`
+}
+
+type e15Report struct {
+	GoMaxProcs  int         `json:"gomaxprocs"`
+	Reps        int         `json:"reps"`
+	Workers     int         `json:"workers"`
+	ProfileHash string      `json:"profile_hash"`
+	Kernels     []e15Kernel `json:"kernels"`
+}
+
+// baseline is the committed BENCH_BASELINE.json, schema 2. The e13, e14
+// and e15 sections are optional so baselines committed before those
+// layers keep working; their baseline comparisons print a notice and
+// pass until the baseline is regenerated.
 type baseline struct {
 	Schema int        `json:"schema"`
 	E11    *e11Report `json:"e11"`
 	E12    *e12Report `json:"e12"`
 	E13    *e13Report `json:"e13,omitempty"`
 	E14    *e14Report `json:"e14,omitempty"`
+	E15    *e15Report `json:"e15,omitempty"`
 }
 
 func main() {
@@ -155,16 +179,19 @@ func main() {
 	minDispatchReduction := flag.Float64("min-dispatch-reduction", 0.40,
 		"required fractional dispatch ns/op reduction, resident vs spawn (E14)")
 	dispatchSlack := flag.Float64("dispatch-slack", 0.0, "subtracted from -min-dispatch-reduction (CI stability knob)")
+	tuneBand := flag.Float64("tune-band", 0.05, "calibrated ns/op may exceed default ns/op by at most this fraction plus measured noise (E15)")
+	tuneSlack := flag.Float64("tune-slack", 0.0, "added to -tune-band (CI stability knob for short runs)")
+	minTuneWins := flag.Int("min-tune-wins", 2, "E15 kernels the calibrated profile must beat by >=10%")
 	flag.Parse()
 
-	cur11, cur12, cur13, cur14, err := readReports(os.Stdin)
+	cur11, cur12, cur13, cur14, cur15, err := readReports(os.Stdin)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
 		os.Exit(1)
 	}
 
 	if *write {
-		blob, err := json.MarshalIndent(baseline{Schema: 2, E11: cur11, E12: cur12, E13: cur13, E14: cur14}, "", "  ")
+		blob, err := json.MarshalIndent(baseline{Schema: 2, E11: cur11, E12: cur12, E13: cur13, E14: cur14, E15: cur15}, "", "  ")
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
 			os.Exit(1)
@@ -173,8 +200,8 @@ func main() {
 			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Printf("benchgate: wrote %s (schema 2: %d E11 rows, %d E12 kernels, %d E13 rows, E14 dispatch)\n",
-			*baselinePath, len(cur11.Runs), len(cur12.Kernels), len(cur13.Runs))
+		fmt.Printf("benchgate: wrote %s (schema 2: %d E11 rows, %d E12 kernels, %d E13 rows, E14 dispatch, %d E15 kernels)\n",
+			*baselinePath, len(cur11.Runs), len(cur12.Kernels), len(cur13.Runs), len(cur15.Kernels))
 		return
 	}
 
@@ -351,6 +378,58 @@ func main() {
 			100*curRed, 100*baseRed, cur14.BatchNsOp, base.E14.BatchNsOp)
 	}
 
+	// Invariant 6: calibration earns its keep and never costs. Both arms
+	// of every E15 kernel ran in one process on one host, so the
+	// never-slower band is a same-host ratio; it widens by the rep noise
+	// the run itself measured, like the E13 gate.
+	tband := *tuneBand + *tuneSlack
+	wins := 0
+	if len(cur15.Kernels) == 0 {
+		fail("tuning: E15 report has no kernels; report is unusable")
+	}
+	for _, k := range cur15.Kernels {
+		if k.DefaultNs <= 0 {
+			fail("tuning: %s: default ns/op is %.0f; report is unusable", k.Kernel, k.DefaultNs)
+			continue
+		}
+		ratio := k.TunedNs / k.DefaultNs
+		limit := 1 + tband + k.NoiseFrac
+		if ratio > limit {
+			fail("tuning: %s: calibrated ns/op %.0f is %.2fx the default %.0f, over the %.1f%% band (+%.1f%% noise)",
+				k.Kernel, k.TunedNs, ratio, k.DefaultNs, 100*tband, 100*k.NoiseFrac)
+			continue
+		}
+		if ratio <= 0.90 {
+			wins++
+			fmt.Printf("benchgate: tuning: %s: %.0f -> %.0f ns/op (%.1f%% faster) win\n",
+				k.Kernel, k.DefaultNs, k.TunedNs, 100*(1-ratio))
+		} else {
+			fmt.Printf("benchgate: tuning: %s: %.0f -> %.0f ns/op (ratio %.2f, band %.2f) ok\n",
+				k.Kernel, k.DefaultNs, k.TunedNs, ratio, limit)
+		}
+	}
+	if len(cur15.Kernels) > 0 && wins < *minTuneWins {
+		fail("tuning: calibrated profile beat the defaults by >=10%% on %d kernel(s), want >=%d", wins, *minTuneWins)
+	} else if len(cur15.Kernels) > 0 {
+		fmt.Printf("benchgate: tuning: profile %s wins on %d/%d kernels (>= %d required) ok\n",
+			cur15.ProfileHash, wins, len(cur15.Kernels), *minTuneWins)
+	}
+	switch {
+	case base == nil:
+		// no baseline at all: notice already printed above
+	case base.E15 == nil:
+		fmt.Println("benchgate: tuning: baseline has no e15 section; skipping comparison (regenerate with `make bench-baseline`)")
+	default:
+		baseWins := 0
+		for _, k := range base.E15.Kernels {
+			if k.DefaultNs > 0 && k.TunedNs/k.DefaultNs <= 0.90 {
+				baseWins++
+			}
+		}
+		fmt.Printf("benchgate: tuning: wins %d/%d vs baseline %d/%d (informational)\n",
+			wins, len(cur15.Kernels), baseWins, len(base.E15.Kernels))
+	}
+
 	if failures > 0 {
 		os.Exit(1)
 	}
@@ -402,15 +481,16 @@ func pairByKernel(rows []row) map[string]*[2]*row {
 	return out
 }
 
-// readReports scans stdin for the E11, E12 and E13 BENCH-JSON lines
-// (other experiment output may precede or separate them).
-func readReports(f *os.File) (*e11Report, *e12Report, *e13Report, *e14Report, error) {
+// readReports scans stdin for the E11–E15 BENCH-JSON lines (other
+// experiment output may precede or separate them).
+func readReports(f *os.File) (*e11Report, *e12Report, *e13Report, *e14Report, *e15Report, error) {
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
 	var r11 *e11Report
 	var r12 *e12Report
 	var r13 *e13Report
 	var r14 *e14Report
+	var r15 *e15Report
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
 		blob, ok := strings.CutPrefix(line, "BENCH-JSON ")
@@ -421,25 +501,25 @@ func readReports(f *os.File) (*e11Report, *e12Report, *e13Report, *e14Report, er
 			Experiment string `json:"experiment"`
 		}
 		if err := json.Unmarshal([]byte(blob), &probe); err != nil {
-			return nil, nil, nil, nil, fmt.Errorf("parsing BENCH-JSON line: %w", err)
+			return nil, nil, nil, nil, nil, fmt.Errorf("parsing BENCH-JSON line: %w", err)
 		}
 		switch probe.Experiment {
 		case "E11":
 			var r e11Report
 			if err := json.Unmarshal([]byte(blob), &r); err != nil {
-				return nil, nil, nil, nil, fmt.Errorf("parsing E11 BENCH-JSON: %w", err)
+				return nil, nil, nil, nil, nil, fmt.Errorf("parsing E11 BENCH-JSON: %w", err)
 			}
 			r11 = &r
 		case "E12":
 			var r e12Report
 			if err := json.Unmarshal([]byte(blob), &r); err != nil {
-				return nil, nil, nil, nil, fmt.Errorf("parsing E12 BENCH-JSON: %w", err)
+				return nil, nil, nil, nil, nil, fmt.Errorf("parsing E12 BENCH-JSON: %w", err)
 			}
 			r12 = &r
 		case "E13":
 			var r e13Report
 			if err := json.Unmarshal([]byte(blob), &r); err != nil {
-				return nil, nil, nil, nil, fmt.Errorf("parsing E13 BENCH-JSON: %w", err)
+				return nil, nil, nil, nil, nil, fmt.Errorf("parsing E13 BENCH-JSON: %w", err)
 			}
 			r13 = &r
 		case "E14":
@@ -447,18 +527,26 @@ func readReports(f *os.File) (*e11Report, *e12Report, *e13Report, *e14Report, er
 				Report e14Report `json:"report"`
 			}
 			if err := json.Unmarshal([]byte(blob), &env); err != nil {
-				return nil, nil, nil, nil, fmt.Errorf("parsing E14 BENCH-JSON: %w", err)
+				return nil, nil, nil, nil, nil, fmt.Errorf("parsing E14 BENCH-JSON: %w", err)
 			}
 			r14 = &env.Report
+		case "E15":
+			var env struct {
+				Report e15Report `json:"report"`
+			}
+			if err := json.Unmarshal([]byte(blob), &env); err != nil {
+				return nil, nil, nil, nil, nil, fmt.Errorf("parsing E15 BENCH-JSON: %w", err)
+			}
+			r15 = &env.Report
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, nil, nil, nil, err
+		return nil, nil, nil, nil, nil, err
 	}
-	if r11 == nil || r12 == nil || r13 == nil || r14 == nil {
-		return nil, nil, nil, nil, fmt.Errorf("need the E11, E12, E13 and E14 BENCH-JSON lines on stdin (pipe `benchtables -exp E11,E12,E13,E14` in)")
+	if r11 == nil || r12 == nil || r13 == nil || r14 == nil || r15 == nil {
+		return nil, nil, nil, nil, nil, fmt.Errorf("need the E11, E12, E13, E14 and E15 BENCH-JSON lines on stdin (pipe `benchtables -exp E11,E12,E13,E14,E15` in)")
 	}
-	return r11, r12, r13, r14, nil
+	return r11, r12, r13, r14, r15, nil
 }
 
 // readBaseline parses the committed baseline, rejecting pre-schema-2

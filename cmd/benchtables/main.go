@@ -36,9 +36,10 @@ import (
 	wspool "partree/internal/pool"
 	"partree/internal/pram"
 	"partree/internal/serve"
-	"partree/internal/trace"
 	"partree/internal/shannonfano"
+	"partree/internal/trace"
 	"partree/internal/tree"
+	"partree/internal/tune"
 	"partree/internal/workload"
 	"partree/internal/xmath"
 )
@@ -62,6 +63,7 @@ var experiments = []struct {
 	{"E12", "Multicore scaling — kernel speedup across worker counts", e12},
 	{"E13", "Tracing — disarmed vs armed overhead on the gated hot paths", e13},
 	{"E14", "Dispatch — resident worker pool vs per-statement spawn", e14},
+	{"E15", "Tuning — host-calibrated profile vs static defaults", e15},
 }
 
 // shortMode shrinks problem sizes and timing loops (-short): the tables
@@ -121,7 +123,7 @@ func e2() {
 		matrix.MulBrute(a, b, &cb)
 		monge.CutRecursive(a, b, &cr)
 		monge.CutBottomUp(a, b, &cu)
-		m := pram.New(pram.WithGrain(engine.GrainMonge))
+		m := pram.New(pram.WithGrain(engine.GrainMonge()))
 		monge.CutBottomUpCRCW(m, a, b, &cw)
 		fmt.Printf("%6d %16d %16d %16d %9.1fx %14d\n",
 			n, cb.Load(), cr.Load(), cu.Load(), float64(cb.Load())/float64(cr.Load()),
@@ -133,7 +135,7 @@ func e2() {
 
 func e3() {
 	fmt.Printf("%6s %10s %14s %16s\n", "n", "rounds", "2⌈log n⌉+1", "cost = optimal?")
-	m := pram.New(pram.WithGrain(engine.GrainHufpar))
+	m := pram.New(pram.WithGrain(engine.GrainHufpar()))
 	for _, n := range []int{16, 64, 256} {
 		w := workload.SortedAscending(workload.Zipf(n, 1.1))
 		acc := pram.New()
@@ -190,7 +192,7 @@ func e5() {
 		in, _ := obst.NewInstance(beta, alpha)
 		eps := 1 / float64(n*n)
 		opt, _ := obst.Knuth(in)
-		res := obst.Approx(pram.New(pram.WithGrain(engine.GrainDP)), in, eps)
+		res := obst.Approx(pram.New(pram.WithGrain(engine.GrainDP())), in, eps)
 		mcost, _ := obst.Mehlhorn(in)
 		fmt.Printf("%6d %12.3g %14.6f %14.6f %12v %14.6f\n",
 			n, eps, opt, res.Cost, res.Cost <= opt+eps+1e-12, mcost)
@@ -254,7 +256,7 @@ func e7() {
 		{"random", workload.Random(rng, 500)},
 	}
 	for _, r := range rows {
-		res, err := shannonfano.Build(pram.New(pram.WithGrain(engine.GrainDP)), r.probs)
+		res, err := shannonfano.Build(pram.New(pram.WithGrain(engine.GrainDP())), r.probs)
 		if err != nil {
 			panic(err)
 		}
@@ -268,7 +270,7 @@ func e7() {
 func e8() {
 	fmt.Printf("%6s %8s %10s %12s %14s %10s\n", "n", "member?", "depth", "products", "word-ops", "agrees?")
 	g := grammar.Palindrome()
-	m := pram.New(pram.WithGrain(engine.GrainLinCFL))
+	m := pram.New(pram.WithGrain(engine.GrainLinCFL()))
 	rng := rand.New(rand.NewSource(8))
 	for _, n := range []int{31, 63, 127, 255} {
 		w := make([]byte, n)
@@ -568,7 +570,7 @@ func e11() {
 		word[cflN-1-i] = word[i]
 	}
 	word[cflN/2] = 'c'
-	m := pram.New(pram.WithGrain(engine.GrainLinCFL))
+	m := pram.New(pram.WithGrain(engine.GrainLinCFL()))
 	lincflBench := func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			res := lincfl.RecognizeDC(m, g, word)
@@ -919,7 +921,7 @@ func e13() {
 	word[cflN/2] = 'c'
 	newLincfl := func(armed bool) func(b *testing.B) {
 		return func(b *testing.B) {
-			m := pram.New(pram.WithGrain(engine.GrainLinCFL))
+			m := pram.New(pram.WithGrain(engine.GrainLinCFL()))
 			if armed {
 				m.SetTracer(trace.New(0))
 			}
@@ -1068,6 +1070,11 @@ type e14Report struct {
 // margin, spawn nothing at steady state, and the facade machine pool
 // must construct nothing under steady small-batch traffic.
 func e14() {
+	// E14 and E15 both read the machine-pool and spawned-worker counters;
+	// start from zero so experiments sharing a process don't contaminate
+	// each other's deltas.
+	partree.DrainMachinePool()
+	pram.ResetSpawnedWorkers()
 	const (
 		dispatchWorkers = 2  // forced, so the measurement shape is host-independent
 		dispatchN       = 64 // small-n: the service-traffic regime where dispatch dominates
@@ -1141,7 +1148,7 @@ func e14() {
 	// Small-batch facade throughput + machine-pool traffic: the service
 	// regime, one small batch per call through the Options-keyed pool.
 	jobs := [][]float64{{3, 1, 4, 1, 5}, {9, 2, 6, 5, 3}, {5, 8, 9, 7, 9}}
-	batchOpts := partree.Options{Workers: dispatchWorkers, Grain: engine.GrainBatch}
+	batchOpts := partree.Options{Workers: dispatchWorkers, Grain: engine.GrainBatch()}
 	for i := 0; i < 10; i++ { // warm the pool
 		partree.HuffmanBatch(jobs, batchOpts)
 	}
@@ -1189,4 +1196,198 @@ func e14() {
 	fmt.Println("claim: resident workers cut small-statement dispatch by ≥40% over")
 	fmt.Println("       per-statement spawning, and steady-state traffic spawns zero")
 	fmt.Println("       goroutines and constructs zero machines; make bench-gate holds it")
+}
+
+// e15Kernel is one tracked kernel's default-vs-calibrated timing pair.
+// NoiseFrac is the worst rep-to-rep spread either arm observed; the gate
+// widens its never-slower band by it so quiet hosts gate tight and noisy
+// ones stay honest instead of flaky.
+type e15Kernel struct {
+	Kernel    string  `json:"kernel"`
+	DefaultNs float64 `json:"default_ns"`
+	TunedNs   float64 `json:"tuned_ns"`
+	NoiseFrac float64 `json:"noise_frac"`
+}
+
+// e15Report is the E15 BENCH-JSON payload; cmd/benchgate reads the same
+// shape back out of BENCH_BASELINE.json. Both arms run in this process on
+// this host, so the gate is a same-host ratio like E11's and E14's.
+type e15Report struct {
+	GOMAXPROCS  int         `json:"gomaxprocs"`
+	Reps        int         `json:"reps"`
+	Workers     int         `json:"workers"`
+	ProfileHash string      `json:"profile_hash"`
+	Kernels     []e15Kernel `json:"kernels"`
+}
+
+// E15 — host-calibrated auto-tuning. Every kernel runs twice over
+// identical inputs: once under the static defaults (the exact constants
+// the tree was built with before internal/tune existed) and once under a
+// profile calibrated on this host at the start of the experiment. The
+// tracked sizes sit in the service regime — small problems where
+// per-statement dispatch, not arithmetic, dominates — because that is
+// where the profile's serial cutovers and grain choices pay. The claim
+// the gate holds: calibration is never slower than the defaults beyond
+// band+noise on any tracked kernel, and at least 10% faster on at least
+// two of them.
+func e15() {
+	partree.DrainMachinePool()
+	pram.ResetSpawnedWorkers()
+
+	const workers = 2 // forced, so the measurement shape is host-independent
+	reps := 3
+	mongeN, cflN, boolN, hufN, obstN := 40, 95, 48, 128, 64
+	if shortMode {
+		reps = 2
+		mongeN, cflN, hufN, obstN = 32, 63, 96, 48
+	}
+	rng := rand.New(rand.NewSource(15))
+
+	ma := monge.Random(rng, mongeN, mongeN, 100, 5)
+	mb := monge.Random(rng, mongeN, mongeN, 100, 5)
+
+	g := grammar.Palindrome()
+	word := make([]byte, cflN)
+	for i := 0; i < cflN/2; i++ {
+		word[i] = "ab"[i%2]
+		word[cflN-1-i] = word[i]
+	}
+	word[cflN/2] = 'c'
+
+	ba := boolmat.New(boolN, boolN)
+	bb := boolmat.New(boolN, boolN)
+	for i := 0; i < boolN; i++ {
+		for j := 0; j < boolN; j += 1 + rng.Intn(8) {
+			ba.Set(i, j, true)
+			bb.Set(j, i, true)
+		}
+	}
+
+	hw := workload.SortedAscending(workload.Zipf(hufN, 1.1))
+
+	beta := make([]float64, obstN)
+	alpha := make([]float64, obstN+1)
+	tot := 0.0
+	for i := range beta {
+		beta[i] = rng.Float64()
+		tot += beta[i]
+	}
+	for i := range alpha {
+		alpha[i] = rng.Float64() * 0.3
+		tot += alpha[i]
+	}
+	for i := range beta {
+		beta[i] /= tot
+	}
+	for i := range alpha {
+		alpha[i] /= tot
+	}
+	in, err := obst.NewInstance(beta, alpha)
+	if err != nil {
+		panic(err)
+	}
+	eps := 1 / float64(obstN*obstN)
+
+	// Each machine is built inside its arm so its shape (adaptive grain
+	// target) comes from the profile under measurement, exactly as the
+	// facade builds machines in production.
+	newMach := func() *pram.Machine {
+		return pram.New(pram.WithWorkers(workers),
+			pram.WithGrainTarget(engine.GrainTargetNs()),
+			pram.WithIdleTimeout(time.Minute)) // no mid-measurement retires
+	}
+	kernels := []struct {
+		name  string
+		newOp func() (op func(), done func())
+	}{
+		{"monge-cutpar", func() (func(), func()) {
+			m := newMach()
+			var cnt matrix.OpCount
+			return func() { monge.CutRecursivePar(m, ma, mb, &cnt).Release() }, m.Close
+		}},
+		{"lincfl-dc", func() (func(), func()) {
+			m := newMach()
+			return func() { benchSink = lincfl.RecognizeDC(m, g, word).Accepted }, m.Close
+		}},
+		{"boolmat-mulpar", func() (func(), func()) {
+			m := newMach()
+			return func() { boolmat.MulPar(m, ba, bb).Release() }, m.Close
+		}},
+		{"hufpar-concave", func() (func(), func()) {
+			m := newMach()
+			return func() { benchSink = hufpar.BuildConcave(m, hw).Tree != nil }, m.Close
+		}},
+		{"obst-approx", func() (func(), func()) {
+			m := newMach()
+			return func() { benchSink = obst.Approx(m, in, eps).Cost > 0 }, m.Close
+		}},
+	}
+
+	prof := tune.Calibrate(tune.Config{Quick: shortMode})
+	fmt.Printf("calibrated profile %s: grain target %dns, cutovers boolmat=%dw monge=%de lincfl=%dw\n\n",
+		prof.Hash(), prof.Tuned.GrainTargetNs, prof.Tuned.BoolmatSerialWords,
+		prof.Tuned.MongeSerialEntries, prof.Tuned.LinCFLSerialWords)
+
+	// One arm: install the profile (nil = built-in defaults), build the
+	// kernel's machine under it, take the best of reps. The machine pool
+	// keys on the active grain target, so arms cannot share machines.
+	measure := func(p *tune.Profile, newOp func() (func(), func())) (float64, float64) {
+		tune.SetActive(p)
+		defer tune.SetActive(nil)
+		op, done := newOp()
+		defer done()
+		op() // warm: resident pool up, caches touched
+		bench := func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				op()
+			}
+		}
+		var best, worst float64
+		for r := 0; r < reps; r++ {
+			ns := float64(testing.Benchmark(bench).NsPerOp())
+			if r == 0 || ns < best {
+				best = ns
+			}
+			if ns > worst {
+				worst = ns
+			}
+		}
+		noise := 0.0
+		if best > 0 {
+			noise = (worst - best) / best
+		}
+		return best, noise
+	}
+
+	rep := e15Report{
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Reps:        reps,
+		Workers:     workers,
+		ProfileHash: prof.Hash(),
+	}
+	fmt.Printf("%-16s %14s %14s %9s %8s\n", "kernel", "default ns/op", "tuned ns/op", "speedup", "noise")
+	for _, k := range kernels {
+		defNs, defNoise := measure(nil, k.newOp)
+		tunNs, tunNoise := measure(prof, k.newOp)
+		noise := defNoise
+		if tunNoise > noise {
+			noise = tunNoise
+		}
+		rep.Kernels = append(rep.Kernels, e15Kernel{
+			Kernel: k.name, DefaultNs: defNs, TunedNs: tunNs, NoiseFrac: noise,
+		})
+		fmt.Printf("%-16s %14.0f %14.0f %8.2fx %7.1f%%\n", k.name, defNs, tunNs, defNs/tunNs, 100*noise)
+	}
+
+	blob, err := json.Marshal(map[string]any{
+		"experiment": "E15",
+		"report":     rep,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\nBENCH-JSON %s\n", blob)
+	fmt.Println("claim: the calibrated profile is never slower than the static defaults")
+	fmt.Println("       beyond band+noise on any tracked kernel, and >=10% faster on at")
+	fmt.Println("       least two; make bench-gate holds it")
 }

@@ -13,6 +13,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"partree/internal/engine"
 	"partree/internal/faultpoint"
 	"partree/internal/pool"
 	"partree/internal/pram"
@@ -155,17 +156,30 @@ func (m *Matrix) Or(o *Matrix) *Matrix {
 
 // mulKTile picks the k-tile height for the blocked kernel: the number of
 // B rows (a multiple of 64, so tiles stay word-aligned in A's rows) whose
-// packed words fit a ~256 KiB cache budget. B's rows are its packed
-// columns-of-words layout, built once at Set time, so a tile is a
+// packed words fit the profile's cache budget (engine.BoolmatKTileBytes,
+// ~256 KiB by default, swept per host by calibration). B's rows are its
+// packed columns-of-words layout, built once at Set time, so a tile is a
 // contiguous, reusable byte range of b.bits.
 func mulKTile(words int) int {
-	const budget = 1 << 18 // bytes of B rows resident per tile
+	budget := engine.BoolmatKTileBytes() // bytes of B rows resident per tile
 	kt := budget / (words * 8)
 	kt &^= 63
 	if kt < 64 {
 		kt = 64
 	}
 	return kt
+}
+
+// EstMulWords is the dense-worst-case word-OR estimate for the product
+// a·b: the A-row scan plus one output-row OR per set bit of A, assuming
+// every bit is set. The serial cutovers compare it against the
+// calibrated thresholds — an overestimate for sparse inputs, which errs
+// exactly the right way: a product only drops out of the PRAM machinery
+// when even its worst case is cheaper than a dispatch.
+func EstMulWords(a, b *Matrix) int64 {
+	aw := int64((a.C + 63) >> 6)
+	ow := int64((b.C + 63) >> 6)
+	return int64(a.R)*aw + int64(a.R)*int64(a.C)*ow
 }
 
 // mulRowInto ORs into orow every B row selected by the set bits of
@@ -215,10 +229,20 @@ func Mul(a, b *Matrix) *Matrix {
 
 // MulPar is the PRAM form of Mul: one virtual processor per output row.
 // Each row body uses the word-skipping scan; cross-row B reuse comes from
-// the runtime handing each worker contiguous row chunks.
+// the runtime handing each worker contiguous row chunks. Products whose
+// dense-worst-case work sits at or below the profile's serial cutover
+// (engine.BoolmatSerialWords; disabled by default) run the cache-blocked
+// serial kernel as one counted step instead — identical output, none of
+// the statement's dispatch cost.
 func MulPar(m *pram.Machine, a, b *Matrix) *Matrix {
 	if a.C != b.R {
 		panic("boolmat: dimension mismatch")
+	}
+	if cut := engine.BoolmatSerialWords(); cut > 0 && EstMulWords(a, b) <= int64(cut) {
+		defer m.Phase("boolmat.MulPar")()
+		faultpoint.Hit("boolmat.mulpar")
+		m.Step(1)
+		return Mul(a, b)
 	}
 	defer m.Phase("boolmat.MulPar")()
 	out := NewFromPool(a.R, b.C)

@@ -2,6 +2,7 @@ package lincfl
 
 import (
 	"partree/internal/boolmat"
+	"partree/internal/engine"
 	"partree/internal/faultpoint"
 	"partree/internal/grammar"
 	"partree/internal/pram"
@@ -248,9 +249,18 @@ func (ctx *dcCtx) inject(from, to boundary, mapCell func([2]int) ([2]int, bool),
 
 func (ctx *dcCtx) mul(a, b *boolmat.Matrix) *boolmat.Matrix {
 	ctx.prods++
-	out := boolmat.MulPar(ctx.m, a, b)
 	ctx.cnt.Add(int64(a.R) * int64(a.C) * int64((b.C+63)/64))
-	return out
+	// Small block products (most of the separator recursion's, by count)
+	// drop out of the PRAM machinery entirely below the profile's cutover
+	// — the serial cache-blocked kernel for one counted step, skipping
+	// both the statement dispatch and the per-product phase bookkeeping.
+	// The counted word-op total above is model-level and unchanged.
+	if cut := engine.LinCFLSerialWords(); cut > 0 && boolmat.EstMulWords(a, b) <= int64(cut) {
+		out := boolmat.Mul(a, b)
+		ctx.m.Step(1)
+		return out
+	}
+	return boolmat.MulPar(ctx.m, a, b)
 }
 
 func (ctx *dcCtx) noteDepth(d int) {

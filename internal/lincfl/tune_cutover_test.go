@@ -1,0 +1,60 @@
+package lincfl
+
+import (
+	"math/rand"
+	"testing"
+
+	"partree/internal/grammar"
+	"partree/internal/tune"
+)
+
+// TestDCSerialCutoverMatchesSequential arms the lincfl product cutover at
+// an aggressive threshold (every block product in these word lengths runs
+// on the serial blocked kernel) and re-runs the separator recursion
+// against the sequential oracle: acceptance must be identical, and the
+// counted product tally — a model-level quantity — must not change.
+func TestDCSerialCutoverMatchesSequential(t *testing.T) {
+	m := mach()
+	g := grammar.Palindrome()
+	rng := rand.New(rand.NewSource(331))
+
+	words := make([][]byte, 0, 24)
+	for trial := 0; trial < 12; trial++ {
+		if w, ok := g.Sample(rng, 32); ok {
+			words = append(words, w)
+		}
+		n := 1 + rng.Intn(24)
+		w := make([]byte, n)
+		for i := range w {
+			w[i] = "abc"[rng.Intn(3)]
+		}
+		words = append(words, w)
+	}
+
+	// Reference pass under defaults (cutover disabled).
+	tune.SetActive(nil)
+	type ref struct {
+		accepted bool
+		prods    int
+	}
+	want := make([]ref, len(words))
+	for i, w := range words {
+		res := RecognizeDC(m, g, w)
+		want[i] = ref{res.Accepted, res.Products}
+	}
+
+	prof := tune.Defaults()
+	prof.Tuned.LinCFLSerialWords = 1 << 20
+	tune.SetActive(prof)
+	defer tune.SetActive(nil)
+	for i, w := range words {
+		res := RecognizeDC(m, g, w)
+		if res.Accepted != want[i].accepted {
+			t.Fatalf("%q: accepted %v under cutover, %v without", w, res.Accepted, want[i].accepted)
+		}
+		if res.Products != want[i].prods {
+			t.Fatalf("%q: product count %d under cutover, %d without — the cutover must not change counted work",
+				w, res.Products, want[i].prods)
+		}
+	}
+}

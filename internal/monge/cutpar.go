@@ -1,6 +1,7 @@
 package monge
 
 import (
+	"partree/internal/engine"
 	"partree/internal/faultpoint"
 	"partree/internal/matrix"
 	"partree/internal/pram"
@@ -17,10 +18,15 @@ func CutRecursivePar(m *pram.Machine, a, b *matrix.Dense, cnt *matrix.OpCount) *
 	defer m.Phase("monge.MulPar")()
 	c := newMulCtx(a, b, cnt)
 	defer c.close()
-	return cutRecStridedPar(m, c, 1, 1)
+	// The serial-cutover threshold is read once per product: levels with
+	// at most this many entries run the serial strided recursion in place
+	// of the parallel one (same mulCtx, same scans, same comparison
+	// counts) for one counted step, skipping the per-statement dispatch
+	// that dominates small subproblems.
+	return cutRecStridedPar(m, c, 1, 1, engine.MongeSerialEntries())
 }
 
-func cutRecStridedPar(m *pram.Machine, c *mulCtx, rs, cs int) (out *matrix.IntMat) {
+func cutRecStridedPar(m *pram.Machine, c *mulCtx, rs, cs, serial int) (out *matrix.IntMat) {
 	// A cancellation checkpoint inside any of the For calls below unwinds
 	// through this frame; the live pooled intermediates must go back to
 	// the arena on the way up (Release is nil-safe, and normally-released
@@ -40,6 +46,12 @@ func cutRecStridedPar(m *pram.Machine, c *mulCtx, rs, cs int) (out *matrix.IntMa
 	r := stridedCount(c.b.C, cs)
 	q := c.a.C
 
+	if serial > 0 && p*r <= serial {
+		out = cutRecStrided(c, rs, cs)
+		m.Step(1)
+		return out
+	}
+
 	if p == 1 || r == 1 {
 		out = matrix.NewIntFromPool(p, r)
 		m.For(p*r, func(e int) {
@@ -50,7 +62,7 @@ func cutRecStridedPar(m *pram.Machine, c *mulCtx, rs, cs int) (out *matrix.IntMa
 		return out
 	}
 
-	ee = cutRecStridedPar(m, c, 2*rs, 2*cs)
+	ee = cutRecStridedPar(m, c, 2*rs, 2*cs, serial)
 
 	pe := stridedCount(c.a.R, 2*rs)
 	eb = matrix.NewIntFromPool(pe, r)

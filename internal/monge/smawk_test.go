@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"partree/internal/engine"
 	"partree/internal/matrix"
 	"partree/internal/pram"
 )
@@ -95,8 +96,9 @@ func TestCutSMAWKParMatchesCutSMAWK(t *testing.T) {
 	for trial := 0; trial < 25; trial++ {
 		p, q, r := 1+rng.Intn(40), 1+rng.Intn(40), 1+rng.Intn(40)
 		if trial < 4 {
-			// Force multi-block tasks: p beyond one smawkRowBlock.
-			p = smawkRowBlock + 1 + rng.Intn(2*smawkRowBlock)
+			// Force multi-block tasks: p beyond one row block.
+			block := engine.SMAWKRowBlock()
+			p = block + 1 + rng.Intn(2*block)
 		}
 		a, b := randomPair(rng, p, q, r)
 		var c1, c2 matrix.OpCount

@@ -1,17 +1,18 @@
 package monge
 
 import (
+	"partree/internal/engine"
 	"partree/internal/matrix"
 	"partree/internal/pool"
 	"partree/internal/pram"
 	"partree/internal/semiring"
 )
 
-// smawkRowBlock is the number of rows one parallel task solves. Blocks
-// this size keep each task's SMAWK instance large enough to amortize its
-// scratch slices while still exposing r·⌈p/128⌉ independent tasks — far
-// more than any realistic worker count, so stealing can rebalance.
-const smawkRowBlock = 128
+// The rows-per-task blocking comes from the active tuning profile
+// (engine.SMAWKRowBlock, default 128). Blocks that size keep each task's
+// SMAWK instance large enough to amortize its scratch slices while still
+// exposing r·⌈p/block⌉ independent tasks — far more than any realistic
+// worker count, so stealing can rebalance.
 
 // CutSMAWKPar is the parallel form of CutSMAWK: the r independent
 // column-minima problems, each further split into row blocks, run as a
@@ -36,11 +37,12 @@ func CutSMAWKPar(m *pram.Machine, a, b *matrix.Dense, cnt *matrix.OpCount) *matr
 			panic(rec)
 		}
 	}()
-	nb := (p + smawkRowBlock - 1) / smawkRowBlock
+	block := engine.SMAWKRowBlock()
+	nb := (p + block - 1) / block
 	m.For(r*nb, func(e int) {
 		j := e / nb
-		lo := (e % nb) * smawkRowBlock
-		hi := lo + smawkRowBlock
+		lo := (e % nb) * block
+		hi := lo + block
 		if hi > p {
 			hi = p
 		}

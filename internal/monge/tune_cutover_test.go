@@ -1,0 +1,79 @@
+package monge
+
+import (
+	"math/rand"
+	"testing"
+
+	"partree/internal/matrix"
+	"partree/internal/pram"
+	"partree/internal/tune"
+)
+
+// TestCutRecursiveParSerialCutoverMatches arms an aggressive tuning
+// profile (every recursion level at or below 1<<20 entries cuts over to
+// the serial strided engine) and checks the cut tables and product
+// values against the brute-force oracle — the serial and parallel
+// recursions share one mulCtx and one scan, so the cutover must be
+// invisible in the results, and the counted step total must still
+// advance (the serial subtree charges Step(1)).
+func TestCutRecursiveParSerialCutoverMatches(t *testing.T) {
+	prof := tune.Defaults()
+	prof.Tuned.MongeSerialEntries = 1 << 20
+	tune.SetActive(prof)
+	defer tune.SetActive(nil)
+
+	rng := rand.New(rand.NewSource(41))
+	m := pram.New(pram.WithWorkers(4), pram.WithGrain(8))
+	for trial := 0; trial < 25; trial++ {
+		p, q, r := 1+rng.Intn(40), 1+rng.Intn(40), 1+rng.Intn(40)
+		a, b := randomPair(rng, p, q, r)
+		var c1, c2 matrix.OpCount
+		want, _ := matrix.MulBrute(a, b, &c1)
+
+		before := m.Counters().Steps
+		cut := CutRecursivePar(m, a, b, &c2)
+		if got := m.Counters().Steps; got == before {
+			t.Fatalf("trial %d: cutover charged no steps", trial)
+		}
+		got := matrix.ValueFromCut(a, b, cut)
+		if !got.Equal(want, 1e-9) {
+			t.Fatalf("trial %d dims (%d,%d,%d): serial-cutover product differs from brute force",
+				trial, p, q, r)
+		}
+		cut.Release()
+	}
+}
+
+// TestCutRecursiveParCutoverBoundary crosses the threshold inside one
+// recursion: a product big enough that the top levels stay parallel
+// while deeper levels fall under a small cutover. The mixed execution
+// must still match the all-parallel one.
+func TestCutRecursiveParCutoverBoundary(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	m := pram.New(pram.WithWorkers(4), pram.WithGrain(8))
+	for _, cutoff := range []int{64, 300, 1000} {
+		a, b := randomPair(rng, 48, 32, 48)
+
+		tune.SetActive(nil) // all-parallel reference
+		var c1 matrix.OpCount
+		wantCut := CutRecursivePar(m, a, b, &c1)
+
+		prof := tune.Defaults()
+		prof.Tuned.MongeSerialEntries = cutoff
+		tune.SetActive(prof)
+		var c2 matrix.OpCount
+		gotCut := CutRecursivePar(m, a, b, &c2)
+		tune.SetActive(nil)
+
+		for i := 0; i < wantCut.R; i++ {
+			for j := 0; j < wantCut.C; j++ {
+				if wantCut.At(i, j) != gotCut.At(i, j) {
+					t.Fatalf("cutoff %d: cut(%d,%d) = %d parallel vs %d mixed",
+						cutoff, i, j, wantCut.At(i, j), gotCut.At(i, j))
+				}
+			}
+		}
+		wantCut.Release()
+		gotCut.Release()
+	}
+}

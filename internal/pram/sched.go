@@ -41,14 +41,20 @@ import (
 // baseline for the E14 dispatch-overhead experiment.
 
 // spawnedWorkers counts every worker goroutine launched by either
-// dispatcher, process-wide. Monotone; read it twice and subtract to
-// measure goroutines spawned by a window of statements (the resident
-// pool's steady state must show a delta of zero).
+// dispatcher, process-wide. Monotone between resets; read it twice and
+// subtract to measure goroutines spawned by a window of statements (the
+// resident pool's steady state must show a delta of zero).
 var spawnedWorkers atomic.Int64
 
 // SpawnedWorkers returns the total number of PRAM worker goroutines
-// launched in this process so far.
+// launched in this process since start (or the last ResetSpawnedWorkers).
 func SpawnedWorkers() int64 { return spawnedWorkers.Load() }
+
+// ResetSpawnedWorkers zeroes the process-wide spawn counter. Experiments
+// that share one process (E14, E15) call it between runs so one
+// experiment's warm-up spawns never leak into another's steady-state
+// window; production code has no reason to call it.
+func ResetSpawnedWorkers() { spawnedWorkers.Store(0) }
 
 // wdeque is one worker's deque: a contiguous sub-range [lo, hi) of the
 // statement's index space. Bottom (lo side) is popped by the owner; the

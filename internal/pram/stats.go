@@ -141,7 +141,8 @@ func (m *Machine) record(steps, work, calls int64, st stmtStats) {
 // Adaptive grain control. The controller keeps an exponentially weighted
 // moving average of the measured per-element cost (total worker busy time
 // divided by iteration count) and sizes chunks so each pop from a deque
-// carries about grainTargetNs of work — large enough to amortize the
+// carries about the machine's grain target of work (grainTargetNs by
+// default, overridable per host via WithGrainTarget) — large enough to amortize the
 // deque mutex and the two clock reads per chunk, small enough that
 // stealing can still rebalance a skewed statement. WithGrain pins the
 // grain and disables the controller.
@@ -154,7 +155,7 @@ const (
 	grainDefault  = 1024    // used until the first measurement lands
 	grainMin      = 32      // never hand out slivers
 	grainMax      = 1 << 16 // never let one pop starve the thieves
-	grainTargetNs = 100_000 // ≈100µs of work per chunk
+	grainTargetNs = 100_000 // default target: ≈100µs of work per chunk
 	grainEWMA     = 0.3     // weight of the newest sample
 	minSampleNs   = 0.1     // clock-resolution floor per element
 )
@@ -169,7 +170,7 @@ func (m *Machine) grain() int {
 	if per == 0 {
 		return grainDefault
 	}
-	g := int(grainTargetNs / per)
+	g := int(m.grainTarget / per)
 	if g < grainMin {
 		return grainMin
 	}

@@ -280,6 +280,15 @@ func renderMetrics(w io.Writer, v metricsView) {
 		p.sample("partree_pool_discards_total", fmt.Sprintf(`shard="%d"`, i), float64(sh.Discards))
 	}
 
+	p.header("partree_tune_info", "Active tuning profile identity (value is always 1; identity lives in the labels).", "gauge")
+	p.sample("partree_tune_info", fmt.Sprintf(`hash=%q,source=%q`, snap.Tuning.Hash, snap.Tuning.Source), 1)
+	p.header("partree_tune_stale", "Whether the active tuning profile was calibrated on a different machine shape (1 = stale).", "gauge")
+	stale := 0.0
+	if snap.Tuning.Stale {
+		stale = 1
+	}
+	p.sample("partree_tune_stale", "", stale)
+
 	p.header("partree_phase_duration_seconds", "Wall time of traced PRAM phases, by phase label.", "histogram")
 	p.hist("partree_phase_duration_seconds", "phase", v.PhaseHists)
 	p.header("partree_batch_exec_seconds", "Wall time of batch executions, by engine.", "histogram")

@@ -32,6 +32,7 @@ import (
 	"partree/internal/pool"
 	"partree/internal/trace"
 	"partree/internal/tree"
+	"partree/internal/tune"
 )
 
 // Config parameterizes a Server. The zero value gets sensible defaults
@@ -65,7 +66,7 @@ type Config struct {
 
 func (c *Config) setDefaults() {
 	if c.MaxBatch == 0 {
-		c.MaxBatch = 64
+		c.MaxBatch = engine.DefaultMaxBatch()
 	}
 	if c.CacheSize == 0 {
 		c.CacheSize = 4096
@@ -202,7 +203,7 @@ func New(cfg Config) *Server {
 	// within one job's work. All five batchers share one Options shape,
 	// so they draw from one facade machine-pool key: steady-state traffic
 	// reuses resident machines and constructs nothing per batch.
-	opts := partree.Options{Workers: cfg.Workers, Grain: engine.GrainBatch}
+	opts := partree.Options{Workers: cfg.Workers, Grain: engine.GrainBatch()}
 	queueDepth := cfg.MaxInflight
 	s.hufBatch = newBatcher("huffman", cfg.MaxBatch, cfg.Linger, queueDepth,
 		func(ctx context.Context, reqs [][]float64) ([]partree.HuffmanBatchResult, error) {
@@ -720,6 +721,29 @@ type StatsSnapshot struct {
 	PRAM        map[string]engineStatsJSON `json:"pram"`
 	Pool        PoolCounters               `json:"pool"`
 	MachinePool MachinePoolCounters        `json:"machine_pool"`
+	Tuning      TuningInfo                 `json:"tuning"`
+}
+
+// TuningInfo identifies the tuning profile the process runs under: its
+// content hash (see tune.Profile.Hash), provenance, and whether the
+// profile was calibrated on a different machine shape than the one now
+// serving (stale — still valid, but worth re-running -tune).
+type TuningInfo struct {
+	Hash         string `json:"hash"`
+	Source       string `json:"source"`
+	Stale        bool   `json:"stale"`
+	CalibratedAt string `json:"calibrated_at,omitempty"`
+}
+
+// tuningInfo snapshots the active profile's identity.
+func tuningInfo() TuningInfo {
+	p := tune.Active()
+	return TuningInfo{
+		Hash:         p.Hash(),
+		Source:       p.Source,
+		Stale:        p.IsStale(),
+		CalibratedAt: p.CreatedAt,
+	}
 }
 
 // Snapshot assembles the current statistics (also served at /statsz).
@@ -740,8 +764,9 @@ func (s *Server) Snapshot() StatsSnapshot {
 			"obst":           s.bstBatch.counters(),
 			"lincfl":         s.cflBatch.counters(),
 		},
-		PRAM: make(map[string]engineStatsJSON, len(engineNames)),
-		Pool: poolCounters(),
+		PRAM:   make(map[string]engineStatsJSON, len(engineNames)),
+		Pool:   poolCounters(),
+		Tuning: tuningInfo(),
 	}
 	mp := partree.MachinePoolStats()
 	snap.MachinePool = MachinePoolCounters{

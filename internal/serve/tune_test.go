@@ -1,0 +1,117 @@
+package serve
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"partree/internal/tune"
+)
+
+// TestStatszReportsTuneProfile installs a known profile and checks that
+// /statsz identifies it by content hash and provenance — the round-trip
+// `partreed -tune` relies on.
+func TestStatszReportsTuneProfile(t *testing.T) {
+	prof := tune.Calibrate(tune.Config{Quick: true})
+	tune.SetActive(prof)
+	defer tune.SetActive(nil)
+
+	_, ts := newTestServer(t, Config{Workers: 2})
+	resp, err := ts.Client().Get(ts.URL + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	snap := mustDecode[StatsSnapshot](t, raw)
+
+	if snap.Tuning.Hash != prof.Hash() {
+		t.Errorf("/statsz tuning hash = %q, want active profile's %q", snap.Tuning.Hash, prof.Hash())
+	}
+	if snap.Tuning.Source != "calibrated" {
+		t.Errorf("/statsz tuning source = %q, want calibrated", snap.Tuning.Source)
+	}
+	if snap.Tuning.Stale {
+		t.Error("/statsz flags a freshly calibrated profile as stale")
+	}
+
+	// /metricsz carries the same identity.
+	mresp, err := ts.Client().Get(ts.URL + "/metricsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	mraw, _ := io.ReadAll(mresp.Body)
+	want := `partree_tune_info{hash="` + prof.Hash() + `",source="calibrated"} 1`
+	if !strings.Contains(string(mraw), want) {
+		t.Errorf("/metricsz missing %q", want)
+	}
+}
+
+// TestTuneRaceCalibrationVsTraffic runs live request traffic while
+// calibration sweeps execute and profiles are swapped under it — the
+// operational scenario behind `partreed -tune` on a warm service. Run
+// under -race (make test-race / test-e2e): the assertions here are weak
+// by design, the detector is the test.
+func TestTuneRaceCalibrationVsTraffic(t *testing.T) {
+	defer tune.SetActive(nil)
+	_, ts := newTestServer(t, Config{Workers: 2, Linger: 200 * time.Microsecond})
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Calibrator: quick sweeps, installing each result, interleaved with
+	// reverts to defaults.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			tune.SetActive(tune.Calibrate(tune.Config{Quick: true}))
+			if i%2 == 1 {
+				tune.SetActive(nil)
+			}
+		}
+	}()
+
+	// Traffic: concurrent clients across engines whose kernels read the
+	// profile's cutovers mid-flight.
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			client := ts.Client()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				weights := []float64{1, 2, 3, float64(1 + (seed+i)%7), 5}
+				status, _, _ := post(t, client, ts.URL+"/v1/huffman", codingRequest{Weights: weights})
+				if status != http.StatusOK && status != http.StatusTooManyRequests {
+					t.Errorf("huffman under calibration churn: status %d", status)
+					return
+				}
+				word := strings.Repeat("a", 1+i%3) + strings.Repeat("a", 1+i%3)
+				status, _, _ = post(t, client, ts.URL+"/v1/lincfl/recognize",
+					lincflRequest{Grammar: "palindrome", Word: word})
+				if status != http.StatusOK && status != http.StatusTooManyRequests {
+					t.Errorf("lincfl under calibration churn: status %d", status)
+					return
+				}
+			}
+		}(c)
+	}
+
+	time.Sleep(400 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+}

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"partree/internal/engine"
 	"partree/internal/pram"
 )
 
@@ -22,20 +23,22 @@ import (
 
 // machineKey identifies machines that are interchangeable: same worker
 // count (resolved, so Workers: 0 and an explicit GOMAXPROCS value
-// share), declared processor count, and grain policy. Trace and context
-// are per-call state, scrubbed on release, so they are not part of the
-// key.
+// share), declared processor count, and grain policy — the pinned grain,
+// or for adaptive machines the profile's chunk-cost target (machines
+// calibrated against different targets must not mix, their EWMA-derived
+// grains would fight). Trace and context are per-call state, scrubbed on
+// release, so they are not part of the key.
 type machineKey struct {
 	workers int
 	procs   int
 	grain   int
+	target  int // adaptive chunk-cost target ns; 0 when grain is pinned
 }
 
-// machinePoolCap bounds each key's free list; beyond it released
-// machines are closed and dropped. 16 comfortably covers the service's
+// The per-key free-list cap comes from the active tuning profile
+// (engine.MachinePoolCap, default 16): enough to cover the service's
 // per-engine batchers plus concurrent facade callers without hoarding
 // arbitrarily many parked pools under a load spike.
-const machinePoolCap = 16
 
 type machinePool struct {
 	mu   sync.Mutex
@@ -58,9 +61,10 @@ type MachinePoolCounters struct {
 	Discarded   int64
 }
 
-// MachinePoolStats returns the machine pool's lifetime counters. At
-// steady state Reused grows while Constructed stays flat — the property
-// the E14 experiment gates.
+// MachinePoolStats returns the machine pool's counters, accumulated
+// since process start or the last DrainMachinePool. At steady state
+// Reused grows while Constructed stays flat — the property the E14
+// experiment gates.
 func MachinePoolStats() MachinePoolCounters {
 	return MachinePoolCounters{
 		Constructed: machines.constructed.Load(),
@@ -69,9 +73,12 @@ func MachinePoolStats() MachinePoolCounters {
 	}
 }
 
-// DrainMachinePool closes every idle pooled machine and empties the free
-// lists, returning how many machines were dropped. In-flight machines
-// are unaffected (their release re-pools them afterwards).
+// DrainMachinePool closes every idle pooled machine, empties the free
+// lists and zeroes the lifetime counters, returning how many machines
+// were dropped. In-flight machines are unaffected (their release
+// re-pools them afterwards). The counter reset is what lets experiments
+// sharing one process (E14, E15) each start from a clean slate instead
+// of subtracting each other's churn.
 func DrainMachinePool() int {
 	machines.mu.Lock()
 	var all []*pram.Machine
@@ -83,6 +90,9 @@ func DrainMachinePool() int {
 	for _, m := range all {
 		m.Close()
 	}
+	machines.constructed.Store(0)
+	machines.reused.Store(0)
+	machines.discarded.Store(0)
 	return len(all)
 }
 
@@ -90,6 +100,9 @@ func (o Options) key() machineKey {
 	k := machineKey{workers: o.Workers, procs: o.Processors, grain: o.Grain}
 	if k.workers == 0 {
 		k.workers = runtime.GOMAXPROCS(0)
+	}
+	if k.grain == 0 {
+		k.target = o.tuned().Tuned.GrainTargetNs
 	}
 	return k
 }
@@ -154,7 +167,7 @@ func (p *machinePool) put(key machineKey, m *pram.Machine) {
 	if p.idle == nil {
 		p.idle = make(map[machineKey][]*pram.Machine)
 	}
-	if len(p.idle[key]) < machinePoolCap {
+	if len(p.idle[key]) < engine.MachinePoolCap() {
 		p.idle[key] = append(p.idle[key], m)
 		p.mu.Unlock()
 		return

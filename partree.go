@@ -54,6 +54,12 @@ type Options struct {
 	// per-worker statement slices (see NewTrace). Nil — the default —
 	// keeps tracing disarmed at one pointer compare per statement.
 	Trace *Trace
+	// Profile, when non-nil, overrides the process-wide active tuning
+	// profile for this call's machine shape (the adaptive controller's
+	// chunk-cost target). Kernel-internal thresholds (serial cutovers,
+	// tile budgets) always come from the active profile — install one
+	// with SetActiveProfile. Nil uses the active profile.
+	Profile *Profile
 }
 
 // PhaseStats is the per-phase cost and scheduler breakdown of a parallel
@@ -98,6 +104,8 @@ func (o Options) machine() *pram.Machine {
 	}
 	if o.Grain > 0 {
 		opts = append(opts, pram.WithGrain(o.Grain))
+	} else if t := o.tuned().Tuned.GrainTargetNs; t > 0 {
+		opts = append(opts, pram.WithGrainTarget(t))
 	}
 	m := pram.New(opts...)
 	if o.Trace != nil {
