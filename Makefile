@@ -2,11 +2,11 @@
 
 GO ?= go
 
-.PHONY: all build test test-race test-e2e test-chaos test-pooldebug test-trace check vet bench bench-par bench-gate bench-gate-quick bench-baseline tables examples cover fuzz fuzz-smoke clean
+.PHONY: all build test test-race test-e2e test-chaos test-pooldebug test-trace test-cluster check vet bench bench-par bench-gate bench-gate-quick bench-baseline tables examples cover fuzz fuzz-smoke clean
 
 all: build vet test
 
-check: build vet test test-race test-e2e test-chaos test-pooldebug test-trace fuzz-smoke bench-gate-quick
+check: build vet test test-race test-e2e test-chaos test-pooldebug test-trace test-cluster fuzz-smoke bench-gate-quick
 
 build:
 	$(GO) build ./...
@@ -32,7 +32,7 @@ test-e2e:
 # the batcher's deadline/expiry/abort semantics, and the partreed chaos
 # scenarios (mixed good/slow/oversized traffic), all under -race.
 test-chaos:
-	$(GO) test -race -run 'TestCancel|TestFaultInjection|TestChaos' . ./internal/pram ./internal/serve
+	$(GO) test -race -run 'TestCancel|TestFaultInjection|TestChaos' . ./internal/pram ./internal/serve ./internal/cluster
 
 # The pooldebug build tag arms the workspace arena's misuse detectors
 # (double-release ledger, released-slab poisoning); run every pooled
@@ -40,7 +40,7 @@ test-chaos:
 # rides along for the cancellation-unwind suite: an abort must release
 # every slab exactly once.
 test-pooldebug:
-	$(GO) test -tags pooldebug . ./internal/pool ./internal/boolmat ./internal/matrix ./internal/monge ./internal/lincfl ./internal/serve
+	$(GO) test -tags pooldebug . ./internal/pool ./internal/boolmat ./internal/matrix ./internal/monge ./internal/lincfl ./internal/serve ./internal/cluster
 
 # Observability suite: the span ring and Chrome-trace export, the PRAM
 # phase/worker span accounting (including the disarmed zero-alloc bar),
@@ -52,6 +52,13 @@ test-trace:
 	$(GO) test -race -run 'TestTracer|TestPhaseSpans|TestReentrant|TestWorkerSlices|TestSerialStatement|TestSetTracer' ./internal/pram
 	$(GO) test -race -run 'TestMetricsz|TestTraced|TestStatsz' ./internal/serve
 	$(GO) test -race -run 'TestOptionsTrace|TestTraceContext|TestTraceDifferential' .
+
+# Cluster tier: the consistent-hash ring property tests, breaker and
+# hedge-tracker units, and the gateway e2e suite (routing affinity,
+# hedging, failover, drain/bleed, live membership, stats aggregation),
+# all under -race. The TestChaos* scenarios also run via test-chaos.
+test-cluster:
+	$(GO) test -race ./internal/cluster
 
 # Regenerate the experiment measurements (EXPERIMENTS.md tables).
 tables:
@@ -75,20 +82,23 @@ bench-par:
 # on the hot paths, the ≥40% dispatch-cost reduction with zero
 # steady-state goroutine spawns / machine constructions, and the tuning
 # invariant (calibration never slower beyond band+noise on any tracked
-# kernel, ≥10% faster on at least two).
+# kernel, ≥10% faster on at least two). E16 adds the cluster gate: ≥1.8x
+# 4-backend throughput (auto-skipped below 4 cores like E12's), a ≥10%
+# hedged-p99 improvement on the tail-injected load, and zero failed
+# client requests.
 bench-gate:
-	$(GO) run ./cmd/benchtables -exp E11,E12,E13,E14,E15 | $(GO) run ./cmd/benchgate -baseline BENCH_BASELINE.json
+	$(GO) run ./cmd/benchtables -exp E11,E12,E13,E14,E15,E16 | $(GO) run ./cmd/benchgate -baseline BENCH_BASELINE.json
 
 # Short-iteration gate used by `make check`: smaller E12/E15 inputs,
 # single-rep E13/E14 timing, quick calibration sweeps, and slack knobs
 # so CI timing noise cannot flake the build.
 bench-gate-quick:
-	$(GO) run ./cmd/benchtables -exp E11,E12,E13,E14,E15 -short | $(GO) run ./cmd/benchgate -baseline BENCH_BASELINE.json -speedup-slack 0.35 -trace-slack 0.15 -dispatch-slack 0.10 -tune-slack 0.20
+	$(GO) run ./cmd/benchtables -exp E11,E12,E13,E14,E15,E16 -short | $(GO) run ./cmd/benchgate -baseline BENCH_BASELINE.json -speedup-slack 0.35 -trace-slack 0.15 -dispatch-slack 0.10 -tune-slack 0.20 -cluster-slack 0.25 -hedge-slack 0.05
 
 # Refresh the committed benchmark baseline (schema 2: E11 + E12 + E13 +
-# E14 + E15) from the current tree.
+# E14 + E15 + E16) from the current tree.
 bench-baseline:
-	$(GO) run ./cmd/benchtables -exp E11,E12,E13,E14,E15 | $(GO) run ./cmd/benchgate -baseline BENCH_BASELINE.json -write
+	$(GO) run ./cmd/benchtables -exp E11,E12,E13,E14,E15,E16 | $(GO) run ./cmd/benchgate -baseline BENCH_BASELINE.json -write
 
 examples:
 	$(GO) run ./examples/quickstart
@@ -107,6 +117,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzLinCFL -fuzztime=30s ./internal/lincfl
 	$(GO) test -fuzz=FuzzDecodeRequest -fuzztime=30s ./internal/serve
 	$(GO) test -fuzz=FuzzConcaveMultiply -fuzztime=30s ./internal/monge
+	$(GO) test -fuzz=FuzzRingKey -fuzztime=30s ./internal/cluster
 	$(GO) test -fuzz=FuzzCancelUnwind -fuzztime=30s .
 
 # Quick fuzz pass folded into `make check`: ~5s per target. Long enough
@@ -119,6 +130,7 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzLinCFL -fuzztime=5s ./internal/lincfl
 	$(GO) test -fuzz=FuzzDecodeRequest -fuzztime=5s ./internal/serve
 	$(GO) test -fuzz=FuzzConcaveMultiply -fuzztime=5s ./internal/monge
+	$(GO) test -fuzz=FuzzRingKey -fuzztime=5s ./internal/cluster
 	$(GO) test -fuzz=FuzzCancelUnwind -fuzztime=5s .
 
 clean:

@@ -37,9 +37,19 @@
 //     tracked kernel, and must be at least 10% faster on at least
 //     -min-tune-wins (default 2) of them. Both arms run in one process
 //     on one host, so this is a ratio gate like invariants 1 and 5.
+//  7. The cluster gate (E16): the sharded gateway must scale — 4
+//     single-worker backends serve the compute-bound load at least
+//     -min-cluster-speedup (default 1.8x, minus -cluster-slack) faster
+//     than 1 backend. Like invariant 3 this arms only when the host
+//     reports ≥4 CPUs; on smaller hosts it prints a SKIP notice.
+//     Host-independent and always enforced: hedged requests must beat
+//     the unhedged p99 on the tail-injected load by at least
+//     -min-hedge-improvement (default 10%, minus -hedge-slack), at
+//     least one hedge must actually fire, and the run must report zero
+//     failed client requests — the cluster's zero-failure contract.
 //
 // The baseline file is schema 2:
-// {"schema":2,"e11":{...},"e12":{...},"e13":{...},"e14":{...},"e15":{...}}. A
+// {"schema":2,"e11":{...},"e12":{...},"e13":{...},"e14":{...},"e15":{...},"e16":{...}}. A
 // pre-multi-P baseline (the old bare E11 report) fails with a clear
 // error telling you to regenerate via `make bench-baseline`. A schema-2
 // baseline without the e13/e14 sections (committed before those layers)
@@ -149,8 +159,35 @@ type e15Report struct {
 	Kernels     []e15Kernel `json:"kernels"`
 }
 
-// baseline is the committed BENCH_BASELINE.json, schema 2. The e13, e14
-// and e15 sections are optional so baselines committed before those
+// e16Row / e16Report mirror benchtables' E16 payload (the "report"
+// object of its BENCH-JSON envelope).
+type e16Row struct {
+	Backends  int     `json:"backends"`
+	WallMS    float64 `json:"wall_ms"`
+	ReqPerSec float64 `json:"req_per_sec"`
+}
+
+type e16Report struct {
+	CPUs       int      `json:"cpus"`
+	GoMaxProcs int      `json:"gomaxprocs"`
+	Short      bool     `json:"short"`
+	Requests   int      `json:"requests"`
+	Clients    int      `json:"clients"`
+	Throughput []e16Row `json:"throughput"`
+	Failures   int64    `json:"failures"`
+
+	TailEvery     int     `json:"tail_every"`
+	TailMS        float64 `json:"tail_ms"`
+	LatencyReqs   int     `json:"latency_reqs"`
+	UnhedgedP50MS float64 `json:"unhedged_p50_ms"`
+	UnhedgedP99MS float64 `json:"unhedged_p99_ms"`
+	HedgedP50MS   float64 `json:"hedged_p50_ms"`
+	HedgedP99MS   float64 `json:"hedged_p99_ms"`
+	HedgesFired   int64   `json:"hedges_fired"`
+}
+
+// baseline is the committed BENCH_BASELINE.json, schema 2. The e13, e14,
+// e15 and e16 sections are optional so baselines committed before those
 // layers keep working; their baseline comparisons print a notice and
 // pass until the baseline is regenerated.
 type baseline struct {
@@ -160,6 +197,7 @@ type baseline struct {
 	E13    *e13Report `json:"e13,omitempty"`
 	E14    *e14Report `json:"e14,omitempty"`
 	E15    *e15Report `json:"e15,omitempty"`
+	E16    *e16Report `json:"e16,omitempty"`
 }
 
 func main() {
@@ -182,16 +220,21 @@ func main() {
 	tuneBand := flag.Float64("tune-band", 0.05, "calibrated ns/op may exceed default ns/op by at most this fraction plus measured noise (E15)")
 	tuneSlack := flag.Float64("tune-slack", 0.0, "added to -tune-band (CI stability knob for short runs)")
 	minTuneWins := flag.Int("min-tune-wins", 2, "E15 kernels the calibrated profile must beat by >=10%")
+	minClusterSpeedup := flag.Float64("min-cluster-speedup", 1.8, "required 4-backend vs 1-backend throughput ratio (E16)")
+	clusterSlack := flag.Float64("cluster-slack", 0.0, "subtracted from -min-cluster-speedup (CI stability knob)")
+	minHedgeImprovement := flag.Float64("min-hedge-improvement", 0.10,
+		"required fractional p99 improvement, hedged vs unhedged (E16)")
+	hedgeSlack := flag.Float64("hedge-slack", 0.0, "subtracted from -min-hedge-improvement (CI stability knob)")
 	flag.Parse()
 
-	cur11, cur12, cur13, cur14, cur15, err := readReports(os.Stdin)
+	cur11, cur12, cur13, cur14, cur15, cur16, err := readReports(os.Stdin)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
 		os.Exit(1)
 	}
 
 	if *write {
-		blob, err := json.MarshalIndent(baseline{Schema: 2, E11: cur11, E12: cur12, E13: cur13, E14: cur14, E15: cur15}, "", "  ")
+		blob, err := json.MarshalIndent(baseline{Schema: 2, E11: cur11, E12: cur12, E13: cur13, E14: cur14, E15: cur15, E16: cur16}, "", "  ")
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
 			os.Exit(1)
@@ -200,8 +243,8 @@ func main() {
 			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Printf("benchgate: wrote %s (schema 2: %d E11 rows, %d E12 kernels, %d E13 rows, E14 dispatch, %d E15 kernels)\n",
-			*baselinePath, len(cur11.Runs), len(cur12.Kernels), len(cur13.Runs), len(cur15.Kernels))
+		fmt.Printf("benchgate: wrote %s (schema 2: %d E11 rows, %d E12 kernels, %d E13 rows, E14 dispatch, %d E15 kernels, %d E16 throughput rows)\n",
+			*baselinePath, len(cur11.Runs), len(cur12.Kernels), len(cur13.Runs), len(cur15.Kernels), len(cur16.Throughput))
 		return
 	}
 
@@ -430,6 +473,64 @@ func main() {
 			wins, len(cur15.Kernels), baseWins, len(base.E15.Kernels))
 	}
 
+	// Invariant 7: the cluster tier earns its keep. The scaling half needs
+	// real cores (4 in-process backends cannot outrun 1 on a 1-core host),
+	// so it arms like invariant 3; the hedging and zero-failure halves are
+	// same-process ratios and facts, enforced everywhere.
+	clusterNeed := *minClusterSpeedup - *clusterSlack
+	rps := make(map[int]float64, len(cur16.Throughput))
+	for _, r := range cur16.Throughput {
+		rps[r.Backends] = r.ReqPerSec
+	}
+	switch {
+	case rps[1] <= 0 || rps[4] <= 0:
+		fail("cluster: E16 report is missing the 1- or 4-backend throughput row")
+	case cur16.CPUs < 4:
+		fmt.Printf("benchgate: SKIP cluster scaling gate: host reports %d CPU(s) < 4; "+
+			"a %.1fx 4-backend speedup cannot be measured here (run on a >=4-core host to enforce)\n",
+			cur16.CPUs, clusterNeed)
+	case rps[4]/rps[1] < clusterNeed:
+		fail("cluster: 4 backends reached %.0f req/s vs %.0f at 1 backend (%.2fx < required %.2fx)",
+			rps[4], rps[1], rps[4]/rps[1], clusterNeed)
+	default:
+		fmt.Printf("benchgate: cluster: 4-backend throughput %.2fx >= %.2fx ok\n", rps[4]/rps[1], clusterNeed)
+	}
+	hedgeNeed := *minHedgeImprovement - *hedgeSlack
+	switch {
+	case cur16.UnhedgedP99MS <= 0 || cur16.HedgedP99MS <= 0:
+		fail("cluster: E16 report is missing the hedged or unhedged p99")
+	case cur16.HedgesFired == 0:
+		fail("cluster: no hedges fired during the tail-injected run; the hedging arm measured nothing")
+	case cur16.HedgedP99MS > cur16.UnhedgedP99MS*(1-hedgeNeed):
+		fail("cluster: hedged p99 %.2fms vs unhedged %.2fms is a %.1f%% improvement < required %.1f%% (min %.0f%% - slack %.0f%%)",
+			cur16.HedgedP99MS, cur16.UnhedgedP99MS, 100*(1-cur16.HedgedP99MS/cur16.UnhedgedP99MS),
+			100*hedgeNeed, 100**minHedgeImprovement, 100**hedgeSlack)
+	default:
+		fmt.Printf("benchgate: cluster: hedged p99 %.2fms vs unhedged %.2fms (%.1f%% improvement >= %.1f%%, %d hedges) ok\n",
+			cur16.HedgedP99MS, cur16.UnhedgedP99MS, 100*(1-cur16.HedgedP99MS/cur16.UnhedgedP99MS),
+			100*hedgeNeed, cur16.HedgesFired)
+	}
+	if cur16.Failures != 0 {
+		fail("cluster: %d failed client requests across the E16 runs, want 0", cur16.Failures)
+	} else {
+		fmt.Println("benchgate: cluster: 0 failed client requests ok")
+	}
+	switch {
+	case base == nil:
+		// no baseline at all: notice already printed above
+	case base.E16 == nil:
+		fmt.Println("benchgate: cluster: baseline has no e16 section; skipping comparison (regenerate with `make bench-baseline`)")
+	default:
+		baseRPS := make(map[int]float64, len(base.E16.Throughput))
+		for _, r := range base.E16.Throughput {
+			baseRPS[r.Backends] = r.ReqPerSec
+		}
+		if baseRPS[1] > 0 && baseRPS[4] > 0 {
+			fmt.Printf("benchgate: cluster: scaling %.2fx vs baseline %.2fx, hedged p99 %.2fms vs %.2fms (informational)\n",
+				rps[4]/rps[1], baseRPS[4]/baseRPS[1], cur16.HedgedP99MS, base.E16.HedgedP99MS)
+		}
+	}
+
 	if failures > 0 {
 		os.Exit(1)
 	}
@@ -481,9 +582,9 @@ func pairByKernel(rows []row) map[string]*[2]*row {
 	return out
 }
 
-// readReports scans stdin for the E11–E15 BENCH-JSON lines (other
+// readReports scans stdin for the E11–E16 BENCH-JSON lines (other
 // experiment output may precede or separate them).
-func readReports(f *os.File) (*e11Report, *e12Report, *e13Report, *e14Report, *e15Report, error) {
+func readReports(f *os.File) (*e11Report, *e12Report, *e13Report, *e14Report, *e15Report, *e16Report, error) {
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
 	var r11 *e11Report
@@ -491,6 +592,7 @@ func readReports(f *os.File) (*e11Report, *e12Report, *e13Report, *e14Report, *e
 	var r13 *e13Report
 	var r14 *e14Report
 	var r15 *e15Report
+	var r16 *e16Report
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
 		blob, ok := strings.CutPrefix(line, "BENCH-JSON ")
@@ -501,25 +603,25 @@ func readReports(f *os.File) (*e11Report, *e12Report, *e13Report, *e14Report, *e
 			Experiment string `json:"experiment"`
 		}
 		if err := json.Unmarshal([]byte(blob), &probe); err != nil {
-			return nil, nil, nil, nil, nil, fmt.Errorf("parsing BENCH-JSON line: %w", err)
+			return nil, nil, nil, nil, nil, nil, fmt.Errorf("parsing BENCH-JSON line: %w", err)
 		}
 		switch probe.Experiment {
 		case "E11":
 			var r e11Report
 			if err := json.Unmarshal([]byte(blob), &r); err != nil {
-				return nil, nil, nil, nil, nil, fmt.Errorf("parsing E11 BENCH-JSON: %w", err)
+				return nil, nil, nil, nil, nil, nil, fmt.Errorf("parsing E11 BENCH-JSON: %w", err)
 			}
 			r11 = &r
 		case "E12":
 			var r e12Report
 			if err := json.Unmarshal([]byte(blob), &r); err != nil {
-				return nil, nil, nil, nil, nil, fmt.Errorf("parsing E12 BENCH-JSON: %w", err)
+				return nil, nil, nil, nil, nil, nil, fmt.Errorf("parsing E12 BENCH-JSON: %w", err)
 			}
 			r12 = &r
 		case "E13":
 			var r e13Report
 			if err := json.Unmarshal([]byte(blob), &r); err != nil {
-				return nil, nil, nil, nil, nil, fmt.Errorf("parsing E13 BENCH-JSON: %w", err)
+				return nil, nil, nil, nil, nil, nil, fmt.Errorf("parsing E13 BENCH-JSON: %w", err)
 			}
 			r13 = &r
 		case "E14":
@@ -527,7 +629,7 @@ func readReports(f *os.File) (*e11Report, *e12Report, *e13Report, *e14Report, *e
 				Report e14Report `json:"report"`
 			}
 			if err := json.Unmarshal([]byte(blob), &env); err != nil {
-				return nil, nil, nil, nil, nil, fmt.Errorf("parsing E14 BENCH-JSON: %w", err)
+				return nil, nil, nil, nil, nil, nil, fmt.Errorf("parsing E14 BENCH-JSON: %w", err)
 			}
 			r14 = &env.Report
 		case "E15":
@@ -535,18 +637,26 @@ func readReports(f *os.File) (*e11Report, *e12Report, *e13Report, *e14Report, *e
 				Report e15Report `json:"report"`
 			}
 			if err := json.Unmarshal([]byte(blob), &env); err != nil {
-				return nil, nil, nil, nil, nil, fmt.Errorf("parsing E15 BENCH-JSON: %w", err)
+				return nil, nil, nil, nil, nil, nil, fmt.Errorf("parsing E15 BENCH-JSON: %w", err)
 			}
 			r15 = &env.Report
+		case "E16":
+			var env struct {
+				Report e16Report `json:"report"`
+			}
+			if err := json.Unmarshal([]byte(blob), &env); err != nil {
+				return nil, nil, nil, nil, nil, nil, fmt.Errorf("parsing E16 BENCH-JSON: %w", err)
+			}
+			r16 = &env.Report
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, nil, nil, nil, nil, err
+		return nil, nil, nil, nil, nil, nil, err
 	}
-	if r11 == nil || r12 == nil || r13 == nil || r14 == nil || r15 == nil {
-		return nil, nil, nil, nil, nil, fmt.Errorf("need the E11, E12, E13, E14 and E15 BENCH-JSON lines on stdin (pipe `benchtables -exp E11,E12,E13,E14,E15` in)")
+	if r11 == nil || r12 == nil || r13 == nil || r14 == nil || r15 == nil || r16 == nil {
+		return nil, nil, nil, nil, nil, nil, fmt.Errorf("need the E11, E12, E13, E14, E15 and E16 BENCH-JSON lines on stdin (pipe `benchtables -exp E11,E12,E13,E14,E15,E16` in)")
 	}
-	return r11, r12, r13, r14, r15, nil
+	return r11, r12, r13, r14, r15, r16, nil
 }
 
 // readBaseline parses the committed baseline, rejecting pre-schema-2

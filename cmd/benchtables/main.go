@@ -24,6 +24,7 @@ import (
 
 	"partree"
 	"partree/internal/boolmat"
+	"partree/internal/cluster"
 	"partree/internal/engine"
 	"partree/internal/grammar"
 	"partree/internal/huffman"
@@ -64,6 +65,7 @@ var experiments = []struct {
 	{"E13", "Tracing — disarmed vs armed overhead on the gated hot paths", e13},
 	{"E14", "Dispatch — resident worker pool vs per-statement spawn", e14},
 	{"E15", "Tuning — host-calibrated profile vs static defaults", e15},
+	{"E16", "Cluster — sharded gateway scaling and hedged tail latency", e16},
 }
 
 // shortMode shrinks problem sizes and timing loops (-short): the tables
@@ -1013,6 +1015,257 @@ func e13() {
 	fmt.Println("claim: with no recorder attached the tracing hooks cost nothing — the")
 	fmt.Println("       disarmed rows stay within the bench-gate band of the baseline;")
 	fmt.Println("       armed runs pay only for the spans they asked for")
+}
+
+// e16Row is one backend-count throughput measurement; cmd/benchgate reads
+// the same shape back out of the report to enforce the scaling gate.
+type e16Row struct {
+	Backends  int     `json:"backends"`
+	WallMS    float64 `json:"wall_ms"`
+	ReqPerSec float64 `json:"req_per_sec"`
+}
+
+// e16Report is the E16 BENCH-JSON payload. Throughput rows measure the
+// same compute-bound load against 1, 2 and 4 single-worker backends; the
+// latency fields compare p50/p99 of an identical tail-injected load with
+// hedging off and on. Failures counts non-200 client responses across
+// every run — the cluster's zero-failure contract, gated at 0.
+type e16Report struct {
+	CPUs       int      `json:"cpus"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Short      bool     `json:"short"`
+	Requests   int      `json:"requests"`
+	Clients    int      `json:"clients"`
+	Throughput []e16Row `json:"throughput"`
+	Failures   int64    `json:"failures"`
+
+	TailEvery     int     `json:"tail_every"`
+	TailMS        float64 `json:"tail_ms"`
+	LatencyReqs   int     `json:"latency_reqs"`
+	UnhedgedP50MS float64 `json:"unhedged_p50_ms"`
+	UnhedgedP99MS float64 `json:"unhedged_p99_ms"`
+	HedgedP50MS   float64 `json:"hedged_p50_ms"`
+	HedgedP99MS   float64 `json:"hedged_p99_ms"`
+	HedgesFired   int64   `json:"hedges_fired"`
+}
+
+// E16 — the cluster tier. Two questions, one per half of the report.
+// Scaling: the gateway fronts N single-worker backends with consistent-
+// hash routing; on a host with the cores to run them, 4 backends must
+// serve a compute-bound load ≥1.8x faster than 1 (the gate arms only
+// when cpus ≥ 4, like E12's). Tail latency: with a deterministic stall
+// injected into every -Nth backend request, hedging to the next ring
+// replica must cut the client-observed p99 — the duplicate races the
+// stall and wins — without a single failed request in either arm.
+func e16() {
+	thruReqs, latReqs, clients := 900, 1200, 16
+	obstN := 40
+	tailEvery, tailSleep := 25, 25*time.Millisecond
+	if shortMode {
+		thruReqs, latReqs, obstN = 240, 300, 24
+	}
+	rng := rand.New(rand.NewSource(16))
+
+	// Throughput bodies: distinct OBST instances (quadratic DP per job, so
+	// engine compute — serialized per backend through its batcher machine —
+	// dominates HTTP plumbing and backend count is the capacity knob).
+	thruBodies := make([][]byte, thruReqs)
+	for i := range thruBodies {
+		keys := make([]float64, obstN)
+		gaps := make([]float64, obstN+1)
+		for j := range keys {
+			keys[j] = rng.Float64() + 0.01
+		}
+		for j := range gaps {
+			gaps[j] = rng.Float64() * 0.3
+		}
+		body, err := json.Marshal(map[string]any{"keys": keys, "gaps": gaps})
+		if err != nil {
+			panic(err)
+		}
+		thruBodies[i] = body
+	}
+	// Latency bodies: tiny Huffman jobs, so the baseline sits far below
+	// both the injected stall and the hedge delay clamp.
+	latBodies := make([][]byte, latReqs)
+	for i := range latBodies {
+		w := make([]float64, 24)
+		for j := range w {
+			w[j] = 1 + rng.Float64()*99
+		}
+		body, err := json.Marshal(map[string]any{"weights": w})
+		if err != nil {
+			panic(err)
+		}
+		latBodies[i] = body
+	}
+
+	var totalFailures int64
+
+	// startCluster brings up nb single-worker backends plus a gateway;
+	// tailed injects the deterministic stall into every tailEvery-th /v1
+	// request, counted cluster-wide so both latency arms see the same
+	// stall rate regardless of routing.
+	startCluster := func(nb int, cfg cluster.Config, tailed bool) (*cluster.Gateway, *httptest.Server, func()) {
+		var closers []func()
+		var nth int64
+		var nthMu sync.Mutex
+		urls := make([]string, nb)
+		for i := 0; i < nb; i++ {
+			s := serve.New(serve.Config{
+				Workers:     1,
+				MaxBatch:    32,
+				Linger:      200 * time.Microsecond,
+				MaxInflight: 8 * clients,
+				Logf:        func(string, ...any) {},
+			})
+			inner := s.Handler()
+			var h http.Handler = inner
+			if tailed {
+				h = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+					if strings.HasPrefix(r.URL.Path, "/v1/") {
+						nthMu.Lock()
+						nth++
+						stall := nth%int64(tailEvery) == 0
+						nthMu.Unlock()
+						if stall {
+							time.Sleep(tailSleep)
+						}
+					}
+					inner.ServeHTTP(w, r)
+				})
+			}
+			ts := httptest.NewServer(h)
+			urls[i] = ts.URL
+			closers = append(closers, ts.Close, s.Close)
+		}
+		cfg.Backends = urls
+		cfg.ProbeInterval = 50 * time.Millisecond
+		cfg.Logf = func(string, ...any) {}
+		g := cluster.New(cfg)
+		gts := httptest.NewServer(g.Handler())
+		closers = append(closers, gts.Close, g.Close)
+		return g, gts, func() {
+			for i := len(closers) - 1; i >= 0; i-- {
+				closers[i]()
+			}
+		}
+	}
+
+	// runLoad drives the bodies through the gateway with `clients`
+	// concurrent clients, returning per-request latencies in ms.
+	runLoad := func(gts *httptest.Server, path string, bodies [][]byte) ([]float64, time.Duration) {
+		client := gts.Client()
+		client.Transport = &http.Transport{MaxIdleConnsPerHost: clients}
+		lat := make([]float64, len(bodies))
+		var next int64
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		start := time.Now()
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					mu.Lock()
+					i := next
+					next++
+					mu.Unlock()
+					if i >= int64(len(bodies)) {
+						return
+					}
+					t0 := time.Now()
+					resp, err := client.Post(gts.URL+path, "application/json", bytes.NewReader(bodies[i]))
+					if err == nil {
+						io.Copy(io.Discard, resp.Body)
+						resp.Body.Close()
+					}
+					lat[i] = time.Since(t0).Seconds() * 1e3
+					if err != nil || resp.StatusCode != http.StatusOK {
+						mu.Lock()
+						totalFailures++
+						mu.Unlock()
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		return lat, time.Since(start)
+	}
+	percentile := func(lat []float64, p float64) float64 {
+		s := append([]float64(nil), lat...)
+		sort.Float64s(s)
+		i := int(p * float64(len(s)-1))
+		return s[i]
+	}
+
+	rep := e16Report{
+		CPUs:        runtime.NumCPU(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Short:       shortMode,
+		Requests:    thruReqs,
+		Clients:     clients,
+		TailEvery:   tailEvery,
+		TailMS:      tailSleep.Seconds() * 1e3,
+		LatencyReqs: latReqs,
+	}
+
+	fmt.Printf("throughput: %d distinct OBST(n=%d) requests, %d clients, single-worker backends:\n\n",
+		thruReqs, obstN, clients)
+	fmt.Printf("%10s %10s %10s %9s\n", "backends", "wall-ms", "req/s", "scaling")
+	var base float64
+	for _, nb := range []int{1, 2, 4} {
+		_, gts, shutdown := startCluster(nb, cluster.Config{DisableHedging: true}, false)
+		_, wall := runLoad(gts, "/v1/obst", thruBodies)
+		shutdown()
+		rps := float64(thruReqs) / wall.Seconds()
+		if nb == 1 {
+			base = rps
+		}
+		rep.Throughput = append(rep.Throughput, e16Row{
+			Backends: nb, WallMS: wall.Seconds() * 1e3, ReqPerSec: rps,
+		})
+		fmt.Printf("%10d %10.1f %10.0f %8.2fx\n", nb, wall.Seconds()*1e3, rps, rps/base)
+	}
+
+	fmt.Printf("\ntail latency: %d Huffman requests, every %dth backend request stalled %v:\n\n",
+		latReqs, tailEvery, tailSleep)
+	fmt.Printf("%-10s %10s %10s %12s\n", "config", "p50-ms", "p99-ms", "hedges")
+	for _, hedged := range []bool{false, true} {
+		cfg := cluster.Config{
+			DisableHedging: !hedged,
+			HedgeMin:       time.Millisecond,
+			HedgeMax:       5 * time.Millisecond,
+		}
+		g, gts, shutdown := startCluster(2, cfg, true)
+		lat, _ := runLoad(gts, "/v1/huffman", latBodies)
+		fired := g.View().HedgesFired
+		shutdown()
+		p50, p99 := percentile(lat, 0.50), percentile(lat, 0.99)
+		if hedged {
+			rep.HedgedP50MS, rep.HedgedP99MS, rep.HedgesFired = p50, p99, fired
+			fmt.Printf("%-10s %10.3f %10.3f %12d\n", "hedged", p50, p99, fired)
+		} else {
+			rep.UnhedgedP50MS, rep.UnhedgedP99MS = p50, p99
+			fmt.Printf("%-10s %10.3f %10.3f %12s\n", "unhedged", p50, p99, "-")
+		}
+	}
+	rep.Failures = totalFailures
+	if totalFailures > 0 {
+		panic(fmt.Sprintf("E16: %d failed client requests — the cluster's zero-failure contract is broken", totalFailures))
+	}
+
+	blob, err := json.Marshal(map[string]any{
+		"experiment": "E16",
+		"report":     rep,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\nBENCH-JSON %s\n", blob)
+	fmt.Printf("claim: on a >=4-core host 4 backends serve the compute-bound load >=1.8x\n")
+	fmt.Printf("       faster than 1 (this host has %d core(s); the gate skips below 4),\n", rep.CPUs)
+	fmt.Println("       hedging cuts the stalled-tail p99, and no client request ever fails")
 }
 
 // nullResponseWriter is an http.ResponseWriter that discards the body; a

@@ -62,6 +62,7 @@ func run(args []string) int {
 		inflight   = fs.Int("max-inflight", 256, "concurrent requests admitted before shedding with 429")
 		reqTimeout = fs.Duration("request-timeout", 10*time.Second, "per-request deadline")
 		traceCap   = fs.Int("trace-capacity", 512, "spans kept per X-Partree-Trace request trace")
+		shardID    = fs.String("shard-id", "", "name of this backend within a partreegw cluster (echoed in /healthz and /statsz)")
 		pprofOn    = fs.Bool("pprof", false, "mount Go profiling handlers under /debug/pprof/")
 		tuneNow    = fs.Bool("tune", false, "calibrate a tuning profile for this host at startup, install it, and write it to -tune-profile")
 		tuneOnly   = fs.Bool("tune-only", false, "calibrate and write -tune-profile, then exit without serving (for provisioning pipelines)")
@@ -134,6 +135,7 @@ func run(args []string) int {
 		MaxInflight:    *inflight,
 		RequestTimeout: *reqTimeout,
 		TraceCapacity:  *traceCap,
+		ShardID:        *shardID,
 		Logf:           logger.Printf,
 	})
 
@@ -177,8 +179,11 @@ func run(args []string) int {
 		logger.Printf("received %v; draining", sig)
 	}
 
-	// Stop accepting connections, let in-flight requests finish, then
-	// drain the batchers so every admitted job completes.
+	// Flip /healthz to 503 first so health-checked routers (partreegw)
+	// stop sending new traffic, then stop accepting connections, let
+	// in-flight requests finish, and drain the batchers so every admitted
+	// job completes.
+	s.BeginDrain()
 	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {

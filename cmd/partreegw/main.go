@@ -1,0 +1,135 @@
+// Command partreegw is the partree cluster gateway: it fronts N
+// partreed backends with a consistent-hash ring keyed by the canonical
+// request hash, so equivalent requests always land on the same shard and
+// each shard's result cache concentrates hits for its arc of the key
+// space. Backends are health-probed (/healthz) behind a per-backend
+// circuit breaker; tail latency is hedged by racing a duplicate to the
+// next ring replica after an adaptive p95 delay; connection errors fail
+// over once to the secondary replica; and membership changes live —
+// removal remaps only the leaving backend's arc, and a drain first
+// bleeds its recent keys to the successor.
+//
+// Endpoints:
+//
+//	POST /v1/...            proxied to the key's shard (same API as partreed)
+//	GET  /healthz           gateway + backend-count health
+//	GET  /statsz            aggregated cluster view (gateway counters plus
+//	                        every backend's /statsz and a cluster rollup)
+//	GET  /metricsz          partree_cluster_* Prometheus families
+//	POST /admin/backends    {"add": url} | {"remove": url, "drain": bool}
+//
+// Example (3-backend quickstart):
+//
+//	partreed -addr :8081 -shard-id a &
+//	partreed -addr :8082 -shard-id b &
+//	partreed -addr :8083 -shard-id c &
+//	partreegw -addr :8080 -backends http://127.0.0.1:8081,http://127.0.0.1:8082,http://127.0.0.1:8083
+//	curl -s localhost:8080/v1/huffman -d '{"weights":[5,2,1,1]}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"partree/internal/cluster"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("partreegw", flag.ContinueOnError)
+	var (
+		addr       = fs.String("addr", ":8080", "listen address")
+		backends   = fs.String("backends", "", "comma-separated partreed base URLs (required)")
+		vnodes     = fs.Int("vnodes", 384, "virtual nodes per backend on the consistent-hash ring")
+		probeEvery = fs.Duration("probe-interval", 250*time.Millisecond, "health probe period")
+		probeTO    = fs.Duration("probe-timeout", time.Second, "per-probe timeout")
+		failThresh = fs.Int("breaker-threshold", 3, "consecutive failures that open a backend's circuit breaker")
+		cooldown   = fs.Duration("breaker-cooldown", time.Second, "open-breaker cooldown before the half-open probe")
+		noHedge    = fs.Bool("no-hedge", false, "disable hedged requests (failover on connection errors still applies)")
+		hedgeMin   = fs.Duration("hedge-min", time.Millisecond, "lower clamp on the adaptive hedge delay")
+		hedgeMax   = fs.Duration("hedge-max", 100*time.Millisecond, "upper clamp on the adaptive hedge delay")
+		reqTimeout = fs.Duration("request-timeout", 30*time.Second, "per-request deadline across all attempts")
+		bleedKeys  = fs.Int("bleed-keys", 256, "recent request bodies remembered per backend for drain-time cache warming (negative disables)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "partreegw: unexpected arguments: %v\n", fs.Args())
+		return 2
+	}
+	var urls []string
+	for _, u := range strings.Split(*backends, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, strings.TrimRight(u, "/"))
+		}
+	}
+	if len(urls) == 0 {
+		fmt.Fprintln(os.Stderr, "partreegw: -backends is required (comma-separated partreed URLs)")
+		return 2
+	}
+
+	logger := log.New(os.Stderr, "partreegw: ", log.LstdFlags)
+	g := cluster.New(cluster.Config{
+		Backends:       urls,
+		Vnodes:         *vnodes,
+		ProbeInterval:  *probeEvery,
+		ProbeTimeout:   *probeTO,
+		FailThreshold:  *failThresh,
+		Cooldown:       *cooldown,
+		DisableHedging: *noHedge,
+		HedgeMin:       *hedgeMin,
+		HedgeMax:       *hedgeMax,
+		RequestTimeout: *reqTimeout,
+		BleedKeys:      *bleedKeys,
+		Logf:           logger.Printf,
+	})
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           g.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+
+	logger.Printf("listening on %s, %d backends (vnodes=%d hedge=%v probe=%v breaker=%d/%v)",
+		*addr, len(urls), *vnodes, !*noHedge, *probeEvery, *failThresh, *cooldown)
+
+	select {
+	case err := <-errc:
+		logger.Printf("serve error: %v", err)
+		g.Close()
+		return 1
+	case sig := <-sigc:
+		logger.Printf("received %v; shutting down", sig)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		logger.Printf("shutdown: %v", err)
+	}
+	g.Close()
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logger.Printf("serve error: %v", err)
+		return 1
+	}
+	logger.Printf("bye")
+	return 0
+}

@@ -1,0 +1,163 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is a circuit breaker's position in its state machine.
+type BreakerState int
+
+const (
+	// BreakerClosed: traffic flows; consecutive failures are counted.
+	BreakerClosed BreakerState = iota
+	// BreakerHalfOpen: the cooldown elapsed and one probe request is
+	// allowed through; its outcome decides between closed and open.
+	BreakerHalfOpen
+	// BreakerOpen: the failure threshold tripped; no traffic until the
+	// cooldown elapses.
+	BreakerOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerHalfOpen:
+		return "half-open"
+	case BreakerOpen:
+		return "open"
+	default:
+		return "closed"
+	}
+}
+
+// Breaker is a per-backend circuit breaker: closed → open after
+// `threshold` consecutive failures, open → half-open once `cooldown`
+// elapses, half-open → closed on a successful probe (back to open on a
+// failed one). Failures are transport-level errors and failed health
+// probes; any completed HTTP response counts as success.
+type Breaker struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time // injectable for tests
+
+	state   BreakerState
+	fails   int       // consecutive failures while closed
+	until   time.Time // when open: earliest half-open transition
+	probing bool      // when half-open: the single probe slot is taken
+	opens   int64
+}
+
+// NewBreaker builds a closed breaker. threshold ≤ 0 means 3;
+// cooldown ≤ 0 means one second.
+func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
+	if threshold <= 0 {
+		threshold = 3
+	}
+	if cooldown <= 0 {
+		cooldown = time.Second
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+// Ready reports whether a request could go through right now, without
+// claiming the half-open probe slot. The router uses it to shortlist
+// candidates; Allow is called only at actual send time, so an unused
+// candidate can never wedge a half-open breaker by leaking its slot.
+func (b *Breaker) Ready() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerHalfOpen:
+		return !b.probing
+	default: // open
+		return !b.now().Before(b.until)
+	}
+}
+
+// Allow asks to send one request. An open breaker whose cooldown has
+// elapsed transitions to half-open and grants the caller the probe slot;
+// a half-open breaker grants the slot to one caller at a time. The
+// caller must Report the outcome (Report releases the slot).
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerHalfOpen:
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	default: // open
+		if b.now().Before(b.until) {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		return true
+	}
+}
+
+// Report records a request outcome. ok means the backend produced an
+// HTTP response (whatever the status); !ok means a transport failure.
+func (b *Breaker) Report(ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if ok {
+		switch b.state {
+		case BreakerHalfOpen:
+			b.state = BreakerClosed
+			b.fails = 0
+			b.probing = false
+		case BreakerOpen:
+			// A success observed while open (a health probe racing the
+			// cooldown) closes the breaker only once the cooldown has
+			// elapsed — before that, the backend gets its quiet period.
+			if !b.now().Before(b.until) {
+				b.state = BreakerClosed
+				b.fails = 0
+			}
+		default:
+			b.fails = 0
+		}
+		return
+	}
+	switch b.state {
+	case BreakerHalfOpen:
+		b.trip()
+	case BreakerClosed:
+		b.fails++
+		if b.fails >= b.threshold {
+			b.trip()
+		}
+	}
+}
+
+// trip moves to open and starts the cooldown. Callers hold b.mu.
+func (b *Breaker) trip() {
+	b.state = BreakerOpen
+	b.fails = 0
+	b.probing = false
+	b.until = b.now().Add(b.cooldown)
+	b.opens++
+}
+
+// State returns the current state (open collapses to half-open-eligible
+// only via Allow/Report, so an elapsed cooldown still reads as open).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Opens counts transitions to open since construction.
+func (b *Breaker) Opens() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.opens
+}

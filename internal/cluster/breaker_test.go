@@ -1,0 +1,124 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock drives a Breaker deterministically.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newTestBreaker(threshold int, cooldown time.Duration) (*Breaker, *fakeClock) {
+	b := NewBreaker(threshold, cooldown)
+	c := &fakeClock{t: time.Unix(1000, 0)}
+	b.now = c.now
+	return b, c
+}
+
+func TestBreakerStateMachine(t *testing.T) {
+	b, clock := newTestBreaker(3, time.Second)
+
+	if !b.Ready() || !b.Allow() {
+		t.Fatal("fresh breaker must be closed")
+	}
+	// Two failures: still closed (threshold 3); a success resets the run.
+	b.Report(false)
+	b.Report(false)
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("after 2 failures: %v, want closed", got)
+	}
+	b.Report(true)
+	b.Report(false)
+	b.Report(false)
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("success must reset the consecutive-failure count; got %v", got)
+	}
+
+	// Third consecutive failure trips it.
+	b.Report(false)
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("after 3 consecutive failures: %v, want open", got)
+	}
+	if b.Ready() || b.Allow() {
+		t.Fatal("open breaker must reject before the cooldown")
+	}
+	if got := b.Opens(); got != 1 {
+		t.Fatalf("opens = %d, want 1", got)
+	}
+
+	// Cooldown elapses: one probe slot, not two.
+	clock.advance(time.Second)
+	if !b.Ready() {
+		t.Fatal("cooldown elapsed: breaker must be probe-ready")
+	}
+	if !b.Allow() {
+		t.Fatal("first Allow after cooldown must claim the probe slot")
+	}
+	if got := b.State(); got != BreakerHalfOpen {
+		t.Fatalf("state %v, want half-open", got)
+	}
+	if b.Ready() || b.Allow() {
+		t.Fatal("second caller must not get a probe slot")
+	}
+
+	// Failed probe: back to open, new cooldown.
+	b.Report(false)
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("failed probe: %v, want open", got)
+	}
+	if got := b.Opens(); got != 2 {
+		t.Fatalf("opens = %d, want 2", got)
+	}
+	if b.Allow() {
+		t.Fatal("re-opened breaker must reject until the new cooldown elapses")
+	}
+
+	// Successful probe closes it.
+	clock.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("probe slot after second cooldown")
+	}
+	b.Report(true)
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("successful probe: %v, want closed", got)
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker must allow")
+	}
+}
+
+// TestBreakerReadyDoesNotConsume: the router's shortlist check must be
+// side-effect free, or an unused candidate would leak the half-open
+// probe slot and wedge recovery.
+func TestBreakerReadyDoesNotConsume(t *testing.T) {
+	b, clock := newTestBreaker(1, time.Second)
+	b.Report(false) // trip
+	clock.advance(time.Second)
+	for i := 0; i < 5; i++ {
+		if !b.Ready() {
+			t.Fatalf("Ready call %d consumed state", i)
+		}
+	}
+	if !b.Allow() {
+		t.Fatal("probe slot must still be available after Ready calls")
+	}
+}
+
+// TestBreakerProbeSuccessWhileOpen: a health probe's success observed
+// after the cooldown closes the breaker even if no request claimed the
+// half-open slot; before the cooldown it is ignored (quiet period).
+func TestBreakerProbeSuccessWhileOpen(t *testing.T) {
+	b, clock := newTestBreaker(1, time.Second)
+	b.Report(false)
+	b.Report(true) // success during cooldown: ignored
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("success during cooldown: %v, want open", got)
+	}
+	clock.advance(time.Second)
+	b.Report(true)
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("probe success after cooldown: %v, want closed", got)
+	}
+}

@@ -1,0 +1,149 @@
+package cluster
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func breakerOf(g *Gateway, name string) string {
+	for _, b := range g.View().Backends {
+		if b.Name == name {
+			return b.Breaker
+		}
+	}
+	return ""
+}
+
+// TestChaosBackendKill kills a backend mid-load and demands the cluster
+// absorb it: every client request still succeeds (failover covers the
+// window before the breaker opens, the open breaker routes around the
+// corpse afterwards), and when the backend comes back the breaker's
+// half-open probe lets it rejoin.
+func TestChaosBackendKill(t *testing.T) {
+	g, ts, backs := startCluster(t, 3, Config{
+		ProbeInterval: 10 * time.Millisecond,
+		FailThreshold: 2,
+		Cooldown:      50 * time.Millisecond,
+		HedgeMin:      2 * time.Millisecond,
+		HedgeMax:      10 * time.Millisecond,
+	})
+	client := ts.Client()
+	victim := backs[0]
+
+	var failures atomic.Int64
+	var firstFailure atomic.Pointer[string]
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				body := weightsBody(t, []float64{1, 3, float64((c*31+i)%17 + 2)})
+				status, raw, _ := postBody(t, client, ts.URL+"/v1/huffman", body)
+				if status != http.StatusOK {
+					failures.Add(1)
+					msg := fmt.Sprintf("client %d request %d: status %d: %s", c, i, status, raw)
+					firstFailure.CompareAndSwap(nil, &msg)
+				}
+			}
+		}(c)
+	}
+
+	time.Sleep(30 * time.Millisecond) // load is flowing
+	victim.kill()
+
+	// The probes (and any in-flight traffic) must open the victim's
+	// breaker while client load keeps succeeding via failover.
+	waitFor(t, 5*time.Second, "victim breaker to open", func() bool {
+		return breakerOf(g, victim.URL()) == "open"
+	})
+	time.Sleep(30 * time.Millisecond) // sustain load against the open breaker
+
+	victim.revive()
+	waitFor(t, 5*time.Second, "victim to rejoin after revival", func() bool {
+		for _, b := range g.View().Backends {
+			if b.Name == victim.URL() {
+				return b.Healthy && b.Breaker == "closed"
+			}
+		}
+		return false
+	})
+	time.Sleep(20 * time.Millisecond) // load against the recovered ring
+
+	close(stop)
+	wg.Wait()
+	if n := failures.Load(); n != 0 {
+		t.Fatalf("%d client requests failed across the kill/recover cycle; first: %s", n, *firstFailure.Load())
+	}
+	if got := breakerOf(g, victim.URL()); got != "closed" {
+		t.Errorf("victim breaker %q after revival, want closed", got)
+	}
+}
+
+// TestChaosHedgeSingleFlight: hedged duplicates of one hot key must not
+// double-compute anywhere. Within a shard, single-flight collapses the
+// stampede to one cache miss; the hedge sends the key to at most one
+// other shard, which also computes at most once. So with N concurrent
+// clients on one key, every backend's result cache records ≤1 miss.
+func TestChaosHedgeSingleFlight(t *testing.T) {
+	g, ts, backs := startCluster(t, 2, Config{
+		HedgeMin: time.Millisecond,
+		HedgeMax: 2 * time.Millisecond,
+	})
+	// Slow the backends down past the hedge delay so duplicates really
+	// fire: rebuild each with a long batching linger is not possible after
+	// start, so inject transport-visible latency instead.
+	for _, b := range backs {
+		b.delay.Store(int64(10 * time.Millisecond))
+	}
+	client := ts.Client()
+
+	body := []byte(`{"weights":[8,4,2,1,1]}`)
+	var wg sync.WaitGroup
+	var failures atomic.Int64
+	for c := 0; c < 30; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if status, _, _ := postBody(t, client, ts.URL+"/v1/huffman", body); status != http.StatusOK {
+				failures.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if n := failures.Load(); n != 0 {
+		t.Fatalf("%d of 30 hot-key requests failed", n)
+	}
+	if fired := g.View().HedgesFired; fired == 0 {
+		t.Fatal("no hedges fired; the test did not exercise cross-shard duplication")
+	}
+	for _, b := range backs {
+		snap := b.srv.Snapshot()
+		if snap.Cache.Misses > 1 {
+			t.Errorf("backend %s computed the hot key %d times (cache misses), want ≤1: single-flight must hold under hedging",
+				b.URL(), snap.Cache.Misses)
+		}
+	}
+}

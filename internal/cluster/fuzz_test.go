@@ -1,0 +1,101 @@
+package cluster
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+
+	"partree/internal/serve"
+)
+
+var fuzzPaths = []string{
+	"/v1/huffman",
+	"/v1/shannonfano",
+	"/v1/treefromdepths",
+	"/v1/obst",
+	"/v1/lincfl/recognize",
+}
+
+// FuzzRingKey drives the canonical-hash → ring-position pipeline with
+// arbitrary bodies: it must never panic, placement must be a pure
+// function of the bytes, and — the property the whole routing design
+// rests on — two canonically-equivalent requests (weights scaled by a
+// power of two, which is exact in IEEE arithmetic) must land on the same
+// backend of a fixed ring.
+func FuzzRingKey(f *testing.F) {
+	f.Add(uint8(0), []byte(`{"weights":[5,2,1,1,9,3]}`))
+	f.Add(uint8(1), []byte(`{"weights":[0.25,0.25,0.5]}`))
+	f.Add(uint8(2), []byte(`{"depths":[2,2,2,3,3]}`))
+	f.Add(uint8(3), []byte(`{"keys":[1,2,3],"gaps":[1,1,1,1]}`))
+	f.Add(uint8(4), []byte(`{"grammar":"palindrome","word":"abccba"}`))
+	f.Add(uint8(5), []byte(`not json at all`))
+	f.Add(uint8(0), []byte(`{"weights":[1e308,1e308]}`))
+	f.Add(uint8(0), []byte(`{"weights":[-1,0,"x"]}`))
+	f.Add(uint8(2), []byte(`{"depths":[0,-3,99999999]}`))
+
+	ring := NewRing(64)
+	for _, b := range []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"} {
+		ring.Add(b)
+	}
+	lim := serve.Limits{}.WithDefaults()
+	g := &Gateway{cfg: Config{Limits: lim}}
+
+	f.Fuzz(func(t *testing.T, pathSel uint8, body []byte) {
+		path := fuzzPaths[int(pathSel)%len(fuzzPaths)]
+
+		// No panics, and placement is deterministic for identical bytes.
+		key := g.ringKey(path, body)
+		if key == "" {
+			t.Fatalf("empty ring key for %s body %q", path, body)
+		}
+		if again := g.ringKey(path, body); again != key {
+			t.Fatalf("ring key unstable: %q vs %q", key, again)
+		}
+		owner := ring.Lookup(key)
+		if owner == "" {
+			t.Fatal("non-empty ring returned no owner")
+		}
+		if succ := ring.Successors(key, 2); len(succ) != 2 || succ[0] != owner {
+			t.Fatalf("successors %v inconsistent with owner %s", succ, owner)
+		}
+
+		// Equivalence: when the body is a valid coding request, scaling
+		// every weight by 2 (exact in binary floating point, barring
+		// overflow) is a different JSON spelling of the same job — same
+		// canonical key, same shard.
+		if path != "/v1/huffman" && path != "/v1/shannonfano" {
+			return
+		}
+		var req struct {
+			Weights []float64 `json:"weights"`
+		}
+		if json.Unmarshal(body, &req) != nil || len(req.Weights) == 0 {
+			return
+		}
+		if _, err := serve.CanonicalKey(path, body, lim); err != nil {
+			return // backend would reject it; raw routing has no equivalence claim
+		}
+		scaled := make([]float64, len(req.Weights))
+		sum := 0.0
+		for i, w := range req.Weights {
+			sum += math.Abs(w)
+			scaled[i] = w * 2
+		}
+		// Doubling must stay finite for every weight AND their sum, or the
+		// scaled request is no longer the same job (it fails validation).
+		if !(sum < math.MaxFloat64/2) {
+			return
+		}
+		scaledBody, err := json.Marshal(map[string]any{"weights": scaled})
+		if err != nil {
+			return
+		}
+		scaledKey := g.ringKey(path, scaledBody)
+		if scaledKey != key {
+			t.Fatalf("scaled spelling changed the ring key:\n  %s %s → %q\n  scaled → %q", path, body, key, scaledKey)
+		}
+		if ring.Lookup(scaledKey) != owner {
+			t.Fatalf("scaled spelling changed the owner")
+		}
+	})
+}

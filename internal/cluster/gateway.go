@@ -1,0 +1,724 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"partree/internal/serve"
+)
+
+// Config parameterizes a Gateway. The zero value gets sensible defaults
+// from setDefaults; Backends is the only required field.
+type Config struct {
+	// Backends are the initial partreed base URLs (e.g.
+	// "http://127.0.0.1:8081"). Membership can change live via
+	// AddBackend / RemoveBackend / Drain.
+	Backends []string
+	// Vnodes is the virtual-node count per backend on the ring (0 = 384).
+	Vnodes int
+	// ProbeInterval is the /healthz probe period (0 = 250ms);
+	// ProbeTimeout bounds one probe (0 = 1s).
+	ProbeInterval time.Duration
+	ProbeTimeout  time.Duration
+	// FailThreshold consecutive failures open a backend's breaker
+	// (0 = 3); Cooldown is the open → half-open delay (0 = 1s).
+	FailThreshold int
+	Cooldown      time.Duration
+	// DisableHedging turns off duplicate requests to the secondary
+	// replica (failover on connection errors still applies).
+	DisableHedging bool
+	// HedgeMin/HedgeMax clamp the adaptive p95 hedge delay
+	// (0 = 1ms / 100ms).
+	HedgeMin time.Duration
+	HedgeMax time.Duration
+	// RequestTimeout bounds one proxied request end to end (0 = 30s).
+	RequestTimeout time.Duration
+	// Limits is used to canonicalize request bodies for ring keying; it
+	// should match the backends' limits so the gateway and shard agree
+	// on validity.
+	Limits serve.Limits
+	// BleedKeys bounds the per-backend store of recent request bodies
+	// replayed to the successor on drain (0 = 256; negative disables).
+	BleedKeys int
+	// Transport overrides the backend HTTP transport (tests).
+	Transport http.RoundTripper
+	// Logf receives gateway diagnostics. nil = log.Printf.
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) setDefaults() {
+	if c.Vnodes == 0 {
+		c.Vnodes = defaultVnodes
+	}
+	if c.ProbeInterval == 0 {
+		c.ProbeInterval = 250 * time.Millisecond
+	}
+	if c.ProbeTimeout == 0 {
+		c.ProbeTimeout = time.Second
+	}
+	if c.FailThreshold == 0 {
+		c.FailThreshold = 3
+	}
+	if c.Cooldown == 0 {
+		c.Cooldown = time.Second
+	}
+	if c.HedgeMin == 0 {
+		c.HedgeMin = time.Millisecond
+	}
+	if c.HedgeMax == 0 {
+		c.HedgeMax = 100 * time.Millisecond
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.BleedKeys == 0 {
+		c.BleedKeys = 256
+	}
+	if c.Transport == nil {
+		t := http.DefaultTransport.(*http.Transport).Clone()
+		t.MaxIdleConnsPerHost = 64
+		c.Transport = t
+	}
+	if c.Logf == nil {
+		c.Logf = log.Printf
+	}
+	c.Limits = c.Limits.WithDefaults()
+}
+
+// backend is one partreed instance as the gateway sees it.
+type backend struct {
+	name     string // base URL
+	breaker  *Breaker
+	healthy  atomic.Bool
+	draining atomic.Bool
+	shardID  atomic.Pointer[string] // learned from /healthz probes
+
+	routed atomic.Int64 // attempts sent (primary, hedge, or failover)
+	erred  atomic.Int64 // transport-level failures (canceled losers excluded)
+	hedged atomic.Int64 // hedged duplicates sent here
+
+	recent *recentStore // bodies to bleed to the successor on drain
+}
+
+func (b *backend) shard() string {
+	if p := b.shardID.Load(); p != nil {
+		return *p
+	}
+	return ""
+}
+
+// recentStore is a bounded insertion-ordered map of the freshest request
+// body seen per routing key; Drain replays these to the ring successor
+// to warm its cache before the shard leaves.
+type recentStore struct {
+	mu    sync.Mutex
+	cap   int
+	order []string
+	m     map[string]recentReq
+}
+
+type recentReq struct {
+	path string
+	body []byte
+}
+
+// maxBleedBody bounds one remembered body; larger requests are not worth
+// holding in gateway memory for a cache-warming optimization.
+const maxBleedBody = 64 << 10
+
+func newRecentStore(capacity int) *recentStore {
+	if capacity <= 0 {
+		return nil
+	}
+	return &recentStore{cap: capacity, m: make(map[string]recentReq, capacity)}
+}
+
+func (s *recentStore) add(key, path string, body []byte) {
+	if s == nil || len(body) > maxBleedBody {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.m[key]; !ok {
+		if len(s.order) >= s.cap {
+			oldest := s.order[0]
+			s.order = s.order[1:]
+			delete(s.m, oldest)
+		}
+		s.order = append(s.order, key)
+		s.m[key] = recentReq{path: path, body: bytes.Clone(body)}
+	}
+}
+
+func (s *recentStore) snapshot() []recentReq {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]recentReq, 0, len(s.order))
+	for _, k := range s.order {
+		out = append(out, s.m[k])
+	}
+	return out
+}
+
+// Gateway routes /v1 requests across a ring of partreed backends.
+// Construct with New; always Close to stop the health prober.
+type Gateway struct {
+	cfg    Config
+	start  time.Time
+	ring   *Ring
+	client *http.Client
+	mux    *http.ServeMux
+
+	mu       sync.RWMutex
+	backends map[string]*backend
+
+	tracker *latencyTracker
+	latHist *serve.HistSet // per-backend latency, /metricsz histogram
+
+	proxiedOK  atomic.Int64
+	proxiedErr atomic.Int64
+	noBackend  atomic.Int64
+	hedges     atomic.Int64
+	hedgeWins  atomic.Int64
+	failovers  atomic.Int64
+	bleeds     atomic.Int64
+
+	probeStop chan struct{}
+	probeDone chan struct{}
+}
+
+// New builds a Gateway over the configured backends and starts its
+// health prober. Backends start healthy (optimistically routable) and
+// the first probe round corrects that within one ProbeInterval.
+func New(cfg Config) *Gateway {
+	cfg.setDefaults()
+	g := &Gateway{
+		cfg:       cfg,
+		start:     time.Now(),
+		ring:      NewRing(cfg.Vnodes),
+		client:    &http.Client{Transport: cfg.Transport},
+		mux:       http.NewServeMux(),
+		backends:  make(map[string]*backend),
+		tracker:   newLatencyTracker(256),
+		latHist:   serve.NewHistSet(),
+		probeStop: make(chan struct{}),
+		probeDone: make(chan struct{}),
+	}
+	for _, name := range cfg.Backends {
+		g.addBackendLocked(name)
+	}
+	g.mux.HandleFunc("/healthz", g.handleHealthz)
+	g.mux.HandleFunc("/statsz", g.handleStatsz)
+	g.mux.HandleFunc("/metricsz", g.handleMetricsz)
+	g.mux.HandleFunc("/admin/backends", g.handleAdminBackends)
+	g.mux.HandleFunc("/v1/", g.handleProxy)
+	go g.probeLoop()
+	return g
+}
+
+// Handler returns the gateway's root handler.
+func (g *Gateway) Handler() http.Handler { return g.mux }
+
+// Close stops the health prober and tears down idle backend connections.
+func (g *Gateway) Close() {
+	close(g.probeStop)
+	<-g.probeDone
+	if t, ok := g.cfg.Transport.(*http.Transport); ok {
+		t.CloseIdleConnections()
+	}
+}
+
+func (g *Gateway) addBackendLocked(name string) {
+	if _, ok := g.backends[name]; ok {
+		return
+	}
+	b := &backend{
+		name:    name,
+		breaker: NewBreaker(g.cfg.FailThreshold, g.cfg.Cooldown),
+		recent:  newRecentStore(g.cfg.BleedKeys),
+	}
+	b.healthy.Store(true)
+	g.backends[name] = b
+	g.ring.Add(name)
+}
+
+// AddBackend adds a backend to the ring live; only the new member's arc
+// remaps onto it.
+func (g *Gateway) AddBackend(name string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.addBackendLocked(name)
+}
+
+// RemoveBackend drops a backend without draining (the hard-death path:
+// its arc falls through to ring successors immediately).
+func (g *Gateway) RemoveBackend(name string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.ring.Remove(name)
+	delete(g.backends, name)
+}
+
+// Drain gracefully removes a backend: it stops receiving new traffic
+// immediately, its remembered request bodies are replayed to each key's
+// new owner to warm that cache, and only then does it leave the ring.
+// Returns the number of replayed requests.
+func (g *Gateway) Drain(ctx context.Context, name string) (int, error) {
+	g.mu.RLock()
+	b := g.backends[name]
+	g.mu.RUnlock()
+	if b == nil {
+		return 0, fmt.Errorf("cluster: unknown backend %q", name)
+	}
+	b.draining.Store(true)
+
+	replayed := 0
+	for _, req := range b.recent.snapshot() {
+		if ctx.Err() != nil {
+			break
+		}
+		// The ring still contains the draining member, but pick() skips
+		// draining backends, so each key resolves to its post-removal
+		// owner — exactly the successor that inherits the arc.
+		key := g.ringKey(req.path, req.body)
+		cands := g.pick(key, 1)
+		if len(cands) == 0 {
+			break
+		}
+		res := g.attempt(ctx, cands[0], req.path, http.Header{"Content-Type": []string{"application/json"}}, req.body)
+		if res.err == nil && res.status < 500 {
+			replayed++
+			g.bleeds.Add(1)
+		}
+	}
+
+	g.mu.Lock()
+	g.ring.Remove(name)
+	delete(g.backends, name)
+	g.mu.Unlock()
+	return replayed, ctx.Err()
+}
+
+// --- health probing ---
+
+func (g *Gateway) probeLoop() {
+	defer close(g.probeDone)
+	t := time.NewTicker(g.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-g.probeStop:
+			return
+		case <-t.C:
+			g.probeAll()
+		}
+	}
+}
+
+func (g *Gateway) probeAll() {
+	g.mu.RLock()
+	targets := make([]*backend, 0, len(g.backends))
+	for _, b := range g.backends {
+		targets = append(targets, b)
+	}
+	g.mu.RUnlock()
+	var wg sync.WaitGroup
+	for _, b := range targets {
+		wg.Add(1)
+		go func(b *backend) {
+			defer wg.Done()
+			g.probe(b)
+		}(b)
+	}
+	wg.Wait()
+}
+
+// probe hits one backend's /healthz: 200 marks it healthy and feeds the
+// breaker a success (closing a half-open breaker — the recovery path for
+// a backend that died with no traffic to probe it); anything else — 503
+// while draining, connection refused when dead — marks it unhealthy and
+// feeds a failure, so a dead backend's breaker opens within
+// FailThreshold probe periods even on an idle gateway.
+func (g *Gateway) probe(b *backend) {
+	ctx, cancel := context.WithTimeout(context.Background(), g.cfg.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.name+"/healthz", nil)
+	if err != nil {
+		return
+	}
+	resp, err := g.client.Do(req)
+	if err != nil {
+		b.healthy.Store(false)
+		b.breaker.Report(false)
+		return
+	}
+	var body struct {
+		ShardID string `json:"shard_id"`
+	}
+	_ = json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&body)
+	resp.Body.Close()
+	if body.ShardID != "" {
+		b.shardID.Store(&body.ShardID)
+	}
+	if resp.StatusCode != http.StatusOK {
+		b.healthy.Store(false)
+		b.breaker.Report(false)
+		return
+	}
+	b.healthy.Store(true)
+	b.breaker.Report(true)
+}
+
+// --- routing ---
+
+// ringKey maps a request onto the ring: the canonical cache key when the
+// body validates (so equivalent requests share a shard and its LRU), a
+// raw-bytes hash otherwise (the backend will reject it, but routing
+// stays deterministic).
+func (g *Gateway) ringKey(path string, body []byte) string {
+	if key, err := serve.CanonicalKey(path, body, g.cfg.Limits); err == nil {
+		return key
+	}
+	return "raw:" + path + ":" + rawBodyHash(body)
+}
+
+// pick returns up to n routable backends for the key in ring order:
+// ring successors minus draining members and backends whose breaker is
+// not Ready. Breaker probe slots are claimed later, at send time.
+func (g *Gateway) pick(key string, n int) []*backend {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	names := g.ring.Successors(key, len(g.backends))
+	out := make([]*backend, 0, n)
+	for _, name := range names {
+		if len(out) == n {
+			break
+		}
+		b := g.backends[name]
+		if b == nil || b.draining.Load() || !b.breaker.Ready() {
+			continue
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// attemptResult is one backend attempt's outcome.
+type attemptResult struct {
+	backend *backend
+	status  int
+	header  http.Header
+	body    []byte
+	dur     time.Duration
+	err     error
+}
+
+// attempt proxies one request to one backend and reports the outcome to
+// its breaker. A context-canceled loser (the hedge race was already won)
+// reports nothing — losing a race is not evidence against the backend.
+func (g *Gateway) attempt(ctx context.Context, b *backend, path string, hdr http.Header, body []byte) attemptResult {
+	b.routed.Add(1)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, b.name+path, bytes.NewReader(body))
+	if err != nil {
+		return attemptResult{backend: b, err: err}
+	}
+	for _, h := range proxiedRequestHeaders {
+		if v := hdr.Get(h); v != "" {
+			req.Header.Set(h, v)
+		}
+	}
+	start := time.Now()
+	resp, err := g.client.Do(req)
+	if err != nil {
+		if ctx.Err() == nil {
+			b.erred.Add(1)
+			b.breaker.Report(false)
+		}
+		return attemptResult{backend: b, err: err}
+	}
+	defer resp.Body.Close()
+	respBody, err := io.ReadAll(resp.Body)
+	if err != nil {
+		if ctx.Err() == nil {
+			b.erred.Add(1)
+			b.breaker.Report(false)
+		}
+		return attemptResult{backend: b, err: err}
+	}
+	b.breaker.Report(true)
+	return attemptResult{
+		backend: b,
+		status:  resp.StatusCode,
+		header:  resp.Header,
+		body:    respBody,
+		dur:     time.Since(start),
+	}
+}
+
+// proxiedRequestHeaders are forwarded to the backend; everything else is
+// gateway-local.
+var proxiedRequestHeaders = []string{
+	"Content-Type",
+	"X-Partree-Deadline-Ms",
+	"X-Partree-Trace",
+}
+
+// proxiedResponseHeaders are copied back to the client.
+var proxiedResponseHeaders = []string{
+	"Content-Type",
+	"X-Partree-Cache",
+	"X-Partree-Trace-Id",
+	"Retry-After",
+}
+
+var errNoBackend = errors.New("cluster: no routable backend")
+
+// hedgeDelay is the clamped adaptive p95 of proxied latency.
+func (g *Gateway) hedgeDelay() time.Duration {
+	d := g.tracker.P95()
+	if d < g.cfg.HedgeMin {
+		return g.cfg.HedgeMin
+	}
+	if d > g.cfg.HedgeMax {
+		return g.cfg.HedgeMax
+	}
+	return d
+}
+
+// do runs the primary attempt with hedging and bounded failover against
+// the candidate list: the secondary replica is raced in after the hedge
+// delay (first response wins, the loser's context is canceled), or tried
+// once synchronously if the primary dies of a connection error before
+// any hedge fired. At most two backends are ever touched per request.
+func (g *Gateway) do(ctx context.Context, cands []*backend, path string, hdr http.Header, body []byte) attemptResult {
+	prim := cands[0]
+	var sec *backend
+	if len(cands) > 1 {
+		sec = cands[1]
+	}
+	if !prim.breaker.Allow() {
+		// Lost the race for a half-open probe slot; shift to the
+		// secondary if there is one.
+		if sec == nil {
+			return attemptResult{err: errNoBackend}
+		}
+		prim, sec = sec, nil
+		if !prim.breaker.Allow() {
+			return attemptResult{err: errNoBackend}
+		}
+	}
+
+	primCtx, primCancel := context.WithCancel(ctx)
+	defer primCancel()
+	resc := make(chan attemptResult, 2)
+	inflight := 1
+	go func() { resc <- g.attempt(primCtx, prim, path, hdr, body) }()
+
+	var secCancel context.CancelFunc
+	defer func() {
+		if secCancel != nil {
+			secCancel()
+		}
+	}()
+	secLaunched := false
+	launchSec := func(asHedge bool) bool {
+		if sec == nil || secLaunched || !sec.breaker.Allow() {
+			return false
+		}
+		secLaunched = true
+		var sctx context.Context
+		sctx, secCancel = context.WithCancel(ctx)
+		if asHedge {
+			g.hedges.Add(1)
+			sec.hedged.Add(1)
+		} else {
+			g.failovers.Add(1)
+		}
+		inflight++
+		go func() { resc <- g.attempt(sctx, sec, path, hdr, body) }()
+		return true
+	}
+
+	var hedgeC <-chan time.Time
+	if !g.cfg.DisableHedging && sec != nil {
+		t := time.NewTimer(g.hedgeDelay())
+		defer t.Stop()
+		hedgeC = t.C
+	}
+
+	var firstErr attemptResult
+	haveErr := false
+	hedgeFired := false
+	for {
+		select {
+		case res := <-resc:
+			inflight--
+			if res.err == nil {
+				if hedgeFired && res.backend == sec {
+					g.hedgeWins.Add(1)
+				}
+				primCancel()
+				if secCancel != nil {
+					secCancel()
+				}
+				return res
+			}
+			if !haveErr {
+				firstErr = res
+				haveErr = true
+			}
+			if inflight > 0 {
+				continue // the other racer may still answer
+			}
+			// Bounded failover: one synchronous retry on the secondary,
+			// only if it was never tried.
+			if launchSec(false) {
+				continue
+			}
+			return firstErr
+		case <-hedgeC:
+			hedgeC = nil
+			if launchSec(true) {
+				hedgeFired = true
+			}
+		case <-ctx.Done():
+			return attemptResult{err: ctx.Err()}
+		}
+	}
+}
+
+// handleProxy is the /v1 request path: read the body, derive the ring
+// key, pick primary + secondary, and run the hedged/failover attempt.
+func (g *Gateway) handleProxy(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeGatewayError(w, http.StatusMethodNotAllowed, "method", "POST required")
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, g.cfg.Limits.MaxBodyBytes+1))
+	if err != nil {
+		writeGatewayError(w, http.StatusBadRequest, "bad_body", "reading request body: %v", err)
+		return
+	}
+	if int64(len(body)) > g.cfg.Limits.MaxBodyBytes {
+		writeGatewayError(w, http.StatusBadRequest, "too_large", "request body exceeds %d bytes", g.cfg.Limits.MaxBodyBytes)
+		return
+	}
+
+	key := g.ringKey(r.URL.Path, body)
+	cands := g.pick(key, 2)
+	if len(cands) == 0 {
+		g.noBackend.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeGatewayError(w, http.StatusServiceUnavailable, "no_backend", "no routable backend for this key")
+		return
+	}
+	// Remember the body on the key's home shard for drain-time bleeding,
+	// keyed by ring position (not by who actually served the hedge).
+	cands[0].recent.add(key, r.URL.Path, body)
+
+	ctx, cancel := context.WithTimeout(r.Context(), g.cfg.RequestTimeout)
+	defer cancel()
+	res := g.do(ctx, cands, r.URL.Path, r.Header, body)
+	if res.err != nil {
+		g.proxiedErr.Add(1)
+		switch {
+		case errors.Is(res.err, errNoBackend):
+			g.noBackend.Add(1)
+			w.Header().Set("Retry-After", "1")
+			writeGatewayError(w, http.StatusServiceUnavailable, "no_backend", "no routable backend for this key")
+		case errors.Is(res.err, context.DeadlineExceeded):
+			writeGatewayError(w, http.StatusGatewayTimeout, "timeout", "request deadline exceeded")
+		default:
+			writeGatewayError(w, http.StatusBadGateway, "bad_gateway", "backend unreachable: %v", res.err)
+		}
+		return
+	}
+
+	g.proxiedOK.Add(1)
+	seconds := res.dur.Seconds()
+	g.tracker.Observe(res.dur)
+	g.latHist.Observe(res.backend.name, seconds)
+
+	for _, h := range proxiedResponseHeaders {
+		if v := res.header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	w.Header().Set("X-Partree-Backend", res.backend.name)
+	if shard := res.backend.shard(); shard != "" {
+		w.Header().Set("X-Partree-Shard", shard)
+	}
+	w.WriteHeader(res.status)
+	_, _ = w.Write(res.body)
+}
+
+func writeGatewayError(w http.ResponseWriter, status int, code, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"error": map[string]any{"code": code, "message": fmt.Sprintf(format, args...)},
+	})
+}
+
+// handleAdminBackends mutates ring membership:
+//
+//	POST /admin/backends {"add": "http://..."}
+//	POST /admin/backends {"remove": "http://...", "drain": true}
+func (g *Gateway) handleAdminBackends(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeGatewayError(w, http.StatusMethodNotAllowed, "method", "POST required")
+		return
+	}
+	var req struct {
+		Add    string `json:"add,omitempty"`
+		Remove string `json:"remove,omitempty"`
+		Drain  bool   `json:"drain,omitempty"`
+	}
+	if err := json.NewDecoder(io.LimitReader(r.Body, 4096)).Decode(&req); err != nil {
+		writeGatewayError(w, http.StatusBadRequest, "bad_json", "decoding request body: %v", err)
+		return
+	}
+	switch {
+	case req.Add != "" && req.Remove != "":
+		writeGatewayError(w, http.StatusBadRequest, "bad_request", "give either add or remove, not both")
+	case req.Add != "":
+		g.AddBackend(req.Add)
+		g.cfg.Logf("cluster: added backend %s", req.Add)
+		writeAdminOK(w, map[string]any{"ok": true, "backends": g.ring.Members()})
+	case req.Remove != "" && req.Drain:
+		ctx, cancel := context.WithTimeout(r.Context(), g.cfg.RequestTimeout)
+		defer cancel()
+		replayed, err := g.Drain(ctx, req.Remove)
+		if err != nil && replayed == 0 {
+			writeGatewayError(w, http.StatusNotFound, "unknown_backend", "%v", err)
+			return
+		}
+		g.cfg.Logf("cluster: drained backend %s (%d keys bled to successors)", req.Remove, replayed)
+		writeAdminOK(w, map[string]any{"ok": true, "replayed": replayed, "backends": g.ring.Members()})
+	case req.Remove != "":
+		g.RemoveBackend(req.Remove)
+		g.cfg.Logf("cluster: removed backend %s", req.Remove)
+		writeAdminOK(w, map[string]any{"ok": true, "backends": g.ring.Members()})
+	default:
+		writeGatewayError(w, http.StatusBadRequest, "bad_request", "missing add or remove")
+	}
+}
+
+func writeAdminOK(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,503 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"partree/internal/serve"
+)
+
+// testBackend is one in-process partreed with a kill switch: flipping
+// dead aborts every connection mid-request (http.ErrAbortHandler), which
+// is what a SIGKILLed backend looks like to the gateway.
+type testBackend struct {
+	srv  *serve.Server
+	ts   *httptest.Server
+	dead atomic.Bool
+	// delay injects extra latency into /v1 handling (tail-latency tests).
+	delay atomic.Int64 // nanoseconds
+}
+
+func (b *testBackend) URL() string { return b.ts.URL }
+
+func (b *testBackend) kill() {
+	b.dead.Store(true)
+	b.ts.CloseClientConnections()
+}
+
+func (b *testBackend) revive() { b.dead.Store(false) }
+
+func startBackend(t *testing.T, shard string, cfg serve.Config) *testBackend {
+	t.Helper()
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	cfg.ShardID = shard
+	b := &testBackend{srv: serve.New(cfg)}
+	inner := b.srv.Handler()
+	b.ts = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if b.dead.Load() {
+			panic(http.ErrAbortHandler)
+		}
+		if d := b.delay.Load(); d > 0 && strings.HasPrefix(r.URL.Path, "/v1/") {
+			time.Sleep(time.Duration(d))
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	t.Cleanup(func() {
+		b.ts.Close()
+		b.srv.Close()
+	})
+	return b
+}
+
+// startCluster spins n backends plus a gateway over them.
+func startCluster(t *testing.T, n int, cfg Config) (*Gateway, *httptest.Server, []*testBackend) {
+	t.Helper()
+	backs := make([]*testBackend, n)
+	urls := make([]string, n)
+	for i := range backs {
+		backs[i] = startBackend(t, fmt.Sprintf("shard-%d", i), serve.Config{
+			MaxBatch: 16,
+			Linger:   100 * time.Microsecond,
+		})
+		urls[i] = backs[i].URL()
+	}
+	cfg.Backends = urls
+	if cfg.Logf == nil {
+		cfg.Logf = t.Logf
+	}
+	g := New(cfg)
+	ts := httptest.NewServer(g.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		g.Close()
+	})
+	return g, ts, backs
+}
+
+func postBody(t *testing.T, client *http.Client, url string, body []byte) (int, []byte, http.Header) {
+	t.Helper()
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("reading response: %v", err)
+	}
+	return resp.StatusCode, raw, resp.Header
+}
+
+func weightsBody(t *testing.T, ws []float64) []byte {
+	t.Helper()
+	raw, err := json.Marshal(map[string]any{"weights": ws})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+// TestGatewayE2EDifferential: every engine endpoint answers through the
+// gateway with byte-identical results to a direct backend hit.
+func TestGatewayE2EDifferential(t *testing.T) {
+	_, ts, backs := startCluster(t, 3, Config{DisableHedging: true})
+	client := ts.Client()
+
+	bodies := map[string][]byte{
+		"/v1/huffman":          []byte(`{"weights":[5,2,1,1,9,3]}`),
+		"/v1/shannonfano":      []byte(`{"weights":[4,3,2,1]}`),
+		"/v1/treefromdepths":   []byte(`{"depths":[2,2,2,3,3]}`),
+		"/v1/obst":             []byte(`{"keys":[1,2,3],"gaps":[1,1,1,1]}`),
+		"/v1/lincfl/recognize": []byte(`{"grammar":"palindrome","word":"abccba"}`),
+	}
+	for path, body := range bodies {
+		status, viaGW, hdr := postBody(t, client, ts.URL+path, body)
+		if status != http.StatusOK {
+			t.Fatalf("%s via gateway: status %d: %s", path, status, viaGW)
+		}
+		if hdr.Get("X-Partree-Backend") == "" {
+			t.Errorf("%s: missing X-Partree-Backend header", path)
+		}
+		// The same request straight to any one backend must agree: the
+		// engines are deterministic and the response shape is identical.
+		status, direct, _ := postBody(t, client, backs[0].URL()+path, body)
+		if status != http.StatusOK {
+			t.Fatalf("%s direct: status %d: %s", path, status, direct)
+		}
+		if !bytes.Equal(viaGW, direct) {
+			t.Errorf("%s: gateway response differs from direct backend:\ngw:     %s\ndirect: %s", path, viaGW, direct)
+		}
+	}
+}
+
+// TestGatewayKeyAffinity: one key always routes to one backend, and the
+// canonical hash makes equivalent spellings (scaled weights, different
+// float formatting) share that backend and its cache entry.
+func TestGatewayKeyAffinity(t *testing.T) {
+	_, ts, _ := startCluster(t, 3, Config{DisableHedging: true})
+	client := ts.Client()
+
+	spellings := [][]byte{
+		[]byte(`{"weights":[1,2,3,4]}`),
+		[]byte(`{"weights":[2,4,6,8]}`),         // scaled ×2: same canonical form
+		[]byte(`{"weights":[1.0,2.0,3.0,4.0]}`), // spelling change only
+		[]byte(`{"weights":[0.5,1,1.5,2]}`),     // scaled ×1/2 (exact in binary)
+	}
+	backendSeen := map[string]bool{}
+	for i, body := range spellings {
+		status, raw, hdr := postBody(t, client, ts.URL+"/v1/huffman", body)
+		if status != http.StatusOK {
+			t.Fatalf("spelling %d: status %d: %s", i, status, raw)
+		}
+		backendSeen[hdr.Get("X-Partree-Backend")] = true
+		if i > 0 {
+			if disp := hdr.Get("X-Partree-Cache"); disp != "hit" {
+				t.Errorf("spelling %d: cache %q, want hit (canonical key should collapse spellings)", i, disp)
+			}
+		}
+	}
+	if len(backendSeen) != 1 {
+		t.Errorf("equivalent requests spread across backends %v, want exactly one", backendSeen)
+	}
+
+	// Distinct keys must spread: with 32 distinct requests over 3
+	// backends, more than one backend serves.
+	spread := map[string]bool{}
+	for i := 0; i < 32; i++ {
+		body := weightsBody(t, []float64{1, 2, float64(i + 3)})
+		status, raw, hdr := postBody(t, client, ts.URL+"/v1/huffman", body)
+		if status != http.StatusOK {
+			t.Fatalf("request %d: status %d: %s", i, status, raw)
+		}
+		spread[hdr.Get("X-Partree-Backend")] = true
+	}
+	if len(spread) < 2 {
+		t.Errorf("32 distinct keys all landed on %v; ring is not spreading", spread)
+	}
+}
+
+// TestGatewayHedging: when the primary stalls past the hedge delay, the
+// duplicate on the secondary replica answers and the client never waits
+// out the stall.
+func TestGatewayHedging(t *testing.T) {
+	g, ts, backs := startCluster(t, 2, Config{
+		HedgeMin: 2 * time.Millisecond,
+		HedgeMax: 5 * time.Millisecond,
+	})
+	client := ts.Client()
+	byURL := map[string]*testBackend{backs[0].URL(): backs[0], backs[1].URL(): backs[1]}
+
+	// Find a body whose ring primary is backs[0] so we know which one to
+	// stall. ringKey/pick are in-package, so ask the router directly.
+	var body []byte
+	for i := 0; ; i++ {
+		candidate := weightsBody(t, []float64{1, 2, float64(i + 3)})
+		cands := g.pick(g.ringKey("/v1/huffman", candidate), 2)
+		if len(cands) == 2 && cands[0].name == backs[0].URL() {
+			body = candidate
+			break
+		}
+		if i > 200 {
+			t.Fatal("no key with backs[0] as primary in 200 tries")
+		}
+	}
+
+	const stall = 300 * time.Millisecond
+	byURL[backs[0].URL()].delay.Store(int64(stall))
+	start := time.Now()
+	status, raw, hdr := postBody(t, client, ts.URL+"/v1/huffman", body)
+	elapsed := time.Since(start)
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, raw)
+	}
+	if got := hdr.Get("X-Partree-Backend"); got != backs[1].URL() {
+		t.Errorf("served by %s, want hedge target %s", got, backs[1].URL())
+	}
+	if elapsed >= stall {
+		t.Errorf("request took %v, should have been hedged well before the %v stall", elapsed, stall)
+	}
+	v := g.View()
+	if v.HedgesFired < 1 || v.HedgeWins < 1 {
+		t.Errorf("hedge counters: fired=%d wins=%d, want ≥1 each", v.HedgesFired, v.HedgeWins)
+	}
+}
+
+// TestGatewayFailover: a connection-refused primary fails over to the
+// secondary replica with no client-visible error.
+func TestGatewayFailover(t *testing.T) {
+	g, ts, backs := startCluster(t, 2, Config{
+		DisableHedging: true,
+		FailThreshold:  1000, // keep the breaker out of it: pure failover
+		ProbeInterval:  time.Hour,
+	})
+	client := ts.Client()
+
+	backs[0].kill()
+	ok := 0
+	for i := 0; i < 20; i++ {
+		body := weightsBody(t, []float64{3, 1, float64(i + 2)})
+		status, raw, _ := postBody(t, client, ts.URL+"/v1/huffman", body)
+		if status != http.StatusOK {
+			t.Fatalf("request %d: status %d: %s", i, status, raw)
+		}
+		ok++
+	}
+	if ok != 20 {
+		t.Fatalf("%d/20 succeeded", ok)
+	}
+	if v := g.View(); v.Failovers == 0 {
+		t.Error("no failovers recorded though half the ring is dead")
+	}
+}
+
+// TestGatewayDrain: a drained backend leaves the ring after bleeding its
+// remembered keys to their successors, which then serve them as cache
+// hits on the very first client request.
+func TestGatewayDrain(t *testing.T) {
+	g, ts, backs := startCluster(t, 3, Config{DisableHedging: true})
+	client := ts.Client()
+
+	// Warm 30 distinct keys through the gateway and remember which ones
+	// the eventual victim owns.
+	victim := backs[0].URL()
+	var victimBodies [][]byte
+	for i := 0; i < 30; i++ {
+		body := weightsBody(t, []float64{2, 5, float64(i + 2)})
+		status, raw, hdr := postBody(t, client, ts.URL+"/v1/huffman", body)
+		if status != http.StatusOK {
+			t.Fatalf("warm %d: status %d: %s", i, status, raw)
+		}
+		if hdr.Get("X-Partree-Backend") == victim {
+			victimBodies = append(victimBodies, body)
+		}
+	}
+	if len(victimBodies) == 0 {
+		t.Fatal("victim served no keys during warmup")
+	}
+
+	replayed, err := g.Drain(context.Background(), victim)
+	if err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if replayed < len(victimBodies) {
+		t.Errorf("drain replayed %d bodies, want ≥ %d (every victim key was remembered)", replayed, len(victimBodies))
+	}
+	for _, m := range g.ring.Members() {
+		if m == victim {
+			t.Fatal("victim still on the ring after drain")
+		}
+	}
+
+	// The bled keys are already warm on their new owners: first client
+	// request after the drain is a cache hit, not a recompute.
+	for i, body := range victimBodies {
+		status, raw, hdr := postBody(t, client, ts.URL+"/v1/huffman", body)
+		if status != http.StatusOK {
+			t.Fatalf("post-drain %d: status %d: %s", i, status, raw)
+		}
+		if got := hdr.Get("X-Partree-Backend"); got == victim {
+			t.Errorf("post-drain %d still routed to drained backend", i)
+		}
+		if disp := hdr.Get("X-Partree-Cache"); disp != "hit" {
+			t.Errorf("post-drain %d: cache %q, want hit (bleed should have warmed the successor)", i, disp)
+		}
+	}
+}
+
+// TestGatewayMembershipAdmin drives live membership over HTTP: add a
+// backend, verify it joins the ring and takes traffic, then remove it.
+func TestGatewayMembershipAdmin(t *testing.T) {
+	g, ts, _ := startCluster(t, 2, Config{DisableHedging: true})
+	client := ts.Client()
+
+	extra := startBackend(t, "shard-extra", serve.Config{MaxBatch: 16, Linger: 100 * time.Microsecond})
+	status, raw, _ := postBody(t, client, ts.URL+"/admin/backends",
+		[]byte(fmt.Sprintf(`{"add":%q}`, extra.URL())))
+	if status != http.StatusOK {
+		t.Fatalf("admin add: status %d: %s", status, raw)
+	}
+	if got := g.ring.Size(); got != 3 {
+		t.Fatalf("ring size %d after add, want 3", got)
+	}
+	// The newcomer owns an arc: some keys route to it.
+	took := false
+	for i := 0; i < 64 && !took; i++ {
+		body := weightsBody(t, []float64{1, 9, float64(i + 2)})
+		s, r, hdr := postBody(t, client, ts.URL+"/v1/huffman", body)
+		if s != http.StatusOK {
+			t.Fatalf("request %d: status %d: %s", i, s, r)
+		}
+		took = hdr.Get("X-Partree-Backend") == extra.URL()
+	}
+	if !took {
+		t.Error("new backend took no traffic in 64 distinct keys")
+	}
+
+	status, raw, _ = postBody(t, client, ts.URL+"/admin/backends",
+		[]byte(fmt.Sprintf(`{"remove":%q}`, extra.URL())))
+	if status != http.StatusOK {
+		t.Fatalf("admin remove: status %d: %s", status, raw)
+	}
+	if got := g.ring.Size(); got != 2 {
+		t.Fatalf("ring size %d after remove, want 2", got)
+	}
+}
+
+// TestGatewayStatszAggregates: the gateway /statsz folds every backend's
+// counters into cluster totals that match the traffic sent.
+func TestGatewayStatszAggregates(t *testing.T) {
+	_, ts, backs := startCluster(t, 3, Config{DisableHedging: true})
+	client := ts.Client()
+
+	const n = 24
+	for i := 0; i < n; i++ {
+		body := weightsBody(t, []float64{4, 2, float64(i + 2)})
+		if status, raw, _ := postBody(t, client, ts.URL+"/v1/huffman", body); status != http.StatusOK {
+			t.Fatalf("request %d: status %d: %s", i, status, raw)
+		}
+	}
+	resp, err := client.Get(ts.URL + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats ClusterStatsz
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatalf("decoding /statsz: %v", err)
+	}
+	if len(stats.Backends) != 3 {
+		t.Fatalf("%d backends in /statsz, want 3", len(stats.Backends))
+	}
+	if stats.Totals.RequestsOK != n {
+		t.Errorf("totals.requests_ok = %d, want %d", stats.Totals.RequestsOK, n)
+	}
+	for _, b := range backs {
+		bs, ok := stats.Backends[b.URL()]
+		if !ok {
+			t.Fatalf("backend %s missing from /statsz", b.URL())
+		}
+		if bs.Error != "" {
+			t.Errorf("backend %s statsz error: %s", b.URL(), bs.Error)
+		}
+		if bs.Stats == nil || bs.Stats.ShardID == "" {
+			t.Errorf("backend %s: missing stats/shard id", b.URL())
+		}
+	}
+}
+
+// TestGatewayMetricsz: the exposition carries the partree_cluster_*
+// families with per-backend series.
+func TestGatewayMetricsz(t *testing.T) {
+	_, ts, backs := startCluster(t, 2, Config{DisableHedging: true})
+	client := ts.Client()
+	if status, raw, _ := postBody(t, client, ts.URL+"/v1/huffman", []byte(`{"weights":[3,2,1]}`)); status != http.StatusOK {
+		t.Fatalf("traffic: status %d: %s", status, raw)
+	}
+	resp, err := client.Get(ts.URL + "/metricsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	text := string(raw)
+	for _, want := range []string{
+		"partree_cluster_ring_backends 2",
+		`partree_cluster_proxied_total{outcome="ok"} 1`,
+		"partree_cluster_backend_up{backend=",
+		"partree_cluster_breaker_state{backend=",
+		"partree_cluster_backend_latency_seconds_bucket{backend=",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metricsz missing %q", want)
+		}
+	}
+	for _, b := range backs {
+		if !strings.Contains(text, fmt.Sprintf("backend=%q", b.URL())) {
+			t.Errorf("/metricsz has no series for %s", b.URL())
+		}
+	}
+}
+
+// TestGatewayProbeLearnsShardID: the health prober picks the -shard-id
+// out of /healthz and surfaces it on responses and in the view.
+func TestGatewayProbeLearnsShardID(t *testing.T) {
+	g, ts, _ := startCluster(t, 2, Config{
+		DisableHedging: true,
+		ProbeInterval:  5 * time.Millisecond,
+	})
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		v := g.View()
+		got := 0
+		for _, b := range v.Backends {
+			if strings.HasPrefix(b.ShardID, "shard-") {
+				got++
+			}
+		}
+		if got == len(v.Backends) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("probes never learned shard ids: %+v", v.Backends)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	_, _, hdr := postBody(t, ts.Client(), ts.URL+"/v1/huffman", []byte(`{"weights":[2,1]}`))
+	if got := hdr.Get("X-Partree-Shard"); !strings.HasPrefix(got, "shard-") {
+		t.Errorf("X-Partree-Shard = %q", got)
+	}
+}
+
+// TestGatewayConcurrentMixedLoad shakes the routing layer under -race:
+// concurrent clients, repeated and distinct keys, every engine at once.
+func TestGatewayConcurrentMixedLoad(t *testing.T) {
+	_, ts, _ := startCluster(t, 3, Config{HedgeMin: time.Millisecond, HedgeMax: 4 * time.Millisecond})
+	client := ts.Client()
+
+	paths := []string{"/v1/huffman", "/v1/shannonfano", "/v1/treefromdepths", "/v1/lincfl/recognize"}
+	bodyFor := func(path string, i int) []byte {
+		switch path {
+		case "/v1/treefromdepths":
+			return []byte(fmt.Sprintf(`{"depths":[1,2,%d,%d]}`, 2+i%3, 3+i%3))
+		case "/v1/lincfl/recognize":
+			return []byte(fmt.Sprintf(`{"grammar":"palindrome","word":"ab%dba"}`, i%5))
+		default:
+			return weightsBody(t, []float64{1, 2, float64(i%8 + 2)})
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make(chan string, 256)
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				path := paths[(c+i)%len(paths)]
+				status, raw, _ := postBody(t, client, ts.URL+path, bodyFor(path, i))
+				if status != http.StatusOK {
+					select {
+					case errs <- fmt.Sprintf("%s: %d %s", path, status, raw):
+					default:
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+}

@@ -1,0 +1,69 @@
+package cluster
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// latencyTracker keeps a sliding window of proxied-request latencies and
+// serves their p95 as the hedge delay: a duplicate fired any earlier
+// wastes backend work on requests that were about to answer anyway,
+// any later forfeits the tail-latency win. The p95 is recomputed lazily
+// (every recalcEvery observations) over a copy of the window so Observe
+// stays O(1) on the request path.
+type latencyTracker struct {
+	mu      sync.Mutex
+	window  []time.Duration // ring buffer
+	n       int             // filled entries
+	next    int             // write cursor
+	pending int             // observations since last recompute
+	cached  time.Duration   // last computed p95 (0 = no samples yet)
+	scratch []time.Duration
+}
+
+const recalcEvery = 16
+
+func newLatencyTracker(window int) *latencyTracker {
+	if window <= 0 {
+		window = 256
+	}
+	return &latencyTracker{
+		window:  make([]time.Duration, window),
+		scratch: make([]time.Duration, 0, window),
+	}
+}
+
+// Observe records one successful proxied-request latency.
+func (t *latencyTracker) Observe(d time.Duration) {
+	t.mu.Lock()
+	t.window[t.next] = d
+	t.next = (t.next + 1) % len(t.window)
+	if t.n < len(t.window) {
+		t.n++
+	}
+	t.pending++
+	t.mu.Unlock()
+}
+
+// P95 returns the sliding-window 95th percentile, or 0 when no request
+// has completed yet (callers clamp, so 0 resolves to the configured
+// minimum delay).
+func (t *latencyTracker) P95() time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.n == 0 {
+		return 0
+	}
+	if t.pending >= recalcEvery || t.cached == 0 {
+		t.scratch = append(t.scratch[:0], t.window[:t.n]...)
+		sort.Slice(t.scratch, func(i, j int) bool { return t.scratch[i] < t.scratch[j] })
+		idx := (t.n * 95) / 100
+		if idx >= t.n {
+			idx = t.n - 1
+		}
+		t.cached = t.scratch[idx]
+		t.pending = 0
+	}
+	return t.cached
+}

@@ -1,0 +1,57 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+func TestLatencyTrackerP95(t *testing.T) {
+	tr := newLatencyTracker(100)
+	if got := tr.P95(); got != 0 {
+		t.Fatalf("empty tracker p95 = %v, want 0", got)
+	}
+	// 95 fast + 5 slow observations: the p95 must land in the slow tail,
+	// not at the median.
+	for i := 0; i < 95; i++ {
+		tr.Observe(time.Millisecond)
+	}
+	for i := 0; i < 5; i++ {
+		tr.Observe(100 * time.Millisecond)
+	}
+	if got := tr.P95(); got != 100*time.Millisecond {
+		t.Fatalf("p95 = %v, want 100ms", got)
+	}
+}
+
+func TestLatencyTrackerSlides(t *testing.T) {
+	tr := newLatencyTracker(32)
+	for i := 0; i < 32; i++ {
+		tr.Observe(time.Second)
+	}
+	if got := tr.P95(); got != time.Second {
+		t.Fatalf("p95 = %v, want 1s", got)
+	}
+	// Overwrite the whole window with fast samples: the old tail must
+	// age out entirely.
+	for i := 0; i < 64; i++ {
+		tr.Observe(time.Millisecond)
+	}
+	if got := tr.P95(); got != time.Millisecond {
+		t.Fatalf("after sliding, p95 = %v, want 1ms", got)
+	}
+}
+
+func TestLatencyTrackerRecomputeCadence(t *testing.T) {
+	tr := newLatencyTracker(64)
+	tr.Observe(time.Millisecond)
+	if got := tr.P95(); got != time.Millisecond {
+		t.Fatalf("first p95 = %v", got)
+	}
+	// A burst of slower samples shows up after the recompute interval.
+	for i := 0; i < recalcEvery; i++ {
+		tr.Observe(50 * time.Millisecond)
+	}
+	if got := tr.P95(); got != 50*time.Millisecond {
+		t.Fatalf("post-recompute p95 = %v, want 50ms", got)
+	}
+}

@@ -1,0 +1,178 @@
+// Package cluster implements the partree sharding tier: a consistent-
+// hash ring over partreed backends keyed by the canonical request hash,
+// per-backend health probes with a circuit breaker, hedged requests with
+// an adaptive p95 delay, bounded failover, and graceful drain that bleeds
+// a leaving shard's keys to its ring successor. Command partreegw wraps
+// a Gateway in an HTTP process.
+//
+// Routing on the canonical key (serve.CanonicalKey) rather than on raw
+// bytes means every JSON spelling of the same job lands on the same
+// shard, so each backend's LRU result cache concentrates hits for its
+// arc of the key space instead of diluting the working set N ways.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// defaultVnodes is the virtual-node count per backend. Measured worst
+// per-backend share deviation with stratified placement: ~11% at 128
+// points and 8 backends, ~7% at 384 (see the balance property test);
+// 384 keeps every plausible cluster shape comfortably inside the ±15%
+// balance bar while membership changes stay cheap to re-sort.
+const defaultVnodes = 384
+
+// ringPoint is one virtual node: a position on the 64-bit circle owned
+// by a backend.
+type ringPoint struct {
+	pos   uint64
+	owner string
+}
+
+// Ring is a consistent-hash ring with virtual nodes. Lookups walk
+// clockwise from the key's position to the first point; removing a
+// backend deletes only its points, so every other key keeps its owner —
+// the minimal-disruption property the property tests pin down.
+type Ring struct {
+	mu      sync.RWMutex
+	vnodes  int
+	points  []ringPoint // sorted by (pos, owner)
+	members map[string]struct{}
+}
+
+// NewRing builds an empty ring with the given virtual-node count per
+// backend (0 means defaultVnodes).
+func NewRing(vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = defaultVnodes
+	}
+	return &Ring{vnodes: vnodes, members: make(map[string]struct{})}
+}
+
+// pointPos derives a virtual node's circle position from the backend
+// name and replica index. Placement is stratified: replica i lands in
+// the i-th of `vnodes` equal arcs, jittered within it by sha256 of the
+// name. Pure random placement at 128 vnodes leaves ±17-19% share skew
+// in the worst case (which shows up directly as cache-hit-rate skew);
+// one jittered point per stratum keeps every backend's share within a
+// few percent of uniform while remaining fully deterministic and
+// per-backend independent — removing a backend still deletes only its
+// own points.
+func pointPos(owner string, replica, vnodes int) uint64 {
+	h := sha256.Sum256([]byte(owner + "#" + strconv.Itoa(replica)))
+	jitter := binary.BigEndian.Uint64(h[:8])
+	stratum := ^uint64(0)/uint64(vnodes) + 1
+	return uint64(replica)*stratum + jitter%stratum
+}
+
+// PositionOf maps a routing key (typically a canonical request hash) to
+// its position on the circle.
+func PositionOf(key string) uint64 {
+	h := sha256.Sum256([]byte(key))
+	return binary.BigEndian.Uint64(h[:8])
+}
+
+// Add inserts a backend's virtual nodes. Adding an existing member is a
+// no-op.
+func (r *Ring) Add(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.members[name]; ok {
+		return
+	}
+	r.members[name] = struct{}{}
+	for i := 0; i < r.vnodes; i++ {
+		r.points = append(r.points, ringPoint{pos: pointPos(name, i, r.vnodes), owner: name})
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].pos != r.points[j].pos {
+			return r.points[i].pos < r.points[j].pos
+		}
+		return r.points[i].owner < r.points[j].owner
+	})
+}
+
+// Remove deletes a backend's virtual nodes; keys it owned fall through
+// to their next clockwise point, everything else is untouched.
+func (r *Ring) Remove(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.members[name]; !ok {
+		return
+	}
+	delete(r.members, name)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.owner != name {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// Members returns the current backends, sorted.
+func (r *Ring) Members() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.members))
+	for m := range r.members {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Size returns the member count; Points the virtual-node count.
+func (r *Ring) Size() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.members)
+}
+
+func (r *Ring) Points() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.points)
+}
+
+// Lookup returns the backend owning the key, or "" on an empty ring.
+func (r *Ring) Lookup(key string) string {
+	owners := r.Successors(key, 1)
+	if len(owners) == 0 {
+		return ""
+	}
+	return owners[0]
+}
+
+// Successors returns up to n distinct backends in ring order starting at
+// the key's owner: the primary replica first, then the backends whose
+// points follow it clockwise. The second entry is the hedge/failover
+// target and the successor that inherits the key when the primary
+// drains.
+func (r *Ring) Successors(key string, n int) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.members) {
+		n = len(r.members)
+	}
+	pos := PositionOf(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].pos >= pos })
+	out := make([]string, 0, n)
+	seen := make(map[string]struct{}, n)
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if _, dup := seen[p.owner]; dup {
+			continue
+		}
+		seen[p.owner] = struct{}{}
+		out = append(out, p.owner)
+	}
+	return out
+}

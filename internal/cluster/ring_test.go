@@ -1,0 +1,182 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("huffman:%064d", i)
+	}
+	return keys
+}
+
+// TestRingBalance pins the distribution property the vnode count buys:
+// with the default ≥128 virtual nodes per backend, every backend's
+// share of a large key population stays within ±15% of uniform. The
+// hash is deterministic, so this is a fixed fact about the
+// construction, not a statistical gamble.
+func TestRingBalance(t *testing.T) {
+	if defaultVnodes < 128 {
+		t.Fatalf("defaultVnodes = %d, want ≥ 128", defaultVnodes)
+	}
+	for _, nb := range []int{2, 3, 4, 8, 16} {
+		r := NewRing(0)
+		for i := 0; i < nb; i++ {
+			r.Add(fmt.Sprintf("http://10.0.0.%d:8080", i+1))
+		}
+		if got := r.Points(); got != defaultVnodes*nb {
+			t.Fatalf("%d backends: %d points, want %d", nb, got, defaultVnodes*nb)
+		}
+		const nkeys = 20000
+		counts := make(map[string]int)
+		for _, k := range ringKeys(nkeys) {
+			owner := r.Lookup(k)
+			if owner == "" {
+				t.Fatalf("%d backends: no owner for %q", nb, k)
+			}
+			counts[owner]++
+		}
+		if len(counts) != nb {
+			t.Fatalf("%d backends: only %d received keys: %v", nb, len(counts), counts)
+		}
+		uniform := float64(nkeys) / float64(nb)
+		for owner, c := range counts {
+			dev := (float64(c) - uniform) / uniform
+			if dev > 0.15 || dev < -0.15 {
+				t.Errorf("%d backends: %s owns %d keys (%.1f%% from uniform %g), outside ±15%%",
+					nb, owner, c, dev*100, uniform)
+			}
+		}
+	}
+}
+
+// TestRingRemoveRemapsOnlyOwnArc is the minimal-disruption property:
+// removing one backend reassigns exactly the keys it owned; every other
+// key keeps its owner.
+func TestRingRemoveRemapsOnlyOwnArc(t *testing.T) {
+	backends := []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1", "http://e:1"}
+	r := NewRing(128)
+	for _, b := range backends {
+		r.Add(b)
+	}
+	keys := ringKeys(10000)
+	before := make(map[string]string, len(keys))
+	for _, k := range keys {
+		before[k] = r.Lookup(k)
+	}
+	const victim = "http://c:1"
+	r.Remove(victim)
+	moved := 0
+	for _, k := range keys {
+		after := r.Lookup(k)
+		if before[k] == victim {
+			moved++
+			if after == victim {
+				t.Fatalf("key %q still owned by removed backend", k)
+			}
+			continue
+		}
+		if after != before[k] {
+			t.Errorf("key %q moved %s → %s though its owner stayed on the ring", k, before[k], after)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("victim owned no keys; test proves nothing")
+	}
+}
+
+// TestRingAddStealsOnlyNewArc is the mirror property: a new backend only
+// takes keys for itself; no key moves between surviving backends.
+func TestRingAddStealsOnlyNewArc(t *testing.T) {
+	r := NewRing(128)
+	r.Add("http://a:1")
+	r.Add("http://b:1")
+	keys := ringKeys(10000)
+	before := make(map[string]string, len(keys))
+	for _, k := range keys {
+		before[k] = r.Lookup(k)
+	}
+	const newcomer = "http://c:1"
+	r.Add(newcomer)
+	stolen := 0
+	for _, k := range keys {
+		after := r.Lookup(k)
+		if after == before[k] {
+			continue
+		}
+		if after != newcomer {
+			t.Errorf("key %q moved %s → %s, not to the newcomer", k, before[k], after)
+		}
+		stolen++
+	}
+	if stolen == 0 {
+		t.Fatal("newcomer took no keys; test proves nothing")
+	}
+}
+
+// TestRingSuccessors: distinct owners, ring order stability, and the
+// drain invariant — a key's second successor is its owner after the
+// primary leaves.
+func TestRingSuccessors(t *testing.T) {
+	r := NewRing(64)
+	backends := []string{"http://a:1", "http://b:1", "http://c:1"}
+	for _, b := range backends {
+		r.Add(b)
+	}
+	for _, k := range ringKeys(500) {
+		succ := r.Successors(k, 3)
+		if len(succ) != 3 {
+			t.Fatalf("key %q: successors %v, want 3", k, succ)
+		}
+		seen := map[string]bool{}
+		for _, s := range succ {
+			if seen[s] {
+				t.Fatalf("key %q: duplicate successor %s in %v", k, s, succ)
+			}
+			seen[s] = true
+		}
+		if got := r.Lookup(k); got != succ[0] {
+			t.Fatalf("key %q: Lookup %s != Successors[0] %s", k, got, succ[0])
+		}
+	}
+	// The replica chain predicts failover: remove each key's primary and
+	// the key must land exactly on its old second successor.
+	for _, k := range ringKeys(100) {
+		succ := r.Successors(k, 2)
+		r2 := NewRing(64)
+		for _, b := range backends {
+			r2.Add(b)
+		}
+		r2.Remove(succ[0])
+		if got := r2.Lookup(k); got != succ[1] {
+			t.Fatalf("key %q: after removing %s owner is %s, want old successor %s", k, succ[0], got, succ[1])
+		}
+	}
+}
+
+// TestRingEmptyAndIdempotent covers the degenerate shapes the gateway
+// can reach: empty ring, double add, remove of a non-member.
+func TestRingEmptyAndIdempotent(t *testing.T) {
+	r := NewRing(0)
+	if got := r.Lookup("anything"); got != "" {
+		t.Fatalf("empty ring Lookup = %q, want empty", got)
+	}
+	if s := r.Successors("anything", 2); s != nil {
+		t.Fatalf("empty ring Successors = %v", s)
+	}
+	r.Add("http://a:1")
+	r.Add("http://a:1")
+	if got := r.Points(); got != defaultVnodes {
+		t.Fatalf("double add: %d points, want %d", got, defaultVnodes)
+	}
+	r.Remove("http://nope:1")
+	if got, want := r.Members(), []string{"http://a:1"}; len(got) != 1 || got[0] != want[0] {
+		t.Fatalf("members %v, want %v", got, want)
+	}
+	if got := r.Lookup("anything"); got != "http://a:1" {
+		t.Fatalf("single-member ring Lookup = %q", got)
+	}
+}

@@ -1,0 +1,204 @@
+package cluster
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"partree/internal/serve"
+)
+
+func rawBodyHash(body []byte) string {
+	h := sha256.Sum256(body)
+	return hex.EncodeToString(h[:])
+}
+
+// View snapshots the gateway's routing state as the serve-layer
+// ClusterView, which renders both the /statsz JSON block and the
+// partree_cluster_* metrics families.
+func (g *Gateway) View() *serve.ClusterView {
+	g.mu.RLock()
+	backs := make([]*backend, 0, len(g.backends))
+	for _, b := range g.backends {
+		backs = append(backs, b)
+	}
+	g.mu.RUnlock()
+	sort.Slice(backs, func(i, j int) bool { return backs[i].name < backs[j].name })
+
+	v := &serve.ClusterView{
+		UptimeS:      time.Since(g.start).Seconds(),
+		RingBackends: g.ring.Size(),
+		RingPoints:   g.ring.Points(),
+		HedgeDelayS:  g.hedgeDelay().Seconds(),
+		ProxiedOK:    g.proxiedOK.Load(),
+		ProxiedErr:   g.proxiedErr.Load(),
+		NoBackend:    g.noBackend.Load(),
+		HedgesFired:  g.hedges.Load(),
+		HedgeWins:    g.hedgeWins.Load(),
+		Failovers:    g.failovers.Load(),
+		BleedReplays: g.bleeds.Load(),
+		Latency:      g.latHist.Snapshot(),
+	}
+	for _, b := range backs {
+		v.Backends = append(v.Backends, serve.ClusterBackendView{
+			Name:         b.name,
+			ShardID:      b.shard(),
+			Healthy:      b.healthy.Load(),
+			Draining:     b.draining.Load(),
+			Breaker:      b.breaker.State().String(),
+			BreakerOpens: b.breaker.Opens(),
+			Routed:       b.routed.Load(),
+			Errors:       b.erred.Load(),
+			Hedged:       b.hedged.Load(),
+		})
+	}
+	return v
+}
+
+func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	v := g.View()
+	healthy := 0
+	for _, b := range v.Backends {
+		if b.Healthy && !b.Draining {
+			healthy++
+		}
+	}
+	body := map[string]any{
+		"ok":               healthy > 0,
+		"uptime_s":         v.UptimeS,
+		"backends":         v.RingBackends,
+		"healthy_backends": healthy,
+	}
+	status := http.StatusOK
+	if healthy == 0 {
+		status = http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(body)
+}
+
+// BackendStatsz is one backend's slice of the aggregated /statsz view.
+type BackendStatsz struct {
+	Healthy  bool                 `json:"healthy"`
+	Draining bool                 `json:"draining"`
+	Breaker  string               `json:"breaker"`
+	ShardID  string               `json:"shard_id,omitempty"`
+	Error    string               `json:"error,omitempty"`
+	Stats    *serve.StatsSnapshot `json:"stats,omitempty"`
+}
+
+// ClusterTotals rolls the backend /statsz counters up into one cluster
+// view: total request outcomes, result-cache traffic, and batching.
+type ClusterTotals struct {
+	RequestsOK     int64 `json:"requests_ok"`
+	RequestsErrors int64 `json:"requests_errors"`
+	CacheHits      int64 `json:"cache_hits"`
+	CacheMisses    int64 `json:"cache_misses"`
+	Batches        int64 `json:"batches"`
+	BatchedJobs    int64 `json:"batched_jobs"`
+}
+
+// ClusterStatsz is the gateway /statsz payload: the gateway's own
+// routing counters plus every backend's /statsz, fetched live, with a
+// cluster-wide rollup.
+type ClusterStatsz struct {
+	Gateway  *serve.ClusterView       `json:"gateway"`
+	Totals   ClusterTotals            `json:"totals"`
+	Backends map[string]BackendStatsz `json:"backends"`
+}
+
+// Statsz aggregates the cluster view: each live backend's /statsz is
+// fetched concurrently (bounded by the probe timeout) and folded into
+// cluster totals alongside the gateway's routing state.
+func (g *Gateway) Statsz(ctx context.Context) ClusterStatsz {
+	out := ClusterStatsz{
+		Gateway:  g.View(),
+		Backends: make(map[string]BackendStatsz),
+	}
+	g.mu.RLock()
+	backs := make([]*backend, 0, len(g.backends))
+	for _, b := range g.backends {
+		backs = append(backs, b)
+	}
+	g.mu.RUnlock()
+
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, b := range backs {
+		wg.Add(1)
+		go func(b *backend) {
+			defer wg.Done()
+			bs := BackendStatsz{
+				Healthy:  b.healthy.Load(),
+				Draining: b.draining.Load(),
+				Breaker:  b.breaker.State().String(),
+				ShardID:  b.shard(),
+			}
+			snap, err := g.fetchStatsz(ctx, b)
+			if err != nil {
+				bs.Error = err.Error()
+			} else {
+				bs.Stats = snap
+			}
+			mu.Lock()
+			out.Backends[b.name] = bs
+			mu.Unlock()
+		}(b)
+	}
+	wg.Wait()
+
+	for _, bs := range out.Backends {
+		if bs.Stats == nil {
+			continue
+		}
+		for _, rc := range bs.Stats.Requests {
+			out.Totals.RequestsOK += rc.OK
+			out.Totals.RequestsErrors += rc.Errors
+		}
+		out.Totals.CacheHits += bs.Stats.Cache.Hits
+		out.Totals.CacheMisses += bs.Stats.Cache.Misses
+		for _, bc := range bs.Stats.Batchers {
+			out.Totals.Batches += bc.Batches
+			out.Totals.BatchedJobs += bc.Jobs
+		}
+	}
+	return out
+}
+
+func (g *Gateway) fetchStatsz(ctx context.Context, b *backend) (*serve.StatsSnapshot, error) {
+	ctx, cancel := context.WithTimeout(ctx, g.cfg.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.name+"/statsz", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := g.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var snap serve.StatsSnapshot
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&snap); err != nil {
+		return nil, err
+	}
+	return &snap, nil
+}
+
+func (g *Gateway) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(g.Statsz(r.Context()))
+}
+
+func (g *Gateway) handleMetricsz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	serve.RenderClusterMetrics(w, g.View())
+}

@@ -40,23 +40,29 @@ func (h *histogram) observe(seconds float64) {
 	h.sum += seconds
 }
 
-// histSnapshot is one histogram with its label value, ready to render.
-type histSnapshot struct {
-	label  string
-	counts [len(durationBuckets) + 1]int64
-	sum    float64
+// HistSnapshot is one histogram with its label value, ready to render.
+// Exported so the cluster gateway can feed per-backend latency
+// histograms into the same exposition machinery.
+type HistSnapshot struct {
+	Label  string
+	Counts [len(durationBuckets) + 1]int64
+	Sum    float64
 }
 
-// histSet is a label → histogram map; one for phase durations (label =
-// phase name) and one for batch executions (label = engine).
-type histSet struct {
+// HistSet is a label → histogram map sharing the service-wide duration
+// buckets; serve keeps one for phase durations (label = phase name) and
+// one for batch executions (label = engine), and the cluster gateway
+// keeps one for per-backend request latency (label = backend).
+type HistSet struct {
 	mu sync.Mutex
 	m  map[string]*histogram
 }
 
-func newHistSet() *histSet { return &histSet{m: make(map[string]*histogram)} }
+// NewHistSet returns an empty histogram set.
+func NewHistSet() *HistSet { return &HistSet{m: make(map[string]*histogram)} }
 
-func (s *histSet) observe(label string, seconds float64) {
+// Observe folds one duration (in seconds) into the labeled histogram.
+func (s *HistSet) Observe(label string, seconds float64) {
 	s.mu.Lock()
 	h, ok := s.m[label]
 	if !ok {
@@ -67,15 +73,15 @@ func (s *histSet) observe(label string, seconds float64) {
 	s.mu.Unlock()
 }
 
-// snapshot returns the set's histograms sorted by label.
-func (s *histSet) snapshot() []histSnapshot {
+// Snapshot returns the set's histograms sorted by label.
+func (s *HistSet) Snapshot() []HistSnapshot {
 	s.mu.Lock()
-	out := make([]histSnapshot, 0, len(s.m))
+	out := make([]HistSnapshot, 0, len(s.m))
 	for label, h := range s.m {
-		out = append(out, histSnapshot{label: label, counts: h.counts, sum: h.sum})
+		out = append(out, HistSnapshot{Label: label, Counts: h.counts, Sum: h.sum})
 	}
 	s.mu.Unlock()
-	sort.Slice(out, func(i, j int) bool { return out[i].label < out[j].label })
+	sort.Slice(out, func(i, j int) bool { return out[i].Label < out[j].Label })
 	return out
 }
 
@@ -86,19 +92,142 @@ func (s *Server) observeTrace(tr *trace.Trace) {
 	for _, sp := range tr.Spans() {
 		switch sp.Cat {
 		case trace.CatPhase:
-			s.phaseHist.observe(sp.Name, sp.Dur.Seconds())
+			s.phaseHist.Observe(sp.Name, sp.Dur.Seconds())
 		case trace.CatBatch:
-			s.batchHist.observe(sp.Name, sp.Dur.Seconds())
+			s.batchHist.Observe(sp.Name, sp.Dur.Seconds())
 		}
 	}
 }
 
 // metricsView is everything renderMetrics needs, decoupled from the live
 // Server so the golden test can render a hand-built view byte-for-byte.
+// Cluster is nil on a plain partreed backend; the gateway renders the
+// partree_cluster_* families through the same writer.
 type metricsView struct {
 	Stats      StatsSnapshot
-	PhaseHists []histSnapshot
-	BatchHists []histSnapshot
+	PhaseHists []HistSnapshot
+	BatchHists []HistSnapshot
+	Cluster    *ClusterView
+}
+
+// ClusterBackendView is one backend's routing/health state in the
+// gateway's /metricsz and /statsz expositions.
+type ClusterBackendView struct {
+	Name         string `json:"name"`
+	ShardID      string `json:"shard_id,omitempty"`
+	Healthy      bool   `json:"healthy"`
+	Draining     bool   `json:"draining"`
+	Breaker      string `json:"breaker"` // "closed", "half-open", or "open"
+	BreakerOpens int64  `json:"breaker_opens"`
+	Routed       int64  `json:"routed"`
+	Errors       int64  `json:"errors"`
+	Hedged       int64  `json:"hedged"`
+}
+
+// ClusterView is the gateway-side slice of the exposition: ring shape,
+// hedge/failover/bleed counters, per-backend routing state, and
+// per-backend latency histograms. Rendered by RenderClusterMetrics (and
+// by renderMetrics when a view carries one, which freezes the family
+// names in the golden).
+type ClusterView struct {
+	UptimeS      float64              `json:"uptime_s"`
+	RingBackends int                  `json:"ring_backends"`
+	RingPoints   int                  `json:"ring_points"`
+	HedgeDelayS  float64              `json:"hedge_delay_s"`
+	ProxiedOK    int64                `json:"proxied_ok"`
+	ProxiedErr   int64                `json:"proxied_errors"`
+	NoBackend    int64                `json:"no_backend"`
+	HedgesFired  int64                `json:"hedges_fired"`
+	HedgeWins    int64                `json:"hedge_wins"`
+	Failovers    int64                `json:"failovers"`
+	BleedReplays int64                `json:"bleed_replays"`
+	Backends     []ClusterBackendView `json:"backends"`
+	Latency      []HistSnapshot       `json:"-"`
+}
+
+// breakerGaugeValue maps breaker state names onto a stable numeric
+// encoding for the partree_cluster_breaker_state gauge.
+func breakerGaugeValue(state string) float64 {
+	switch state {
+	case "half-open":
+		return 1
+	case "open":
+		return 2
+	default: // closed
+		return 0
+	}
+}
+
+// renderClusterMetrics writes the partree_cluster_* families. Family
+// names and label sets are frozen by the same golden as the rest of the
+// exposition.
+func renderClusterMetrics(p promWriter, v *ClusterView) {
+	p.header("partree_cluster_uptime_seconds", "Seconds since the gateway started.", "gauge")
+	p.sample("partree_cluster_uptime_seconds", "", v.UptimeS)
+	p.header("partree_cluster_ring_backends", "Backends currently on the consistent-hash ring.", "gauge")
+	p.sample("partree_cluster_ring_backends", "", float64(v.RingBackends))
+	p.header("partree_cluster_ring_points", "Virtual nodes currently on the ring.", "gauge")
+	p.sample("partree_cluster_ring_points", "", float64(v.RingPoints))
+	p.header("partree_cluster_hedge_delay_seconds", "Current adaptive hedge delay (clamped p95 of proxied latency).", "gauge")
+	p.sample("partree_cluster_hedge_delay_seconds", "", v.HedgeDelayS)
+
+	p.header("partree_cluster_proxied_total", "Proxied /v1 requests by outcome.", "counter")
+	p.sample("partree_cluster_proxied_total", `outcome="ok"`, float64(v.ProxiedOK))
+	p.sample("partree_cluster_proxied_total", `outcome="error"`, float64(v.ProxiedErr))
+	p.sample("partree_cluster_proxied_total", `outcome="no_backend"`, float64(v.NoBackend))
+	p.header("partree_cluster_hedges_total", "Hedged duplicates fired and hedges that won the race.", "counter")
+	p.sample("partree_cluster_hedges_total", `event="fired"`, float64(v.HedgesFired))
+	p.sample("partree_cluster_hedges_total", `event="won"`, float64(v.HedgeWins))
+	p.header("partree_cluster_failovers_total", "Failover retries to the secondary replica after connection errors.", "counter")
+	p.sample("partree_cluster_failovers_total", "", float64(v.Failovers))
+	p.header("partree_cluster_bleed_replays_total", "Requests replayed to a drained shard's ring successor.", "counter")
+	p.sample("partree_cluster_bleed_replays_total", "", float64(v.BleedReplays))
+
+	p.header("partree_cluster_backend_up", "Backend health-probe status (1 = healthy).", "gauge")
+	for _, b := range v.Backends {
+		up := 0.0
+		if b.Healthy {
+			up = 1
+		}
+		p.sample("partree_cluster_backend_up", fmt.Sprintf(`backend=%q`, b.Name), up)
+	}
+	p.header("partree_cluster_backend_draining", "Whether the backend is draining off the ring (1 = draining).", "gauge")
+	for _, b := range v.Backends {
+		d := 0.0
+		if b.Draining {
+			d = 1
+		}
+		p.sample("partree_cluster_backend_draining", fmt.Sprintf(`backend=%q`, b.Name), d)
+	}
+	p.header("partree_cluster_breaker_state", "Circuit-breaker state per backend (0 = closed, 1 = half-open, 2 = open).", "gauge")
+	for _, b := range v.Backends {
+		p.sample("partree_cluster_breaker_state", fmt.Sprintf(`backend=%q`, b.Name), breakerGaugeValue(b.Breaker))
+	}
+	p.header("partree_cluster_breaker_opens_total", "Circuit-breaker transitions to open per backend.", "counter")
+	for _, b := range v.Backends {
+		p.sample("partree_cluster_breaker_opens_total", fmt.Sprintf(`backend=%q`, b.Name), float64(b.BreakerOpens))
+	}
+	p.header("partree_cluster_backend_requests_total", "Requests routed to the backend (primary or hedge).", "counter")
+	for _, b := range v.Backends {
+		p.sample("partree_cluster_backend_requests_total", fmt.Sprintf(`backend=%q`, b.Name), float64(b.Routed))
+	}
+	p.header("partree_cluster_backend_errors_total", "Transport-level failures per backend.", "counter")
+	for _, b := range v.Backends {
+		p.sample("partree_cluster_backend_errors_total", fmt.Sprintf(`backend=%q`, b.Name), float64(b.Errors))
+	}
+	p.header("partree_cluster_backend_hedges_total", "Hedged duplicates sent to the backend.", "counter")
+	for _, b := range v.Backends {
+		p.sample("partree_cluster_backend_hedges_total", fmt.Sprintf(`backend=%q`, b.Name), float64(b.Hedged))
+	}
+	p.header("partree_cluster_backend_latency_seconds", "Proxied request latency, by backend.", "histogram")
+	p.hist("partree_cluster_backend_latency_seconds", "backend", v.Latency)
+}
+
+// RenderClusterMetrics writes only the partree_cluster_* families — the
+// gateway's /metricsz. The buckets and text format are shared with the
+// backend exposition so one scrape config covers both tiers.
+func RenderClusterMetrics(w io.Writer, v *ClusterView) {
+	renderClusterMetrics(promWriter{w}, v)
 }
 
 // promWriter renders Prometheus text format (version 0.0.4) with
@@ -119,19 +248,19 @@ func (p promWriter) sample(name, labels string, v float64) {
 	fmt.Fprintf(p.w, "%s%s %s\n", name, labels, fnum(v))
 }
 
-func (p promWriter) hist(name string, labelKey string, hs []histSnapshot) {
+func (p promWriter) hist(name string, labelKey string, hs []HistSnapshot) {
 	for _, h := range hs {
 		cum := int64(0)
-		for i, c := range h.counts {
+		for i, c := range h.Counts {
 			cum += c
 			le := "+Inf"
 			if i < len(durationBuckets) {
 				le = fnum(durationBuckets[i])
 			}
-			p.sample(name+"_bucket", fmt.Sprintf(`%s=%q,le=%q`, labelKey, h.label, le), float64(cum))
+			p.sample(name+"_bucket", fmt.Sprintf(`%s=%q,le=%q`, labelKey, h.Label, le), float64(cum))
 		}
-		p.sample(name+"_sum", fmt.Sprintf(`%s=%q`, labelKey, h.label), h.sum)
-		p.sample(name+"_count", fmt.Sprintf(`%s=%q`, labelKey, h.label), float64(cum))
+		p.sample(name+"_sum", fmt.Sprintf(`%s=%q`, labelKey, h.Label), h.Sum)
+		p.sample(name+"_count", fmt.Sprintf(`%s=%q`, labelKey, h.Label), float64(cum))
 	}
 }
 
@@ -289,17 +418,28 @@ func renderMetrics(w io.Writer, v metricsView) {
 	}
 	p.sample("partree_tune_stale", "", stale)
 
+	p.header("partree_draining", "Whether the server is draining (healthz returns 503).", "gauge")
+	draining := 0.0
+	if snap.Draining {
+		draining = 1
+	}
+	p.sample("partree_draining", "", draining)
+
 	p.header("partree_phase_duration_seconds", "Wall time of traced PRAM phases, by phase label.", "histogram")
 	p.hist("partree_phase_duration_seconds", "phase", v.PhaseHists)
 	p.header("partree_batch_exec_seconds", "Wall time of batch executions, by engine.", "histogram")
 	p.hist("partree_batch_exec_seconds", "engine", v.BatchHists)
+
+	if v.Cluster != nil {
+		renderClusterMetrics(p, v.Cluster)
+	}
 }
 
 func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
 	view := metricsView{
 		Stats:      s.Snapshot(),
-		PhaseHists: s.phaseHist.snapshot(),
-		BatchHists: s.batchHist.snapshot(),
+		PhaseHists: s.phaseHist.Snapshot(),
+		BatchHists: s.batchHist.Snapshot(),
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	renderMetrics(w, view)

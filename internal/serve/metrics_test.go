@@ -18,14 +18,18 @@ var updateGolden = flag.Bool("update", false, "rewrite testdata golden files")
 // hand so the rendering is byte-stable. Any rename of a metric family,
 // label, or help string shows up as a golden diff — which is the point.
 func goldenView() metricsView {
-	phases := newHistSet()
-	phases.observe("monge.MulPar", 0.0004)
-	phases.observe("monge.MulPar", 0.002)
-	phases.observe("hufpar.spine", 0.15)
-	phases.observe("hufpar.spine", 25) // overflows the last bucket
-	batches := newHistSet()
-	batches.observe("huffman", 0.003)
-	batches.observe("obst", 0.9)
+	phases := NewHistSet()
+	phases.Observe("monge.MulPar", 0.0004)
+	phases.Observe("monge.MulPar", 0.002)
+	phases.Observe("hufpar.spine", 0.15)
+	phases.Observe("hufpar.spine", 25) // overflows the last bucket
+	batches := NewHistSet()
+	batches.Observe("huffman", 0.003)
+	batches.Observe("obst", 0.9)
+	backendLat := NewHistSet()
+	backendLat.Observe("http://10.0.0.1:8080", 0.0008)
+	backendLat.Observe("http://10.0.0.1:8080", 0.004)
+	backendLat.Observe("http://10.0.0.2:8080", 0.0012)
 
 	return metricsView{
 		Stats: StatsSnapshot{
@@ -64,8 +68,26 @@ func goldenView() metricsView {
 				CalibratedAt: "2026-01-02T03:04:05Z",
 			},
 		},
-		PhaseHists: phases.snapshot(),
-		BatchHists: batches.snapshot(),
+		PhaseHists: phases.Snapshot(),
+		BatchHists: batches.Snapshot(),
+		Cluster: &ClusterView{
+			UptimeS:      42.25,
+			RingBackends: 2,
+			RingPoints:   256,
+			HedgeDelayS:  0.0035,
+			ProxiedOK:    500,
+			ProxiedErr:   3,
+			NoBackend:    1,
+			HedgesFired:  12,
+			HedgeWins:    5,
+			Failovers:    2,
+			BleedReplays: 40,
+			Backends: []ClusterBackendView{
+				{Name: "http://10.0.0.1:8080", ShardID: "a", Healthy: true, Breaker: "closed", Routed: 300, Hedged: 4},
+				{Name: "http://10.0.0.2:8080", ShardID: "b", Healthy: false, Draining: true, Breaker: "open", BreakerOpens: 2, Routed: 200, Errors: 3, Hedged: 8},
+			},
+			Latency: backendLat.Snapshot(),
+		},
 	}
 }
 
@@ -236,8 +258,11 @@ func TestMetricszParseRoundTrip(t *testing.T) {
 			continue
 		}
 		labelKey := "phase"
-		if name == "partree_batch_exec_seconds" {
+		switch name {
+		case "partree_batch_exec_seconds":
 			labelKey = "engine"
+		case "partree_cluster_backend_latency_seconds":
+			labelKey = "backend"
 		}
 		labelVals := map[string]bool{}
 		for _, s := range byName(name+"_bucket", nil) {

@@ -51,6 +51,14 @@ func (l *Limits) setDefaults() {
 	}
 }
 
+// WithDefaults returns the limits with every zero field resolved to its
+// default — the same resolution a Server applies — so an out-of-package
+// consumer (the cluster gateway) can bound bodies identically.
+func (l Limits) WithDefaults() Limits {
+	l.setDefaults()
+	return l
+}
+
 // apiError is a structured client-visible error; it renders as
 // {"error": {"code": ..., "message": ...}} with the given HTTP status.
 type apiError struct {
@@ -69,7 +77,13 @@ func badRequest(code, format string, args ...any) *apiError {
 // size-limited) body: unknown fields and trailing garbage are errors, so
 // a typo'd request cannot silently fall back to defaults.
 func decodeJSON(r *http.Request, limit int64, dst any) *apiError {
-	dec := json.NewDecoder(io.LimitReader(r.Body, limit))
+	return decodeJSONReader(r.Body, limit, dst)
+}
+
+// decodeJSONReader is decodeJSON over any reader; CanonicalKey uses it
+// to apply the exact same strictness to an already-buffered body.
+func decodeJSONReader(r io.Reader, limit int64, dst any) *apiError {
+	dec := json.NewDecoder(io.LimitReader(r, limit))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(dst); err != nil {
 		return badRequest("bad_json", "decoding request body: %v", err)

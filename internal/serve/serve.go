@@ -60,6 +60,10 @@ type Config struct {
 	// traced request; 0 means 512). Batch-run traces always use the
 	// trace package default.
 	TraceCapacity int
+	// ShardID names this backend within a cluster (partreed -shard-id).
+	// Purely informational: echoed in /healthz and /statsz so a gateway
+	// probe can tell which shard answered.
+	ShardID string
 	// Logf receives server diagnostics (panics, shutdown). nil = log.Printf.
 	Logf func(format string, args ...any)
 }
@@ -115,6 +119,7 @@ type Server struct {
 	inflight chan struct{}
 	shed     atomic.Int64
 	panics   atomic.Int64
+	draining atomic.Bool
 
 	served map[string]*endpointCounters
 
@@ -123,8 +128,8 @@ type Server struct {
 
 	// Trace-derived histograms behind /metricsz, fed by every batch run's
 	// recorder via observeTrace (see metrics.go).
-	phaseHist *histSet
-	batchHist *histSet
+	phaseHist *HistSet
+	batchHist *HistSet
 
 	hufBatch *batcher[[]float64, partree.HuffmanBatchResult]
 	sfBatch  *batcher[[]float64, partree.ShannonFanoBatchResult]
@@ -191,8 +196,8 @@ func New(cfg Config) *Server {
 		s.cache = newLRUCache(cfg.CacheSize)
 		s.fast = newRawCache(cfg.CacheSize)
 	}
-	s.phaseHist = newHistSet()
-	s.batchHist = newHistSet()
+	s.phaseHist = NewHistSet()
+	s.batchHist = NewHistSet()
 	for _, name := range engineNames {
 		s.served[name] = &endpointCounters{}
 		s.engineStats[name] = &accumulatedStats{phases: make(map[string]partree.PhaseStats)}
@@ -259,12 +264,23 @@ func New(cfg Config) *Server {
 // Handler returns the service's root handler (panic recovery included).
 func (s *Server) Handler() http.Handler { return s.recoverer(s.mux) }
 
+// BeginDrain flips /healthz to 503 so health-checked routers (the
+// cluster gateway's probes, load balancers) stop sending new traffic,
+// while everything already admitted keeps running: in-flight requests
+// and queued batches finish normally. Call it at the top of the
+// graceful-shutdown path, before http.Server.Shutdown.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether BeginDrain (or Close) has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
 // Close drains every batcher: queued jobs execute, then collectors exit.
 // In-flight HTTP requests should be drained first (http.Server.Shutdown);
 // requests arriving afterwards get 503. The facade machine pool is
 // drained last so the resident PRAM worker goroutines exit with the
 // server instead of waiting out their idle timeout.
 func (s *Server) Close() {
+	s.draining.Store(true)
 	var wg sync.WaitGroup
 	for _, c := range []interface{ Close() }{s.hufBatch, s.sfBatch, s.patBatch, s.bstBatch, s.cflBatch} {
 		wg.Add(1)
@@ -626,11 +642,25 @@ func (s *Server) handleLinCFL(w http.ResponseWriter, r *http.Request) {
 
 // --- observability endpoints ---
 
+// handleHealthz reports readiness: 200 while the server accepts work,
+// 503 once BeginDrain has flipped it into its shutdown sequence. The
+// flip is immediate — routers stop sending new traffic right away —
+// while requests already admitted (and queued batches) still complete.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"ok":       true,
 		"uptime_s": time.Since(s.start).Seconds(),
-	})
+	}
+	if s.cfg.ShardID != "" {
+		body["shard_id"] = s.cfg.ShardID
+	}
+	if s.draining.Load() {
+		body["ok"] = false
+		body["draining"] = true
+		writeJSON(w, http.StatusServiceUnavailable, body)
+		return
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 // phaseJSON mirrors partree.PhaseStats with JSON-friendly durations.
@@ -710,6 +740,8 @@ type MachinePoolCounters struct {
 // StatsSnapshot is the /statsz payload.
 type StatsSnapshot struct {
 	UptimeS     float64                    `json:"uptime_s"`
+	ShardID     string                     `json:"shard_id,omitempty"`
+	Draining    bool                       `json:"draining"`
 	Inflight    int                        `json:"inflight"`
 	Capacity    int                        `json:"inflight_capacity"`
 	Shed        int64                      `json:"shed"`
@@ -750,6 +782,8 @@ func tuningInfo() TuningInfo {
 func (s *Server) Snapshot() StatsSnapshot {
 	snap := StatsSnapshot{
 		UptimeS:  time.Since(s.start).Seconds(),
+		ShardID:  s.cfg.ShardID,
+		Draining: s.draining.Load(),
 		Inflight: len(s.inflight),
 		Capacity: cap(s.inflight),
 		Shed:     s.shed.Load(),

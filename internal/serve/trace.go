@@ -14,9 +14,9 @@ import (
 // spans with their counted steps/work and scheduler deltas.
 
 type traceSpanJSON struct {
-	Name  string `json:"name"`
-	Cat   string `json:"cat"`
-	TID   int    `json:"tid,omitempty"`
+	Name string `json:"name"`
+	Cat  string `json:"cat"`
+	TID  int    `json:"tid,omitempty"`
 	// Offsets/durations in microseconds from the request trace's epoch
 	// (request admission), matching the Chrome-trace export's unit.
 	StartUS float64 `json:"start_us"`
